@@ -1,0 +1,41 @@
+package rrr
+
+import (
+	"rrr/internal/arrangement"
+	"rrr/internal/exact"
+)
+
+// BorderFacet is one facet of the 2-D top-k border (the paper's Figure 3):
+// over the sweep-angle interval [From, To] (radians from the x1-axis), the
+// k-th ranked tuple is ID.
+type BorderFacet struct {
+	ID       int
+	From, To float64
+}
+
+// KBorder2D computes the top-k border of a 2-D dataset: the chain of dual
+// facets whose crossing defines every change of the top-k. It returns the
+// facets in sweep order. This is the geometric object underlying
+// Algorithm 1 and the k-set enumeration.
+func KBorder2D(d *Dataset, k int) ([]BorderFacet, error) {
+	arr, err := arrangement.Build(d, k)
+	if err != nil {
+		return nil, err
+	}
+	segs := arr.Border()
+	out := make([]BorderFacet, len(segs))
+	for i, s := range segs {
+		out[i] = BorderFacet{ID: s.ID, From: s.From, To: s.To}
+	}
+	return out, nil
+}
+
+// OptimalRRR2D computes the true optimal rank-regret representative of a
+// 2-D dataset by exact k-set enumeration plus an exact minimum hitting set
+// (Lemma 5 makes these equivalent). Exponential in the worst case — the
+// problem is NP-complete in higher dimensions and this is the reference
+// implementation for small inputs. maxSize (0 = unlimited) aborts early
+// when the optimum would exceed the given budget.
+func OptimalRRR2D(d *Dataset, k, maxSize int) ([]int, error) {
+	return exact.RRR2D(d, k, maxSize)
+}

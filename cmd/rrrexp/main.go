@@ -1,0 +1,87 @@
+// Command rrrexp regenerates the evaluation figures of the RRR paper
+// (Figures 9–28 of "RRR: Rank-Regret Representative", SIGMOD 2019).
+//
+// Examples:
+//
+//	rrrexp -list                  # show all figures
+//	rrrexp -fig 18                # reproduce Figure 18 at default scale
+//	rrrexp -fig 18 -scale paper   # the paper's exact parameters (slow)
+//	rrrexp -all -scale smoke      # quick pass over every figure
+//	rrrexp -fig 13 -csv           # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rrr/internal/harness"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rrrexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		fig    = flag.String("fig", "", "figure to reproduce, e.g. 18 or fig18")
+		all    = flag.Bool("all", false, "run every figure")
+		scale  = flag.String("scale", "default", "smoke, default, or paper")
+		asCSV  = flag.Bool("csv", false, "emit CSV instead of a table")
+		plot   = flag.Bool("plot", false, "render ASCII charts after the table")
+		doList = flag.Bool("list", false, "list available figures")
+	)
+	flag.Parse()
+
+	if *doList {
+		for _, f := range harness.Figures() {
+			fmt.Printf("%s  %s\n", f.ID, f.Title)
+		}
+		for _, f := range harness.Extensions() {
+			fmt.Printf("%s  %s\n", f.ID, f.Title)
+		}
+		return nil
+	}
+	sc, err := harness.ParseScale(*scale)
+	if err != nil {
+		return err
+	}
+	var figs []harness.Figure
+	switch {
+	case *all:
+		figs = append(harness.Figures(), harness.Extensions()...)
+	case *fig != "":
+		f, ok := harness.ByID(*fig)
+		if !ok {
+			return fmt.Errorf("unknown figure %q (try -list)", *fig)
+		}
+		figs = []harness.Figure{f}
+	default:
+		return fmt.Errorf("provide -fig N, -all, or -list")
+	}
+	for _, f := range figs {
+		res, err := f.Run(sc)
+		if err != nil {
+			return fmt.Errorf("%s: %w", f.ID, err)
+		}
+		if *asCSV {
+			fmt.Print(res.CSV())
+		} else {
+			fmt.Println(res.Table())
+		}
+		if *plot {
+			charts, err := res.Plot()
+			if err != nil {
+				// Categorical x axes (the distribution study) have no
+				// numeric chart; keep the tables and move on.
+				fmt.Fprintf(os.Stderr, "rrrexp: %s has no chart: %v\n", f.ID, err)
+			} else {
+				fmt.Print(charts)
+			}
+		}
+	}
+	return nil
+}

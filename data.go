@@ -1,0 +1,42 @@
+package rrr
+
+import (
+	"io"
+
+	"rrr/internal/dataset"
+)
+
+// Table is a raw multi-attribute table with per-attribute preference
+// directions, prior to normalization.
+type Table = dataset.Table
+
+// Attr describes one attribute of a Table.
+type Attr = dataset.Attr
+
+// DOTLike generates the synthetic stand-in for the paper's US DOT
+// flight-delay dataset: n rows × 8 attributes with the real data's
+// correlation structure. See internal/dataset for the exact model.
+func DOTLike(n int, seed int64) *Table { return dataset.DOTLike(n, seed) }
+
+// BNLike generates the synthetic stand-in for the paper's Blue Nile
+// diamond catalog: n rows × 5 attributes with a power-law carat↔price
+// coupling.
+func BNLike(n int, seed int64) *Table { return dataset.BNLike(n, seed) }
+
+// Independent generates n×d i.i.d. uniform rows (all higher-better).
+func Independent(n, d int, seed int64) *Table { return dataset.Independent(n, d, seed) }
+
+// Correlated generates rows clustered along the main diagonal; RRR outputs
+// are tiny on such data.
+func Correlated(n, d int, seed int64) *Table { return dataset.Correlated(n, d, seed) }
+
+// AntiCorrelated generates rows near a simplex, the adversarial case with
+// the largest skylines and representatives.
+func AntiCorrelated(n, d int, seed int64) *Table { return dataset.AntiCorrelated(n, d, seed) }
+
+// ReadCSV parses a table whose header encodes preference directions as
+// "Name:+" / "Name:-" (direction defaults to higher-is-better).
+func ReadCSV(r io.Reader, name string) (*Table, error) { return dataset.ReadCSV(r, name) }
+
+// WriteCSV serializes a table in the ReadCSV convention.
+func WriteCSV(w io.Writer, t *Table) error { return dataset.WriteCSV(w, t) }

@@ -1,0 +1,49 @@
+package rrr
+
+import (
+	"rrr/internal/eval"
+)
+
+// EvalOptions tunes the sampled quality estimators. Samples defaults to
+// 10,000, the paper's Section 6.1 setting.
+type EvalOptions struct {
+	Samples int
+	Seed    int64
+}
+
+// EstimateRankRegret estimates the subset's rank-regret over all linear
+// ranking functions by uniform sampling, returning the worst rank observed
+// and a function witnessing it.
+func EstimateRankRegret(d *Dataset, ids []int, opt EvalOptions) (int, LinearFunc, error) {
+	return eval.EstimateRankRegret(d, ids, eval.Options{Samples: opt.Samples, Seed: opt.Seed})
+}
+
+// ExactRankRegret2D computes the exact rank-regret of a subset of a 2-D
+// dataset via the angular sweep.
+func ExactRankRegret2D(d *Dataset, ids []int) (int, error) {
+	return eval.ExactRankRegret2D(d, ids)
+}
+
+// MaxRegretRatio estimates the subset's maximum score-based regret-ratio —
+// the measure the regret-minimizing-set literature optimizes — by uniform
+// sampling.
+func MaxRegretRatio(d *Dataset, ids []int, opt EvalOptions) (float64, LinearFunc, error) {
+	return eval.MaxRegretRatio(d, ids, eval.Options{Samples: opt.Samples, Seed: opt.Seed})
+}
+
+// RegretRatio computes the subset's score regret for one explicit function.
+func RegretRatio(d *Dataset, f LinearFunc, ids []int) (float64, error) {
+	return eval.RegretRatio(d, f, ids)
+}
+
+// Distribution summarizes how a subset's rank-regret distributes over the
+// function space: worst case plus the quantiles a product owner reasons
+// about ("95% of users get a top-20 item").
+type Distribution = eval.Distribution
+
+// RankRegretDistribution samples ranking functions uniformly and returns
+// the quantile picture of the subset's rank-regret. Pass k > 0 to also get
+// the fraction of functions already served within the target (WithinK).
+func RankRegretDistribution(d *Dataset, ids []int, k int, opt EvalOptions) (Distribution, error) {
+	return eval.RankRegretDistribution(d, ids, k, eval.Options{Samples: opt.Samples, Seed: opt.Seed})
+}

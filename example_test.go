@@ -1,0 +1,91 @@
+package rrr_test
+
+import (
+	"fmt"
+	"strings"
+
+	"rrr"
+)
+
+// The worked example of the paper: seven tuples, and the two of them that
+// guarantee every linear preference a top-2 hit.
+func ExampleRepresentative_paperExample() {
+	d, _ := rrr.FromTuples([]rrr.Tuple{
+		{ID: 1, Attrs: []float64{0.80, 0.28}},
+		{ID: 2, Attrs: []float64{0.54, 0.45}},
+		{ID: 3, Attrs: []float64{0.67, 0.60}},
+		{ID: 4, Attrs: []float64{0.32, 0.42}},
+		{ID: 5, Attrs: []float64{0.46, 0.72}},
+		{ID: 6, Attrs: []float64{0.23, 0.52}},
+		{ID: 7, Attrs: []float64{0.91, 0.43}},
+	})
+	res, _ := rrr.Representative(d, 2, rrr.Options{})
+	worst, _ := rrr.ExactRankRegret2D(d, res.IDs)
+	fmt.Println(res.IDs, "rank-regret:", worst)
+	// Output: [1 3] rank-regret: 2
+}
+
+func ExampleMinimalKForSize() {
+	d, _ := rrr.FromTuples([]rrr.Tuple{
+		{ID: 1, Attrs: []float64{0.80, 0.28}},
+		{ID: 3, Attrs: []float64{0.67, 0.60}},
+		{ID: 5, Attrs: []float64{0.46, 0.72}},
+		{ID: 7, Attrs: []float64{0.91, 0.43}},
+	})
+	// "I can show one item — how good can the guarantee be?" The best
+	// singleton is t3, ranked 3rd under f = x1 and 2nd under f = x2.
+	k, res, _ := rrr.MinimalKForSize(d, 1, rrr.Options{})
+	fmt.Printf("k=%d with %d tuple(s)\n", k, len(res.IDs))
+	// Output: k=3 with 1 tuple(s)
+}
+
+func ExampleTopK() {
+	d, _ := rrr.NewDataset([][]float64{
+		{0.91, 0.43}, {0.67, 0.60}, {0.46, 0.72},
+	})
+	f := rrr.NewLinearFunc(1, 1) // weigh both attributes equally
+	fmt.Println(rrr.TopK(d, f, 2))
+	// Output: [0 1]
+}
+
+func ExampleSkyline() {
+	d, _ := rrr.NewDataset([][]float64{
+		{0.9, 0.1}, {0.5, 0.5}, {0.1, 0.9}, {0.4, 0.4},
+	})
+	fmt.Println(rrr.Skyline(d)) // {0.4,0.4} is dominated by {0.5,0.5}
+	// Output: [0 1 2]
+}
+
+func ExampleKBorder2D() {
+	d, _ := rrr.FromTuples([]rrr.Tuple{
+		{ID: 1, Attrs: []float64{0.80, 0.28}},
+		{ID: 3, Attrs: []float64{0.67, 0.60}},
+		{ID: 5, Attrs: []float64{0.46, 0.72}},
+		{ID: 7, Attrs: []float64{0.91, 0.43}},
+	})
+	facets, _ := rrr.KBorder2D(d, 2)
+	var chain []string
+	for _, f := range facets {
+		chain = append(chain, fmt.Sprintf("t%d", f.ID))
+	}
+	fmt.Println(strings.Join(chain, " -> "))
+	// Output: t1 -> t3 -> t7 -> t5 -> t3
+}
+
+func ExampleTable_Normalize() {
+	csv := "Carat:+,Price:-\n1.0,5000\n0.5,2000\n2.0,20000\n"
+	table, _ := rrr.ReadCSV(strings.NewReader(csv), "diamonds")
+	d, _ := table.Normalize()
+	// The cheapest diamond gets Price score 1, the priciest 0.
+	fmt.Printf("%.2f %.2f\n", d.Tuple(1).Attrs[1], d.Tuple(2).Attrs[1])
+	// Output: 1.00 0.00
+}
+
+func ExampleEstimateRankRegret() {
+	table := rrr.BNLike(500, 1)
+	d, _ := table.Normalize()
+	res, _ := rrr.Representative(d, 25, rrr.Options{})
+	worst, _, _ := rrr.EstimateRankRegret(d, res.IDs, rrr.EvalOptions{Samples: 2000, Seed: 1})
+	fmt.Println(worst <= 25)
+	// Output: true
+}

@@ -1,0 +1,57 @@
+// Diamonds reproduces the paper's core argument on a Blue Nile-like
+// catalog: a score-regret optimizer (HD-RRMS) can certify a tiny score
+// regret while recommending diamonds thousands of ranks below the best,
+// because prices crowd narrow bands; the rank-regret algorithms bound the
+// rank itself.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rrr"
+	"rrr/internal/baseline"
+	"rrr/internal/harness"
+)
+
+func main() {
+	const (
+		n = 8000
+		k = 80 // rank-regret target: a top-80 diamond for every shopper
+	)
+	d, err := harness.MakeDataset("bn", n, 3) // Carat, Price, Depth
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("diamonds: %d, attributes: carat(+), price(-), depth(+)\n\n", d.N())
+
+	// Rank-regret representative via MDRRR (hitting the sampled k-sets).
+	res, err := rrr.Representative(d, k, rrr.Options{Algorithm: rrr.AlgoMDRRR, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(d, "MDRRR (rank-regret)", res.IDs, k)
+
+	// Score-regret baseline with the same budget.
+	hd, err := baseline.HDRRMS(d, len(res.IDs), baseline.HDRRMSOptions{Functions: 256, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(d, "HD-RRMS (score-regret)", hd.IDs, k)
+
+	fmt.Println("HD-RRMS wins on score regret but its worst-case RANK is orders of")
+	fmt.Println("magnitude beyond k — the paper's argument for rank-regret, in numbers.")
+}
+
+func report(d *rrr.Dataset, name string, ids []int, k int) {
+	worstRank, _, err := rrr.EstimateRankRegret(d, ids, rrr.EvalOptions{Samples: 5000, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	worstRatio, _, err := rrr.MaxRegretRatio(d, ids, rrr.EvalOptions{Samples: 5000, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-24s size=%-3d worst score-regret=%.4f worst rank=%d (target k=%d)\n",
+		name, len(ids), worstRatio, worstRank, k)
+}

@@ -1,0 +1,209 @@
+package rrr_test
+
+import (
+	"reflect"
+	"testing"
+
+	"rrr"
+	"rrr/internal/paperfig"
+)
+
+func TestKBorder2DPaperChain(t *testing.T) {
+	d := paperfig.Figure1()
+	facets, err := rrr.KBorder2D(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 3: the chain visits d(t1), d(t3), d(t7), d(t5), d(t3) —
+	// t3 owns two facets.
+	var ids []int
+	for _, f := range facets {
+		ids = append(ids, f.ID)
+	}
+	if !reflect.DeepEqual(ids, []int{1, 3, 7, 5, 3}) {
+		t.Fatalf("border chain = %v, want [1 3 7 5 3]", ids)
+	}
+	// Facets tile [0, π/2].
+	for i := 1; i < len(facets); i++ {
+		if facets[i].From != facets[i-1].To {
+			t.Fatalf("facet %d does not chain: %+v after %+v", i, facets[i], facets[i-1])
+		}
+	}
+	if _, err := rrr.KBorder2D(d, 0); err == nil {
+		t.Error("k=0 must error")
+	}
+}
+
+func TestOptimalRRR2DMatchesPaper(t *testing.T) {
+	d := paperfig.Figure1()
+	opt, err := rrr.OptimalRRR2D(d, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt) != 2 {
+		t.Fatalf("optimum = %v, want size 2", opt)
+	}
+	// And the approximation achieves the optimum here.
+	res, err := rrr.Representative(d, 2, rrr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != len(opt) {
+		t.Fatalf("2DRRR size %d != optimal %d", len(res.IDs), len(opt))
+	}
+	if _, err := rrr.OptimalRRR2D(d, 2, 1); err == nil {
+		t.Error("maxSize below optimum must error")
+	}
+}
+
+func TestRegretBaselinesExposed(t *testing.T) {
+	tb := rrr.BNLike(400, 3)
+	proj, err := tb.FirstDims(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := proj.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd, err := rrr.RegretMinimizingSet(d, 5, rrr.RegretOptions{Functions: 64, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hd.IDs) == 0 || len(hd.IDs) > 5 {
+		t.Fatalf("HD-RRMS size %d", len(hd.IDs))
+	}
+	if hd.AchievedRatio < 0 || hd.AchievedRatio > 1 {
+		t.Fatalf("ratio %v", hd.AchievedRatio)
+	}
+	ke, err := rrr.KRegretMinimizingSet(d, 5, 10, rrr.RegretOptions{Functions: 64, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ke.AchievedRatio > hd.AchievedRatio+1e-9 {
+		t.Fatalf("(k,ε) ratio %v worse than top-1 ratio %v", ke.AchievedRatio, hd.AchievedRatio)
+	}
+	cube, err := rrr.CubeSet(d, 9)
+	if err != nil || len(cube.IDs) == 0 || len(cube.IDs) > 9 {
+		t.Fatalf("Cube: %v, %v", cube, err)
+	}
+	gr, err := rrr.GreedyRegretSet(d, 6, rrr.RegretOptions{Functions: 64, Seed: 1})
+	if err != nil || len(gr.IDs) == 0 {
+		t.Fatalf("GreedyRegret: %v, %v", gr, err)
+	}
+	// The paper's comparison in one assertion: on banded BN data the
+	// rank-regret representative respects k while the score optimizer
+	// with the same budget does not.
+	rres, err := rrr.Representative(d, 10, rrr.Options{Algorithm: rrr.AlgoMDRRR, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrRank, _, err := rrr.EstimateRankRegret(d, rres.IDs, rrr.EvalOptions{Samples: 1500, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdRank, _, err := rrr.EstimateRankRegret(d, hd.IDs, rrr.EvalOptions{Samples: 1500, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rrRank > hdRank {
+		t.Errorf("rank-regret algorithm (%d) should beat the score optimizer (%d) on banded data", rrRank, hdRank)
+	}
+}
+
+func TestProfile2DMatchesIndividualSolves(t *testing.T) {
+	tb := rrr.DOTLike(600, 23)
+	proj, err := tb.FirstDims(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := proj.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := []int{2, 6, 24, 60}
+	profile, err := rrr.Profile2D(d, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profile) != len(ks) {
+		t.Fatalf("got %d points", len(profile))
+	}
+	for i, p := range profile {
+		if p.K != ks[i] || p.Size != len(p.IDs) {
+			t.Fatalf("point %d inconsistent: %+v", i, p)
+		}
+		// Each point must match a standalone optimal-cover solve.
+		res, err := rrr.Representative(d, p.K, rrr.Options{OptimalCover: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.IDs) != p.Size {
+			t.Fatalf("k=%d: profile size %d vs standalone %d", p.K, p.Size, len(res.IDs))
+		}
+		// And respect the 2k guarantee.
+		worst, err := rrr.ExactRankRegret2D(d, p.IDs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if worst > 2*p.K {
+			t.Fatalf("k=%d: rank-regret %d > 2k", p.K, worst)
+		}
+	}
+	// Sizes are non-increasing in k.
+	for i := 1; i < len(profile); i++ {
+		if profile[i].Size > profile[i-1].Size {
+			t.Fatalf("profile not non-increasing: %+v", profile)
+		}
+	}
+	if _, err := rrr.Profile2D(d, nil); err == nil {
+		t.Error("no ks must error")
+	}
+	if _, err := rrr.Profile2D(nil, ks); err == nil {
+		t.Error("nil dataset must error")
+	}
+}
+
+func TestRankRegretDistributionExposed(t *testing.T) {
+	tb := rrr.DOTLike(500, 29)
+	proj, err := tb.FirstDims(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := proj.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rrr.Representative(d, 15, rrr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := rrr.RankRegretDistribution(d, res.IDs, 15, rrr.EvalOptions{Samples: 1000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MDRC's output should serve the vast majority of functions within k
+	// and its P95 should sit at or below the worst case.
+	if dist.WithinK < 0.9 {
+		t.Errorf("WithinK = %v, expected most functions served", dist.WithinK)
+	}
+	if dist.P95 > dist.Max {
+		t.Errorf("P95 %d > max %d", dist.P95, dist.Max)
+	}
+}
+
+func TestRegretBaselineErrors(t *testing.T) {
+	d := paperfig.Figure1()
+	if _, err := rrr.RegretMinimizingSet(d, 0, rrr.RegretOptions{}); err == nil {
+		t.Error("size 0 must error")
+	}
+	if _, err := rrr.KRegretMinimizingSet(d, 2, 0, rrr.RegretOptions{}); err == nil {
+		t.Error("k 0 must error")
+	}
+	if _, err := rrr.CubeSet(d, 0); err == nil {
+		t.Error("size 0 must error")
+	}
+	if _, err := rrr.GreedyRegretSet(d, 0, rrr.RegretOptions{}); err == nil {
+		t.Error("size 0 must error")
+	}
+}

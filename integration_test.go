@@ -1,0 +1,194 @@
+package rrr_test
+
+// End-to-end integration tests: generate → normalize → solve with every
+// algorithm → evaluate, across the data distributions, checking the
+// paper's guarantees and cross-algorithm consistency on each.
+
+import (
+	"fmt"
+	"testing"
+
+	"rrr"
+)
+
+type distribution struct {
+	name string
+	gen  func(n, d int, seed int64) *rrr.Table
+}
+
+func distributions() []distribution {
+	return []distribution{
+		{"independent", rrr.Independent},
+		{"correlated", rrr.Correlated},
+		{"anticorrelated", rrr.AntiCorrelated},
+		{"dot", func(n, d int, seed int64) *rrr.Table {
+			t, err := rrr.DOTLike(n, seed).FirstDims(d)
+			if err != nil {
+				panic(err)
+			}
+			return t
+		}},
+		{"bn", func(n, d int, seed int64) *rrr.Table {
+			t, err := rrr.BNLike(n, seed).FirstDims(d)
+			if err != nil {
+				panic(err)
+			}
+			return t
+		}},
+	}
+}
+
+func TestPipeline2DAllDistributions(t *testing.T) {
+	const n, k = 400, 8
+	for _, dist := range distributions() {
+		dist := dist
+		t.Run(dist.name, func(t *testing.T) {
+			d, err := dist.gen(n, 2, 11).Normalize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, a := range []rrr.Algorithm{rrr.Algo2DRRR, rrr.AlgoMDRRR, rrr.AlgoMDRC} {
+				res, err := rrr.Representative(d, k, rrr.Options{Algorithm: a, Seed: 3})
+				if err != nil {
+					t.Fatalf("%s: %v", a, err)
+				}
+				if len(res.IDs) == 0 {
+					t.Fatalf("%s: empty output", a)
+				}
+				worst, err := rrr.ExactRankRegret2D(d, res.IDs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// 2k is the weakest applicable guarantee (Theorem 4);
+				// MDRRR with sampled k-sets can exceed it only through
+				// sampling misses, which 400 tuples make negligible.
+				limit := 2 * k
+				if a == rrr.AlgoMDRRR {
+					limit = 2*k + 4
+				}
+				if worst > limit {
+					t.Errorf("%s on %s: exact rank-regret %d > %d", a, dist.name, worst, limit)
+				}
+			}
+		})
+	}
+}
+
+func TestPipelineMDAllDistributions(t *testing.T) {
+	const n, k = 600, 12
+	for _, dist := range distributions() {
+		dist := dist
+		t.Run(dist.name, func(t *testing.T) {
+			d, err := dist.gen(n, 3, 13).Normalize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := rrr.Representative(d, k, rrr.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			worst, _, err := rrr.EstimateRankRegret(d, res.IDs, rrr.EvalOptions{Samples: 2000, Seed: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if worst > 3*k { // Theorem 6: dk
+				t.Errorf("MDRC on %s: estimated rank-regret %d > dk=%d", dist.name, worst, 3*k)
+			}
+			// The representative must be dramatically smaller than the
+			// skyline on every distribution (the paper's motivation).
+			sky := rrr.Skyline(d)
+			if len(res.IDs) > len(sky) {
+				t.Errorf("representative (%d) larger than skyline (%d)", len(res.IDs), len(sky))
+			}
+		})
+	}
+}
+
+// TestSizeMonotonicityInK: larger k never needs a larger representative
+// (on the same data, with the deterministic algorithms).
+func TestSizeMonotonicityInK(t *testing.T) {
+	d, err := rrr.DOTLike(800, 17).FirstDims(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := d.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1 << 30
+	for _, k := range []int{4, 16, 64} {
+		res, err := rrr.Representative(ds, k, rrr.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Not strictly monotone point-by-point (MDRC is a heuristic), but
+		// quadrupling k should never inflate the output materially.
+		if len(res.IDs) > prev+2 {
+			t.Errorf("size grew from %d to %d when k rose to %d", prev, len(res.IDs), k)
+		}
+		prev = len(res.IDs)
+	}
+}
+
+// TestDualAndPrimalConsistency: solving the dual for the primal's output
+// size must achieve a k no worse than the primal's k.
+func TestDualAndPrimalConsistency(t *testing.T) {
+	d, err := rrr.BNLike(500, 19).FirstDims(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := d.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 25
+	primal, err := rrr.Representative(ds, k, rrr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dualK, dualRes, err := rrr.MinimalKForSize(ds, len(primal.IDs), rrr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dualK > k {
+		t.Errorf("dual k=%d worse than primal k=%d for the same size budget", dualK, k)
+	}
+	if len(dualRes.IDs) > len(primal.IDs) {
+		t.Errorf("dual size %d exceeds budget %d", len(dualRes.IDs), len(primal.IDs))
+	}
+}
+
+// TestExampleScenarioShapes pins the headline numbers the examples print,
+// so the README's story stays true as the code evolves.
+func TestExampleScenarioShapes(t *testing.T) {
+	// diamonds: score-regret baseline's rank blows up, MDRRR's does not.
+	d, err := rrr.BNLike(2000, 2).FirstDims(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := d.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rrr.Representative(ds, 20, rrr.Options{Algorithm: rrr.AlgoMDRRR, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, _, err := rrr.EstimateRankRegret(ds, res.IDs, rrr.EvalOptions{Samples: 2000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst > 3*20 {
+		t.Errorf("MDRRR rank-regret %d far above k=20", worst)
+	}
+}
+
+func ExampleRepresentative() {
+	d, _ := rrr.NewDataset([][]float64{
+		{0.80, 0.28}, {0.54, 0.45}, {0.67, 0.60}, {0.32, 0.42},
+		{0.46, 0.72}, {0.23, 0.52}, {0.91, 0.43},
+	})
+	res, _ := rrr.Representative(d, 2, rrr.Options{})
+	fmt.Println(res.IDs)
+	// Output: [0 2]
+}

@@ -1,0 +1,86 @@
+// Package algo implements the RRR paper's three algorithms on top of the
+// substrate packages:
+//
+//   - TwoDRRR (Section 4): the 2-D algorithm — Algorithm 1's angular sweep
+//     computes, per tuple, the convex closure of the angles at which it is
+//     in the top-k; Algorithm 2's greedy covers the function space with the
+//     fewest ranges. Guarantees: output no larger than the optimal RRR and
+//     rank-regret at most 2k (Theorems 3 and 4).
+//   - MDRRR (Section 5.2): hitting set over the collection of k-sets. With
+//     the full collection it guarantees rank-regret exactly ≤ k and an
+//     O(d·log(d·c)) size ratio. The collection comes from K-SETr sampling
+//     (Algorithm 4) by default, or a caller-provided enumeration.
+//   - MDRC (Section 5.3): recursive function-space partitioning driven by
+//     Theorem 1 — assign to a hyper-rectangle any tuple in the top-k of all
+//     its corners, split when none exists. Guarantees rank-regret ≤ d·k
+//     (Theorem 6); in the paper's and our experiments it achieves ≤ k.
+package algo
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"rrr/internal/core"
+)
+
+// Result is the output of an RRR algorithm: the selected tuple IDs
+// (ascending) plus counters describing the work performed.
+type Result struct {
+	IDs   []int
+	Stats Stats
+}
+
+// Stats carries per-algorithm instrumentation. Fields irrelevant to the
+// algorithm that produced the Result are zero.
+type Stats struct {
+	// Ranges is the number of tuple ranges produced by Algorithm 1
+	// (TwoDRRR only).
+	Ranges int
+	// KSets is the number of distinct k-sets the hitting set ran over
+	// (MDRRR only).
+	KSets int
+	// SamplerDraws is the number of ranking functions K-SETr sampled
+	// (MDRRR with internal sampling only).
+	SamplerDraws int
+	// SamplerTruncated reports whether K-SETr hit its draw cap before its
+	// termination rule fired (MDRRR only).
+	SamplerTruncated bool
+	// Nodes is the number of recursion-tree nodes visited (MDRC only).
+	Nodes int
+	// MaxDepth is the deepest recursion level reached (MDRC only).
+	MaxDepth int
+	// Fallbacks counts leaf rectangles where no common top-k tuple existed
+	// at the minimum width, resolved by assigning the center function's
+	// top-1 (MDRC only; 0 in every experiment we ran, matching the paper's
+	// observation that corners quickly share items).
+	Fallbacks int
+	// TopKQueries counts top-k computations, before memoization (MDRC
+	// only).
+	TopKQueries int
+	// CacheHits counts memoized corner top-k reuses (MDRC only).
+	CacheHits int
+}
+
+// validate performs the shared argument checking.
+func validate(d *core.Dataset, k int) error {
+	if d == nil || d.N() == 0 {
+		return errors.New("algo: empty dataset")
+	}
+	if k <= 0 {
+		return fmt.Errorf("algo: k must be positive, got %d", k)
+	}
+	return nil
+}
+
+// finish sorts and dedupes the selected IDs.
+func finish(ids []int, stats Stats) *Result {
+	sort.Ints(ids)
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != ids[i-1] {
+			out = append(out, id)
+		}
+	}
+	return &Result{IDs: out, Stats: stats}
+}

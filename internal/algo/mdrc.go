@@ -1,0 +1,235 @@
+package algo
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"sync"
+
+	"rrr/internal/core"
+	"rrr/internal/geom"
+	"rrr/internal/topk"
+)
+
+// PickStrategy selects which common tuple MDRC assigns to a rectangle when
+// several tuples appear in the top-k of all its corners.
+type PickStrategy int
+
+const (
+	// PickFirst takes the common tuple ranked best at the rectangle's
+	// first corner — the paper's "return I[1]". The default.
+	PickFirst PickStrategy = iota
+	// PickMinMaxRank takes the common tuple whose worst rank across the
+	// corners is smallest, a greedy refinement benchmarked as an ablation.
+	PickMinMaxRank
+)
+
+// MDRCOptions configures MDRC. The zero value reproduces the paper:
+// first-common-item picks, memoized corner top-k queries, and a minimum
+// rectangle width of 1e-6 radians before the fallback fires.
+type MDRCOptions struct {
+	Pick PickStrategy
+	// MinWidth stops the recursion: a rectangle narrower than this on
+	// every axis whose corners still share no top-k tuple is resolved by
+	// assigning the top-1 of its center function (counted in
+	// Stats.Fallbacks; never observed on the paper's workloads).
+	// Default 1e-6.
+	MinWidth float64
+	// MaxNodes bounds the recursion tree (default 200,000). For k ≥ 2
+	// the tree stays tiny (corner top-k sets intersect after a few
+	// splits), but at k = 1 adjacent top-1 regions share no tuple and the
+	// subdivision would otherwise trace every region boundary down to
+	// MinWidth — exponential in the angle-space dimension. Once the
+	// budget is reached every remaining rectangle is resolved by the
+	// center-function fallback, preserving coverage at the cost of the
+	// Theorem 6 bound on those rectangles (visible in Stats.Fallbacks).
+	MaxNodes int
+	// DisableMemo turns off the corner top-k cache (ablation).
+	DisableMemo bool
+	// Workers bounds the parallelism of per-node corner top-k scans
+	// (default GOMAXPROCS). A node has 2^(d−1) corners, each costing an
+	// O(n log k) scan on a cache miss; they are independent and are
+	// evaluated concurrently. Results are identical for any worker count.
+	Workers int
+}
+
+// MDRC runs the paper's function-space partitioning algorithm (Section
+// 5.3, Algorithm 5). The angle space [0, π/2]^{d−1} is split recursively,
+// round-robin across axes; a rectangle whose 2^{d−1} corner functions share
+// a top-k tuple is assigned that tuple, otherwise it is bisected. Theorem 6
+// bounds the output's rank-regret by d·k; the experiments (paper's and
+// ours) observe ≤ k.
+func MDRC(d *core.Dataset, k int, opt MDRCOptions) (*Result, error) {
+	if err := validate(d, k); err != nil {
+		return nil, err
+	}
+	if d.Dims() < 2 {
+		return nil, errors.New("algo: MDRC requires at least 2 attributes")
+	}
+	minWidth := opt.MinWidth
+	if minWidth <= 0 {
+		minWidth = 1e-6
+	}
+	maxNodes := opt.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 200_000
+	}
+	if k > d.N() {
+		k = d.N()
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	m := &mdrcRun{
+		d:        d,
+		k:        k,
+		opt:      opt,
+		minWidth: minWidth,
+		maxNodes: maxNodes,
+		workers:  workers,
+		cache:    make(map[string][]int),
+	}
+	var picked []int
+	m.recurse(geom.FullAngleSpace(d.Dims()), 0, &picked)
+	return finish(picked, m.stats), nil
+}
+
+type mdrcRun struct {
+	d        *core.Dataset
+	k        int
+	opt      MDRCOptions
+	minWidth float64
+	maxNodes int
+	workers  int
+	cache    map[string][]int
+	stats    Stats
+}
+
+// cornerLists returns the rank-ordered top-k IDs at every corner of a
+// rectangle, memoized across the recursion: sibling rectangles share half
+// their corners, so the cache removes most of the O(n log k) scans. Cache
+// misses within one node are independent and are computed in parallel;
+// nodes themselves run serially, so the stats and output are identical for
+// any worker count.
+func (m *mdrcRun) cornerLists(corners [][]float64) [][]int {
+	lists := make([][]int, len(corners))
+	var missing []int // indexes into corners still needing a scan
+	if m.opt.DisableMemo {
+		for i := range corners {
+			missing = append(missing, i)
+		}
+	} else {
+		for i, c := range corners {
+			if ids, ok := m.cache[angleKey(c)]; ok {
+				m.stats.CacheHits++
+				lists[i] = ids
+			} else {
+				missing = append(missing, i)
+			}
+		}
+	}
+	m.stats.TopKQueries += len(missing)
+	if len(missing) == 1 || m.workers <= 1 {
+		for _, i := range missing {
+			lists[i] = topk.TopK(m.d, geom.FuncFromAngles(corners[i]), m.k)
+		}
+	} else if len(missing) > 1 {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, m.workers)
+		for _, i := range missing {
+			i := i
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer wg.Done()
+				lists[i] = topk.TopK(m.d, geom.FuncFromAngles(corners[i]), m.k)
+				<-sem
+			}()
+		}
+		wg.Wait()
+	}
+	if !m.opt.DisableMemo {
+		for _, i := range missing {
+			m.cache[angleKey(corners[i])] = lists[i]
+		}
+	}
+	return lists
+}
+
+// angleKey encodes the exact float bits; MDRC's corners are dyadic
+// subdivisions, so equal corners have identical bit patterns.
+func angleKey(theta []float64) string {
+	buf := make([]byte, 0, len(theta)*8)
+	for _, v := range theta {
+		bits := math.Float64bits(v)
+		for s := 0; s < 64; s += 8 {
+			buf = append(buf, byte(bits>>uint(s)))
+		}
+	}
+	return string(buf)
+}
+
+func (m *mdrcRun) recurse(r geom.Rect, level int, picked *[]int) {
+	m.stats.Nodes++
+	if level > m.stats.MaxDepth {
+		m.stats.MaxDepth = level
+	}
+	lists := m.cornerLists(r.Corners())
+	if id, ok := m.commonTuple(lists); ok {
+		*picked = append(*picked, id)
+		return
+	}
+	if r.MaxWidth() < m.minWidth || m.stats.Nodes >= m.maxNodes {
+		// Give the sliver the best tuple of its center; Theorem 1 no
+		// longer bounds its rank for the whole rectangle, so count it.
+		m.stats.Fallbacks++
+		top := topk.TopK(m.d, geom.FuncFromAngles(r.Center()), 1)
+		*picked = append(*picked, top[0])
+		return
+	}
+	axis := level % r.Dim()
+	lo, hi := r.Split(axis)
+	m.recurse(lo, level+1, picked)
+	m.recurse(hi, level+1, picked)
+}
+
+// commonTuple intersects the corner top-k lists (Algorithm 5 line 2) and
+// picks the representative per the configured strategy.
+func (m *mdrcRun) commonTuple(lists [][]int) (int, bool) {
+	// Membership and worst-rank tracking over the smallest list keeps the
+	// intersection O(Σ|lists|).
+	worst := make(map[int]int, len(lists[0]))
+	count := make(map[int]int, len(lists[0]))
+	for _, list := range lists {
+		for rank, id := range list {
+			count[id]++
+			if rank > worst[id] {
+				worst[id] = rank
+			}
+		}
+	}
+	need := len(lists)
+	switch m.opt.Pick {
+	case PickMinMaxRank:
+		best, bestWorst := -1, math.MaxInt
+		for id, c := range count {
+			if c != need {
+				continue
+			}
+			if worst[id] < bestWorst || (worst[id] == bestWorst && id < best) {
+				best, bestWorst = id, worst[id]
+			}
+		}
+		if best >= 0 {
+			return best, true
+		}
+	default: // PickFirst
+		for _, id := range lists[0] {
+			if count[id] == need {
+				return id, true
+			}
+		}
+	}
+	return 0, false
+}

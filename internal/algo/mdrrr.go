@@ -1,0 +1,86 @@
+package algo
+
+import (
+	"errors"
+
+	"rrr/internal/core"
+	"rrr/internal/cover"
+	"rrr/internal/kset"
+)
+
+// HittingStrategy selects the hitting-set routine used by MDRRR.
+type HittingStrategy int
+
+const (
+	// HitGreedy uses the classic ln(m) greedy hitting set. Deterministic
+	// and, on the paper's workloads, close to optimal; the default.
+	HitGreedy HittingStrategy = iota
+	// HitEpsilonNet uses the Brönnimann–Goodrich ε-net weight-doubling
+	// algorithm the paper cites for MDRRR's O(d·log(d·c)) ratio
+	// (VC-dimension d, the number of attributes).
+	HitEpsilonNet
+)
+
+// MDRRROptions configures MDRRR. The zero value samples the k-sets with
+// K-SETr at the paper's termination setting (c = 100) and hits them
+// greedily.
+type MDRRROptions struct {
+	// KSets supplies a pre-enumerated collection (e.g. from
+	// kset.GraphEnumerate or sweep.KSets). When nil, K-SETr sampling runs
+	// with the Sampler options.
+	KSets *kset.Collection
+	// Sampler configures the internal K-SETr run when KSets is nil.
+	Sampler kset.SampleOptions
+	// Strategy picks the hitting-set algorithm.
+	Strategy HittingStrategy
+	// BG configures the ε-net algorithm when Strategy == HitEpsilonNet.
+	BG cover.BGOptions
+}
+
+// MDRRR runs the paper's hitting-set algorithm (Section 5.2, Algorithm 3):
+// gather the collection of k-sets — the set of all possible top-k results
+// (Lemma 5) — and return a smallest-found set of tuples intersecting every
+// one of them. With the complete collection the output's rank-regret is
+// exactly ≤ k; with the sampled collection the guarantee holds for every
+// discovered k-set, and the missing ones occupy slivers of the function
+// space that random functions virtually never hit (Section 5.2.1).
+func MDRRR(d *core.Dataset, k int, opt MDRRROptions) (*Result, error) {
+	if err := validate(d, k); err != nil {
+		return nil, err
+	}
+	stats := Stats{}
+	col := opt.KSets
+	if col == nil {
+		var (
+			sampleStats kset.SampleStats
+			err         error
+		)
+		col, sampleStats, err = kset.Sample(d, k, opt.Sampler)
+		if err != nil {
+			return nil, err
+		}
+		stats.SamplerDraws = sampleStats.Draws
+		stats.SamplerTruncated = sampleStats.Truncated
+	}
+	if col.Len() == 0 {
+		return nil, errors.New("algo: empty k-set collection")
+	}
+	stats.KSets = col.Len()
+
+	var (
+		ids []int
+		err error
+	)
+	switch opt.Strategy {
+	case HitGreedy:
+		ids, err = cover.GreedyHittingSet(col.Sets())
+	case HitEpsilonNet:
+		ids, err = cover.BGHittingSet(col.Sets(), d.Dims(), opt.BG)
+	default:
+		return nil, errors.New("algo: unknown hitting strategy")
+	}
+	if err != nil {
+		return nil, err
+	}
+	return finish(ids, stats), nil
+}

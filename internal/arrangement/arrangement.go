@@ -1,0 +1,241 @@
+// Package arrangement builds the 2-D dual-space line arrangement of
+// Section 3 of the RRR paper and extracts its top-k border (Figure 3).
+//
+// Every tuple t maps to the dual line d(t): t[0]·x + t[1]·y = 1. An
+// origin-starting ray at angle θ crosses the lines in rank order (closest
+// intersection = rank 1), so the "k-border" — the set of k-th closest line
+// segments over all rays — completely describes how the top-k evolves
+// across the function space. The paper uses the border conceptually to
+// derive Algorithm 1; this package materializes it, which provides:
+//
+//   - an independent, sweep-free way to enumerate k-sets and compute exact
+//     rank-regret (cross-checked against package sweep in tests), and
+//   - the k-border polyline itself for inspection and visualization
+//     (Figure 3's red chain).
+//
+// Construction is O(n² log n): all pairwise ray-angle events are sorted
+// and, between consecutive events, the k-th ranked tuple is constant.
+package arrangement
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"rrr/internal/core"
+	"rrr/internal/geom"
+	"rrr/internal/topk"
+)
+
+// BorderSegment is one facet of the top-k border: over the angular
+// interval [From, To] the k-th ranked tuple is ID, and the facet lies on
+// that tuple's dual line.
+type BorderSegment struct {
+	ID       int
+	From, To float64
+}
+
+// Cell is one top-k region of the arrangement: an angular interval over
+// which the entire top-k set is constant. Note that the internal ranking
+// may still change inside a cell (exchanges strictly above or strictly
+// below the k-border do not alter the set).
+type Cell struct {
+	From, To float64
+	// TopK holds the region's top-k as a sorted ID set.
+	TopK []int
+}
+
+// Arrangement is the computed structure.
+type Arrangement struct {
+	k int
+	// borders are the k-border facets in sweep order.
+	borders []BorderSegment
+	// cells are the constant-top-k regions in sweep order.
+	cells []Cell
+	// boundaries are the elementary exchange angles (including 0 and
+	// π/2); between consecutive boundaries the whole ranking is constant,
+	// which exact walks like RankRegret rely on.
+	boundaries []float64
+}
+
+// Build computes the arrangement structure of a 2-D dataset for rank k.
+// All pairwise ordering-exchange angles are enumerated; between
+// consecutive ones the ranking is constant, so each interval is resolved
+// with one top-k query. Duplicate exchange angles (concurrent crossings)
+// collapse into a single boundary.
+func Build(d *core.Dataset, k int) (*Arrangement, error) {
+	if d.Dims() != 2 {
+		return nil, errors.New("arrangement: requires a 2-D dataset")
+	}
+	if k <= 0 {
+		return nil, errors.New("arrangement: k must be positive")
+	}
+	if k > d.N() {
+		k = d.N()
+	}
+	ts := d.Tuples()
+	angles := []float64{0, geom.HalfPi}
+	for i := range ts {
+		for j := i + 1; j < len(ts); j++ {
+			if th, ok := geom.CrossAngle2D(ts[i], ts[j]); ok {
+				angles = append(angles, th)
+			}
+		}
+	}
+	sort.Float64s(angles)
+	// Deduplicate near-identical angles.
+	dedup := angles[:1]
+	for _, a := range angles[1:] {
+		if a-dedup[len(dedup)-1] > 1e-12 {
+			dedup = append(dedup, a)
+		}
+	}
+	angles = dedup
+
+	arr := &Arrangement{k: k, boundaries: angles}
+	for i := 0; i+1 < len(angles); i++ {
+		lo, hi := angles[i], angles[i+1]
+		mid := (lo + hi) / 2
+		top := topk.TopK(d, geom.FuncFromAngle2D(mid), k)
+		borderID := top[len(top)-1]
+		set := append([]int(nil), top...)
+		sort.Ints(set)
+		arr.appendCell(Cell{From: lo, To: hi, TopK: set}, borderID)
+	}
+	return arr, nil
+}
+
+// appendCell merges the new elementary cell with the previous one when the
+// top-k set is unchanged (the exchange happened strictly above or strictly
+// below the k-border); border facets merge only when the k-th tuple also
+// stayed the same.
+func (a *Arrangement) appendCell(c Cell, borderID int) {
+	if n := len(a.cells); n > 0 {
+		prev := &a.cells[n-1]
+		if equalSorted(prev.TopK, c.TopK) {
+			prev.To = c.To
+			last := &a.borders[len(a.borders)-1]
+			if last.ID == borderID {
+				last.To = c.To
+			} else {
+				a.borders = append(a.borders, BorderSegment{ID: borderID, From: c.From, To: c.To})
+			}
+			return
+		}
+	}
+	a.cells = append(a.cells, c)
+	if n := len(a.borders); n > 0 && a.borders[n-1].ID == borderID {
+		a.borders[n-1].To = c.To
+	} else {
+		a.borders = append(a.borders, BorderSegment{ID: borderID, From: c.From, To: c.To})
+	}
+}
+
+func equalSorted(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// K returns the order of the border.
+func (a *Arrangement) K() int { return a.k }
+
+// Border returns the top-k border facets in sweep order. Consecutive
+// facets with the same tuple are merged; a tuple may still own several
+// non-adjacent facets, as the paper notes for d(t3) in Figure 3.
+func (a *Arrangement) Border() []BorderSegment { return a.borders }
+
+// Cells returns the constant-top-k regions in sweep order.
+func (a *Arrangement) Cells() []Cell { return a.cells }
+
+// KSets returns the distinct top-k sets across all cells, each sorted
+// ascending, in first-seen order — Lemma 5's collection, computed without
+// the event sweep.
+func (a *Arrangement) KSets() [][]int {
+	seen := map[string]bool{}
+	var out [][]int
+	for _, c := range a.cells {
+		key := ""
+		for _, id := range c.TopK {
+			key += string(rune(id)) + ","
+		}
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, append([]int(nil), c.TopK...))
+		}
+	}
+	return out
+}
+
+// CellAt returns the cell containing the given angle.
+func (a *Arrangement) CellAt(theta float64) (Cell, bool) {
+	i := sort.Search(len(a.cells), func(i int) bool { return a.cells[i].To >= theta })
+	if i >= len(a.cells) {
+		return Cell{}, false
+	}
+	c := a.cells[i]
+	if theta < c.From-1e-12 {
+		return Cell{}, false
+	}
+	return c, true
+}
+
+// RankRegret computes the exact rank-regret of a subset over all linear
+// functions by walking the elementary intervals: between consecutive
+// exchange angles the whole ranking — not just the top-k set — is
+// constant, so evaluating each midpoint function is exact. (Merged cells
+// would not suffice: a subset member's rank can change inside a cell via
+// exchanges below the k-border.)
+func (a *Arrangement) RankRegret(d *core.Dataset, ids []int) (int, error) {
+	worst := 0
+	for i := 0; i+1 < len(a.boundaries); i++ {
+		mid := (a.boundaries[i] + a.boundaries[i+1]) / 2
+		rr, err := core.RankRegret(d, geom.FuncFromAngle2D(mid), ids)
+		if err != nil {
+			return 0, err
+		}
+		if rr > worst {
+			worst = rr
+		}
+	}
+	return worst, nil
+}
+
+// BorderAt returns the border facet containing the given angle.
+func (a *Arrangement) BorderAt(theta float64) (BorderSegment, bool) {
+	i := sort.Search(len(a.borders), func(i int) bool { return a.borders[i].To >= theta })
+	if i >= len(a.borders) {
+		return BorderSegment{}, false
+	}
+	b := a.borders[i]
+	if theta < b.From-1e-12 {
+		return BorderSegment{}, false
+	}
+	return b, true
+}
+
+// BorderPoint returns the Cartesian point of the k-border at angle theta:
+// the intersection of the ray with the dual line of the border tuple. It
+// is the geometry of Figure 3's red chain and exists for visualization.
+func (a *Arrangement) BorderPoint(d *core.Dataset, theta float64) (x, y float64, ok bool) {
+	b, found := a.BorderAt(theta)
+	if !found {
+		return 0, 0, false
+	}
+	t, found := d.ByID(b.ID)
+	if !found {
+		return 0, 0, false
+	}
+	w := []float64{math.Cos(theta), math.Sin(theta)}
+	dist, hit := geom.DualRayIntersection(t, w)
+	if !hit {
+		return 0, 0, false
+	}
+	return dist * w[0], dist * w[1], true
+}

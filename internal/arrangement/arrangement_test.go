@@ -1,0 +1,236 @@
+package arrangement_test
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"rrr/internal/arrangement"
+	"rrr/internal/core"
+	"rrr/internal/geom"
+	"rrr/internal/paperfig"
+	"rrr/internal/sweep"
+	"rrr/internal/topk"
+)
+
+func randomDataset2D(rng *rand.Rand, n int) *core.Dataset {
+	points := make([][]float64, n)
+	for i := range points {
+		points[i] = []float64{rng.Float64(), rng.Float64()}
+	}
+	return core.MustNewDataset(points)
+}
+
+func sortedSets(sets [][]int) [][]int {
+	out := make([][]int, len(sets))
+	for i, s := range sets {
+		out[i] = append([]int(nil), s...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for x := 0; x < len(a) && x < len(b); x++ {
+			if a[x] != b[x] {
+				return a[x] < b[x]
+			}
+		}
+		return len(a) < len(b)
+	})
+	return out
+}
+
+func TestBuildPaperFigure3(t *testing.T) {
+	d := paperfig.Figure1()
+	arr, err := arrangement.Build(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 6: three 2-sets, visited as {1,7}, {3,7}, {3,5}.
+	got := sortedSets(arr.KSets())
+	want := sortedSets(paperfig.TwoSets)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("KSets = %v, want %v", got, want)
+	}
+	// The k-border starts on t1's dual line (t1 is rank 2 at θ=0, per the
+	// x1 ordering t7, t1, ...) and ends on t3's (rank 2 at θ=π/2 behind
+	// t5).
+	borders := arr.Border()
+	if borders[0].ID != 1 {
+		t.Fatalf("border starts on t%d, want t1", borders[0].ID)
+	}
+	if borders[len(borders)-1].ID != 3 {
+		t.Fatalf("border ends on t%d, want t3", borders[len(borders)-1].ID)
+	}
+	// Border facets tile [0, π/2] without gaps.
+	cur := 0.0
+	for _, b := range borders {
+		if b.From > cur+1e-9 {
+			t.Fatalf("border gap at %v", cur)
+		}
+		if b.To > cur {
+			cur = b.To
+		}
+	}
+	if cur < geom.HalfPi-1e-9 {
+		t.Fatalf("border stops at %v", cur)
+	}
+}
+
+func TestCellsPartitionAndMatchDirectTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 8; trial++ {
+		d := randomDataset2D(rng, 5+rng.Intn(25))
+		k := 1 + rng.Intn(4)
+		arr, err := arrangement.Build(d, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells := arr.Cells()
+		cur := 0.0
+		for _, c := range cells {
+			if c.From > cur+1e-9 || c.To <= c.From {
+				t.Fatalf("cells not a partition at %v: %+v", cur, c)
+			}
+			cur = c.To
+			mid := (c.From + c.To) / 2
+			kk := k
+			if kk > d.N() {
+				kk = d.N()
+			}
+			want := topk.TopKSet(d, geom.FuncFromAngle2D(mid), kk)
+			if !reflect.DeepEqual(c.TopK, want) {
+				t.Fatalf("cell [%v,%v] topk = %v, want %v", c.From, c.To, c.TopK, want)
+			}
+		}
+		if cur < geom.HalfPi-1e-9 {
+			t.Fatalf("cells stop at %v", cur)
+		}
+	}
+}
+
+// TestKSetsMatchSweep: the arrangement's k-sets equal the sweep's (two
+// independent exact enumerations).
+func TestKSetsMatchSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 8; trial++ {
+		d := randomDataset2D(rng, 6+rng.Intn(30))
+		k := 1 + rng.Intn(4)
+		bySweep, err := sweep.KSets(d, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arr, err := arrangement.Build(d, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sortedSets(arr.KSets()), sortedSets(bySweep)) {
+			t.Fatalf("trial %d: arrangement %v vs sweep %v", trial, arr.KSets(), bySweep)
+		}
+	}
+}
+
+// TestRankRegretMatchesSweep: two independent exact rank-regret paths.
+func TestRankRegretMatchesSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		d := randomDataset2D(rng, 5+rng.Intn(25))
+		arr, err := arrangement.Build(d, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := rng.Perm(d.N())[:1+rng.Intn(3)]
+		got, err := arr.RankRegret(d, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := sweep.ExactRankRegret(d, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: arrangement RR %d vs sweep %d for %v", trial, got, want, ids)
+		}
+	}
+}
+
+func TestCellAt(t *testing.T) {
+	d := paperfig.Figure1()
+	arr, err := arrangement.Build(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := arr.CellAt(0.01)
+	if !ok {
+		t.Fatal("CellAt(0.01) missed")
+	}
+	if !reflect.DeepEqual(c.TopK, []int{1, 7}) {
+		t.Fatalf("first cell top-2 = %v", c.TopK)
+	}
+	if _, ok := arr.CellAt(geom.HalfPi + 1); ok {
+		t.Fatal("angle beyond π/2 must miss")
+	}
+}
+
+func TestBorderPointLiesOnDualLine(t *testing.T) {
+	d := paperfig.Figure1()
+	arr, err := arrangement.Build(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, theta := range []float64{0.1, 0.5, 1.0, 1.5} {
+		x, y, ok := arr.BorderPoint(d, theta)
+		if !ok {
+			t.Fatalf("no border point at %v", theta)
+		}
+		seg, ok := arr.BorderAt(theta)
+		if !ok {
+			t.Fatalf("no border segment at %v", theta)
+		}
+		// The border tuple is the k-th ranked tuple at theta.
+		f := geom.FuncFromAngle2D(theta)
+		if got := topk.TopK(d, f, arr.K()); got[len(got)-1] != seg.ID {
+			t.Fatalf("border at %v claims t%d, direct top-k says t%d", theta, seg.ID, got[len(got)-1])
+		}
+		tup, _ := d.ByID(seg.ID)
+		// The point must satisfy the dual line equation t[0]x + t[1]y = 1.
+		if v := tup.Attrs[0]*x + tup.Attrs[1]*y; v < 1-1e-9 || v > 1+1e-9 {
+			t.Fatalf("border point (%v,%v) not on d(t%d): %v", x, y, seg.ID, v)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	d3 := core.MustNewDataset([][]float64{{1, 2, 3}})
+	if _, err := arrangement.Build(d3, 1); err == nil {
+		t.Error("3-D input must error")
+	}
+	d := paperfig.Figure1()
+	if _, err := arrangement.Build(d, 0); err == nil {
+		t.Error("k=0 must error")
+	}
+	arr, err := arrangement.Build(d, 99)
+	if err != nil {
+		t.Fatalf("k>n must clamp: %v", err)
+	}
+	if arr.K() != d.N() {
+		t.Fatalf("K() = %d, want %d", arr.K(), d.N())
+	}
+}
+
+// TestBorderFacetCountsCanRepeatTuples reproduces the paper's remark that
+// one dual line may carry multiple facets of the border (d(t3) in Figure
+// 3 carries two segments of the top-2 border).
+func TestBorderFacetCountsCanRepeatTuples(t *testing.T) {
+	d := paperfig.Figure1()
+	arr, err := arrangement.Build(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := map[int]int{}
+	for _, b := range arr.Border() {
+		count[b.ID]++
+	}
+	if count[3] < 2 {
+		t.Fatalf("d(t3) should carry at least two border facets, got %d (border %v)", count[3], arr.Border())
+	}
+}

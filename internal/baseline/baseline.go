@@ -1,0 +1,385 @@
+// Package baseline implements the score-regret algorithms the RRR paper
+// compares against (Sections 6 and 7). These optimize the regret-RATIO —
+// the relative loss in score — and therefore, as the paper demonstrates,
+// provide no bound on rank-regret: tuples congregating in a narrow score
+// band make a tiny score regret correspond to an enormous rank swing.
+//
+//   - HDRRMS re-implements the approximation algorithm of Asudeh et al.
+//     (SIGMOD 2017) the paper benchmarks as HD-RRMS: discretize the function
+//     space, binary-search the achievable regret-ratio, and solve each
+//     feasibility question as a set cover ("which r tuples keep every
+//     discretized function's regret below x?"). The index size r is an
+//     input, exactly as in the paper's experiments (which feed it MDRC's
+//     output size).
+//   - Cube and GreedyRegret are the two classic constructions from
+//     Nanongkai et al. (VLDB 2010), included as related-work extensions.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"rrr/internal/core"
+	"rrr/internal/geom"
+	"rrr/internal/topk"
+)
+
+// Result is the output of a baseline algorithm.
+type Result struct {
+	// IDs are the selected tuple IDs, ascending.
+	IDs []int
+	// AchievedRatio is the regret-ratio the construction certifies over
+	// its internal function discretization (HDRRMS and GreedyRegret).
+	AchievedRatio float64
+	// Functions is the discretization size used.
+	Functions int
+}
+
+// HDRRMSOptions configures HDRRMS. Zero values select the defaults noted on
+// each field.
+type HDRRMSOptions struct {
+	// Functions is the size M of the function-space discretization
+	// (default 512). The approximation error shrinks as M grows, the
+	// "controllable additive approximation factor" of the original paper.
+	Functions int
+	// CandidatesPerFunction bounds the per-function candidate pool to its
+	// top-C tuples (default 64). Only candidates can be selected, but
+	// regret is always measured against the full dataset's maxima.
+	CandidatesPerFunction int
+	// Iterations is the number of binary-search steps on the regret-ratio
+	// (default 30, resolving the ratio to ~1e-9).
+	Iterations int
+	// Seed drives the uniform function sampling.
+	Seed int64
+	// RankTarget generalizes the reference score from the top-1 to the
+	// RankTarget-th best per function — the (k, ε)-regret variant of
+	// Agarwal et al. (the paper's Section 2 ties RRR to its ε = 0 case).
+	// Default 1 (classic regret-ratio).
+	RankTarget int
+}
+
+// HDRRMS selects at most `size` tuples minimizing the maximum regret-ratio
+// over a discretized function space.
+func HDRRMS(d *core.Dataset, size int, opt HDRRMSOptions) (*Result, error) {
+	if d == nil || d.N() == 0 {
+		return nil, errors.New("baseline: empty dataset")
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("baseline: size must be positive, got %d", size)
+	}
+	m := opt.Functions
+	if m <= 0 {
+		m = 512
+	}
+	cpf := opt.CandidatesPerFunction
+	if cpf <= 0 {
+		cpf = 64
+	}
+	iters := opt.Iterations
+	if iters <= 0 {
+		iters = 30
+	}
+	rankTarget := opt.RankTarget
+	if rankTarget <= 0 {
+		rankTarget = 1
+	}
+	if rankTarget > d.N() {
+		rankTarget = d.N()
+	}
+	if cpf < rankTarget {
+		cpf = rankTarget
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	// Discretize the function space and gather the candidate pool. The
+	// reference score per function is its RankTarget-th best, so the
+	// top-RankTarget tuples must be in the pool.
+	funcs := make([]core.LinearFunc, m)
+	maxScores := make([]float64, m)
+	candSet := make(map[int]bool)
+	for i := 0; i < m; i++ {
+		f := geom.RandomFunc(d.Dims(), rng)
+		funcs[i] = f
+		top := topk.TopK(d, f, cpf)
+		for _, id := range top {
+			candSet[id] = true
+		}
+		ref, _ := d.ByID(top[rankTarget-1])
+		maxScores[i] = f.Score(ref)
+	}
+	cands := make([]int, 0, len(candSet))
+	for id := range candSet {
+		cands = append(cands, id)
+	}
+	sort.Ints(cands)
+
+	// Candidate score matrix: scores[c][f].
+	scores := make([][]float64, len(cands))
+	for ci, id := range cands {
+		t, _ := d.ByID(id)
+		row := make([]float64, m)
+		for fi, f := range funcs {
+			row[fi] = f.Score(t)
+		}
+		scores[ci] = row
+	}
+
+	// feasible greedily covers all functions at ratio x with ≤ size
+	// candidates; returns the chosen candidate indexes or nil.
+	feasible := func(x float64) []int {
+		covered := make([]bool, m)
+		remaining := m
+		used := make([]bool, len(cands))
+		var chosen []int
+		for len(chosen) < size && remaining > 0 {
+			best, bestGain := -1, 0
+			for ci := range cands {
+				if used[ci] {
+					continue
+				}
+				gain := 0
+				for fi := 0; fi < m; fi++ {
+					if covered[fi] {
+						continue
+					}
+					if scores[ci][fi] >= (1-x)*maxScores[fi] {
+						gain++
+					}
+				}
+				if gain > bestGain {
+					best, bestGain = ci, gain
+				}
+			}
+			if best == -1 {
+				break
+			}
+			used[best] = true
+			chosen = append(chosen, best)
+			for fi := 0; fi < m; fi++ {
+				if !covered[fi] && scores[best][fi] >= (1-x)*maxScores[fi] {
+					covered[fi] = true
+					remaining--
+				}
+			}
+		}
+		if remaining > 0 {
+			return nil
+		}
+		return chosen
+	}
+
+	lo, hi := 0.0, 1.0
+	bestChoice := feasible(hi)
+	bestRatio := hi
+	if bestChoice == nil {
+		return nil, errors.New("baseline: internal error, ratio 1 must be feasible")
+	}
+	for it := 0; it < iters; it++ {
+		mid := (lo + hi) / 2
+		if c := feasible(mid); c != nil {
+			bestChoice, bestRatio = c, mid
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	ids := make([]int, 0, len(bestChoice))
+	for _, ci := range bestChoice {
+		ids = append(ids, cands[ci])
+	}
+	sort.Ints(ids)
+	return &Result{IDs: ids, AchievedRatio: bestRatio, Functions: m}, nil
+}
+
+// KEpsRegret solves the (k, ε)-regret variant of Agarwal et al.: select at
+// most `size` tuples minimizing the maximum ratio by which the selection
+// falls short of each function's k-th best score. The paper's Section 2
+// observes that RRR is exactly the ε = 0 case of this problem, which is
+// how its NP-completeness follows.
+func KEpsRegret(d *core.Dataset, size, k int, opt HDRRMSOptions) (*Result, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("baseline: k must be positive, got %d", k)
+	}
+	opt.RankTarget = k
+	return HDRRMS(d, size, opt)
+}
+
+// Cube implements the cube algorithm of Nanongkai et al.: partition the
+// domain of the first d−1 attributes into t buckets per axis with
+// t = ⌊size^(1/(d−1))⌋, and keep, per occupied cell, the tuple maximizing
+// the d-th attribute. The output size is at most t^(d−1) ≤ size.
+func Cube(d *core.Dataset, size int, _ int64) (*Result, error) {
+	if d == nil || d.N() == 0 {
+		return nil, errors.New("baseline: empty dataset")
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("baseline: size must be positive, got %d", size)
+	}
+	dims := d.Dims()
+	if dims < 2 {
+		return nil, errors.New("baseline: Cube requires at least 2 attributes")
+	}
+	t := int(math.Floor(math.Pow(float64(size), 1/float64(dims-1))))
+	if t < 1 {
+		t = 1
+	}
+	// Bucket by the first d−1 attributes, scaled per attribute's observed
+	// range so skewed data still spreads across cells.
+	mins := make([]float64, dims-1)
+	maxs := make([]float64, dims-1)
+	for j := 0; j < dims-1; j++ {
+		mins[j] = math.Inf(1)
+		maxs[j] = math.Inf(-1)
+	}
+	for _, tup := range d.Tuples() {
+		for j := 0; j < dims-1; j++ {
+			v := tup.Attrs[j]
+			if v < mins[j] {
+				mins[j] = v
+			}
+			if v > maxs[j] {
+				maxs[j] = v
+			}
+		}
+	}
+	type cellBest struct {
+		id    int
+		value float64
+	}
+	cells := make(map[string]cellBest)
+	for _, tup := range d.Tuples() {
+		key := make([]byte, 0, (dims-1)*2)
+		for j := 0; j < dims-1; j++ {
+			span := maxs[j] - mins[j]
+			b := 0
+			if span > 0 {
+				b = int(float64(t) * (tup.Attrs[j] - mins[j]) / span)
+				if b >= t {
+					b = t - 1
+				}
+			}
+			key = append(key, byte(b), byte(b>>8))
+		}
+		v := tup.Attrs[dims-1]
+		cur, ok := cells[string(key)]
+		if !ok || v > cur.value || (v == cur.value && tup.ID < cur.id) {
+			cells[string(key)] = cellBest{id: tup.ID, value: v}
+		}
+	}
+	ids := make([]int, 0, len(cells))
+	for _, cb := range cells {
+		ids = append(ids, cb.id)
+	}
+	sort.Ints(ids)
+	if len(ids) > size {
+		ids = ids[:size]
+	}
+	return &Result{IDs: ids}, nil
+}
+
+// GreedyRegretOptions configures GreedyRegret.
+type GreedyRegretOptions struct {
+	// Functions is the sampled function set the regret is evaluated on
+	// (default 512).
+	Functions int
+	// Seed drives the sampling.
+	Seed int64
+}
+
+// GreedyRegret implements the greedy heuristic of Nanongkai et al.: start
+// from the best tuple of an arbitrary direction and repeatedly add the
+// top-1 tuple of the function currently suffering the worst regret-ratio.
+func GreedyRegret(d *core.Dataset, size int, opt GreedyRegretOptions) (*Result, error) {
+	if d == nil || d.N() == 0 {
+		return nil, errors.New("baseline: empty dataset")
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("baseline: size must be positive, got %d", size)
+	}
+	m := opt.Functions
+	if m <= 0 {
+		m = 512
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	funcs := make([]core.LinearFunc, m)
+	maxScores := make([]float64, m)
+	tops := make([]int, m)
+	for i := 0; i < m; i++ {
+		f := geom.RandomFunc(d.Dims(), rng)
+		funcs[i] = f
+		s, id := topk.MaxScore(d, f)
+		maxScores[i] = s
+		tops[i] = id
+	}
+
+	chosen := make(map[int]bool)
+	// Seed with the top of the all-equal-weights direction.
+	w := make([]float64, d.Dims())
+	for j := range w {
+		w[j] = 1
+	}
+	_, first := topk.MaxScore(d, core.LinearFunc{W: w})
+	chosen[first] = true
+
+	bestOf := func() (float64, int) {
+		worst, worstIdx := -1.0, -1
+		for i, f := range funcs {
+			var ma float64
+			firstSeen := true
+			for id := range chosen {
+				t, _ := d.ByID(id)
+				s := f.Score(t)
+				if firstSeen || s > ma {
+					ma = s
+					firstSeen = false
+				}
+			}
+			ratio := 0.0
+			if maxScores[i] > 0 {
+				ratio = (maxScores[i] - ma) / maxScores[i]
+				if ratio < 0 {
+					ratio = 0
+				}
+			}
+			if ratio > worst {
+				worst, worstIdx = ratio, i
+			}
+		}
+		return worst, worstIdx
+	}
+
+	worst := 1.0
+	for len(chosen) < size {
+		var idx int
+		worst, idx = bestOf()
+		if worst <= 0 {
+			break
+		}
+		if chosen[tops[idx]] {
+			// Its top-1 is already in: add the next-best missing tuple.
+			added := false
+			for _, id := range topk.TopK(d, funcs[idx], size+1) {
+				if !chosen[id] {
+					chosen[id] = true
+					added = true
+					break
+				}
+			}
+			if !added {
+				break
+			}
+			continue
+		}
+		chosen[tops[idx]] = true
+	}
+	worst, _ = bestOf()
+	ids := make([]int, 0, len(chosen))
+	for id := range chosen {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return &Result{IDs: ids, AchievedRatio: worst, Functions: m}, nil
+}

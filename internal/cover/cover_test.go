@@ -1,0 +1,359 @@
+package cover_test
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"rrr/internal/cover"
+	"rrr/internal/geom"
+	"rrr/internal/paperfig"
+	"rrr/internal/sweep"
+)
+
+func paperIntervals(t *testing.T) []cover.Interval {
+	t.Helper()
+	ranges, err := sweep.FindRanges(paperfig.Figure1(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]cover.Interval, 0, len(ranges))
+	for _, r := range ranges {
+		out = append(out, cover.Interval{ID: r.ID, Lo: r.Lo, Hi: r.Hi})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func TestCoverMaxGainPaperExample(t *testing.T) {
+	// "if we execute Algorithm 2 on the ranges provided in Figure 4, it
+	// returns the set {t3, t1}" — t3 first (largest coverage), then t1.
+	ivs := paperIntervals(t)
+	got, err := cover.CoverMaxGain(ivs, 0, geom.HalfPi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{3, 1}) {
+		t.Fatalf("CoverMaxGain = %v, want [3 1]", got)
+	}
+}
+
+func TestCoverOptimalPaperExample(t *testing.T) {
+	ivs := paperIntervals(t)
+	got, err := cover.CoverOptimal(ivs, 0, geom.HalfPi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("CoverOptimal size = %d (%v), want 2", len(got), got)
+	}
+	assertCovers(t, ivs, got, 0, geom.HalfPi)
+}
+
+func assertCovers(t *testing.T, ivs []cover.Interval, ids []int, lo, hi float64) {
+	t.Helper()
+	byID := make(map[int]cover.Interval, len(ivs))
+	for _, iv := range ivs {
+		byID[iv.ID] = iv
+	}
+	var chosen []cover.Interval
+	for _, id := range ids {
+		iv, ok := byID[id]
+		if !ok {
+			t.Fatalf("chosen ID %d has no interval", id)
+		}
+		chosen = append(chosen, iv)
+	}
+	sort.Slice(chosen, func(i, j int) bool { return chosen[i].Lo < chosen[j].Lo })
+	cur := lo
+	for _, iv := range chosen {
+		if iv.Lo > cur+1e-9 {
+			t.Fatalf("gap: covered to %v, next interval starts at %v", cur, iv.Lo)
+		}
+		if iv.Hi > cur {
+			cur = iv.Hi
+		}
+	}
+	if cur < hi-1e-9 {
+		t.Fatalf("cover stops at %v, want %v", cur, hi)
+	}
+}
+
+// bruteMinCover finds the true minimum cover size by subset enumeration.
+func bruteMinCover(ivs []cover.Interval, lo, hi float64) int {
+	n := len(ivs)
+	best := n + 1
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		var chosen []cover.Interval
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				chosen = append(chosen, ivs[i])
+			}
+		}
+		sort.Slice(chosen, func(i, j int) bool { return chosen[i].Lo < chosen[j].Lo })
+		cur := lo
+		ok := true
+		for _, iv := range chosen {
+			if iv.Lo > cur+1e-12 {
+				ok = false
+				break
+			}
+			if iv.Hi > cur {
+				cur = iv.Hi
+			}
+		}
+		if ok && cur >= hi-1e-12 {
+			if c := len(chosen); c < best {
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+// Property: both covers succeed iff a cover exists, are optimal in size,
+// and actually cover.
+func TestCoversOptimalAndAgreeProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(9)
+		ivs := make([]cover.Interval, n)
+		for i := range ivs {
+			a := rng.Float64()
+			b := a + rng.Float64()*0.6
+			ivs[i] = cover.Interval{ID: i, Lo: a, Hi: math.Min(b, 1)}
+		}
+		want := bruteMinCover(ivs, 0, 1)
+		opt, errOpt := cover.CoverOptimal(ivs, 0, 1)
+		gain, errGain := cover.CoverMaxGain(ivs, 0, 1)
+		if want > n { // no cover exists
+			return errOpt != nil && errGain != nil
+		}
+		if errOpt != nil || errGain != nil {
+			return false
+		}
+		return len(opt) == want && len(gain) == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoverExactContactEndpoints(t *testing.T) {
+	// Intervals touching exactly must chain without a "gap" at the seam.
+	ivs := []cover.Interval{{ID: 0, Lo: 0, Hi: 0.5}, {ID: 1, Lo: 0.5, Hi: 1}}
+	for name, f := range map[string]func([]cover.Interval, float64, float64) ([]int, error){
+		"optimal": cover.CoverOptimal, "maxgain": cover.CoverMaxGain,
+	} {
+		got, err := f(ivs, 0, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got) != 2 {
+			t.Fatalf("%s: size %d, want 2", name, len(got))
+		}
+	}
+}
+
+func TestCoverGapErrors(t *testing.T) {
+	ivs := []cover.Interval{{ID: 0, Lo: 0, Hi: 0.4}, {ID: 1, Lo: 0.6, Hi: 1}}
+	if _, err := cover.CoverOptimal(ivs, 0, 1); err == nil {
+		t.Error("optimal: expected gap error")
+	}
+	if _, err := cover.CoverMaxGain(ivs, 0, 1); err == nil {
+		t.Error("maxgain: expected gap error")
+	}
+	if _, err := cover.CoverOptimal(nil, 0, 1); err == nil {
+		t.Error("optimal: expected error with no intervals")
+	}
+	if _, err := cover.CoverOptimal(ivs, 1, 0); err == nil {
+		t.Error("optimal: expected error for inverted target")
+	}
+	if _, err := cover.CoverMaxGain(ivs, 1, 0); err == nil {
+		t.Error("maxgain: expected error for inverted target")
+	}
+}
+
+func TestCoverSingleIntervalSpansAll(t *testing.T) {
+	ivs := []cover.Interval{{ID: 7, Lo: -0.1, Hi: 1.7}, {ID: 3, Lo: 0.2, Hi: 0.4}}
+	got, err := cover.CoverMaxGain(ivs, 0, geom.HalfPi)
+	if err != nil || !reflect.DeepEqual(got, []int{7}) {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	got, err = cover.CoverOptimal(ivs, 0, geom.HalfPi)
+	if err != nil || !reflect.DeepEqual(got, []int{7}) {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestGreedyHittingSetPaper2Sets(t *testing.T) {
+	got, err := cover.GreedyHittingSet(paperfig.TwoSets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t3 hits {3,7} and {3,5}; t1 (or t7) covers {1,7}. Greedy with
+	// smallest-ID ties gives {1, 3}.
+	if !reflect.DeepEqual(got, []int{1, 3}) {
+		t.Fatalf("GreedyHittingSet = %v, want [1 3]", got)
+	}
+}
+
+func TestGreedyHittingSetEdgeCases(t *testing.T) {
+	got, err := cover.GreedyHittingSet(nil)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty instance: %v, %v", got, err)
+	}
+	if _, err := cover.GreedyHittingSet([][]int{{1}, {}}); err == nil {
+		t.Fatal("empty member set must error")
+	}
+	got, err = cover.GreedyHittingSet([][]int{{5}, {5}, {5, 9}})
+	if err != nil || !reflect.DeepEqual(got, []int{5}) {
+		t.Fatalf("singleton dominator: %v, %v", got, err)
+	}
+}
+
+// bruteMinHit finds the optimal hitting-set size by subset enumeration over
+// the universe.
+func bruteMinHit(sets [][]int) int {
+	seen := map[int]bool{}
+	var universe []int
+	for _, s := range sets {
+		for _, e := range s {
+			if !seen[e] {
+				seen[e] = true
+				universe = append(universe, e)
+			}
+		}
+	}
+	n := len(universe)
+	best := n + 1
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		var ids []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				ids = append(ids, universe[i])
+			}
+		}
+		if cover.VerifyHits(sets, ids) && len(ids) < best {
+			best = len(ids)
+		}
+	}
+	return best
+}
+
+func randomSets(rng *rand.Rand) [][]int {
+	m := 1 + rng.Intn(8)
+	universe := 2 + rng.Intn(10)
+	sets := make([][]int, m)
+	for i := range sets {
+		maxSize := 4
+		if universe < maxSize {
+			maxSize = universe
+		}
+		size := 1 + rng.Intn(maxSize)
+		s := map[int]bool{}
+		for len(s) < size {
+			s[rng.Intn(universe)] = true
+		}
+		for e := range s {
+			sets[i] = append(sets[i], e)
+		}
+		sort.Ints(sets[i])
+	}
+	return sets
+}
+
+// Property: greedy hits everything and stays within the harmonic bound of
+// optimal.
+func TestGreedyHittingSetBoundsProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sets := randomSets(rng)
+		got, err := cover.GreedyHittingSet(sets)
+		if err != nil {
+			return false
+		}
+		if !cover.VerifyHits(sets, got) {
+			return false
+		}
+		opt := bruteMinHit(sets)
+		h := 0.0
+		for i := 1; i <= len(sets); i++ {
+			h += 1 / float64(i)
+		}
+		return float64(len(got)) <= float64(opt)*h+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBGHittingSetHitsEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		sets := randomSets(rng)
+		got, err := cover.BGHittingSet(sets, 2, cover.BGOptions{Seed: int64(trial)})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !cover.VerifyHits(sets, got) {
+			t.Fatalf("trial %d: %v does not hit %v", trial, got, sets)
+		}
+	}
+}
+
+func TestBGHittingSetDeterministicPerSeed(t *testing.T) {
+	sets := [][]int{{1, 2}, {2, 3}, {3, 4}, {4, 5}, {1, 5}}
+	a, err := cover.BGHittingSet(sets, 2, cover.BGOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cover.BGHittingSet(sets, 2, cover.BGOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged: %v vs %v", a, b)
+	}
+}
+
+func TestBGHittingSetEdgeCases(t *testing.T) {
+	got, err := cover.BGHittingSet(nil, 3, cover.BGOptions{})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty instance: %v, %v", got, err)
+	}
+	if _, err := cover.BGHittingSet([][]int{{}}, 3, cover.BGOptions{}); err == nil {
+		t.Fatal("empty member set must error")
+	}
+	// vcDim < 1 is clamped, not an error.
+	got, err = cover.BGHittingSet([][]int{{4}}, 0, cover.BGOptions{})
+	if err != nil || !cover.VerifyHits([][]int{{4}}, got) {
+		t.Fatalf("vcDim clamp: %v, %v", got, err)
+	}
+}
+
+func TestBGHittingSetPaper2Sets(t *testing.T) {
+	got, err := cover.BGHittingSet(paperfig.TwoSets, 2, cover.BGOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cover.VerifyHits(paperfig.TwoSets, got) {
+		t.Fatalf("%v does not hit the paper's 2-sets", got)
+	}
+}
+
+func TestVerifyHits(t *testing.T) {
+	sets := [][]int{{1, 2}, {3}}
+	if !cover.VerifyHits(sets, []int{2, 3}) {
+		t.Error("should hit")
+	}
+	if cover.VerifyHits(sets, []int{1, 2}) {
+		t.Error("misses {3}")
+	}
+	if !cover.VerifyHits(nil, nil) {
+		t.Error("empty instance is trivially hit")
+	}
+}

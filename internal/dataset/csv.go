@@ -1,0 +1,88 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV serializes the table with a header row encoding each attribute's
+// preference direction: "Name:+" for higher-is-better, "Name:-" for
+// lower-is-better.
+func WriteCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, t.Dims())
+	for j, a := range t.Attrs {
+		dir := "+"
+		if !a.HigherBetter {
+			dir = "-"
+		}
+		header[j] = a.Name + ":" + dir
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: writing header: %w", err)
+	}
+	record := make([]string, t.Dims())
+	for i, row := range t.Rows {
+		if len(row) != t.Dims() {
+			return fmt.Errorf("dataset: row %d has %d values, want %d", i, len(row), t.Dims())
+		}
+		for j, v := range row {
+			record[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(record); err != nil {
+			return fmt.Errorf("dataset: writing row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a table written by WriteCSV (or hand-authored in the same
+// convention). Header cells without a ":+"/":-" suffix default to
+// higher-is-better.
+func ReadCSV(r io.Reader, name string) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 0 // all records must match the header's width
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading header: %w", err)
+	}
+	t := &Table{Name: name, Attrs: make([]Attr, len(header))}
+	for j, cell := range header {
+		attr := Attr{Name: cell, HigherBetter: true}
+		if idx := strings.LastIndex(cell, ":"); idx >= 0 {
+			switch cell[idx+1:] {
+			case "+":
+				attr = Attr{Name: cell[:idx], HigherBetter: true}
+			case "-":
+				attr = Attr{Name: cell[:idx], HigherBetter: false}
+			}
+		}
+		t.Attrs[j] = attr
+	}
+	for i := 0; ; i++ {
+		record, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading row %d: %w", i, err)
+		}
+		row := make([]float64, len(record))
+		for j, cell := range record {
+			v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: row %d column %d (%q): %w", i, j, cell, err)
+			}
+			row[j] = v
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	if t.N() == 0 {
+		return nil, fmt.Errorf("dataset: %s has no data rows", name)
+	}
+	return t, nil
+}

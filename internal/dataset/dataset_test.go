@@ -1,0 +1,314 @@
+package dataset_test
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"rrr/internal/dataset"
+	"rrr/internal/skyline"
+)
+
+// pearson computes the sample correlation of two columns.
+func pearson(t *dataset.Table, a, b int) float64 {
+	n := float64(t.N())
+	var sa, sb float64
+	for _, row := range t.Rows {
+		sa += row[a]
+		sb += row[b]
+	}
+	ma, mb := sa/n, sb/n
+	var cov, va, vb float64
+	for _, row := range t.Rows {
+		da, db := row[a]-ma, row[b]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+func TestDOTLikeShapeAndDirections(t *testing.T) {
+	tb := dataset.DOTLike(5000, 1)
+	if tb.N() != 5000 || tb.Dims() != 8 {
+		t.Fatalf("shape = %dx%d", tb.N(), tb.Dims())
+	}
+	wantDirs := []bool{false, true, false, true, false, false, false, false}
+	for j, a := range tb.Attrs {
+		if a.HigherBetter != wantDirs[j] {
+			t.Errorf("attr %d (%s) direction = %v, want %v", j, a.Name, a.HigherBetter, wantDirs[j])
+		}
+	}
+}
+
+func TestDOTLikeCorrelationStructure(t *testing.T) {
+	tb := dataset.DOTLike(8000, 2)
+	// Distance (1) and Air-time (3) strongly correlated.
+	if c := pearson(tb, 1, 3); c < 0.9 {
+		t.Errorf("corr(Distance, AirTime) = %v, want > 0.9", c)
+	}
+	// Dep-Delay (4) and Arrival-Delay (0) strongly correlated.
+	if c := pearson(tb, 4, 0); c < 0.7 {
+		t.Errorf("corr(DepDelay, ArrDelay) = %v, want > 0.7", c)
+	}
+	// Distance and Dep-Delay essentially independent.
+	if c := math.Abs(pearson(tb, 1, 4)); c > 0.1 {
+		t.Errorf("corr(Distance, DepDelay) = %v, want ~0", c)
+	}
+}
+
+func TestBNLikeShapeAndCorrelation(t *testing.T) {
+	tb := dataset.BNLike(8000, 3)
+	if tb.N() != 8000 || tb.Dims() != 5 {
+		t.Fatalf("shape = %dx%d", tb.N(), tb.Dims())
+	}
+	// Carat (0) and Price (1) strongly correlated (power law).
+	if c := pearson(tb, 0, 1); c < 0.7 {
+		t.Errorf("corr(Carat, Price) = %v, want > 0.7", c)
+	}
+	for _, row := range tb.Rows {
+		if row[0] < 0.23 || row[0] > 20.97 {
+			t.Fatalf("carat %v out of catalog range", row[0])
+		}
+		if row[1] < 200 {
+			t.Fatalf("price %v below floor", row[1])
+		}
+	}
+}
+
+func TestGeneratorsDeterministicPerSeed(t *testing.T) {
+	a := dataset.DOTLike(100, 42)
+	b := dataset.DOTLike(100, 42)
+	if !reflect.DeepEqual(a.Rows, b.Rows) {
+		t.Error("DOTLike same seed diverged")
+	}
+	c := dataset.DOTLike(100, 43)
+	if reflect.DeepEqual(a.Rows, c.Rows) {
+		t.Error("DOTLike different seeds identical")
+	}
+	x := dataset.BNLike(100, 1)
+	y := dataset.BNLike(100, 1)
+	if !reflect.DeepEqual(x.Rows, y.Rows) {
+		t.Error("BNLike same seed diverged")
+	}
+}
+
+func TestSyntheticDistributions(t *testing.T) {
+	ind := dataset.Independent(2000, 3, 5)
+	cor := dataset.Correlated(2000, 3, 5)
+	anti := dataset.AntiCorrelated(2000, 3, 5)
+	if ind.Dims() != 3 || cor.Dims() != 3 || anti.Dims() != 3 {
+		t.Fatal("wrong dims")
+	}
+	if c := pearson(cor, 0, 1); c < 0.8 {
+		t.Errorf("correlated corr = %v, want > 0.8", c)
+	}
+	if c := pearson(anti, 0, 1); c > -0.2 {
+		t.Errorf("anticorrelated corr = %v, want < -0.2", c)
+	}
+	if c := math.Abs(pearson(ind, 0, 1)); c > 0.1 {
+		t.Errorf("independent corr = %v, want ~0", c)
+	}
+	for _, tb := range []*dataset.Table{ind, cor, anti} {
+		for _, row := range tb.Rows {
+			for _, v := range row {
+				if v < 0 || v > 1 {
+					t.Fatalf("%s value %v out of [0,1]", tb.Name, v)
+				}
+			}
+		}
+	}
+}
+
+// Skyline sizes must order anticorrelated > independent > correlated — the
+// standard sanity check for these generators.
+func TestSyntheticSkylineOrdering(t *testing.T) {
+	n := 3000
+	ind, err := dataset.Independent(n, 3, 7).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cor, err := dataset.Correlated(n, 3, 7).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	anti, err := dataset.AntiCorrelated(n, 3, 7).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	si := len(skyline.Skyline(ind))
+	sc := len(skyline.Skyline(cor))
+	sa := len(skyline.Skyline(anti))
+	if !(sa > si && si > sc) {
+		t.Fatalf("skyline sizes anti=%d ind=%d corr=%d, want anti > ind > corr", sa, si, sc)
+	}
+}
+
+func TestNormalizeBoundsAndDirection(t *testing.T) {
+	tb := &dataset.Table{
+		Name: "t",
+		Attrs: []dataset.Attr{
+			{Name: "up", HigherBetter: true},
+			{Name: "down", HigherBetter: false},
+		},
+		Rows: [][]float64{{0, 0}, {5, 10}, {10, 20}},
+	}
+	d, err := tb.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 0: up=0 → 0; down=0 is BEST (lower better) → 1.
+	if got := d.Tuple(0).Attrs; got[0] != 0 || got[1] != 1 {
+		t.Fatalf("row 0 normalized = %v, want [0 1]", got)
+	}
+	// Row 2: up=10 → 1; down=20 worst → 0.
+	if got := d.Tuple(2).Attrs; got[0] != 1 || got[1] != 0 {
+		t.Fatalf("row 2 normalized = %v, want [1 0]", got)
+	}
+	if got := d.Tuple(1).Attrs; got[0] != 0.5 || got[1] != 0.5 {
+		t.Fatalf("row 1 normalized = %v, want [0.5 0.5]", got)
+	}
+}
+
+func TestNormalizeConstantColumn(t *testing.T) {
+	tb := &dataset.Table{
+		Name:  "t",
+		Attrs: []dataset.Attr{{Name: "c", HigherBetter: true}, {Name: "v", HigherBetter: true}},
+		Rows:  [][]float64{{7, 1}, {7, 2}},
+	}
+	d, err := tb.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Tuple(0).Attrs[0] != 0.5 || d.Tuple(1).Attrs[0] != 0.5 {
+		t.Fatal("constant column must normalize to 0.5")
+	}
+}
+
+func TestNormalizeErrors(t *testing.T) {
+	empty := &dataset.Table{Name: "e", Attrs: []dataset.Attr{{Name: "a", HigherBetter: true}}}
+	if _, err := empty.Normalize(); err == nil {
+		t.Error("empty table must error")
+	}
+	ragged := &dataset.Table{
+		Name:  "r",
+		Attrs: []dataset.Attr{{Name: "a", HigherBetter: true}, {Name: "b", HigherBetter: true}},
+		Rows:  [][]float64{{1, 2}, {3}},
+	}
+	if _, err := ragged.Normalize(); err == nil {
+		t.Error("ragged table must error")
+	}
+}
+
+func TestProjectAndFirstDims(t *testing.T) {
+	tb := dataset.BNLike(10, 1)
+	p, err := tb.Project([]int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Attrs[0].Name != "Price" || p.Attrs[1].Name != "Carat" {
+		t.Fatalf("projected attrs = %v", p.Attrs)
+	}
+	if p.Rows[3][0] != tb.Rows[3][1] {
+		t.Fatal("projection did not reorder values")
+	}
+	f, err := tb.FirstDims(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Dims() != 2 || f.Attrs[0].Name != "Carat" {
+		t.Fatalf("FirstDims attrs = %v", f.Attrs)
+	}
+	if _, err := tb.FirstDims(0); err == nil {
+		t.Error("FirstDims(0) must error")
+	}
+	if _, err := tb.FirstDims(9); err == nil {
+		t.Error("FirstDims beyond dims must error")
+	}
+	if _, err := tb.Project([]int{5}); err == nil {
+		t.Error("out-of-range column must error")
+	}
+	if _, err := tb.Project(nil); err == nil {
+		t.Error("empty projection must error")
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	tb := dataset.DOTLike(10, 1)
+	p, err := tb.Prefix(4)
+	if err != nil || p.N() != 4 {
+		t.Fatalf("Prefix: %v, n=%d", err, p.N())
+	}
+	if _, err := tb.Prefix(0); err == nil {
+		t.Error("Prefix(0) must error")
+	}
+	if _, err := tb.Prefix(11); err == nil {
+		t.Error("Prefix beyond n must error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tb := dataset.BNLike(25, 9)
+	var buf bytes.Buffer
+	if err := dataset.WriteCSV(&buf, tb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dataset.ReadCSV(&buf, "bn-back")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Rows, tb.Rows) {
+		t.Fatal("rows did not round-trip")
+	}
+	for j := range tb.Attrs {
+		if back.Attrs[j] != tb.Attrs[j] {
+			t.Fatalf("attr %d did not round-trip: %+v vs %+v", j, back.Attrs[j], tb.Attrs[j])
+		}
+	}
+}
+
+func TestReadCSVDefaultsAndErrors(t *testing.T) {
+	tbl, err := dataset.ReadCSV(strings.NewReader("a,b:-\n1,2\n3,4\n"), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.Attrs[0].HigherBetter || tbl.Attrs[1].HigherBetter {
+		t.Fatalf("direction parsing wrong: %+v", tbl.Attrs)
+	}
+	if tbl.Attrs[0].Name != "a" || tbl.Attrs[1].Name != "b" {
+		t.Fatalf("names wrong: %+v", tbl.Attrs)
+	}
+	if _, err := dataset.ReadCSV(strings.NewReader("a,b\n1,x\n"), "t"); err == nil {
+		t.Error("non-numeric cell must error")
+	}
+	if _, err := dataset.ReadCSV(strings.NewReader("a,b\n"), "t"); err == nil {
+		t.Error("no data rows must error")
+	}
+	if _, err := dataset.ReadCSV(strings.NewReader(""), "t"); err == nil {
+		t.Error("empty input must error")
+	}
+	if _, err := dataset.ReadCSV(strings.NewReader("a,b\n1\n"), "t"); err == nil {
+		t.Error("short row must error")
+	}
+}
+
+func TestNormalizedRealLikeTablesFeedAlgorithms(t *testing.T) {
+	for _, tb := range []*dataset.Table{dataset.DOTLike(500, 4), dataset.BNLike(500, 4)} {
+		d, err := tb.Normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.N() != 500 || d.Dims() != tb.Dims() {
+			t.Fatalf("%s normalized shape wrong", tb.Name)
+		}
+		for i := 0; i < d.N(); i++ {
+			for _, v := range d.Tuple(i).Attrs {
+				if v < 0 || v > 1 || math.IsNaN(v) {
+					t.Fatalf("%s normalized value %v out of range", tb.Name, v)
+				}
+			}
+		}
+	}
+}

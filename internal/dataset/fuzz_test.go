@@ -1,0 +1,50 @@
+package dataset_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rrr/internal/dataset"
+)
+
+// FuzzReadCSV asserts the reader never panics and that any table it
+// accepts survives a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a:+,b:-\n1,2\n3,4\n")
+	f.Add("x\n1\n")
+	f.Add("a,b\n1,2\n")
+	f.Add("a:+,b\n-1e300,2.5\n0,0\n")
+	f.Add("")
+	f.Add("a:+\nnotanumber\n")
+	f.Add("a:+,b:-\n1\n")
+	f.Add("\"quo,ted\":-\n7\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tb, err := dataset.ReadCSV(strings.NewReader(input), "fuzz")
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if tb.N() == 0 || tb.Dims() == 0 {
+			t.Fatalf("accepted table with shape %dx%d", tb.N(), tb.Dims())
+		}
+		var buf bytes.Buffer
+		if err := dataset.WriteCSV(&buf, tb); err != nil {
+			t.Fatalf("accepted table failed to serialize: %v", err)
+		}
+		back, err := dataset.ReadCSV(&buf, "fuzz2")
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.N() != tb.N() || back.Dims() != tb.Dims() {
+			t.Fatalf("round trip changed shape: %dx%d vs %dx%d", back.N(), back.Dims(), tb.N(), tb.Dims())
+		}
+		for i := range tb.Rows {
+			for j := range tb.Rows[i] {
+				a, b := tb.Rows[i][j], back.Rows[i][j]
+				if a != b && !(a != a && b != b) { // NaN round-trips as NaN
+					t.Fatalf("value [%d][%d] changed: %v vs %v", i, j, a, b)
+				}
+			}
+		}
+	})
+}

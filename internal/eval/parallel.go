@@ -1,0 +1,87 @@
+package eval
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"rrr/internal/core"
+	"rrr/internal/geom"
+)
+
+// The sampled estimators parallelize across CPU cores. Determinism is
+// preserved for any worker count: the sample functions are generated
+// sequentially from the seed up front, workers score disjoint chunks, and
+// ties between equally bad samples resolve toward the smallest sample
+// index.
+
+// workers resolves the worker count from Options.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// sampleFuncs draws the estimator's function set sequentially.
+func sampleFuncs(dims, n int, seed int64) []core.LinearFunc {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]core.LinearFunc, n)
+	for i := range out {
+		out[i] = geom.RandomFunc(dims, rng)
+	}
+	return out
+}
+
+// worstSample runs measure over all sampled functions in parallel and
+// returns the index and value of the worst (maximal) measurement, ties
+// resolved to the smallest index.
+func worstSample(funcs []core.LinearFunc, workers int, measure func(core.LinearFunc) float64) (int, float64) {
+	n := len(funcs)
+	if n == 0 {
+		return -1, 0
+	}
+	if workers > n {
+		workers = n
+	}
+	type result struct {
+		idx int
+		val float64
+	}
+	results := make([]result, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			results[w] = result{idx: -1}
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			best := result{idx: lo, val: measure(funcs[lo])}
+			for i := lo + 1; i < hi; i++ {
+				if v := measure(funcs[i]); v > best.val {
+					best = result{idx: i, val: v}
+				}
+			}
+			results[w] = best
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	winner := result{idx: -1, val: -1}
+	for _, r := range results {
+		if r.idx == -1 {
+			continue
+		}
+		if r.val > winner.val || (r.val == winner.val && r.idx < winner.idx) {
+			winner = r
+		}
+	}
+	return winner.idx, winner.val
+}

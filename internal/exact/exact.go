@@ -1,0 +1,137 @@
+// Package exact computes true optima for small instances, serving as
+// ground truth for the approximation guarantees (Theorem 3's "no larger
+// than the optimal solution") and for the experiments' optimality claims.
+//
+// By Lemma 5 the rank-regret representative problem is exactly the minimum
+// hitting set over the collection of k-sets: a subset has rank-regret ≤ k
+// iff it intersects every possible top-k. In 2-D the collection is
+// enumerable exactly (package sweep), so the optimal RRR reduces to an
+// exact minimum hitting set, solved here by branch and bound. The
+// exponential worst case is inherent (the problem is NP-complete for
+// d ≥ 3); intended use is tests and small references.
+package exact
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"rrr/internal/core"
+	"rrr/internal/sweep"
+)
+
+// MinHittingSet returns a minimum-cardinality set of element IDs
+// intersecting every input set, by branch and bound: always branch on the
+// smallest uncovered set, prune when the incumbent cannot be beaten.
+// Limit (0 = none) aborts with an error when the optimum exceeds it.
+func MinHittingSet(sets [][]int, limit int) ([]int, error) {
+	for i, s := range sets {
+		if len(s) == 0 {
+			return nil, fmt.Errorf("exact: set %d is empty and cannot be hit", i)
+		}
+	}
+	if len(sets) == 0 {
+		return []int{}, nil
+	}
+	// Incumbent: greedy gives a sound upper bound to prune against.
+	incumbent := greedy(sets)
+	best := append([]int(nil), incumbent...)
+	var chosen []int
+	var dfs func(remaining [][]int)
+	dfs = func(remaining [][]int) {
+		if len(remaining) == 0 {
+			if len(chosen) < len(best) {
+				best = append(best[:0], chosen...)
+			}
+			return
+		}
+		if len(chosen)+1 >= len(best) {
+			return // even one more pick cannot beat the incumbent
+		}
+		// Branch on the smallest remaining set.
+		smallest := remaining[0]
+		for _, s := range remaining[1:] {
+			if len(s) < len(smallest) {
+				smallest = s
+			}
+		}
+		for _, e := range smallest {
+			chosen = append(chosen, e)
+			var next [][]int
+			for _, s := range remaining {
+				if !contains(s, e) {
+					next = append(next, s)
+				}
+			}
+			dfs(next)
+			chosen = chosen[:len(chosen)-1]
+		}
+	}
+	dfs(sets)
+	if limit > 0 && len(best) > limit {
+		return nil, fmt.Errorf("exact: optimum %d exceeds limit %d", len(best), limit)
+	}
+	sort.Ints(best)
+	return best, nil
+}
+
+func contains(s []int, e int) bool {
+	for _, v := range s {
+		if v == e {
+			return true
+		}
+	}
+	return false
+}
+
+func greedy(sets [][]int) []int {
+	count := map[int]int{}
+	for _, s := range sets {
+		for _, e := range s {
+			count[e]++
+		}
+	}
+	hit := make([]bool, len(sets))
+	remaining := len(sets)
+	var out []int
+	for remaining > 0 {
+		bestE, bestC := 0, -1
+		for e, c := range count {
+			if c > bestC || (c == bestC && e < bestE) {
+				bestE, bestC = e, c
+			}
+		}
+		out = append(out, bestE)
+		for i, s := range sets {
+			if hit[i] || !contains(s, bestE) {
+				continue
+			}
+			hit[i] = true
+			remaining--
+			for _, e := range s {
+				count[e]--
+			}
+		}
+		delete(count, bestE)
+	}
+	return out
+}
+
+// RRR2D computes the optimal rank-regret representative of a 2-D dataset:
+// the minimum subset with rank-regret ≤ k over all linear ranking
+// functions. It enumerates the exact k-set collection by the angular sweep
+// and solves the minimum hitting set exactly. maxSize (0 = none) aborts
+// when the optimum would exceed it.
+func RRR2D(d *core.Dataset, k int, maxSize int) ([]int, error) {
+	if d.Dims() != 2 {
+		return nil, errors.New("exact: RRR2D requires a 2-D dataset")
+	}
+	if k <= 0 {
+		return nil, errors.New("exact: k must be positive")
+	}
+	sets, err := sweep.KSets(d, k)
+	if err != nil {
+		return nil, err
+	}
+	return MinHittingSet(sets, maxSize)
+}

@@ -1,0 +1,187 @@
+package exact_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"rrr/internal/algo"
+	"rrr/internal/core"
+	"rrr/internal/exact"
+	"rrr/internal/paperfig"
+	"rrr/internal/sweep"
+)
+
+func randomDataset2D(rng *rand.Rand, n int) *core.Dataset {
+	points := make([][]float64, n)
+	for i := range points {
+		points[i] = []float64{rng.Float64(), rng.Float64()}
+	}
+	return core.MustNewDataset(points)
+}
+
+func TestMinHittingSetSmallKnown(t *testing.T) {
+	got, err := exact.MinHittingSet([][]int{{1, 2}, {2, 3}, {3, 4}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("optimum = %v, want size 2 (e.g. {2,3})", got)
+	}
+	got, err = exact.MinHittingSet([][]int{{5}}, 0)
+	if err != nil || !reflect.DeepEqual(got, []int{5}) {
+		t.Fatalf("singleton: %v, %v", got, err)
+	}
+	got, err = exact.MinHittingSet(nil, 0)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty instance: %v, %v", got, err)
+	}
+	if _, err := exact.MinHittingSet([][]int{{}}, 0); err == nil {
+		t.Fatal("empty set must error")
+	}
+	if _, err := exact.MinHittingSet([][]int{{1, 2}, {3, 4}}, 1); err == nil {
+		t.Fatal("limit below optimum must error")
+	}
+}
+
+// bruteMin enumerates all subsets of the universe.
+func bruteMin(sets [][]int) int {
+	seen := map[int]bool{}
+	var universe []int
+	for _, s := range sets {
+		for _, e := range s {
+			if !seen[e] {
+				seen[e] = true
+				universe = append(universe, e)
+			}
+		}
+	}
+	n := len(universe)
+	best := n + 1
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		ok := true
+		for _, s := range sets {
+			hitOne := false
+			for i, e := range universe {
+				if mask&(1<<uint(i)) != 0 && containsInt(s, e) {
+					hitOne = true
+					break
+				}
+			}
+			if !hitOne {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			c := 0
+			for i := 0; i < n; i++ {
+				if mask&(1<<uint(i)) != 0 {
+					c++
+				}
+			}
+			if c < best {
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+func containsInt(s []int, e int) bool {
+	for _, v := range s {
+		if v == e {
+			return true
+		}
+	}
+	return false
+}
+
+func TestMinHittingSetMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 60; trial++ {
+		m := 1 + rng.Intn(7)
+		universe := 2 + rng.Intn(8)
+		sets := make([][]int, m)
+		for i := range sets {
+			maxSize := 3
+			if universe < maxSize {
+				maxSize = universe
+			}
+			size := 1 + rng.Intn(maxSize)
+			s := map[int]bool{}
+			for len(s) < size {
+				s[rng.Intn(universe)] = true
+			}
+			for e := range s {
+				sets[i] = append(sets[i], e)
+			}
+		}
+		got, err := exact.MinHittingSet(sets, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := bruteMin(sets); len(got) != want {
+			t.Fatalf("trial %d: optimum %d, want %d (sets %v)", trial, len(got), want, sets)
+		}
+	}
+}
+
+func TestRRR2DPaperExample(t *testing.T) {
+	d := paperfig.Figure1()
+	got, err := exact.RRR2D(d, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("optimal RRR size = %d (%v), want 2", len(got), got)
+	}
+	// The optimum must itself satisfy rank-regret <= k.
+	rr, err := sweep.ExactRankRegret(d, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr > 2 {
+		t.Fatalf("optimal set %v has rank-regret %d", got, rr)
+	}
+}
+
+// TestTheorem3AgainstTrueOptimum: 2DRRR with the minimal cover never
+// returns more tuples than the true optimal RRR.
+func TestTheorem3AgainstTrueOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 15; trial++ {
+		d := randomDataset2D(rng, 6+rng.Intn(20))
+		k := 1 + rng.Intn(3)
+		opt, err := exact.RRR2D(d, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := algo.TwoDRRR(d, k, algo.TwoDOptions{Cover: algo.CoverOptimalSweep})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.IDs) > len(opt) {
+			t.Fatalf("trial %d: 2DRRR size %d > true optimum %d", trial, len(res.IDs), len(opt))
+		}
+		// And the optimum is genuinely feasible at k.
+		rr, err := sweep.ExactRankRegret(d, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rr > k {
+			t.Fatalf("trial %d: optimum has rank-regret %d > k=%d", trial, rr, k)
+		}
+	}
+}
+
+func TestRRR2DErrors(t *testing.T) {
+	d3 := core.MustNewDataset([][]float64{{1, 2, 3}})
+	if _, err := exact.RRR2D(d3, 1, 0); err == nil {
+		t.Error("3-D must error")
+	}
+	d := paperfig.Figure1()
+	if _, err := exact.RRR2D(d, 0, 0); err == nil {
+		t.Error("k=0 must error")
+	}
+}

@@ -1,0 +1,295 @@
+package geom_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rrr/internal/core"
+	"rrr/internal/geom"
+	"rrr/internal/paperfig"
+)
+
+const eps = 1e-12
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestAnglesToWeight2D(t *testing.T) {
+	w := geom.AnglesToWeight([]float64{0})
+	if !almostEqual(w[0], 1, eps) || !almostEqual(w[1], 0, eps) {
+		t.Fatalf("θ=0 → %v, want (1,0)", w)
+	}
+	w = geom.AnglesToWeight([]float64{geom.HalfPi})
+	if !almostEqual(w[0], 0, eps) || !almostEqual(w[1], 1, eps) {
+		t.Fatalf("θ=π/2 → %v, want (0,1)", w)
+	}
+	w = geom.AnglesToWeight([]float64{math.Pi / 4})
+	if !almostEqual(w[0], w[1], eps) {
+		t.Fatalf("θ=π/4 → %v, want equal weights (paper Figure 2: f = x1+x2)", w)
+	}
+}
+
+func TestAnglesToWeightUnitNormAndPositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		dim := 1 + rng.Intn(5)
+		theta := make([]float64, dim)
+		for i := range theta {
+			theta[i] = rng.Float64() * geom.HalfPi
+		}
+		w := geom.AnglesToWeight(theta)
+		if !almostEqual(geom.Norm(w), 1, 1e-9) {
+			t.Fatalf("‖w‖=%v for θ=%v", geom.Norm(w), theta)
+		}
+		for i, v := range w {
+			if v < -eps {
+				t.Fatalf("w[%d]=%v negative for θ=%v", i, v, theta)
+			}
+		}
+	}
+}
+
+func TestWeightToAnglesRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 1 + rng.Intn(5)
+		theta := make([]float64, dim)
+		for i := range theta {
+			// Stay strictly inside to avoid the degenerate sin=0 chart
+			// boundary, where angles beyond the zero are unrecoverable.
+			theta[i] = 0.01 + rng.Float64()*(geom.HalfPi-0.02)
+		}
+		w := geom.AnglesToWeight(theta)
+		back, err := geom.WeightToAngles(w)
+		if err != nil {
+			return false
+		}
+		for i := range theta {
+			if !almostEqual(theta[i], back[i], 1e-7) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightToAnglesRejectsBadInput(t *testing.T) {
+	if _, err := geom.WeightToAngles([]float64{1}); err == nil {
+		t.Error("1-D weight should be rejected")
+	}
+	if _, err := geom.WeightToAngles([]float64{1, -0.5}); err == nil {
+		t.Error("negative weight should be rejected")
+	}
+	if _, err := geom.WeightToAngles([]float64{0, 0}); err == nil {
+		t.Error("zero vector should be rejected")
+	}
+}
+
+func TestWeightToAnglesUnnormalizedInput(t *testing.T) {
+	th, err := geom.WeightToAngles([]float64{3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(th[0], math.Pi/4, 1e-12) {
+		t.Fatalf("angles of (3,3) = %v, want π/4", th)
+	}
+}
+
+func TestRandomWeightOnSphere(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	sum := make([]float64, 3)
+	for i := 0; i < 500; i++ {
+		w := geom.RandomWeight(3, rng)
+		if !almostEqual(geom.Norm(w), 1, 1e-9) {
+			t.Fatalf("‖w‖ = %v", geom.Norm(w))
+		}
+		for j, v := range w {
+			if v < 0 {
+				t.Fatalf("negative component %v", w)
+			}
+			sum[j] += v
+		}
+	}
+	// Symmetry check: each coordinate's mean should be similar.
+	for j := 1; j < 3; j++ {
+		if math.Abs(sum[j]-sum[0]) > 0.15*sum[0] {
+			t.Errorf("coordinate means diverge: %v", sum)
+		}
+	}
+}
+
+func TestDualOfAndRayIntersection(t *testing.T) {
+	d := paperfig.Figure1()
+	w := []float64{math.Sqrt2 / 2, math.Sqrt2 / 2} // ray of f = x1+x2
+	// Dual intersections closer to the origin must rank higher; verify the
+	// induced ordering matches the paper's ordering under x1+x2.
+	type pair struct {
+		id   int
+		dist float64
+	}
+	var ps []pair
+	for _, tup := range d.Tuples() {
+		dist, ok := geom.DualRayIntersection(tup, w)
+		if !ok {
+			t.Fatalf("ray misses dual of %v", tup)
+		}
+		ps = append(ps, pair{tup.ID, dist})
+	}
+	for i := 0; i < len(ps); i++ {
+		for j := i + 1; j < len(ps); j++ {
+			if ps[i].dist > ps[j].dist {
+				ps[i], ps[j] = ps[j], ps[i]
+			}
+		}
+	}
+	for i, want := range paperfig.OrderingSum {
+		if ps[i].id != want {
+			t.Fatalf("dual ordering[%d] = t%d, want t%d", i, ps[i].id, want)
+		}
+	}
+}
+
+func TestDualPlaneContainsTuplePoint(t *testing.T) {
+	tup := core.Tuple{ID: 0, Attrs: []float64{0.5, 0.25}}
+	h := geom.DualOf(tup)
+	// The dual plane of t is Σ t[i] x_i = 1; the point x = t/(t·t) lies on it.
+	tt := geom.Dot(tup.Attrs, tup.Attrs)
+	x := []float64{tup.Attrs[0] / tt, tup.Attrs[1] / tt}
+	if !almostEqual(h.Eval(x), 0, eps) {
+		t.Fatalf("Eval = %v, want 0", h.Eval(x))
+	}
+}
+
+func TestDualRayIntersectionMisses(t *testing.T) {
+	tup := core.Tuple{ID: 0, Attrs: []float64{0, 0}}
+	if _, ok := geom.DualRayIntersection(tup, []float64{1, 0}); ok {
+		t.Fatal("ray should miss the dual of the origin tuple")
+	}
+}
+
+func TestCrossAngle2DMatchesEqualScores(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := core.Tuple{ID: 0, Attrs: []float64{rng.Float64(), rng.Float64()}}
+		b := core.Tuple{ID: 1, Attrs: []float64{rng.Float64(), rng.Float64()}}
+		theta, ok := geom.CrossAngle2D(a, b)
+		if !ok {
+			// One dominates the other: score order never changes inside
+			// (0, π/2). Verify at two probe angles.
+			f1 := geom.FuncFromAngle2D(0.3)
+			f2 := geom.FuncFromAngle2D(1.2)
+			return (f1.Score(a) >= f1.Score(b)) == (f2.Score(a) >= f2.Score(b))
+		}
+		f := geom.FuncFromAngle2D(theta)
+		return almostEqual(f.Score(a), f.Score(b), 1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossAngle2DPaperExample(t *testing.T) {
+	d := paperfig.Figure1()
+	// t1(0.8,0.28) and t3(0.67,0.6): t1 ahead at x1... t1 has larger x1
+	// (0.8>0.67) and smaller x2 (0.28<0.6): they cross once.
+	t1, _ := d.ByID(1)
+	t3, _ := d.ByID(3)
+	theta, ok := geom.CrossAngle2D(t1, t3)
+	if !ok {
+		t.Fatal("t1 and t3 must cross")
+	}
+	want := math.Atan2(0.8-0.67, 0.6-0.28)
+	if !almostEqual(theta, want, eps) {
+		t.Fatalf("cross angle = %v, want %v", theta, want)
+	}
+	// Dominated pair never crosses: t3 dominates t4.
+	t4, _ := d.ByID(4)
+	if _, ok := geom.CrossAngle2D(t3, t4); ok {
+		t.Fatal("dominated pair must not cross")
+	}
+}
+
+func TestRectSplitAndCorners(t *testing.T) {
+	r := geom.FullAngleSpace(3) // 2-D angle space
+	if r.Dim() != 2 || !almostEqual(r.MaxWidth(), geom.HalfPi, eps) {
+		t.Fatalf("unexpected root rect %+v", r)
+	}
+	lo, hi := r.Split(0)
+	if !almostEqual(lo.Hi[0], geom.HalfPi/2, eps) || !almostEqual(hi.Lo[0], geom.HalfPi/2, eps) {
+		t.Fatalf("split halves wrong: %+v %+v", lo, hi)
+	}
+	if !almostEqual(lo.Width(1), geom.HalfPi, eps) {
+		t.Fatal("split must not touch other axes")
+	}
+	corners := r.Corners()
+	if len(corners) != 4 {
+		t.Fatalf("corner count = %d", len(corners))
+	}
+	// Corner 0 is Lo, last corner is Hi.
+	if corners[0][0] != 0 || corners[0][1] != 0 {
+		t.Fatalf("corner 0 = %v", corners[0])
+	}
+	if !almostEqual(corners[3][0], geom.HalfPi, eps) || !almostEqual(corners[3][1], geom.HalfPi, eps) {
+		t.Fatalf("corner 3 = %v", corners[3])
+	}
+	c := r.Center()
+	if !almostEqual(c[0], geom.HalfPi/2, eps) {
+		t.Fatalf("center = %v", c)
+	}
+	if !r.Contains(c) {
+		t.Fatal("center must be inside")
+	}
+	if r.Contains([]float64{-0.1, 0}) || r.Contains([]float64{0}) {
+		t.Fatal("Contains accepted outside/short point")
+	}
+}
+
+func TestSplitIsPartition(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 1 + rng.Intn(4)
+		r := geom.FullAngleSpace(dim + 1)
+		axis := rng.Intn(dim)
+		lo, hi := r.Split(axis)
+		p := make([]float64, dim)
+		for i := range p {
+			p[i] = rng.Float64() * geom.HalfPi
+		}
+		inLo, inHi := lo.Contains(p), hi.Contains(p)
+		// Every point of r is in at least one half; both only on the cut.
+		if !inLo && !inHi {
+			return false
+		}
+		if inLo && inHi && !almostEqual(p[axis], (r.Lo[axis]+r.Hi[axis])/2, eps) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFuncFromAngle2D(t *testing.T) {
+	f := geom.FuncFromAngle2D(math.Pi / 4)
+	if !almostEqual(f.W[0], f.W[1], eps) {
+		t.Fatalf("π/4 function = %v", f.W)
+	}
+	if err := f.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHyperplaneEvalSign(t *testing.T) {
+	h := geom.Hyperplane{Normal: []float64{1, 1}, Offset: 1}
+	if h.Eval([]float64{1, 1}) <= 0 {
+		t.Error("point above plane must evaluate positive")
+	}
+	if h.Eval([]float64{0.1, 0.1}) >= 0 {
+		t.Error("point below plane must evaluate negative")
+	}
+}

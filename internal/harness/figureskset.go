@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"fmt"
+
+	"rrr/internal/core"
+	"rrr/internal/kset"
+)
+
+// Figures 13–16: the size of the k-set collection discovered by K-SETr
+// versus the theoretical upper bound, and the sampler's running time, on
+// DOT and BN for varying k and d.
+
+func ksetFixedN(s Scale) int {
+	switch s {
+	case ScaleSmoke:
+		return 300
+	case ScalePaper:
+		return 10000
+	default:
+		return 2000
+	}
+}
+
+func samplerOptions(s Scale) kset.SampleOptions {
+	switch s {
+	case ScaleSmoke:
+		return kset.SampleOptions{Termination: 30, MaxDraws: 5000, Seed: 11}
+	case ScalePaper:
+		return kset.SampleOptions{Termination: 100, MaxDraws: 2_000_000, Seed: 11}
+	default:
+		return kset.SampleOptions{Termination: 250, MaxDraws: 80_000, Seed: 11}
+	}
+}
+
+func runKSetVaryK(figID string, kind datasetKind, s Scale) (*Result, error) {
+	n := ksetFixedN(s)
+	res := &Result{Figure: figID, Title: fmt.Sprintf("%s k-set count, n = %d, d = 3, vary k", kind.name(), n), Scale: s}
+	d, err := makeDataset(kind, n, 3)
+	if err != nil {
+		return nil, err
+	}
+	for _, frac := range []float64{0.001, 0.01, 0.1} {
+		k := kFromFraction(n, frac)
+		row, err := runKSetPoint(d, k, 3, fmt.Sprintf("k=%g%%", frac*100), s)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func runKSetVaryD(figID string, kind datasetKind, s Scale) (*Result, error) {
+	n := ksetFixedN(s)
+	res := &Result{Figure: figID, Title: fmt.Sprintf("%s k-set count, n = %d, k = 1%%, vary d", kind.name(), n), Scale: s}
+	dims := []int{2, 3, 4, 5, 6}
+	if s == ScaleSmoke {
+		dims = []int{2, 3}
+	}
+	k := kFromFraction(n, 0.01)
+	for _, dim := range dims {
+		if dim > kind.maxDims() {
+			continue
+		}
+		// The paper's BN sweep stops at d = 5 (its attribute count).
+		d, err := makeDataset(kind, n, dim)
+		if err != nil {
+			return nil, err
+		}
+		row, err := runKSetPoint(d, k, dim, fmt.Sprintf("d=%d", dim), s)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func runKSetPoint(d *core.Dataset, k, dim int, x string, s Scale) (Row, error) {
+	var (
+		col   *kset.Collection
+		stats kset.SampleStats
+	)
+	secs, err := timed(func() error {
+		var e error
+		col, stats, e = kset.Sample(d, k, samplerOptions(s))
+		return e
+	})
+	if err != nil {
+		return Row{}, fmt.Errorf("K-SETr at %s: %w", x, err)
+	}
+	truncated := 0.0
+	if stats.Truncated {
+		truncated = 1
+	}
+	return Row{
+		X: x, Alg: "K-SETr", K: k, Seconds: secs, Size: col.Len(), RankRegret: -1,
+		Extra: map[string]float64{
+			"upper_bound": kset.UpperBound(d.N(), k, dim),
+			"draws":       float64(stats.Draws),
+			"truncated":   truncated,
+		},
+	}, nil
+}

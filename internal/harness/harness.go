@@ -1,0 +1,319 @@
+// Package harness regenerates every evaluation figure of the RRR paper
+// (Figures 9–28). Each figure is a parameter sweep over one of the
+// synthetic stand-in datasets; the harness runs the paper's algorithms plus
+// the HD-RRMS baseline, times them, measures output size and rank-regret,
+// and renders the series as text tables or CSV.
+//
+// Figures come in three scales. ScalePaper uses the paper's exact
+// parameters (n up to 400,000 — hours of compute, matching the original
+// Python experiments' thousands of seconds). ScaleDefault shrinks n while
+// preserving every axis and algorithm, so the qualitative shapes (who wins,
+// where crossovers fall) reproduce in minutes. ScaleSmoke is for tests.
+// EXPERIMENTS.md records the scaled parameters next to the paper's.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"rrr/internal/core"
+	"rrr/internal/dataset"
+)
+
+// Scale selects the parameter grid of a figure run.
+type Scale int
+
+const (
+	// ScaleSmoke is a seconds-level configuration for tests and CI.
+	ScaleSmoke Scale = iota
+	// ScaleDefault preserves the paper's qualitative shapes in minutes.
+	ScaleDefault
+	// ScalePaper uses the paper's exact parameters.
+	ScalePaper
+)
+
+// ParseScale maps "smoke", "default", "paper" to a Scale.
+func ParseScale(s string) (Scale, error) {
+	switch strings.ToLower(s) {
+	case "smoke":
+		return ScaleSmoke, nil
+	case "default", "":
+		return ScaleDefault, nil
+	case "paper":
+		return ScalePaper, nil
+	}
+	return 0, fmt.Errorf("harness: unknown scale %q (want smoke, default, or paper)", s)
+}
+
+func (s Scale) String() string {
+	switch s {
+	case ScaleSmoke:
+		return "smoke"
+	case ScaleDefault:
+		return "default"
+	case ScalePaper:
+		return "paper"
+	}
+	return "unknown"
+}
+
+// Row is one measured point of a figure: one algorithm at one x-value.
+type Row struct {
+	// X is the varied parameter, e.g. "n=10000" or "k=100" or "d=4".
+	X string
+	// Alg is the algorithm or series name.
+	Alg string
+	// Seconds is the wall-clock time of the algorithm proper (excluding
+	// dataset generation and quality evaluation).
+	Seconds float64
+	// Size is the output size — or the k-set count for Figures 13–16.
+	Size int
+	// RankRegret is the measured rank-regret of the output (exact in 2-D,
+	// sampled otherwise); -1 where not applicable.
+	RankRegret int
+	// K is the rank-regret target the algorithm was asked for; 0 where
+	// not applicable.
+	K int
+	// Extra holds figure-specific metrics (e.g. "upper_bound", "draws",
+	// "regret_ratio").
+	Extra map[string]float64
+}
+
+// Result is a fully executed figure.
+type Result struct {
+	Figure string
+	Title  string
+	Scale  Scale
+	Rows   []Row
+}
+
+// Figure is a runnable experiment specification.
+type Figure struct {
+	// ID is the lowercase identifier, e.g. "fig18".
+	ID string
+	// Title summarizes the paper figure being reproduced.
+	Title string
+	// Run executes the sweep at the given scale.
+	Run func(Scale) (*Result, error)
+}
+
+// Figures returns all figure specifications in paper order.
+func Figures() []Figure {
+	return []Figure{
+		{ID: "fig09", Title: "DOT 2D efficiency: time vs n (2DRRR, MDRRR, MDRC)", Run: func(s Scale) (*Result, error) { return run2DVaryN("fig09", s) }},
+		{ID: "fig10", Title: "DOT 2D effectiveness: rank-regret & size vs n", Run: func(s Scale) (*Result, error) { return run2DVaryN("fig10", s) }},
+		{ID: "fig11", Title: "DOT 2D efficiency: time vs k", Run: func(s Scale) (*Result, error) { return run2DVaryK("fig11", s) }},
+		{ID: "fig12", Title: "DOT 2D effectiveness: rank-regret & size vs k", Run: func(s Scale) (*Result, error) { return run2DVaryK("fig12", s) }},
+		{ID: "fig13", Title: "DOT k-set count & K-SETr time vs k", Run: func(s Scale) (*Result, error) { return runKSetVaryK("fig13", kindDOT, s) }},
+		{ID: "fig14", Title: "DOT k-set count & K-SETr time vs d", Run: func(s Scale) (*Result, error) { return runKSetVaryD("fig14", kindDOT, s) }},
+		{ID: "fig15", Title: "BN k-set count & K-SETr time vs k", Run: func(s Scale) (*Result, error) { return runKSetVaryK("fig15", kindBN, s) }},
+		{ID: "fig16", Title: "BN k-set count & K-SETr time vs d", Run: func(s Scale) (*Result, error) { return runKSetVaryD("fig16", kindBN, s) }},
+		{ID: "fig17", Title: "DOT MD efficiency: time vs n (MDRC, MDRRR, HD-RRMS)", Run: func(s Scale) (*Result, error) { return runMDVaryN("fig17", kindDOT, s) }},
+		{ID: "fig18", Title: "DOT MD effectiveness: rank-regret & size vs n", Run: func(s Scale) (*Result, error) { return runMDVaryN("fig18", kindDOT, s) }},
+		{ID: "fig19", Title: "BN MD efficiency: time vs n", Run: func(s Scale) (*Result, error) { return runMDVaryN("fig19", kindBN, s) }},
+		{ID: "fig20", Title: "BN MD effectiveness: rank-regret & size vs n", Run: func(s Scale) (*Result, error) { return runMDVaryN("fig20", kindBN, s) }},
+		{ID: "fig21", Title: "DOT MD efficiency: time vs d", Run: func(s Scale) (*Result, error) { return runMDVaryD("fig21", kindDOT, s) }},
+		{ID: "fig22", Title: "DOT MD effectiveness: rank-regret & size vs d", Run: func(s Scale) (*Result, error) { return runMDVaryD("fig22", kindDOT, s) }},
+		{ID: "fig23", Title: "BN MD efficiency: time vs d", Run: func(s Scale) (*Result, error) { return runMDVaryD("fig23", kindBN, s) }},
+		{ID: "fig24", Title: "BN MD effectiveness: rank-regret & size vs d", Run: func(s Scale) (*Result, error) { return runMDVaryD("fig24", kindBN, s) }},
+		{ID: "fig25", Title: "DOT MD efficiency: time vs k", Run: func(s Scale) (*Result, error) { return runMDVaryK("fig25", kindDOT, s) }},
+		{ID: "fig26", Title: "DOT MD effectiveness: rank-regret & size vs k", Run: func(s Scale) (*Result, error) { return runMDVaryK("fig26", kindDOT, s) }},
+		{ID: "fig27", Title: "BN MD efficiency: time vs k", Run: func(s Scale) (*Result, error) { return runMDVaryK("fig27", kindBN, s) }},
+		{ID: "fig28", Title: "BN MD effectiveness: rank-regret & size vs k", Run: func(s Scale) (*Result, error) { return runMDVaryK("fig28", kindBN, s) }},
+	}
+}
+
+// ByID looks a figure up by its identifier (case-insensitive, with or
+// without the "fig" prefix, zero-padded or not). Extension and ablation
+// experiments resolve by their full IDs ("ext01", "abl03", …).
+func ByID(id string) (Figure, bool) {
+	norm := strings.ToLower(strings.TrimSpace(id))
+	for _, f := range Extensions() {
+		if f.ID == norm {
+			return f, true
+		}
+	}
+	norm = strings.TrimPrefix(norm, "fig")
+	norm = strings.TrimPrefix(norm, "0")
+	for _, f := range Figures() {
+		fid := strings.TrimPrefix(f.ID, "fig")
+		fid = strings.TrimPrefix(fid, "0")
+		if fid == norm {
+			return f, true
+		}
+	}
+	return Figure{}, false
+}
+
+// Table renders the result as an aligned text table.
+func (r *Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s (scale=%s)\n", r.Figure, r.Title, r.Scale)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "x\talgorithm\tk\ttime(s)\tsize\trank-regret\textra")
+	for _, row := range r.Rows {
+		rr := "-"
+		if row.RankRegret >= 0 {
+			rr = fmt.Sprintf("%d", row.RankRegret)
+		}
+		k := "-"
+		if row.K > 0 {
+			k = fmt.Sprintf("%d", row.K)
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%.4f\t%d\t%s\t%s\n",
+			row.X, row.Alg, k, row.Seconds, row.Size, rr, extraString(row.Extra))
+	}
+	w.Flush()
+	return b.String()
+}
+
+// CSV renders the result as comma-separated values with a header.
+func (r *Result) CSV() string {
+	var b strings.Builder
+	keys := r.extraKeys()
+	b.WriteString("figure,x,algorithm,k,seconds,size,rank_regret")
+	for _, k := range keys {
+		b.WriteString("," + k)
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%s,%s,%s,%d,%.6f,%d,%d",
+			r.Figure, row.X, row.Alg, row.K, row.Seconds, row.Size, row.RankRegret)
+		for _, k := range keys {
+			fmt.Fprintf(&b, ",%g", row.Extra[k])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (r *Result) extraKeys() []string {
+	seen := map[string]bool{}
+	var keys []string
+	for _, row := range r.Rows {
+		for k := range row.Extra {
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func extraString(extra map[string]float64) string {
+	if len(extra) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(extra))
+	for k := range extra {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%.4g", k, extra[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+// --- dataset provisioning -------------------------------------------------
+
+type datasetKind int
+
+const (
+	kindDOT datasetKind = iota
+	kindBN
+)
+
+func (k datasetKind) name() string {
+	if k == kindDOT {
+		return "DOT"
+	}
+	return "BN"
+}
+
+func (k datasetKind) maxDims() int {
+	if k == kindDOT {
+		return 8
+	}
+	return 5
+}
+
+// seeds are fixed so every figure is reproducible run to run.
+const (
+	dotSeed = 1
+	bnSeed  = 2
+)
+
+type tableCacheKey struct {
+	kind datasetKind
+	n    int
+}
+
+var tableCache = map[tableCacheKey]*dataset.Table{}
+
+// rawTable returns (and caches) the generated table of n rows.
+func rawTable(kind datasetKind, n int) *dataset.Table {
+	key := tableCacheKey{kind, n}
+	if t, ok := tableCache[key]; ok {
+		return t
+	}
+	var t *dataset.Table
+	if kind == kindDOT {
+		t = dataset.DOTLike(n, dotSeed)
+	} else {
+		t = dataset.BNLike(n, bnSeed)
+	}
+	tableCache[key] = t
+	return t
+}
+
+// MakeDataset builds the normalized d-dimensional dataset of n rows of the
+// given kind ("dot" or "bn") — exported for the CLI and benchmarks so they
+// run on exactly the harness's data.
+func MakeDataset(kind string, n, d int) (*core.Dataset, error) {
+	var k datasetKind
+	switch strings.ToLower(kind) {
+	case "dot":
+		k = kindDOT
+	case "bn":
+		k = kindBN
+	default:
+		return nil, fmt.Errorf("harness: unknown dataset kind %q", kind)
+	}
+	return makeDataset(k, n, d)
+}
+
+func makeDataset(kind datasetKind, n, d int) (*core.Dataset, error) {
+	if d > kind.maxDims() {
+		return nil, fmt.Errorf("harness: %s has only %d attributes, %d requested", kind.name(), kind.maxDims(), d)
+	}
+	t := rawTable(kind, n)
+	proj, err := t.FirstDims(d)
+	if err != nil {
+		return nil, err
+	}
+	return proj.Normalize()
+}
+
+// timed runs fn and returns its duration in seconds.
+func timed(fn func() error) (float64, error) {
+	start := time.Now()
+	err := fn()
+	return time.Since(start).Seconds(), err
+}
+
+// kFromFraction converts the paper's "k (percent)" axis — a fraction of n —
+// into an absolute k, at least 1.
+func kFromFraction(n int, frac float64) int {
+	k := int(frac * float64(n))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}

@@ -1,0 +1,135 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"rrr/internal/textplot"
+)
+
+// Metric names accepted by Series and Plot.
+const (
+	MetricSeconds    = "seconds"
+	MetricSize       = "size"
+	MetricRankRegret = "rankregret"
+)
+
+// numericX extracts the numeric part of an x label like "n=20000",
+// "d=4" or "k=0.2%".
+func numericX(x string) (float64, error) {
+	s := x
+	if i := strings.IndexByte(s, '='); i >= 0 {
+		s = s[i+1:]
+	}
+	s = strings.TrimSuffix(strings.TrimSpace(s), "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("harness: cannot parse x label %q: %w", x, err)
+	}
+	return v, nil
+}
+
+// Series converts the result rows into per-algorithm plot series for one
+// metric. Rows without the metric (skipped algorithms, rank-regret -1) are
+// omitted.
+func (r *Result) Series(metric string) ([]textplot.Series, error) {
+	byAlg := map[string]*textplot.Series{}
+	var order []string
+	for _, row := range r.Rows {
+		var y float64
+		switch metric {
+		case MetricSeconds:
+			y = row.Seconds
+		case MetricSize:
+			y = float64(row.Size)
+		case MetricRankRegret:
+			if row.RankRegret < 0 {
+				continue
+			}
+			y = float64(row.RankRegret)
+		default:
+			return nil, fmt.Errorf("harness: unknown metric %q", metric)
+		}
+		if _, skipped := row.Extra["skipped"]; skipped {
+			continue
+		}
+		x, err := numericX(row.X)
+		if err != nil {
+			return nil, err
+		}
+		s, ok := byAlg[row.Alg]
+		if !ok {
+			s = &textplot.Series{Name: row.Alg}
+			byAlg[row.Alg] = s
+			order = append(order, row.Alg)
+		}
+		s.X = append(s.X, x)
+		s.Y = append(s.Y, y)
+	}
+	sort.Strings(order)
+	out := make([]textplot.Series, 0, len(order))
+	for _, alg := range order {
+		out = append(out, *byAlg[alg])
+	}
+	return out, nil
+}
+
+// Plot renders the figure's time and quality panels as ASCII charts, the
+// terminal equivalent of the paper's efficiency/effectiveness plot pairs.
+func (r *Result) Plot() (string, error) {
+	var b strings.Builder
+	panels := []struct {
+		metric string
+		label  string
+		logY   bool
+	}{
+		{MetricSeconds, "time (s)", true},
+		{MetricSize, "output size", false},
+		{MetricRankRegret, "rank-regret", true},
+	}
+	for _, p := range panels {
+		series, err := r.Series(p.metric)
+		if err != nil {
+			return "", err
+		}
+		if len(series) == 0 {
+			continue
+		}
+		// Log axes need strictly positive values; fall back to linear
+		// when any y is zero (e.g. sub-resolution timings).
+		logY := p.logY
+		for _, s := range series {
+			for _, y := range s.Y {
+				if y <= 0 {
+					logY = false
+				}
+			}
+		}
+		chart, err := textplot.Chart(series, textplot.Options{
+			Title:  fmt.Sprintf("%s — %s: %s", r.Figure, r.Title, p.label),
+			LogY:   logY,
+			XLabel: xAxisName(r),
+			YLabel: p.label,
+			Width:  64, Height: 14,
+		})
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(chart)
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+func xAxisName(r *Result) string {
+	if len(r.Rows) == 0 {
+		return "x"
+	}
+	x := r.Rows[0].X
+	if i := strings.IndexByte(x, '='); i >= 0 {
+		return x[:i]
+	}
+	return "x"
+}

@@ -1,0 +1,84 @@
+package harness_test
+
+import (
+	"strings"
+	"testing"
+
+	"rrr/internal/harness"
+)
+
+func smokeResult(t *testing.T, id string) *harness.Result {
+	t.Helper()
+	f, ok := harness.ByID(id)
+	if !ok {
+		t.Fatalf("unknown figure %s", id)
+	}
+	res, err := f.Run(harness.ScaleSmoke)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSeriesExtraction(t *testing.T) {
+	res := smokeResult(t, "fig17")
+	series, err := res.Series(harness.MetricSeconds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("got %d series, want 3 algorithms", len(series))
+	}
+	names := map[string]bool{}
+	for _, s := range series {
+		names[s.Name] = true
+		if len(s.X) == 0 || len(s.X) != len(s.Y) {
+			t.Fatalf("series %s malformed: %d x, %d y", s.Name, len(s.X), len(s.Y))
+		}
+		// X must be the numeric n values, increasing.
+		for i := 1; i < len(s.X); i++ {
+			if s.X[i] <= s.X[i-1] {
+				t.Fatalf("series %s x not increasing: %v", s.Name, s.X)
+			}
+		}
+	}
+	for _, want := range []string{"MDRC", "MDRRR", "HD-RRMS"} {
+		if !names[want] {
+			t.Errorf("missing series %s", want)
+		}
+	}
+	if _, err := res.Series("bogus"); err == nil {
+		t.Error("unknown metric must error")
+	}
+}
+
+func TestSeriesSkipsMissingMetrics(t *testing.T) {
+	// Figures 13-16 carry no rank-regret; the series must be empty rather
+	// than full of -1.
+	res := smokeResult(t, "fig13")
+	series, err := res.Series(harness.MetricRankRegret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 0 {
+		t.Fatalf("expected no rank-regret series for fig13, got %v", series)
+	}
+}
+
+func TestPlotRendersPanels(t *testing.T) {
+	res := smokeResult(t, "fig18")
+	out, err := res.Plot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"time (s)", "output size", "rank-regret", "legend:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// Percent-style x labels (vary-k figures) must also parse.
+	res = smokeResult(t, "fig26")
+	if _, err := res.Plot(); err != nil {
+		t.Fatalf("vary-k plot: %v", err)
+	}
+}

@@ -1,0 +1,359 @@
+// Package kset implements the k-set machinery of Section 5 of the RRR
+// paper. A k-set of a point set is a subset of exactly k points strictly
+// separable from the rest by a hyperplane with a non-negative normal; by
+// Lemma 5 the collection of k-sets is exactly the collection of possible
+// top-k results over the linear ranking functions, which is what MDRRR's
+// hitting set runs over.
+//
+// Two enumerators are provided, mirroring the paper:
+//
+//   - Sample is Algorithm 4 (K-SETr): draw ranking functions uniformly from
+//     the unit hypersphere's positive orthant (Marsaglia sampling), take
+//     their top-k sets, and stop after a run of `Termination` consecutive
+//     draws that discover nothing new — the coupon-collector stopping rule.
+//   - GraphEnumerate is Algorithm 6 (Appendix B): BFS over the k-set graph,
+//     whose vertices are k-sets and whose edges connect sets differing in
+//     one element (Theorem 7 proves the graph connected). Every candidate is
+//     validated by the strict-separation linear program (Equation 4). As the
+//     paper observes, this is exact but only practical for small n.
+package kset
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"rrr/internal/core"
+	"rrr/internal/geom"
+	"rrr/internal/lp"
+	"rrr/internal/topk"
+)
+
+// Collection is a set of distinct k-sets in first-seen order. Each k-set is
+// a sorted slice of tuple IDs.
+type Collection struct {
+	sets  [][]int
+	index map[string]int
+}
+
+// NewCollection returns an empty collection.
+func NewCollection() *Collection {
+	return &Collection{index: make(map[string]int)}
+}
+
+// Canon returns the canonical (sorted, copied) form of a k-set.
+func Canon(ids []int) []int {
+	out := append([]int(nil), ids...)
+	sort.Ints(out)
+	return out
+}
+
+// Add inserts a k-set (must already be sorted ascending) and reports
+// whether it was new.
+func (c *Collection) Add(sorted []int) bool {
+	k := key(sorted)
+	if _, ok := c.index[k]; ok {
+		return false
+	}
+	cp := append([]int(nil), sorted...)
+	c.index[k] = len(c.sets)
+	c.sets = append(c.sets, cp)
+	return true
+}
+
+// Contains reports whether the sorted ID slice is already present.
+func (c *Collection) Contains(sorted []int) bool {
+	_, ok := c.index[key(sorted)]
+	return ok
+}
+
+// Len returns the number of distinct k-sets.
+func (c *Collection) Len() int { return len(c.sets) }
+
+// Sets returns the k-sets in first-seen order. Callers must not modify the
+// returned slices.
+func (c *Collection) Sets() [][]int { return c.sets }
+
+// Universe returns the distinct tuple IDs appearing in any k-set, sorted —
+// the point set D = ∪ S_i that MDRRR's hitting set runs over.
+func (c *Collection) Universe() []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, s := range c.sets {
+		for _, id := range s {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func key(ids []int) string {
+	buf := make([]byte, 0, len(ids)*3)
+	for _, v := range ids {
+		u := uint(v)
+		for u >= 0x80 {
+			buf = append(buf, byte(u)|0x80)
+			u >>= 7
+		}
+		buf = append(buf, byte(u))
+	}
+	return string(buf)
+}
+
+// SampleOptions configures Algorithm 4 (K-SETr).
+type SampleOptions struct {
+	// Termination is the paper's c: stop after this many consecutive
+	// samples that discover no new k-set. Default 100 (the paper's §6
+	// setting).
+	Termination int
+	// MaxDraws caps the total number of sampled functions as a safety
+	// valve. Default 2,000,000.
+	MaxDraws int
+	// Seed drives the random function generator.
+	Seed int64
+}
+
+// SampleStats reports how the sampler behaved.
+type SampleStats struct {
+	// Draws is the number of ranking functions sampled.
+	Draws int
+	// Distinct is the number of distinct k-sets discovered.
+	Distinct int
+	// Truncated reports whether MaxDraws stopped the run before the
+	// termination rule fired.
+	Truncated bool
+}
+
+// Sample runs K-SETr: repeatedly draw a uniform random ranking function,
+// record its top-k as a k-set, and stop once Termination consecutive draws
+// yield nothing new.
+func Sample(d *core.Dataset, k int, opt SampleOptions) (*Collection, SampleStats, error) {
+	if k <= 0 {
+		return nil, SampleStats{}, errors.New("kset: k must be positive")
+	}
+	if k > d.N() {
+		k = d.N()
+	}
+	term := opt.Termination
+	if term <= 0 {
+		term = 100
+	}
+	maxDraws := opt.MaxDraws
+	if maxDraws <= 0 {
+		maxDraws = 2_000_000
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	col := NewCollection()
+	stats := SampleStats{}
+	counter := 0
+	for counter <= term {
+		if stats.Draws >= maxDraws {
+			stats.Truncated = true
+			break
+		}
+		f := geom.RandomFunc(d.Dims(), rng)
+		stats.Draws++
+		s := topk.TopKSet(d, f, k)
+		if col.Add(s) {
+			counter = 0
+		} else {
+			counter++
+		}
+	}
+	stats.Distinct = col.Len()
+	return col, stats, nil
+}
+
+// IsValid checks whether the given tuple IDs form a valid k-set of d by
+// solving the strict-separation LP, and returns a witness ranking function
+// on success.
+func IsValid(d *core.Dataset, ids []int) (core.LinearFunc, bool, error) {
+	member := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		if _, ok := d.ByID(id); !ok {
+			return core.LinearFunc{}, false, fmt.Errorf("kset: unknown tuple ID %d", id)
+		}
+		member[id] = true
+	}
+	if len(member) != len(ids) {
+		return core.LinearFunc{}, false, errors.New("kset: duplicate IDs in candidate")
+	}
+	inside := make([][]float64, 0, len(ids))
+	outside := make([][]float64, 0, d.N()-len(ids))
+	for _, t := range d.Tuples() {
+		if member[t.ID] {
+			inside = append(inside, t.Attrs)
+		} else {
+			outside = append(outside, t.Attrs)
+		}
+	}
+	w, _, _, ok, err := lp.StrictSeparation(inside, outside)
+	if err != nil || !ok {
+		return core.LinearFunc{}, false, err
+	}
+	return core.NewLinearFunc(w...), true, nil
+}
+
+// GraphOptions configures the exact BFS enumeration.
+type GraphOptions struct {
+	// MaxSets aborts the enumeration once this many k-sets are found
+	// (0 = unlimited). The BFS solves O(k·(n−k)) linear programs per
+	// k-set, so the cap protects interactive callers.
+	MaxSets int
+	// Seed drives the fallback search for an initial k-set when the
+	// axis-aligned seed function is degenerate (ties on attribute 1).
+	Seed int64
+	// Workers bounds the parallelism of the per-vertex LP validations
+	// (default GOMAXPROCS). Candidates of one BFS vertex are validated
+	// concurrently and their results applied in deterministic order, so
+	// the enumeration is identical for any worker count.
+	Workers int
+}
+
+// GraphEnumerate is Algorithm 6: exact k-set enumeration by BFS over the
+// k-set graph. The initial vertex is the top-k on the first attribute; each
+// expansion swaps one member for one non-member and validates the candidate
+// with the separation LP.
+func GraphEnumerate(d *core.Dataset, k int, opt GraphOptions) (*Collection, error) {
+	if k <= 0 {
+		return nil, errors.New("kset: k must be positive")
+	}
+	n := d.N()
+	if k >= n {
+		col := NewCollection()
+		all := make([]int, 0, n)
+		for _, t := range d.Tuples() {
+			all = append(all, t.ID)
+		}
+		sort.Ints(all)
+		col.Add(all)
+		return col, nil
+	}
+
+	start, err := initialKSet(d, k, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	col := NewCollection()
+	col.Add(start)
+	queue := [][]int{start}
+	ids := make([]int, 0, n)
+	for _, t := range d.Tuples() {
+		ids = append(ids, t.ID)
+	}
+	for len(queue) > 0 {
+		if opt.MaxSets > 0 && col.Len() >= opt.MaxSets {
+			return col, fmt.Errorf("kset: enumeration capped at %d sets", opt.MaxSets)
+		}
+		s := queue[0]
+		queue = queue[1:]
+		member := make(map[int]bool, len(s))
+		for _, id := range s {
+			member[id] = true
+		}
+		// Generate this vertex's swap candidates in deterministic order,
+		// validate them with the LP concurrently, then apply the results
+		// in order — identical output for any worker count.
+		var cands [][]int
+		for _, out := range s {
+			for _, in := range ids {
+				if member[in] {
+					continue
+				}
+				cand := make([]int, 0, k)
+				for _, id := range s {
+					if id != out {
+						cand = append(cand, id)
+					}
+				}
+				cand = append(cand, in)
+				sort.Ints(cand)
+				if col.Contains(cand) {
+					continue
+				}
+				cands = append(cands, cand)
+			}
+		}
+		valid := make([]bool, len(cands))
+		errs := make([]error, len(cands))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for ci := range cands {
+			ci := ci
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer wg.Done()
+				_, ok, err := IsValid(d, cands[ci])
+				valid[ci], errs[ci] = ok, err
+				<-sem
+			}()
+		}
+		wg.Wait()
+		for ci, cand := range cands {
+			if errs[ci] != nil {
+				return nil, errs[ci]
+			}
+			if valid[ci] && col.Add(cand) {
+				queue = append(queue, cand)
+			}
+		}
+	}
+	return col, nil
+}
+
+// initialKSet finds a first valid k-set: the top-k on attribute 1, falling
+// back to random functions when ties make that candidate non-separable.
+func initialKSet(d *core.Dataset, k int, seed int64) ([]int, error) {
+	w := make([]float64, d.Dims())
+	w[0] = 1
+	cand := topk.TopKSet(d, core.LinearFunc{W: w}, k)
+	if _, ok, err := IsValid(d, cand); err != nil {
+		return nil, err
+	} else if ok {
+		return cand, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < 256; trial++ {
+		f := geom.RandomFunc(d.Dims(), rng)
+		cand = topk.TopKSet(d, f, k)
+		if _, ok, err := IsValid(d, cand); err != nil {
+			return nil, err
+		} else if ok {
+			return cand, nil
+		}
+	}
+	return nil, errors.New("kset: could not find an initial separable k-set (dataset too degenerate)")
+}
+
+// UpperBound returns the best known theoretical upper bound on the number
+// of k-sets that the paper quotes in Section 7 and plots in Figures 13–16:
+// O(n·k^{1/3}) in 2-D [Dey 1998], O(n·k^{3/2}) in 3-D [Sharir et al. 2000]
+// and O(n^{d−ε}) for d > 3 [Alon et al. 1992], where ε > 0 is a small
+// constant. Constants are taken as 1 and ε as 0.05; the figures compare
+// orders of magnitude, not constants.
+func UpperBound(n, k, d int) float64 {
+	if n <= 0 || k <= 0 {
+		return 0
+	}
+	switch {
+	case d <= 2:
+		return float64(n) * math.Cbrt(float64(k))
+	case d == 3:
+		return float64(n) * math.Pow(float64(k), 1.5)
+	default:
+		return math.Pow(float64(n), float64(d)-0.05)
+	}
+}

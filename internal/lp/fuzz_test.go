@@ -1,0 +1,60 @@
+package lp_test
+
+import (
+	"testing"
+
+	"rrr/internal/lp"
+)
+
+// FuzzStrictSeparation drives the separation LP with adversarial point
+// layouts decoded from fuzz bytes: the solver must never panic, and a
+// claimed separation must actually separate.
+func FuzzStrictSeparation(f *testing.F) {
+	f.Add([]byte{1, 2, 10, 20, 30, 40, 50, 60})
+	f.Add([]byte{3, 1, 0, 0, 0, 0, 0, 0, 255, 255, 255, 255})
+	f.Add([]byte{2, 2, 100, 100, 100, 100, 1, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			return
+		}
+		nIn := int(data[0])%4 + 1
+		nOut := int(data[1])%4 + 1
+		const d = 2
+		rest := data[2:]
+		need := (nIn + nOut) * d
+		if len(rest) < need {
+			return
+		}
+		decode := func(b byte) float64 { return float64(b) / 255 }
+		var inside, outside [][]float64
+		idx := 0
+		for i := 0; i < nIn; i++ {
+			inside = append(inside, []float64{decode(rest[idx]), decode(rest[idx+1])})
+			idx += 2
+		}
+		for i := 0; i < nOut; i++ {
+			outside = append(outside, []float64{decode(rest[idx]), decode(rest[idx+1])})
+			idx += 2
+		}
+		w, b, margin, ok, err := lp.StrictSeparation(inside, outside)
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		if !ok {
+			return
+		}
+		if margin <= 0 {
+			t.Fatalf("ok with non-positive margin %v", margin)
+		}
+		for _, p := range inside {
+			if w[0]*p[0]+w[1]*p[1] < b-1e-6 {
+				t.Fatalf("inside point %v below claimed threshold", p)
+			}
+		}
+		for _, p := range outside {
+			if w[0]*p[0]+w[1]*p[1] > b+1e-6 {
+				t.Fatalf("outside point %v above claimed threshold", p)
+			}
+		}
+	})
+}

@@ -1,0 +1,509 @@
+// Package lp implements a dense two-phase simplex solver for small linear
+// programs, plus the strict-separation feasibility test the RRR paper's
+// k-set machinery needs (Equation 4 / Appendix B).
+//
+// The paper's exact k-set enumeration validates a candidate set S' by asking
+// for a hyperplane h(ρ, v) with a non-negative normal v that strictly
+// separates S' from the rest of the dataset. Equation 4 is bilinear in
+// (ρ, v), but substituting the scalar threshold b = Σ v_i·ρ_i turns it into
+// a linear feasibility problem, which StrictSeparation solves by maximizing
+// the separation margin: S' is a valid k-set iff the optimal margin is
+// strictly positive.
+//
+// The solver is deliberately simple: a dense tableau, Bland's rule (which
+// cannot cycle), and explicit Infeasible/Unbounded statuses. Problem sizes
+// in this repository are tiny (d+2 variables, up to a few thousand rows),
+// where a dense tableau is both fast enough and easy to audit.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Rel is the relation of a constraint row.
+type Rel int
+
+const (
+	// LE is Σ a_j x_j ≤ b.
+	LE Rel = iota
+	// GE is Σ a_j x_j ≥ b.
+	GE
+	// EQ is Σ a_j x_j = b.
+	EQ
+)
+
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return "?"
+}
+
+// Constraint is a single linear constraint over the problem's variables.
+// Coeffs may be shorter than NumVars; missing entries are zero.
+type Constraint struct {
+	Coeffs []float64
+	Rel    Rel
+	RHS    float64
+}
+
+// Problem is a linear program in the form
+//
+//	maximize    Maximize · x
+//	subject to  Constraints
+//	            x_j ≥ 0 unless Free[j]
+type Problem struct {
+	NumVars     int
+	Maximize    []float64
+	Constraints []Constraint
+	// Free marks variables that may take any sign. nil means all
+	// variables are non-negative.
+	Free []bool
+}
+
+// Status is the outcome of Solve.
+type Status int
+
+const (
+	// Optimal means a finite optimum was found.
+	Optimal Status = iota
+	// Infeasible means no point satisfies the constraints.
+	Infeasible
+	// Unbounded means the objective can grow without limit.
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return "unknown"
+}
+
+// Solution is the result of Solve. X and Objective are meaningful only when
+// Status == Optimal.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+}
+
+const (
+	tol      = 1e-9
+	maxIters = 200000
+)
+
+// Solve runs two-phase simplex on the problem.
+func Solve(p *Problem) (*Solution, error) {
+	if p.NumVars <= 0 {
+		return nil, errors.New("lp: problem has no variables")
+	}
+	if len(p.Maximize) > p.NumVars {
+		return nil, fmt.Errorf("lp: %d objective coefficients for %d variables", len(p.Maximize), p.NumVars)
+	}
+	if p.Free != nil && len(p.Free) != p.NumVars {
+		return nil, fmt.Errorf("lp: Free has length %d, want %d", len(p.Free), p.NumVars)
+	}
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) > p.NumVars {
+			return nil, fmt.Errorf("lp: constraint %d has %d coefficients for %d variables", i, len(c.Coeffs), p.NumVars)
+		}
+		if math.IsNaN(c.RHS) || math.IsInf(c.RHS, 0) {
+			return nil, fmt.Errorf("lp: constraint %d has non-finite RHS", i)
+		}
+	}
+
+	t := newTableau(p)
+	// Phase 1: maximize -Σ artificials.
+	if t.numArtificial > 0 {
+		t.installPhase1Objective()
+		if err := t.iterate(true); err != nil {
+			return nil, err
+		}
+		if t.objectiveValue() < -1e-7 {
+			return &Solution{Status: Infeasible}, nil
+		}
+		t.driveOutArtificials()
+	}
+	// Phase 2: the real objective, artificial columns barred from entering.
+	t.installPhase2Objective()
+	if err := t.iterate(false); err != nil {
+		if errors.Is(err, errUnbounded) {
+			return &Solution{Status: Unbounded}, nil
+		}
+		return nil, err
+	}
+	x := t.extract()
+	var obj float64
+	for j, c := range p.Maximize {
+		obj += c * x[j]
+	}
+	return &Solution{Status: Optimal, X: x, Objective: obj}, nil
+}
+
+var errUnbounded = errors.New("lp: unbounded")
+
+// tableau is the dense simplex tableau. Columns are laid out as:
+// structural columns (free variables occupy two columns, plus then minus),
+// then slack/surplus columns, then artificial columns, then the RHS.
+type tableau struct {
+	rows [][]float64 // m constraint rows, each of length numCols+1
+	obj  []float64   // objective row, length numCols+1 (last = value)
+
+	basis []int // basic column per row
+
+	p             *Problem
+	colOfVar      []int // first tableau column of each original variable
+	varIsFree     []bool
+	numStructCols int
+	numSlack      int
+	numArtificial int
+	numCols       int
+	artStart      int
+}
+
+func newTableau(p *Problem) *tableau {
+	t := &tableau{p: p}
+	t.varIsFree = make([]bool, p.NumVars)
+	if p.Free != nil {
+		copy(t.varIsFree, p.Free)
+	}
+	t.colOfVar = make([]int, p.NumVars)
+	col := 0
+	for j := 0; j < p.NumVars; j++ {
+		t.colOfVar[j] = col
+		if t.varIsFree[j] {
+			col += 2
+		} else {
+			col++
+		}
+	}
+	t.numStructCols = col
+
+	m := len(p.Constraints)
+	// Count slack/surplus and artificial columns. A row with RHS<0 is
+	// normalized by negation first, flipping its relation.
+	type rowPlan struct {
+		negate bool
+		rel    Rel
+	}
+	plans := make([]rowPlan, m)
+	for i, c := range p.Constraints {
+		rel := c.Rel
+		neg := c.RHS < 0
+		if neg {
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		plans[i] = rowPlan{negate: neg, rel: rel}
+		switch rel {
+		case LE:
+			t.numSlack++ // slack enters the basis
+		case GE:
+			t.numSlack++ // surplus
+			t.numArtificial++
+		case EQ:
+			t.numArtificial++
+		}
+	}
+	t.artStart = t.numStructCols + t.numSlack
+	t.numCols = t.artStart + t.numArtificial
+
+	t.rows = make([][]float64, m)
+	t.basis = make([]int, m)
+	slackCol := t.numStructCols
+	artCol := t.artStart
+	for i, c := range p.Constraints {
+		row := make([]float64, t.numCols+1)
+		sign := 1.0
+		if plans[i].negate {
+			sign = -1.0
+		}
+		for j, a := range c.Coeffs {
+			cc := t.colOfVar[j]
+			row[cc] += sign * a
+			if t.varIsFree[j] {
+				row[cc+1] -= sign * a
+			}
+		}
+		row[t.numCols] = sign * c.RHS
+		switch plans[i].rel {
+		case LE:
+			row[slackCol] = 1
+			t.basis[i] = slackCol
+			slackCol++
+		case GE:
+			row[slackCol] = -1
+			slackCol++
+			row[artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		case EQ:
+			row[artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		}
+		t.rows[i] = row
+	}
+	t.obj = make([]float64, t.numCols+1)
+	return t
+}
+
+// installPhase1Objective sets the objective to maximize -Σ artificials and
+// zeroes the reduced costs of the (artificial) basic columns.
+func (t *tableau) installPhase1Objective() {
+	for j := range t.obj {
+		t.obj[j] = 0
+	}
+	for j := t.artStart; j < t.numCols; j++ {
+		t.obj[j] = 1 // bottom row holds -c; c_art = -1
+	}
+	t.priceOutBasics()
+}
+
+// installPhase2Objective sets the original objective and re-zeroes basic
+// reduced costs.
+func (t *tableau) installPhase2Objective() {
+	for j := range t.obj {
+		t.obj[j] = 0
+	}
+	for j, c := range t.p.Maximize {
+		cc := t.colOfVar[j]
+		t.obj[cc] -= c // bottom row = -c
+		if t.varIsFree[j] {
+			t.obj[cc+1] += c
+		}
+	}
+	t.priceOutBasics()
+}
+
+func (t *tableau) priceOutBasics() {
+	for i, b := range t.basis {
+		coef := t.obj[b]
+		if coef == 0 {
+			continue
+		}
+		row := t.rows[i]
+		for j := range t.obj {
+			t.obj[j] -= coef * row[j]
+		}
+	}
+}
+
+// objectiveValue returns the current objective (maximization) value.
+func (t *tableau) objectiveValue() float64 { return t.obj[t.numCols] }
+
+// driveOutArtificials removes artificial variables from the basis after a
+// successful phase 1. An artificial left basic (necessarily at level zero)
+// could be pushed positive by later pivots, silently violating its original
+// constraint. Pivoting on any non-artificial column with a nonzero entry
+// keeps feasibility (the row's RHS is zero); if no such column exists the
+// row is redundant and is dropped.
+func (t *tableau) driveOutArtificials() {
+	for i := 0; i < len(t.rows); {
+		b := t.basis[i]
+		if b < t.artStart {
+			i++
+			continue
+		}
+		pivoted := false
+		for j := 0; j < t.artStart; j++ {
+			if math.Abs(t.rows[i][j]) > tol {
+				t.pivot(i, j)
+				pivoted = true
+				break
+			}
+		}
+		if pivoted {
+			i++
+			continue
+		}
+		// Redundant row: remove it (and its basis entry).
+		last := len(t.rows) - 1
+		t.rows[i] = t.rows[last]
+		t.rows = t.rows[:last]
+		t.basis[i] = t.basis[last]
+		t.basis = t.basis[:last]
+	}
+}
+
+// iterate runs the simplex loop with Bland's rule. In phase 2 artificial
+// columns may not enter the basis.
+func (t *tableau) iterate(phase1 bool) error {
+	limit := t.numCols
+	if !phase1 {
+		limit = t.artStart
+	}
+	for iter := 0; iter < maxIters; iter++ {
+		// Bland's rule: entering column = smallest index with negative
+		// reduced cost.
+		enter := -1
+		for j := 0; j < limit; j++ {
+			if t.obj[j] < -tol {
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			return nil // optimal
+		}
+		// Min ratio test; Bland tie-break on basis index.
+		leave := -1
+		best := math.Inf(1)
+		for i, row := range t.rows {
+			a := row[enter]
+			if a <= tol {
+				continue
+			}
+			ratio := row[t.numCols] / a
+			if ratio < best-tol || (math.Abs(ratio-best) <= tol && (leave == -1 || t.basis[i] < t.basis[leave])) {
+				best = ratio
+				leave = i
+			}
+		}
+		if leave == -1 {
+			if phase1 {
+				return errors.New("lp: phase-1 unbounded (internal error)")
+			}
+			return errUnbounded
+		}
+		t.pivot(leave, enter)
+	}
+	return errors.New("lp: iteration limit exceeded")
+}
+
+func (t *tableau) pivot(row, col int) {
+	pr := t.rows[row]
+	pv := pr[col]
+	inv := 1 / pv
+	for j := range pr {
+		pr[j] *= inv
+	}
+	pr[col] = 1 // exact
+	for i, r := range t.rows {
+		if i == row {
+			continue
+		}
+		f := r[col]
+		if f == 0 {
+			continue
+		}
+		for j := range r {
+			r[j] -= f * pr[j]
+		}
+		r[col] = 0
+	}
+	f := t.obj[col]
+	if f != 0 {
+		for j := range t.obj {
+			t.obj[j] -= f * pr[j]
+		}
+		t.obj[col] = 0
+	}
+	t.basis[row] = col
+}
+
+// extract reads the structural solution out of the tableau.
+func (t *tableau) extract() []float64 {
+	vals := make([]float64, t.numCols)
+	for i, b := range t.basis {
+		vals[b] = t.rows[i][t.numCols]
+	}
+	x := make([]float64, t.p.NumVars)
+	for j := 0; j < t.p.NumVars; j++ {
+		c := t.colOfVar[j]
+		if t.varIsFree[j] {
+			x[j] = vals[c] - vals[c+1]
+		} else {
+			x[j] = vals[c]
+		}
+	}
+	return x
+}
+
+// StrictSeparation looks for a hyperplane with non-negative normal w
+// (normalized to Σ w_i = 1) and threshold b such that every inside point
+// scores at least b+margin and every outside point at most b−margin, with
+// the margin maximized. ok reports whether strict separation exists
+// (margin > 0 beyond numerical tolerance).
+//
+// This is the linearized Equation 4 of the paper: S' = inside is a valid
+// k-set iff ok.
+func StrictSeparation(inside, outside [][]float64) (w []float64, b float64, margin float64, ok bool, err error) {
+	if len(inside) == 0 && len(outside) == 0 {
+		return nil, 0, 0, false, errors.New("lp: no points")
+	}
+	var d int
+	if len(inside) > 0 {
+		d = len(inside[0])
+	} else {
+		d = len(outside[0])
+	}
+	if d == 0 {
+		return nil, 0, 0, false, errors.New("lp: zero-dimensional points")
+	}
+	// Variables: w_0..w_{d-1} >= 0, b free, m >= 0.
+	nv := d + 2
+	bIdx, mIdx := d, d+1
+	free := make([]bool, nv)
+	free[bIdx] = true
+	cons := make([]Constraint, 0, len(inside)+len(outside)+1)
+	sum := make([]float64, nv)
+	for j := 0; j < d; j++ {
+		sum[j] = 1
+	}
+	cons = append(cons, Constraint{Coeffs: sum, Rel: EQ, RHS: 1})
+	for _, p := range inside {
+		if len(p) != d {
+			return nil, 0, 0, false, errors.New("lp: ragged points")
+		}
+		c := make([]float64, nv)
+		copy(c, p)
+		c[bIdx] = -1
+		c[mIdx] = -1
+		cons = append(cons, Constraint{Coeffs: c, Rel: GE, RHS: 0})
+	}
+	for _, p := range outside {
+		if len(p) != d {
+			return nil, 0, 0, false, errors.New("lp: ragged points")
+		}
+		c := make([]float64, nv)
+		for j := 0; j < d; j++ {
+			c[j] = -p[j]
+		}
+		c[bIdx] = 1
+		c[mIdx] = -1
+		cons = append(cons, Constraint{Coeffs: c, Rel: GE, RHS: 0})
+	}
+	objv := make([]float64, nv)
+	objv[mIdx] = 1
+	sol, err := Solve(&Problem{NumVars: nv, Maximize: objv, Constraints: cons, Free: free})
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	if sol.Status != Optimal {
+		// m = 0, b = max score is always feasible, so Infeasible cannot
+		// happen in exact arithmetic; treat it as "not separable".
+		return nil, 0, 0, false, nil
+	}
+	w = sol.X[:d]
+	b = sol.X[bIdx]
+	margin = sol.X[mIdx]
+	return w, b, margin, margin > 1e-9, nil
+}

@@ -1,0 +1,394 @@
+package lp_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rrr/internal/lp"
+)
+
+func solveOK(t *testing.T, p *lp.Problem) *lp.Solution {
+	t.Helper()
+	sol, err := lp.Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return sol
+}
+
+func TestSolveSimpleBounded(t *testing.T) {
+	// max x, x <= 5 → 5.
+	sol := solveOK(t, &lp.Problem{
+		NumVars:     1,
+		Maximize:    []float64{1},
+		Constraints: []lp.Constraint{{Coeffs: []float64{1}, Rel: lp.LE, RHS: 5}},
+	})
+	if sol.Status != lp.Optimal || math.Abs(sol.Objective-5) > 1e-9 {
+		t.Fatalf("got %+v, want optimum 5", sol)
+	}
+}
+
+func TestSolveClassic2D(t *testing.T) {
+	// max 3x+5y s.t. x<=4, 2y<=12, 3x+2y<=18 → x=2, y=6, obj=36.
+	sol := solveOK(t, &lp.Problem{
+		NumVars:  2,
+		Maximize: []float64{3, 5},
+		Constraints: []lp.Constraint{
+			{Coeffs: []float64{1, 0}, Rel: lp.LE, RHS: 4},
+			{Coeffs: []float64{0, 2}, Rel: lp.LE, RHS: 12},
+			{Coeffs: []float64{3, 2}, Rel: lp.LE, RHS: 18},
+		},
+	})
+	if math.Abs(sol.Objective-36) > 1e-9 {
+		t.Fatalf("objective = %v, want 36", sol.Objective)
+	}
+	if math.Abs(sol.X[0]-2) > 1e-9 || math.Abs(sol.X[1]-6) > 1e-9 {
+		t.Fatalf("x = %v, want (2,6)", sol.X)
+	}
+}
+
+func TestSolveWithGEAndEQ(t *testing.T) {
+	// max x+y s.t. x+y<=10, x>=2, y=3 → x=7, y=3, obj=10.
+	sol := solveOK(t, &lp.Problem{
+		NumVars:  2,
+		Maximize: []float64{1, 1},
+		Constraints: []lp.Constraint{
+			{Coeffs: []float64{1, 1}, Rel: lp.LE, RHS: 10},
+			{Coeffs: []float64{1, 0}, Rel: lp.GE, RHS: 2},
+			{Coeffs: []float64{0, 1}, Rel: lp.EQ, RHS: 3},
+		},
+	})
+	if math.Abs(sol.Objective-10) > 1e-9 || math.Abs(sol.X[1]-3) > 1e-9 {
+		t.Fatalf("got %+v", sol)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	sol := solveOK(t, &lp.Problem{
+		NumVars:  1,
+		Maximize: []float64{1},
+		Constraints: []lp.Constraint{
+			{Coeffs: []float64{1}, Rel: lp.LE, RHS: 1},
+			{Coeffs: []float64{1}, Rel: lp.GE, RHS: 2},
+		},
+	})
+	if sol.Status != lp.Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	sol := solveOK(t, &lp.Problem{
+		NumVars:     1,
+		Maximize:    []float64{1},
+		Constraints: []lp.Constraint{{Coeffs: []float64{1}, Rel: lp.GE, RHS: 1}},
+	})
+	if sol.Status != lp.Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestSolveFreeVariable(t *testing.T) {
+	// max -x with x free, x >= -7 → x=-7, obj=7.
+	sol := solveOK(t, &lp.Problem{
+		NumVars:     1,
+		Maximize:    []float64{-1},
+		Constraints: []lp.Constraint{{Coeffs: []float64{1}, Rel: lp.GE, RHS: -7}},
+		Free:        []bool{true},
+	})
+	if math.Abs(sol.X[0]+7) > 1e-9 {
+		t.Fatalf("x = %v, want -7", sol.X)
+	}
+}
+
+func TestSolveNegativeRHSNormalization(t *testing.T) {
+	// max x+y s.t. -x-y >= -4 (i.e. x+y<=4) → 4.
+	sol := solveOK(t, &lp.Problem{
+		NumVars:     2,
+		Maximize:    []float64{1, 1},
+		Constraints: []lp.Constraint{{Coeffs: []float64{-1, -1}, Rel: lp.GE, RHS: -4}},
+	})
+	if math.Abs(sol.Objective-4) > 1e-9 {
+		t.Fatalf("objective = %v, want 4", sol.Objective)
+	}
+}
+
+func TestSolveDegenerate(t *testing.T) {
+	// Degenerate vertex: three constraints through a point. Bland's rule
+	// must still terminate.
+	sol := solveOK(t, &lp.Problem{
+		NumVars:  2,
+		Maximize: []float64{1, 1},
+		Constraints: []lp.Constraint{
+			{Coeffs: []float64{1, 0}, Rel: lp.LE, RHS: 1},
+			{Coeffs: []float64{0, 1}, Rel: lp.LE, RHS: 1},
+			{Coeffs: []float64{1, 1}, Rel: lp.LE, RHS: 2},
+		},
+	})
+	if math.Abs(sol.Objective-2) > 1e-9 {
+		t.Fatalf("objective = %v, want 2", sol.Objective)
+	}
+}
+
+func TestSolveInputValidation(t *testing.T) {
+	if _, err := lp.Solve(&lp.Problem{NumVars: 0}); err == nil {
+		t.Error("zero variables should error")
+	}
+	if _, err := lp.Solve(&lp.Problem{NumVars: 1, Maximize: []float64{1, 2}}); err == nil {
+		t.Error("too many objective coefficients should error")
+	}
+	if _, err := lp.Solve(&lp.Problem{
+		NumVars:     1,
+		Constraints: []lp.Constraint{{Coeffs: []float64{1, 2}, Rel: lp.LE, RHS: 1}},
+	}); err == nil {
+		t.Error("too many constraint coefficients should error")
+	}
+	if _, err := lp.Solve(&lp.Problem{NumVars: 2, Free: []bool{true}}); err == nil {
+		t.Error("short Free should error")
+	}
+	if _, err := lp.Solve(&lp.Problem{
+		NumVars:     1,
+		Constraints: []lp.Constraint{{Coeffs: []float64{1}, Rel: lp.LE, RHS: math.NaN()}},
+	}); err == nil {
+		t.Error("NaN RHS should error")
+	}
+}
+
+// bruteForce2D solves max c·x over non-negative x in 2-D with LE
+// constraints by enumerating all pairwise constraint intersections (plus
+// axis intersections) and picking the best feasible vertex.
+func bruteForce2D(c []float64, A [][]float64, b []float64) (float64, bool) {
+	lines := make([][3]float64, 0, len(A)+2)
+	for i := range A {
+		lines = append(lines, [3]float64{A[i][0], A[i][1], b[i]})
+	}
+	lines = append(lines, [3]float64{1, 0, 0}, [3]float64{0, 1, 0}) // axes
+	feasible := func(x, y float64) bool {
+		if x < -1e-7 || y < -1e-7 {
+			return false
+		}
+		for i := range A {
+			if A[i][0]*x+A[i][1]*y > b[i]+1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	best := math.Inf(-1)
+	found := false
+	for i := 0; i < len(lines); i++ {
+		for j := i + 1; j < len(lines); j++ {
+			a1, b1, c1 := lines[i][0], lines[i][1], lines[i][2]
+			a2, b2, c2 := lines[j][0], lines[j][1], lines[j][2]
+			det := a1*b2 - a2*b1
+			if math.Abs(det) < 1e-12 {
+				continue
+			}
+			x := (c1*b2 - c2*b1) / det
+			y := (a1*c2 - a2*c1) / det
+			if feasible(x, y) {
+				found = true
+				if v := c[0]*x + c[1]*y; v > best {
+					best = v
+				}
+			}
+		}
+	}
+	return best, found
+}
+
+// Property: simplex matches brute-force vertex enumeration on random
+// bounded 2-D LPs.
+func TestSolveMatchesBruteForce2D(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(5)
+		A := make([][]float64, m)
+		b := make([]float64, m)
+		cons := make([]lp.Constraint, 0, m+1)
+		for i := 0; i < m; i++ {
+			A[i] = []float64{rng.Float64(), rng.Float64()}
+			b[i] = rng.Float64() * 5
+			cons = append(cons, lp.Constraint{Coeffs: A[i], Rel: lp.LE, RHS: b[i]})
+		}
+		// Boundedness guard: x+y <= 20.
+		A = append(A, []float64{1, 1})
+		b = append(b, 20)
+		cons = append(cons, lp.Constraint{Coeffs: []float64{1, 1}, Rel: lp.LE, RHS: 20})
+		c := []float64{rng.Float64(), rng.Float64()}
+		want, found := bruteForce2D(c, A, b)
+		sol, err := lp.Solve(&lp.Problem{NumVars: 2, Maximize: c, Constraints: cons})
+		if err != nil || sol.Status != lp.Optimal {
+			return false
+		}
+		return found && math.Abs(sol.Objective-want) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the solution returned always satisfies every constraint.
+func TestSolutionIsFeasibleProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		m := 1 + rng.Intn(6)
+		cons := make([]lp.Constraint, 0, m+1)
+		for i := 0; i < m; i++ {
+			coeffs := make([]float64, n)
+			for j := range coeffs {
+				coeffs[j] = rng.Float64()*2 - 0.5
+			}
+			rel := lp.Rel(rng.Intn(2)) // LE or GE
+			cons = append(cons, lp.Constraint{Coeffs: coeffs, Rel: rel, RHS: rng.Float64() * 3})
+		}
+		bound := make([]float64, n)
+		for j := range bound {
+			bound[j] = 1
+		}
+		cons = append(cons, lp.Constraint{Coeffs: bound, Rel: lp.LE, RHS: 50})
+		obj := make([]float64, n)
+		for j := range obj {
+			obj[j] = rng.Float64()
+		}
+		sol, err := lp.Solve(&lp.Problem{NumVars: n, Maximize: obj, Constraints: cons})
+		if err != nil {
+			return false
+		}
+		if sol.Status != lp.Optimal {
+			return true // nothing to verify
+		}
+		for _, x := range sol.X {
+			if x < -1e-7 {
+				return false
+			}
+		}
+		for _, c := range cons {
+			var lhs float64
+			for j, a := range c.Coeffs {
+				lhs += a * sol.X[j]
+			}
+			switch c.Rel {
+			case lp.LE:
+				if lhs > c.RHS+1e-6 {
+					return false
+				}
+			case lp.GE:
+				if lhs < c.RHS-1e-6 {
+					return false
+				}
+			case lp.EQ:
+				if math.Abs(lhs-c.RHS) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrictSeparationSeparable(t *testing.T) {
+	inside := [][]float64{{0.9, 0.9}, {0.8, 0.95}}
+	outside := [][]float64{{0.1, 0.1}, {0.2, 0.3}, {0.4, 0.2}}
+	w, b, margin, ok, err := lp.StrictSeparation(inside, outside)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("expected separable")
+	}
+	if margin <= 0 {
+		t.Fatalf("margin = %v", margin)
+	}
+	for _, p := range inside {
+		if w[0]*p[0]+w[1]*p[1] < b {
+			t.Errorf("inside point %v below threshold", p)
+		}
+	}
+	for _, p := range outside {
+		if w[0]*p[0]+w[1]*p[1] > b {
+			t.Errorf("outside point %v above threshold", p)
+		}
+	}
+	if s := w[0] + w[1]; math.Abs(s-1) > 1e-7 {
+		t.Errorf("Σw = %v, want 1", s)
+	}
+}
+
+func TestStrictSeparationNotSeparable(t *testing.T) {
+	// Inside point strictly dominated by an outside point: with a
+	// non-negative normal no hyperplane can put it on top.
+	inside := [][]float64{{0.2, 0.2}}
+	outside := [][]float64{{0.9, 0.9}}
+	_, _, _, ok, err := lp.StrictSeparation(inside, outside)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("dominated point must not be separable as a 1-set")
+	}
+}
+
+func TestStrictSeparationPaper2Sets(t *testing.T) {
+	// Figure 6: the 2-sets of the example dataset are {t1,t7}, {t7,t3},
+	// {t3,t5}; {t1,t3} is NOT a 2-set (t7 always splits them).
+	pts := map[int][]float64{
+		1: {0.80, 0.28}, 2: {0.54, 0.45}, 3: {0.67, 0.60},
+		4: {0.32, 0.42}, 5: {0.46, 0.72}, 6: {0.23, 0.52}, 7: {0.91, 0.43},
+	}
+	sep := func(ids ...int) bool {
+		var in, out [][]float64
+		member := map[int]bool{}
+		for _, id := range ids {
+			member[id] = true
+			in = append(in, pts[id])
+		}
+		for id, p := range pts {
+			if !member[id] {
+				out = append(out, p)
+			}
+		}
+		_, _, _, ok, err := lp.StrictSeparation(in, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ok
+	}
+	for _, want := range [][]int{{1, 7}, {7, 3}, {3, 5}} {
+		if !sep(want...) {
+			t.Errorf("%v should be a valid 2-set", want)
+		}
+	}
+	for _, not := range [][]int{{1, 3}, {5, 7}, {2, 7}, {4, 6}} {
+		if sep(not...) {
+			t.Errorf("%v should NOT be a valid 2-set", not)
+		}
+	}
+}
+
+func TestStrictSeparationInputValidation(t *testing.T) {
+	if _, _, _, _, err := lp.StrictSeparation(nil, nil); err == nil {
+		t.Error("no points should error")
+	}
+	if _, _, _, _, err := lp.StrictSeparation([][]float64{{1, 2}}, [][]float64{{1}}); err == nil {
+		t.Error("ragged points should error")
+	}
+	if _, _, _, _, err := lp.StrictSeparation([][]float64{{}}, nil); err == nil {
+		t.Error("zero-dimensional points should error")
+	}
+}
+
+func TestRelAndStatusStrings(t *testing.T) {
+	if lp.LE.String() != "<=" || lp.GE.String() != ">=" || lp.EQ.String() != "=" {
+		t.Error("Rel strings wrong")
+	}
+	if lp.Optimal.String() != "optimal" || lp.Infeasible.String() != "infeasible" || lp.Unbounded.String() != "unbounded" {
+		t.Error("Status strings wrong")
+	}
+}

@@ -1,0 +1,49 @@
+// Package paperfig provides the worked example of the RRR paper (Figure 1):
+// seven 2-D tuples whose dual arrangement, top-2 border, 2-sets and 2DRRR
+// output are all spelled out in the paper. Tests across the repository use
+// it as ground truth; tuple IDs match the paper's subscripts (t1..t7).
+package paperfig
+
+import "rrr/internal/core"
+
+// Figure1 returns the example dataset of Figure 1.
+//
+//	id  x1    x2
+//	t1  0.80  0.28
+//	t2  0.54  0.45
+//	t3  0.67  0.60
+//	t4  0.32  0.42
+//	t5  0.46  0.72
+//	t6  0.23  0.52
+//	t7  0.91  0.43
+func Figure1() *core.Dataset {
+	d, err := core.FromTuples([]core.Tuple{
+		{ID: 1, Attrs: []float64{0.80, 0.28}},
+		{ID: 2, Attrs: []float64{0.54, 0.45}},
+		{ID: 3, Attrs: []float64{0.67, 0.60}},
+		{ID: 4, Attrs: []float64{0.32, 0.42}},
+		{ID: 5, Attrs: []float64{0.46, 0.72}},
+		{ID: 6, Attrs: []float64{0.23, 0.52}},
+		{ID: 7, Attrs: []float64{0.91, 0.43}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// OrderingSum is the paper's stated ranking under f = x1 + x2:
+// t7, t3, t5, t1, t2, t6, t4 (Figure 2).
+var OrderingSum = []int{7, 3, 5, 1, 2, 6, 4}
+
+// OrderingX1 is the paper's stated ranking under f = x1 (Section 3):
+// t7, t1, t3, t2, t5, t4, t6 (Figure 3).
+var OrderingX1 = []int{7, 1, 3, 2, 5, 4, 6}
+
+// TwoSets are the 2-sets of the example dataset for k = 2 (Figure 6):
+// {t1,t7}, {t7,t3}, {t3,t5}.
+var TwoSets = [][]int{{1, 7}, {3, 7}, {3, 5}}
+
+// TwoDRRROutput is the output of algorithm 2DRRR on the example dataset for
+// k = 2, as stated below Algorithm 2: {t3, t1}.
+var TwoDRRROutput = []int{1, 3}

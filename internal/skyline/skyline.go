@@ -1,0 +1,157 @@
+// Package skyline implements the maxima representations the RRR paper
+// builds on (Section 2): the skyline (Pareto-optimal set, the maxima
+// representation for monotonic ranking functions) and the 2-D convex-hull
+// chain (the maxima representation for linear ranking functions — exactly
+// the order-1 rank-regret representative in 2-D).
+//
+// The paper's motivation is that these representations are guaranteed but
+// can be almost as large as the data; this package exists both as the
+// baseline "k = 1" point of the trade-off and as a candidate pruning tool
+// (for positive linear functions, only skyline tuples can ever rank first).
+package skyline
+
+import (
+	"errors"
+	"sort"
+
+	"rrr/internal/core"
+)
+
+// Dominates reports whether a dominates b: a is at least as good on every
+// attribute and strictly better on at least one ("higher is better"
+// semantics, matching the normalized datasets used throughout).
+func Dominates(a, b core.Tuple) bool {
+	strict := false
+	for i, av := range a.Attrs {
+		bv := b.Attrs[i]
+		if av < bv {
+			return false
+		}
+		if av > bv {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// Skyline returns the IDs of the Pareto-optimal tuples, in ascending ID
+// order. Exact duplicates do not dominate each other, so all copies are
+// reported — callers that need one representative per point can dedupe.
+//
+// The implementation is a sort-based block-nested-loop: tuples are visited
+// in decreasing attribute-sum order, which guarantees no later tuple can
+// dominate an accepted one, so a single pass against the growing window
+// suffices.
+func Skyline(d *core.Dataset) []int {
+	tuples := append([]core.Tuple(nil), d.Tuples()...)
+	sort.Slice(tuples, func(i, j int) bool {
+		si, sj := attrSum(tuples[i]), attrSum(tuples[j])
+		if si != sj {
+			return si > sj
+		}
+		return tuples[i].ID < tuples[j].ID
+	})
+	var window []core.Tuple
+	for _, t := range tuples {
+		dominated := false
+		for _, w := range window {
+			if Dominates(w, t) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			window = append(window, t)
+		}
+	}
+	ids := make([]int, len(window))
+	for i, t := range window {
+		ids[i] = t.ID
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func attrSum(t core.Tuple) float64 {
+	var s float64
+	for _, v := range t.Attrs {
+		s += v
+	}
+	return s
+}
+
+// ConvexHull2D returns the IDs of the 2-D maxima chain: the convex-hull
+// vertices that maximize at least one ranking function with non-negative
+// weights. The chain is reported in sweep order — decreasing x1, i.e. from
+// the top tuple of f = x1 (θ = 0) to the top tuple of f = x2 (θ = π/2).
+//
+// This set is the order-1 rank-regret representative of the dataset for
+// linear functions (Section 1 of the paper).
+func ConvexHull2D(d *core.Dataset) ([]int, error) {
+	if d.Dims() != 2 {
+		return nil, errors.New("skyline: ConvexHull2D requires a 2-D dataset")
+	}
+	// Only skyline points can maximize a non-negative linear function, and
+	// the staircase ordering they form makes the hull scan trivial.
+	sky := Skyline(d)
+	pts := make([]core.Tuple, 0, len(sky))
+	for _, id := range sky {
+		t, _ := d.ByID(id)
+		pts = append(pts, t)
+	}
+	// Sort by x1 ascending; x2 is then non-increasing... on a staircase,
+	// descending x1 means ascending x2. Duplicates (same point) keep the
+	// smallest ID and drop the rest: they are interchangeable maxima.
+	sort.Slice(pts, func(i, j int) bool {
+		a, b := pts[i], pts[j]
+		if a.Attrs[0] != b.Attrs[0] {
+			return a.Attrs[0] < b.Attrs[0]
+		}
+		if a.Attrs[1] != b.Attrs[1] {
+			return a.Attrs[1] > b.Attrs[1]
+		}
+		return a.ID < b.ID
+	})
+	dedup := pts[:0]
+	for i, p := range pts {
+		if i > 0 {
+			prev := dedup[len(dedup)-1]
+			if prev.Attrs[0] == p.Attrs[0] && prev.Attrs[1] == p.Attrs[1] {
+				continue
+			}
+			// Same x1, lower x2 cannot happen on a skyline staircase
+			// (would be dominated), but exact-duplicate x1 with distinct
+			// x2 keeps only the first (higher x2) — the other is
+			// dominated and already excluded by Skyline.
+			if prev.Attrs[0] == p.Attrs[0] {
+				continue
+			}
+		}
+		dedup = append(dedup, p)
+	}
+	pts = dedup
+	if len(pts) == 1 {
+		return []int{pts[0].ID}, nil
+	}
+	// Andrew's monotone chain, upper hull: with x ascending, keep
+	// clockwise turns (cross < 0).
+	var hull []core.Tuple
+	for _, p := range pts {
+		for len(hull) >= 2 && cross(hull[len(hull)-2], hull[len(hull)-1], p) >= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	// Reverse into sweep order (decreasing x1: θ = 0 end first).
+	ids := make([]int, len(hull))
+	for i, p := range hull {
+		ids[len(hull)-1-i] = p.ID
+	}
+	return ids, nil
+}
+
+// cross computes the z-component of (a−o) × (b−o).
+func cross(o, a, b core.Tuple) float64 {
+	return (a.Attrs[0]-o.Attrs[0])*(b.Attrs[1]-o.Attrs[1]) -
+		(a.Attrs[1]-o.Attrs[1])*(b.Attrs[0]-o.Attrs[0])
+}

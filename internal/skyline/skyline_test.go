@@ -1,0 +1,226 @@
+package skyline_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"rrr/internal/core"
+	"rrr/internal/geom"
+	"rrr/internal/paperfig"
+	"rrr/internal/skyline"
+	"rrr/internal/topk"
+)
+
+func TestDominates(t *testing.T) {
+	a := core.Tuple{ID: 0, Attrs: []float64{0.9, 0.9}}
+	b := core.Tuple{ID: 1, Attrs: []float64{0.5, 0.9}}
+	c := core.Tuple{ID: 2, Attrs: []float64{0.95, 0.1}}
+	if !skyline.Dominates(a, b) {
+		t.Error("a must dominate b")
+	}
+	if skyline.Dominates(b, a) {
+		t.Error("b must not dominate a")
+	}
+	if skyline.Dominates(a, c) || skyline.Dominates(c, a) {
+		t.Error("incomparable pair must not dominate")
+	}
+	if skyline.Dominates(a, a) {
+		t.Error("no strict improvement: a must not dominate itself")
+	}
+}
+
+func TestSkylinePaperExample(t *testing.T) {
+	// Figure 1: t1 is dominated by t7 (0.91>0.80, 0.43>0.28); t2 by t3;
+	// t4 by t3 and t5; t6 by t5. Skyline = {t3, t5, t7}.
+	d := paperfig.Figure1()
+	got := skyline.Skyline(d)
+	want := []int{3, 5, 7}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Skyline = %v, want %v", got, want)
+	}
+}
+
+// bruteSkyline recomputes the skyline by the definition.
+func bruteSkyline(d *core.Dataset) []int {
+	var ids []int
+	for _, t := range d.Tuples() {
+		dominated := false
+		for _, u := range d.Tuples() {
+			if skyline.Dominates(u, t) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			ids = append(ids, t.ID)
+		}
+	}
+	return ids
+}
+
+func TestSkylineMatchesBruteForceProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		dims := 1 + rng.Intn(4)
+		points := make([][]float64, n)
+		for i := range points {
+			p := make([]float64, dims)
+			for j := range p {
+				p[j] = float64(rng.Intn(6)) / 5 // grid forces ties/duplicates
+			}
+			points[i] = p
+		}
+		d := core.MustNewDataset(points)
+		return reflect.DeepEqual(skyline.Skyline(d), bruteSkyline(d))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkylineKeepsDuplicates(t *testing.T) {
+	d := core.MustNewDataset([][]float64{{1, 1}, {1, 1}, {0, 0}})
+	got := skyline.Skyline(d)
+	if !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("Skyline = %v, want both duplicates", got)
+	}
+}
+
+func TestConvexHull2DPaperExample(t *testing.T) {
+	// Figure 6: the 1-sets (convex hull points reachable by positive
+	// functions) are t7, t3 (... wait t1?) — the 2-sets chain visits
+	// t1,t7,t3,t5; the hull itself is the tuples that are top-1 for some
+	// function: t7 (for x1-heavy), t3 (middle), t5 (x2-heavy).
+	d := paperfig.Figure1()
+	got, err := skyline.ConvexHull2D(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{7, 3, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ConvexHull2D = %v, want %v", got, want)
+	}
+}
+
+// Property: the top-1 of any positive linear function lies on the hull
+// (order-1 RRR guarantee), and every hull member is top-1 somewhere is NOT
+// asserted here (needs witness search) — the guarantee direction is what
+// the representative must satisfy.
+func TestConvexHull2DIsOrder1RRR(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		points := make([][]float64, n)
+		for i := range points {
+			points[i] = []float64{rng.Float64(), rng.Float64()}
+		}
+		d := core.MustNewDataset(points)
+		hull, err := skyline.ConvexHull2D(d)
+		if err != nil {
+			return false
+		}
+		onHull := make(map[int]bool, len(hull))
+		for _, id := range hull {
+			onHull[id] = true
+		}
+		for trial := 0; trial < 30; trial++ {
+			f := geom.RandomFunc(2, rng)
+			top := topk.TopK(d, f, 1)
+			if len(top) != 1 {
+				return false
+			}
+			if !onHull[top[0]] {
+				// The top-1 may be a duplicate of a hull point; accept if
+				// scores match exactly.
+				tt, _ := d.ByID(top[0])
+				matched := false
+				for _, id := range hull {
+					h, _ := d.ByID(id)
+					if f.Score(h) == f.Score(tt) {
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hull is a subset of the skyline and is ordered by decreasing x1.
+func TestConvexHull2DSubsetOfSkylineAndOrdered(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		points := make([][]float64, n)
+		for i := range points {
+			points[i] = []float64{float64(rng.Intn(10)) / 9, float64(rng.Intn(10)) / 9}
+		}
+		d := core.MustNewDataset(points)
+		hull, err := skyline.ConvexHull2D(d)
+		if err != nil {
+			return false
+		}
+		sky := make(map[int]bool)
+		for _, id := range skyline.Skyline(d) {
+			sky[id] = true
+		}
+		prevX := 2.0
+		for _, id := range hull {
+			if !sky[id] {
+				return false
+			}
+			tt, _ := d.ByID(id)
+			if tt.Attrs[0] >= prevX {
+				return false
+			}
+			prevX = tt.Attrs[0]
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvexHull2DRejectsWrongDims(t *testing.T) {
+	d := core.MustNewDataset([][]float64{{1, 2, 3}})
+	if _, err := skyline.ConvexHull2D(d); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestConvexHull2DSingletonAndDuplicates(t *testing.T) {
+	d := core.MustNewDataset([][]float64{{0.5, 0.5}})
+	got, err := skyline.ConvexHull2D(d)
+	if err != nil || !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("singleton hull = %v, %v", got, err)
+	}
+	d2 := core.MustNewDataset([][]float64{{0.5, 0.5}, {0.5, 0.5}})
+	got2, err := skyline.ConvexHull2D(d2)
+	if err != nil || !reflect.DeepEqual(got2, []int{0}) {
+		t.Fatalf("duplicate hull = %v, %v", got2, err)
+	}
+}
+
+func TestConvexHull2DCollinear(t *testing.T) {
+	// Collinear points on a descending segment: interior points are not
+	// vertices (they never uniquely maximize, and the chain stays minimal).
+	d := core.MustNewDataset([][]float64{{1, 0}, {0.5, 0.5}, {0, 1}})
+	got, err := skyline.ConvexHull2D(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Fatalf("collinear hull = %v, want [0 2]", got)
+	}
+}

@@ -1,0 +1,219 @@
+// Package textplot renders small multi-series line charts as ASCII text —
+// enough to eyeball the paper's log-scale figures straight from the
+// terminal (cmd/rrrexp -plot) without any plotting dependency.
+package textplot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of points. X and Y must have equal lengths.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Options controls the rendering.
+type Options struct {
+	// Title is printed above the plot.
+	Title string
+	// Width and Height are the plot area in characters (defaults 64×16).
+	Width, Height int
+	// LogX / LogY use log10 axes (points must be positive on that axis).
+	LogX, LogY bool
+	// YLabel annotates the vertical axis.
+	YLabel string
+	// XLabel annotates the horizontal axis.
+	XLabel string
+}
+
+// markers are assigned to series in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Chart renders the series into an ASCII chart.
+func Chart(series []Series, opt Options) (string, error) {
+	if len(series) == 0 {
+		return "", errors.New("textplot: no series")
+	}
+	width, height := opt.Width, opt.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 16
+	}
+	if width < 8 || height < 4 {
+		return "", fmt.Errorf("textplot: plot area %dx%d too small", width, height)
+	}
+
+	tx := func(v float64) (float64, error) { return v, nil }
+	ty := tx
+	if opt.LogX {
+		tx = logScale("x")
+	}
+	if opt.LogY {
+		ty = logScale("y")
+	}
+
+	// Transform all points and find bounds.
+	type pt struct{ x, y float64 }
+	pts := make([][]pt, len(series))
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	total := 0
+	for si, s := range series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("textplot: series %q has %d x values and %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			x, err := tx(s.X[i])
+			if err != nil {
+				return "", fmt.Errorf("textplot: series %q: %w", s.Name, err)
+			}
+			y, err := ty(s.Y[i])
+			if err != nil {
+				return "", fmt.Errorf("textplot: series %q: %w", s.Name, err)
+			}
+			pts[si] = append(pts[si], pt{x, y})
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+			total++
+		}
+	}
+	if total == 0 {
+		return "", errors.New("textplot: series contain no points")
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	place := func(p pt, mark byte) {
+		cx := int(math.Round((p.x - minX) / (maxX - minX) * float64(width-1)))
+		cy := int(math.Round((p.y - minY) / (maxY - minY) * float64(height-1)))
+		row := height - 1 - cy
+		if row < 0 || row >= height || cx < 0 || cx >= width {
+			return
+		}
+		grid[row][cx] = mark
+	}
+	// Draw line interpolation between consecutive points, then overdraw
+	// the markers so they stay visible.
+	for si, sp := range pts {
+		mark := markers[si%len(markers)]
+		for i := 1; i < len(sp); i++ {
+			drawLine(grid, width, height, sp[i-1], sp[i], minX, maxX, minY, maxY)
+		}
+		_ = mark
+	}
+	for si, sp := range pts {
+		mark := markers[si%len(markers)]
+		for _, p := range sp {
+			place(p, mark)
+		}
+	}
+
+	var b strings.Builder
+	if opt.Title != "" {
+		b.WriteString(opt.Title + "\n")
+	}
+	yHi := axisLabel(maxY, opt.LogY)
+	yLo := axisLabel(minY, opt.LogY)
+	labelW := len(yHi)
+	if len(yLo) > labelW {
+		labelW = len(yLo)
+	}
+	for r, row := range grid {
+		switch r {
+		case 0:
+			fmt.Fprintf(&b, "%*s |%s\n", labelW, yHi, string(row))
+		case height - 1:
+			fmt.Fprintf(&b, "%*s |%s\n", labelW, yLo, string(row))
+		default:
+			fmt.Fprintf(&b, "%*s |%s\n", labelW, "", string(row))
+		}
+	}
+	b.WriteString(strings.Repeat(" ", labelW+1) + "+" + strings.Repeat("-", width) + "\n")
+	xLo, xHi := axisLabel(minX, opt.LogX), axisLabel(maxX, opt.LogX)
+	pad := width - len(xLo) - len(xHi)
+	if pad < 1 {
+		pad = 1
+	}
+	b.WriteString(strings.Repeat(" ", labelW+2) + xLo + strings.Repeat(" ", pad) + xHi + "\n")
+	if opt.XLabel != "" || opt.YLabel != "" {
+		fmt.Fprintf(&b, "x: %s   y: %s%s\n", orDash(opt.XLabel), orDash(opt.YLabel), logNote(opt))
+	}
+	// Legend.
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	b.WriteString("legend: " + strings.Join(legend, "   ") + "\n")
+	return b.String(), nil
+}
+
+func logScale(axis string) func(float64) (float64, error) {
+	return func(v float64) (float64, error) {
+		if v <= 0 {
+			return 0, fmt.Errorf("log %s-axis requires positive values, got %g", axis, v)
+		}
+		return math.Log10(v), nil
+	}
+}
+
+// axisLabel prints the (possibly log-transformed) bound back in data units.
+func axisLabel(v float64, isLog bool) string {
+	if isLog {
+		return fmt.Sprintf("%.3g", math.Pow(10, v))
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func logNote(opt Options) string {
+	switch {
+	case opt.LogX && opt.LogY:
+		return " (log-log)"
+	case opt.LogX:
+		return " (log x)"
+	case opt.LogY:
+		return " (log y)"
+	}
+	return ""
+}
+
+// drawLine rasterizes a faint segment between two points with '.' without
+// overwriting existing marks.
+func drawLine(grid [][]byte, width, height int, a, b struct{ x, y float64 }, minX, maxX, minY, maxY float64) {
+	steps := width
+	for s := 0; s <= steps; s++ {
+		f := float64(s) / float64(steps)
+		x := a.x + (b.x-a.x)*f
+		y := a.y + (b.y-a.y)*f
+		cx := int(math.Round((x - minX) / (maxX - minX) * float64(width-1)))
+		cy := int(math.Round((y - minY) / (maxY - minY) * float64(height-1)))
+		row := height - 1 - cy
+		if row < 0 || row >= height || cx < 0 || cx >= width {
+			continue
+		}
+		if grid[row][cx] == ' ' {
+			grid[row][cx] = '.'
+		}
+	}
+}

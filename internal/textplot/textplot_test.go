@@ -1,0 +1,119 @@
+package textplot_test
+
+import (
+	"strings"
+	"testing"
+
+	"rrr/internal/textplot"
+)
+
+func twoSeries() []textplot.Series {
+	return []textplot.Series{
+		{Name: "MDRC", X: []float64{1000, 10000, 100000}, Y: []float64{0.01, 0.05, 0.4}},
+		{Name: "2DRRR", X: []float64{1000, 10000, 100000}, Y: []float64{0.2, 20, 2000}},
+	}
+}
+
+func TestChartBasicStructure(t *testing.T) {
+	out, err := textplot.Chart(twoSeries(), textplot.Options{
+		Title: "time vs n", LogX: true, LogY: true,
+		XLabel: "n", YLabel: "seconds",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "time vs n") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "legend: * MDRC   o 2DRRR") {
+		t.Errorf("legend wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("missing markers")
+	}
+	if !strings.Contains(out, "(log-log)") {
+		t.Error("missing scale note")
+	}
+	// Axis extremes printed back in data units.
+	if !strings.Contains(out, "1e+03") && !strings.Contains(out, "1000") {
+		t.Errorf("missing x-axis low label:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 16 rows + axis + xlabels + labels-line + legend
+	if len(lines) != 1+16+1+1+1+1 {
+		t.Errorf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestChartMonotoneSeriesRendersMonotone(t *testing.T) {
+	s := []textplot.Series{{Name: "up", X: []float64{1, 2, 3, 4}, Y: []float64{1, 2, 3, 4}}}
+	out, err := textplot.Chart(s, textplot.Options{Width: 20, Height: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first marker (bottom-left region) must appear on a later line
+	// than the last marker (top-right region).
+	lines := strings.Split(out, "\n")
+	firstRow, lastRow := -1, -1
+	for i, ln := range lines {
+		if strings.Contains(ln, "*") {
+			if firstRow == -1 {
+				firstRow = i
+			}
+			lastRow = i
+		}
+	}
+	if firstRow == -1 || firstRow == lastRow {
+		t.Fatalf("markers not spread vertically:\n%s", out)
+	}
+}
+
+func TestChartErrors(t *testing.T) {
+	if _, err := textplot.Chart(nil, textplot.Options{}); err == nil {
+		t.Error("no series must error")
+	}
+	if _, err := textplot.Chart([]textplot.Series{{Name: "bad", X: []float64{1}, Y: []float64{1, 2}}}, textplot.Options{}); err == nil {
+		t.Error("ragged series must error")
+	}
+	if _, err := textplot.Chart([]textplot.Series{{Name: "neg", X: []float64{0}, Y: []float64{1}}}, textplot.Options{LogX: true}); err == nil {
+		t.Error("log of non-positive must error")
+	}
+	if _, err := textplot.Chart([]textplot.Series{{Name: "tiny", X: []float64{1}, Y: []float64{1}}}, textplot.Options{Width: 2, Height: 2}); err == nil {
+		t.Error("tiny plot area must error")
+	}
+	if _, err := textplot.Chart([]textplot.Series{{Name: "empty"}}, textplot.Options{}); err == nil {
+		t.Error("empty series must error")
+	}
+}
+
+func TestChartSinglePointAndFlatSeries(t *testing.T) {
+	out, err := textplot.Chart([]textplot.Series{{Name: "dot", X: []float64{5}, Y: []float64{7}}}, textplot.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("single point must render")
+	}
+	out, err = textplot.Chart([]textplot.Series{{Name: "flat", X: []float64{1, 2, 3}, Y: []float64{4, 4, 4}}}, textplot.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three plotted markers plus one in the legend.
+	if strings.Count(out, "*") != 4 {
+		t.Errorf("flat series should show 3 plot markers + legend:\n%s", out)
+	}
+}
+
+func TestChartManySeriesCycleMarkers(t *testing.T) {
+	var ss []textplot.Series
+	for i := 0; i < 10; i++ {
+		ss = append(ss, textplot.Series{Name: "s", X: []float64{float64(i)}, Y: []float64{float64(i)}})
+	}
+	out, err := textplot.Chart(ss, textplot.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "legend:") {
+		t.Error("legend missing")
+	}
+}

@@ -1,0 +1,173 @@
+// Package topk is the scoring substrate of the RRR library: top-k selection
+// under a linear ranking function, full rankings, and batch scoring. Every
+// algorithm in the repository funnels its "what are the best k tuples for
+// f?" questions through this package so that the deterministic tie-breaking
+// rule of package core is applied uniformly.
+package topk
+
+import (
+	"fmt"
+	"sort"
+
+	"rrr/internal/core"
+)
+
+// item pairs a tuple ID with its score for heap ordering.
+type item struct {
+	id    int
+	score float64
+}
+
+// worse reports whether a ranks strictly worse than b (lower score, or equal
+// score with the larger ID — the inverse of core.Outranks).
+func worse(a, b item) bool {
+	if a.score != b.score {
+		return a.score < b.score
+	}
+	return a.id > b.id
+}
+
+// TopK returns the IDs of the k best tuples of d under f, in rank order
+// (best first). When k >= n the full ranking is returned. k <= 0 yields nil.
+//
+// The selection runs in O(n log k) using a bounded min-heap whose root is
+// the worst retained tuple.
+func TopK(d *core.Dataset, f core.LinearFunc, k int) []int {
+	n := d.N()
+	if k <= 0 {
+		return nil
+	}
+	if k >= n {
+		return Ranking(d, f)
+	}
+	h := make([]item, 0, k)
+	for _, t := range d.Tuples() {
+		it := item{id: t.ID, score: f.Score(t)}
+		if len(h) < k {
+			h = append(h, it)
+			siftUp(h, len(h)-1)
+			continue
+		}
+		if worse(it, h[0]) {
+			continue
+		}
+		h[0] = it
+		siftDown(h, 0)
+	}
+	// Pop into rank order: repeatedly remove the worst.
+	out := make([]int, k)
+	for i := k - 1; i >= 0; i-- {
+		out[i] = h[0].id
+		last := len(h) - 1
+		h[0] = h[last]
+		h = h[:last]
+		if last > 0 {
+			siftDown(h, 0)
+		}
+	}
+	return out
+}
+
+func siftUp(h []item, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !worse(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func siftDown(h []item, i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && worse(h[l], h[m]) {
+			m = l
+		}
+		if r < n && worse(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// TopKSet returns the top-k IDs sorted ascending — the canonical form used
+// for k-set identity comparisons (the set, not the ordering, is the k-set).
+func TopKSet(d *core.Dataset, f core.LinearFunc, k int) []int {
+	ids := TopK(d, f, k)
+	sort.Ints(ids)
+	return ids
+}
+
+// Ranking returns all tuple IDs of d in rank order under f (best first),
+// in O(n log n).
+func Ranking(d *core.Dataset, f core.LinearFunc) []int {
+	n := d.N()
+	items := make([]item, n)
+	for i, t := range d.Tuples() {
+		items[i] = item{id: t.ID, score: f.Score(t)}
+	}
+	sort.Slice(items, func(i, j int) bool { return worse(items[j], items[i]) })
+	out := make([]int, n)
+	for i, it := range items {
+		out[i] = it.id
+	}
+	return out
+}
+
+// Scores computes the score of every tuple, indexed by slice position.
+func Scores(d *core.Dataset, f core.LinearFunc) []float64 {
+	out := make([]float64, d.N())
+	for i, t := range d.Tuples() {
+		out[i] = f.Score(t)
+	}
+	return out
+}
+
+// MaxScore returns the maximum score over the dataset and the ID of the
+// top-ranked tuple (score tie broken by smaller ID, as everywhere).
+func MaxScore(d *core.Dataset, f core.LinearFunc) (float64, int) {
+	best := item{id: -1}
+	first := true
+	for _, t := range d.Tuples() {
+		it := item{id: t.ID, score: f.Score(t)}
+		if first || worse(best, it) {
+			best = it
+			first = false
+		}
+	}
+	return best.score, best.id
+}
+
+// RankByScore computes the rank of a score threshold: one plus the number
+// of tuples scoring strictly above it. It is the rank the best member of a
+// subset would have, given the subset's best (score, id) pair.
+func RankByScore(d *core.Dataset, f core.LinearFunc, score float64, id int) int {
+	r := 1
+	for _, t := range d.Tuples() {
+		if t.ID == id {
+			continue
+		}
+		s := f.Score(t)
+		if s > score || (s == score && t.ID < id) {
+			r++
+		}
+	}
+	return r
+}
+
+// Validate checks that f can rank d, returning a descriptive error
+// otherwise. Helpers in this package assume the caller validated once.
+func Validate(d *core.Dataset, f core.LinearFunc) error {
+	if err := f.Validate(d.Dims()); err != nil {
+		return fmt.Errorf("topk: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,196 @@
+package topk_test
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"rrr/internal/core"
+	"rrr/internal/geom"
+	"rrr/internal/paperfig"
+	"rrr/internal/topk"
+)
+
+func TestRankingMatchesPaper(t *testing.T) {
+	d := paperfig.Figure1()
+	if got := topk.Ranking(d, core.NewLinearFunc(1, 1)); !reflect.DeepEqual(got, paperfig.OrderingSum) {
+		t.Errorf("Ranking under x1+x2 = %v, want %v", got, paperfig.OrderingSum)
+	}
+	if got := topk.Ranking(d, core.NewLinearFunc(1, 0)); !reflect.DeepEqual(got, paperfig.OrderingX1) {
+		t.Errorf("Ranking under x1 = %v, want %v", got, paperfig.OrderingX1)
+	}
+}
+
+func TestTopKPrefixOfRanking(t *testing.T) {
+	d := paperfig.Figure1()
+	f := core.NewLinearFunc(1, 1)
+	full := topk.Ranking(d, f)
+	for k := 0; k <= d.N()+2; k++ {
+		got := topk.TopK(d, f, k)
+		wantLen := k
+		if k > d.N() {
+			wantLen = d.N()
+		}
+		if k <= 0 {
+			if got != nil {
+				t.Fatalf("TopK(%d) = %v, want nil", k, got)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, full[:wantLen]) {
+			t.Fatalf("TopK(%d) = %v, want %v", k, got, full[:wantLen])
+		}
+	}
+}
+
+func TestTopKSetCanonical(t *testing.T) {
+	d := paperfig.Figure1()
+	got := topk.TopKSet(d, core.NewLinearFunc(1, 1), 2)
+	if !reflect.DeepEqual(got, []int{3, 7}) {
+		t.Fatalf("TopKSet = %v, want [3 7]", got)
+	}
+}
+
+func TestTopKTieBreakBySmallerID(t *testing.T) {
+	d := core.MustNewDataset([][]float64{{1, 0}, {1, 0}, {0.5, 0}})
+	got := topk.TopK(d, core.NewLinearFunc(1, 1), 2)
+	if !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("TopK with ties = %v, want [0 1]", got)
+	}
+	// And rank order between the tied pair must put the smaller ID first.
+	if full := topk.Ranking(d, core.NewLinearFunc(1, 1)); !reflect.DeepEqual(full, []int{0, 1, 2}) {
+		t.Fatalf("Ranking with ties = %v", full)
+	}
+}
+
+// Property: the heap selection agrees with the sort-based ranking on random
+// inputs, for every k.
+func TestTopKMatchesSortProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		dims := 1 + rng.Intn(4)
+		points := make([][]float64, n)
+		for i := range points {
+			p := make([]float64, dims)
+			for j := range p {
+				// Coarse grid to force score ties regularly.
+				p[j] = float64(rng.Intn(5)) / 4
+			}
+			points[i] = p
+		}
+		d := core.MustNewDataset(points)
+		f := geom.RandomFunc(dims, rng)
+		full := topk.Ranking(d, f)
+		k := 1 + rng.Intn(n)
+		return reflect.DeepEqual(topk.TopK(d, f, k), full[:k])
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Ranking is consistent with core.Rank for every tuple.
+func TestRankingMatchesCoreRank(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		points := make([][]float64, n)
+		for i := range points {
+			points[i] = []float64{rng.Float64(), rng.Float64()}
+		}
+		d := core.MustNewDataset(points)
+		f := geom.RandomFunc(2, rng)
+		order := topk.Ranking(d, f)
+		for pos, id := range order {
+			r, err := core.RankOfID(d, f, id)
+			if err != nil || r != pos+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxScore(t *testing.T) {
+	d := paperfig.Figure1()
+	f := core.NewLinearFunc(1, 1)
+	s, id := topk.MaxScore(d, f)
+	if id != 7 || s != 0.91+0.43 {
+		t.Fatalf("MaxScore = (%v, t%d), want (1.34, t7)", s, id)
+	}
+}
+
+func TestMaxScoreTie(t *testing.T) {
+	d := core.MustNewDataset([][]float64{{1}, {1}})
+	_, id := topk.MaxScore(d, core.NewLinearFunc(1))
+	if id != 0 {
+		t.Fatalf("tie must resolve to smaller ID, got %d", id)
+	}
+}
+
+func TestRankByScoreMatchesRank(t *testing.T) {
+	d := paperfig.Figure1()
+	f := core.NewLinearFunc(0.3, 0.7)
+	for _, tup := range d.Tuples() {
+		want := core.Rank(d, f, tup)
+		got := topk.RankByScore(d, f, f.Score(tup), tup.ID)
+		if got != want {
+			t.Errorf("RankByScore(t%d) = %d, want %d", tup.ID, got, want)
+		}
+	}
+}
+
+func TestScores(t *testing.T) {
+	d := paperfig.Figure1()
+	f := core.NewLinearFunc(1, 0)
+	s := topk.Scores(d, f)
+	if len(s) != d.N() {
+		t.Fatalf("len = %d", len(s))
+	}
+	for i, tup := range d.Tuples() {
+		if s[i] != tup.Attrs[0] {
+			t.Fatalf("score[%d] = %v, want %v", i, s[i], tup.Attrs[0])
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	d := paperfig.Figure1()
+	if err := topk.Validate(d, core.NewLinearFunc(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := topk.Validate(d, core.NewLinearFunc(1)); err == nil {
+		t.Fatal("expected arity error")
+	}
+}
+
+func TestTopKSingleton(t *testing.T) {
+	d := core.MustNewDataset([][]float64{{0.4, 0.6}})
+	got := topk.TopK(d, core.NewLinearFunc(1, 1), 3)
+	if !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("TopK on singleton = %v", got)
+	}
+}
+
+func TestTopKSetSortedAlways(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(40)
+		points := make([][]float64, n)
+		for i := range points {
+			points[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		}
+		d := core.MustNewDataset(points)
+		ids := topk.TopKSet(d, geom.RandomFunc(3, rng), 1+rng.Intn(n))
+		return sort.IntsAreSorted(ids)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

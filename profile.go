@@ -1,0 +1,55 @@
+package rrr
+
+import (
+	"errors"
+	"sort"
+
+	"rrr/internal/cover"
+	"rrr/internal/geom"
+	"rrr/internal/sweep"
+)
+
+// ProfilePoint is one point of the k-vs-size trade-off frontier.
+type ProfilePoint struct {
+	// K is the rank-regret target.
+	K int
+	// Size is the representative size achieved for K.
+	Size int
+	// IDs is the representative itself.
+	IDs []int
+}
+
+// Profile2D computes the size of the rank-regret representative for many
+// values of k on a 2-D dataset, sharing a single angular sweep across all
+// of them (Algorithm 1 watched at every requested boundary at once). It is
+// the efficient way to answer "how does the guarantee trade against the
+// list length?" — the question behind the paper's dual formulation.
+//
+// Covers use the provably minimal interval cover, so each point's size is
+// within the Theorem 3 bound for its k.
+func Profile2D(d *Dataset, ks []int) ([]ProfilePoint, error) {
+	if d == nil {
+		return nil, errors.New("rrr: nil dataset")
+	}
+	if len(ks) == 0 {
+		return nil, errors.New("rrr: no k values")
+	}
+	rangesPerK, err := sweep.FindRangesMulti(d, ks)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ProfilePoint, len(ks))
+	for i, ranges := range rangesPerK {
+		intervals := make([]cover.Interval, 0, len(ranges))
+		for _, r := range ranges {
+			intervals = append(intervals, cover.Interval{ID: r.ID, Lo: r.Lo, Hi: r.Hi})
+		}
+		ids, err := cover.CoverOptimal(intervals, 0, geom.HalfPi)
+		if err != nil {
+			return nil, err
+		}
+		sort.Ints(ids)
+		out[i] = ProfilePoint{K: ks[i], Size: len(ids), IDs: ids}
+	}
+	return out, nil
+}

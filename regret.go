@@ -1,0 +1,79 @@
+package rrr
+
+import (
+	"rrr/internal/baseline"
+)
+
+// Score-regret baselines. These optimize the regret-RATIO the
+// regret-minimizing-set literature studies; the paper (and this library's
+// benchmarks) demonstrate they provide no rank-regret bound. They are
+// exposed for comparison studies and for users who genuinely want
+// score-based guarantees.
+
+// RegretOptions tunes the score-regret baselines.
+type RegretOptions struct {
+	// Functions is the function-space discretization size (default 512).
+	Functions int
+	// Seed drives the discretization sampling.
+	Seed int64
+}
+
+// RegretResult is the output of a score-regret baseline.
+type RegretResult struct {
+	IDs []int
+	// AchievedRatio is the regret-ratio certified over the internal
+	// discretization.
+	AchievedRatio float64
+}
+
+// RegretMinimizingSet selects at most size tuples minimizing the maximum
+// regret-ratio, re-implementing the HD-RRMS algorithm (Asudeh et al.,
+// SIGMOD 2017) the paper benchmarks against.
+func RegretMinimizingSet(d *Dataset, size int, opt RegretOptions) (*RegretResult, error) {
+	res, err := baseline.HDRRMS(d, size, baseline.HDRRMSOptions{
+		Functions: opt.Functions,
+		Seed:      opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &RegretResult{IDs: res.IDs, AchievedRatio: res.AchievedRatio}, nil
+}
+
+// KRegretMinimizingSet solves the (k, ε)-regret variant of Agarwal et al.:
+// minimize the ratio by which the selection falls short of each function's
+// k-th best score. RRR is exactly its ε = 0 case (paper §2).
+func KRegretMinimizingSet(d *Dataset, size, k int, opt RegretOptions) (*RegretResult, error) {
+	res, err := baseline.KEpsRegret(d, size, k, baseline.HDRRMSOptions{
+		Functions: opt.Functions,
+		Seed:      opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &RegretResult{IDs: res.IDs, AchievedRatio: res.AchievedRatio}, nil
+}
+
+// CubeSet is the cube construction of Nanongkai et al. (VLDB 2010): a
+// fast, guarantee-light regret baseline bucketing the first d−1 attributes.
+func CubeSet(d *Dataset, size int) (*RegretResult, error) {
+	res, err := baseline.Cube(d, size, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &RegretResult{IDs: res.IDs}, nil
+}
+
+// GreedyRegretSet is the greedy heuristic of Nanongkai et al.: repeatedly
+// add the top tuple of the function currently suffering the worst
+// regret-ratio.
+func GreedyRegretSet(d *Dataset, size int, opt RegretOptions) (*RegretResult, error) {
+	res, err := baseline.GreedyRegret(d, size, baseline.GreedyRegretOptions{
+		Functions: opt.Functions,
+		Seed:      opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &RegretResult{IDs: res.IDs, AchievedRatio: res.AchievedRatio}, nil
+}

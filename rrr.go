@@ -1,0 +1,199 @@
+package rrr
+
+import (
+	"errors"
+	"fmt"
+
+	"rrr/internal/algo"
+	"rrr/internal/core"
+	"rrr/internal/kset"
+	"rrr/internal/skyline"
+	"rrr/internal/topk"
+)
+
+// Tuple is one database item: an ID plus a point in R^d.
+type Tuple = core.Tuple
+
+// Dataset is an immutable collection of tuples.
+type Dataset = core.Dataset
+
+// LinearFunc is a linear ranking function f(t) = Σ w_i·t[i].
+type LinearFunc = core.LinearFunc
+
+// NewDataset builds a dataset from raw points, assigning IDs 0..n-1.
+// Points should be normalized so that higher values are preferred on every
+// attribute (see Table.Normalize for raw data).
+func NewDataset(points [][]float64) (*Dataset, error) { return core.NewDataset(points) }
+
+// FromTuples builds a dataset from pre-labelled tuples with unique IDs.
+func FromTuples(ts []Tuple) (*Dataset, error) { return core.FromTuples(ts) }
+
+// NewLinearFunc builds a ranking function from non-negative weights.
+func NewLinearFunc(w ...float64) LinearFunc { return core.NewLinearFunc(w...) }
+
+// Algorithm names an RRR algorithm.
+type Algorithm string
+
+const (
+	// AlgoAuto picks 2DRRR for 2-D datasets and MDRC otherwise — the
+	// paper's recommendation for practice ("MDRC seems to be scalable: in
+	// all experiments, within a few seconds, it could find a small subset
+	// with small rank-regret").
+	AlgoAuto Algorithm = ""
+	// Algo2DRRR is the 2-D sweep + interval-cover algorithm (Section 4).
+	Algo2DRRR Algorithm = "2drrr"
+	// AlgoMDRRR is the k-set hitting-set algorithm (Section 5.2).
+	AlgoMDRRR Algorithm = "mdrrr"
+	// AlgoMDRC is the function-space partitioning algorithm (Section 5.3).
+	AlgoMDRC Algorithm = "mdrc"
+)
+
+// Options tunes Representative. The zero value reproduces the paper's
+// defaults.
+type Options struct {
+	// Algorithm selects the solver; AlgoAuto dispatches on dimension.
+	Algorithm Algorithm
+
+	// OptimalCover makes 2DRRR use the provably minimal interval cover
+	// instead of the paper's max-gain greedy (which can exceed the
+	// optimum by a seat or two in rare configurations — see package docs).
+	OptimalCover bool
+
+	// SamplerTermination is K-SETr's consecutive-miss stop rule for
+	// MDRRR (default 100, the paper's setting).
+	SamplerTermination int
+	// SamplerMaxDraws caps K-SETr's total draws (default 2,000,000).
+	SamplerMaxDraws int
+	// Seed drives MDRRR's randomized k-set sampling.
+	Seed int64
+	// EpsilonNetHitting switches MDRRR from greedy to the
+	// Brönnimann–Goodrich ε-net hitting set the paper cites.
+	EpsilonNetHitting bool
+
+	// PickMinMaxRank switches MDRC from the paper's first-common-item
+	// rule to picking the common tuple with the best worst-corner rank.
+	PickMinMaxRank bool
+}
+
+// Result is the output of Representative: the chosen tuple IDs (ascending)
+// and the algorithm that produced them.
+type Result struct {
+	IDs       []int
+	Algorithm Algorithm
+	// KSets is the number of k-sets MDRRR hit (0 for other algorithms).
+	KSets int
+	// Nodes is the number of recursion nodes MDRC visited (0 otherwise).
+	Nodes int
+}
+
+// Representative computes a rank-regret representative: a small subset of d
+// containing at least one top-k tuple of every linear ranking function
+// (Definition 3 of the paper).
+func Representative(d *Dataset, k int, opt Options) (*Result, error) {
+	if d == nil {
+		return nil, errors.New("rrr: nil dataset")
+	}
+	algorithm := opt.Algorithm
+	if algorithm == AlgoAuto {
+		if d.Dims() == 2 {
+			algorithm = Algo2DRRR
+		} else {
+			algorithm = AlgoMDRC
+		}
+	}
+	switch algorithm {
+	case Algo2DRRR:
+		cover := algo.CoverMaxGain
+		if opt.OptimalCover {
+			cover = algo.CoverOptimalSweep
+		}
+		res, err := algo.TwoDRRR(d, k, algo.TwoDOptions{Cover: cover})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{IDs: res.IDs, Algorithm: Algo2DRRR}, nil
+	case AlgoMDRRR:
+		strategy := algo.HitGreedy
+		if opt.EpsilonNetHitting {
+			strategy = algo.HitEpsilonNet
+		}
+		res, err := algo.MDRRR(d, k, algo.MDRRROptions{
+			Sampler: kset.SampleOptions{
+				Termination: opt.SamplerTermination,
+				MaxDraws:    opt.SamplerMaxDraws,
+				Seed:        opt.Seed,
+			},
+			Strategy: strategy,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{IDs: res.IDs, Algorithm: AlgoMDRRR, KSets: res.Stats.KSets}, nil
+	case AlgoMDRC:
+		pick := algo.PickFirst
+		if opt.PickMinMaxRank {
+			pick = algo.PickMinMaxRank
+		}
+		res, err := algo.MDRC(d, k, algo.MDRCOptions{Pick: pick})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{IDs: res.IDs, Algorithm: AlgoMDRC, Nodes: res.Stats.Nodes}, nil
+	}
+	return nil, fmt.Errorf("rrr: unknown algorithm %q", opt.Algorithm)
+}
+
+// MinimalKForSize solves the paper's dual formulation (Section 2): given a
+// budget on the output size, find the smallest k for which a representative
+// of at most that size exists, by binary search over k with the RRR solver
+// as the oracle. It returns the achieved k and the representative.
+func MinimalKForSize(d *Dataset, size int, opt Options) (int, *Result, error) {
+	if d == nil {
+		return 0, nil, errors.New("rrr: nil dataset")
+	}
+	if size <= 0 {
+		return 0, nil, fmt.Errorf("rrr: size budget must be positive, got %d", size)
+	}
+	lo, hi := 1, d.N()
+	var best *Result
+	bestK := 0
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		res, err := Representative(d, mid, opt)
+		if err != nil {
+			return 0, nil, err
+		}
+		if len(res.IDs) <= size {
+			best, bestK = res, mid
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	if best == nil {
+		// k = n always admits a singleton representative, so this cannot
+		// happen for size >= 1; defend anyway.
+		return 0, nil, errors.New("rrr: no k admits the requested size")
+	}
+	return bestK, best, nil
+}
+
+// TopK returns the IDs of the k best tuples under f, best first.
+func TopK(d *Dataset, f LinearFunc, k int) []int { return topk.TopK(d, f, k) }
+
+// Rank returns the 1-based rank of the tuple with the given ID under f.
+func Rank(d *Dataset, f LinearFunc, id int) (int, error) { return core.RankOfID(d, f, id) }
+
+// RankRegret returns RR_f(X): the best rank any member of ids achieves
+// under f (Definition 1).
+func RankRegret(d *Dataset, f LinearFunc, ids []int) (int, error) {
+	return core.RankRegret(d, f, ids)
+}
+
+// Skyline returns the Pareto-optimal tuple IDs — the maxima representation
+// for monotone ranking functions.
+func Skyline(d *Dataset) []int { return skyline.Skyline(d) }
+
+// ConvexHull2D returns the 2-D maxima chain — the order-1 rank-regret
+// representative for linear functions — in sweep order.
+func ConvexHull2D(d *Dataset) ([]int, error) { return skyline.ConvexHull2D(d) }

@@ -1,0 +1,213 @@
+package rrr_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"rrr"
+	"rrr/internal/paperfig"
+)
+
+func paperDataset(t *testing.T) *rrr.Dataset {
+	t.Helper()
+	return paperfig.Figure1()
+}
+
+func TestRepresentativeAutoDispatch2D(t *testing.T) {
+	d := paperDataset(t)
+	res, err := rrr.Representative(d, 2, rrr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != rrr.Algo2DRRR {
+		t.Fatalf("auto on 2-D picked %q", res.Algorithm)
+	}
+	if !reflect.DeepEqual(res.IDs, paperfig.TwoDRRROutput) {
+		t.Fatalf("IDs = %v, want %v", res.IDs, paperfig.TwoDRRROutput)
+	}
+}
+
+func TestRepresentativeAutoDispatchMD(t *testing.T) {
+	tb := rrr.BNLike(300, 1)
+	d, err := tb.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rrr.Representative(d, 10, rrr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != rrr.AlgoMDRC {
+		t.Fatalf("auto on 5-D picked %q", res.Algorithm)
+	}
+	if res.Nodes == 0 {
+		t.Fatal("missing MDRC stats")
+	}
+	rrEst, _, err := rrr.EstimateRankRegret(d, res.IDs, rrr.EvalOptions{Samples: 1000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rrEst > 5*10 {
+		t.Fatalf("estimated rank-regret %d above dk", rrEst)
+	}
+}
+
+func TestRepresentativeExplicitAlgorithms(t *testing.T) {
+	d := paperDataset(t)
+	for _, a := range []rrr.Algorithm{rrr.Algo2DRRR, rrr.AlgoMDRRR, rrr.AlgoMDRC} {
+		res, err := rrr.Representative(d, 2, rrr.Options{Algorithm: a, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		if res.Algorithm != a || len(res.IDs) == 0 {
+			t.Fatalf("%s: bad result %+v", a, res)
+		}
+		got, err := rrr.ExactRankRegret2D(d, res.IDs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got > 4 { // 2k bound for k=2
+			t.Fatalf("%s: rank-regret %d", a, got)
+		}
+	}
+	if res, err := rrr.Representative(d, 2, rrr.Options{Algorithm: rrr.AlgoMDRRR, EpsilonNetHitting: true}); err != nil || len(res.IDs) == 0 {
+		t.Fatalf("epsilon-net variant: %v %v", res, err)
+	}
+	if res, err := rrr.Representative(d, 2, rrr.Options{OptimalCover: true}); err != nil || len(res.IDs) != 2 {
+		t.Fatalf("optimal cover variant: %v %v", res, err)
+	}
+	if res, err := rrr.Representative(d, 2, rrr.Options{Algorithm: rrr.AlgoMDRC, PickMinMaxRank: true}); err != nil || len(res.IDs) == 0 {
+		t.Fatalf("min-max-rank variant: %v %v", res, err)
+	}
+}
+
+func TestRepresentativeErrors(t *testing.T) {
+	if _, err := rrr.Representative(nil, 2, rrr.Options{}); err == nil {
+		t.Error("nil dataset must error")
+	}
+	d := paperDataset(t)
+	if _, err := rrr.Representative(d, 0, rrr.Options{}); err == nil {
+		t.Error("k=0 must error")
+	}
+	if _, err := rrr.Representative(d, 2, rrr.Options{Algorithm: "bogus"}); err == nil {
+		t.Error("unknown algorithm must error")
+	}
+}
+
+func TestMinimalKForSizeDualProblem(t *testing.T) {
+	d := paperDataset(t)
+	// Size budget 1: the smallest k admitting a singleton representative.
+	k, res, err := rrr.MinimalKForSize(d, 1, rrr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != 1 {
+		t.Fatalf("size budget violated: %v", res.IDs)
+	}
+	got, err := rrr.ExactRankRegret2D(d, res.IDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > 2*k {
+		t.Fatalf("returned k=%d not honored: exact rank-regret %d", k, got)
+	}
+	// Monotonicity: a larger budget can only lower the achievable k.
+	k2, _, err := rrr.MinimalKForSize(d, 3, rrr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2 > k {
+		t.Fatalf("k for size 3 (%d) exceeds k for size 1 (%d)", k2, k)
+	}
+	if _, _, err := rrr.MinimalKForSize(d, 0, rrr.Options{}); err == nil {
+		t.Error("size 0 must error")
+	}
+	if _, _, err := rrr.MinimalKForSize(nil, 1, rrr.Options{}); err == nil {
+		t.Error("nil dataset must error")
+	}
+}
+
+func TestPublicHelpers(t *testing.T) {
+	d := paperDataset(t)
+	f := rrr.NewLinearFunc(1, 1)
+	if got := rrr.TopK(d, f, 2); !reflect.DeepEqual(got, []int{7, 3}) {
+		t.Fatalf("TopK = %v", got)
+	}
+	r, err := rrr.Rank(d, f, 7)
+	if err != nil || r != 1 {
+		t.Fatalf("Rank(t7) = %d, %v", r, err)
+	}
+	rReg, err := rrr.RankRegret(d, f, []int{3, 4})
+	if err != nil || rReg != 2 {
+		t.Fatalf("RankRegret = %d, %v", rReg, err)
+	}
+	if got := rrr.Skyline(d); !reflect.DeepEqual(got, []int{3, 5, 7}) {
+		t.Fatalf("Skyline = %v", got)
+	}
+	hull, err := rrr.ConvexHull2D(d)
+	if err != nil || !reflect.DeepEqual(hull, []int{7, 3, 5}) {
+		t.Fatalf("ConvexHull2D = %v, %v", hull, err)
+	}
+	ratio, err := rrr.RegretRatio(d, rrr.NewLinearFunc(1, 0), []int{7})
+	if err != nil || ratio != 0 {
+		t.Fatalf("RegretRatio = %v, %v", ratio, err)
+	}
+	if _, _, err := rrr.MaxRegretRatio(d, []int{7}, rrr.EvalOptions{Samples: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRoundTripThroughPublicAPI(t *testing.T) {
+	tb := rrr.Independent(20, 3, 5)
+	var buf bytes.Buffer
+	if err := rrr.WriteCSV(&buf, tb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := rrr.ReadCSV(&buf, "again")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := back.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 20 || d.Dims() != 3 {
+		t.Fatalf("normalized shape %dx%d", d.N(), d.Dims())
+	}
+	if _, err := rrr.Representative(d, 3, rrr.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratorsExposed(t *testing.T) {
+	if tb := rrr.DOTLike(10, 1); tb.Dims() != 8 {
+		t.Error("DOTLike dims")
+	}
+	if tb := rrr.BNLike(10, 1); tb.Dims() != 5 {
+		t.Error("BNLike dims")
+	}
+	if tb := rrr.Correlated(10, 4, 1); tb.Dims() != 4 {
+		t.Error("Correlated dims")
+	}
+	if tb := rrr.AntiCorrelated(10, 4, 1); tb.Dims() != 4 {
+		t.Error("AntiCorrelated dims")
+	}
+}
+
+func TestFromTuplesExposed(t *testing.T) {
+	d, err := rrr.FromTuples([]rrr.Tuple{
+		{ID: 5, Attrs: []float64{1, 0}},
+		{ID: 9, Attrs: []float64{0, 1}},
+	})
+	if err != nil || d.N() != 2 {
+		t.Fatal(err)
+	}
+	res, err := rrr.Representative(d, 1, rrr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.IDs, []int{5, 9}) {
+		t.Fatalf("k=1 on two extremes = %v, want both", res.IDs)
+	}
+}
