@@ -1,0 +1,31 @@
+# Tier-1 gate: `make ci` runs exactly what CI runs; a PR must keep it green.
+
+GO ?= go
+
+.PHONY: all build test vet fmt fmt-check race ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/service/ ./internal/eval/
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+# Fails (with the offending files listed) when anything is not gofmt-clean.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+ci: fmt-check vet build test race
+
+clean:
+	$(GO) clean ./...

@@ -15,7 +15,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"rrr"
 )
@@ -31,26 +30,15 @@ func run() error {
 	var (
 		kind = flag.String("kind", "dot", "dot, bn, independent, correlated, anticorrelated")
 		n    = flag.Int("n", 10000, "number of rows")
-		d    = flag.Int("d", 4, "attributes (synthetic kinds only; dot is 8, bn is 5)")
+		d    = flag.Int("d", 0, "attributes: 0 keeps the native schema (dot 8, bn 5, synthetic 4); otherwise the first d columns")
 		seed = flag.Int64("seed", 1, "generator seed")
 		out  = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
 
-	var t *rrr.Table
-	switch strings.ToLower(*kind) {
-	case "dot":
-		t = rrr.DOTLike(*n, *seed)
-	case "bn":
-		t = rrr.BNLike(*n, *seed)
-	case "independent":
-		t = rrr.Independent(*n, *d, *seed)
-	case "correlated":
-		t = rrr.Correlated(*n, *d, *seed)
-	case "anticorrelated":
-		t = rrr.AntiCorrelated(*n, *d, *seed)
-	default:
-		return fmt.Errorf("unknown kind %q", *kind)
+	t, err := rrr.GenerateTable(*kind, *n, *d, *seed)
+	if err != nil {
+		return err
 	}
 
 	w := bufio.NewWriter(os.Stdout)

@@ -16,7 +16,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"text/tabwriter"
 
 	"rrr"
@@ -60,16 +59,9 @@ func run() error {
 	fmt.Printf("dataset: %s, n=%d, d=%d\n", table.Name, ds.N(), ds.Dims())
 
 	opt := rrr.Options{Seed: *seed}
-	switch strings.ToLower(*algoName) {
-	case "auto", "":
-	case "2drrr":
-		opt.Algorithm = rrr.Algo2DRRR
-	case "mdrrr":
-		opt.Algorithm = rrr.AlgoMDRRR
-	case "mdrc":
-		opt.Algorithm = rrr.AlgoMDRC
-	default:
-		return fmt.Errorf("unknown algorithm %q", *algoName)
+	opt.Algorithm, err = rrr.ParseAlgorithm(*algoName)
+	if err != nil {
+		return err
 	}
 
 	var res *rrr.Result
@@ -124,19 +116,8 @@ func loadTable(input, kind string, n int, seed int64) (*rrr.Table, error) {
 		defer f.Close()
 		return rrr.ReadCSV(f, input)
 	}
-	switch strings.ToLower(kind) {
-	case "dot":
-		return rrr.DOTLike(n, seed), nil
-	case "bn":
-		return rrr.BNLike(n, seed), nil
-	case "independent":
-		return rrr.Independent(n, 4, seed), nil
-	case "correlated":
-		return rrr.Correlated(n, 4, seed), nil
-	case "anticorrelated":
-		return rrr.AntiCorrelated(n, 4, seed), nil
-	case "":
+	if kind == "" {
 		return nil, fmt.Errorf("provide -input FILE or -dataset KIND")
 	}
-	return nil, fmt.Errorf("unknown dataset kind %q", kind)
+	return rrr.GenerateTable(kind, n, 0, seed)
 }

@@ -1,0 +1,147 @@
+// Command rrrd serves rank-regret representatives over HTTP.
+//
+// It wraps the batch library behind a dataset registry and a keyed
+// precomputation cache with singleflight semantics: the first request for a
+// (dataset, k, algorithm) triple computes the representative, concurrent
+// duplicates share that computation, and every later request is a cache
+// hit.
+//
+// Examples:
+//
+//	rrrd -addr :8080 -preload flights=dot:5000:3,diamonds=bn:5000
+//	curl localhost:8080/healthz
+//	curl 'localhost:8080/representative?dataset=flights&k=100'
+//	curl 'localhost:8080/rank?dataset=flights&id=42&weights=0.5,0.3,0.2'
+//	curl -X POST localhost:8080/datasets -d '{"name":"uni","kind":"independent","n":2000,"dims":4}'
+//	curl localhost:8080/stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"rrr"
+	"rrr/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rrrd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		preload = flag.String("preload", "", "datasets to register at startup: name=kind[:n[:d[:seed]]], comma separated (e.g. flights=dot:5000:3)")
+		seed    = flag.Int64("seed", 1, "solver seed (MDRRR sampling, regret estimation)")
+	)
+	flag.Parse()
+
+	svc := service.New(rrr.Options{Seed: *seed})
+	if err := preloadDatasets(svc, *preload); err != nil {
+		return err
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           logRequests(service.NewServer(svc)),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("rrrd listening on %s (%d datasets preloaded)", *addr, svc.Registry().Len())
+		errc <- srv.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		log.Printf("rrrd shutting down on %v", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}
+
+// preloadDatasets parses and registers the -preload specs.
+func preloadDatasets(svc *service.Service, spec string) error {
+	if spec == "" {
+		return nil
+	}
+	for _, item := range strings.Split(spec, ",") {
+		name, gen, ok := strings.Cut(strings.TrimSpace(item), "=")
+		if !ok || name == "" {
+			return fmt.Errorf("preload item %q: want name=kind[:n[:d[:seed]]]", item)
+		}
+		parts := strings.Split(gen, ":")
+		kind := parts[0]
+		n, d, genSeed := 10000, 0, int64(1)
+		var err error
+		if len(parts) > 1 {
+			if n, err = strconv.Atoi(parts[1]); err != nil {
+				return fmt.Errorf("preload item %q: bad row count %q", item, parts[1])
+			}
+		}
+		if len(parts) > 2 {
+			if d, err = strconv.Atoi(parts[2]); err != nil {
+				return fmt.Errorf("preload item %q: bad dimension %q", item, parts[2])
+			}
+		}
+		if len(parts) > 3 {
+			if genSeed, err = strconv.ParseInt(parts[3], 10, 64); err != nil {
+				return fmt.Errorf("preload item %q: bad seed %q", item, parts[3])
+			}
+		}
+		if len(parts) > 4 {
+			return fmt.Errorf("preload item %q: too many fields", item)
+		}
+		entry, err := svc.Registry().Generate(name, kind, n, d, genSeed)
+		if err != nil {
+			return err
+		}
+		log.Printf("preloaded dataset %q: n=%d d=%d", name, entry.Data.N(), entry.Data.Dims())
+	}
+	return nil
+}
+
+// logRequests is a minimal access-log middleware.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		log.Printf("%s %s %d %s", r.Method, r.URL.RequestURI(), rec.status, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}

@@ -34,6 +34,15 @@ func Correlated(n, d int, seed int64) *Table { return dataset.Correlated(n, d, s
 // the largest skylines and representatives.
 func AntiCorrelated(n, d int, seed int64) *Table { return dataset.AntiCorrelated(n, d, seed) }
 
+// GenerateTable builds a synthetic table by kind name ("dot", "bn",
+// "independent", "correlated", "anticorrelated"). The synthetic kinds use
+// d attributes (default 4 when d <= 0); dot and bn have native schemas,
+// projected onto the first d attributes when 0 < d < native. The CLIs and
+// the rrrd daemon share this dispatch.
+func GenerateTable(kind string, n, d int, seed int64) (*Table, error) {
+	return dataset.ByKind(kind, n, d, seed)
+}
+
 // ReadCSV parses a table whose header encodes preference directions as
 // "Name:+" / "Name:-" (direction defaults to higher-is-better).
 func ReadCSV(r io.Reader, name string) (*Table, error) { return dataset.ReadCSV(r, name) }

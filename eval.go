@@ -4,8 +4,12 @@ import (
 	"rrr/internal/eval"
 )
 
+// DefaultEvalSamples is the sample count the estimators use when
+// EvalOptions.Samples is zero — the paper's Section 6.1 setting.
+const DefaultEvalSamples = eval.DefaultSamples
+
 // EvalOptions tunes the sampled quality estimators. Samples defaults to
-// 10,000, the paper's Section 6.1 setting.
+// DefaultEvalSamples.
 type EvalOptions struct {
 	Samples int
 	Seed    int64

@@ -1,0 +1,3 @@
+module rrr
+
+go 1.24

@@ -17,9 +17,11 @@
 package dataset
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"strconv"
+	"strings"
 )
 
 // Attr describes one attribute of a raw table.
@@ -228,6 +230,47 @@ func AntiCorrelated(n, d int, seed int64) *Table {
 		t.Rows[i] = row
 	}
 	return t
+}
+
+// ByKind generates a synthetic table by kind name (case-insensitive):
+// "dot", "bn", "independent", "correlated" or "anticorrelated". The purely
+// synthetic kinds are generated with d attributes (default 4 when d <= 0);
+// dot and bn have native schemas (8 and 5 attributes). In either case,
+// 0 < d < native projects onto the first d attributes — the experiments'
+// device. Every kind switch in the repository (CLIs, rrrd) goes through
+// here.
+func ByKind(kind string, n, d int, seed int64) (*Table, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dataset: row count must be positive, got %d", n)
+	}
+	synthDims := d
+	if synthDims <= 0 {
+		synthDims = 4
+	}
+	// Reject impossible projections before paying for generation.
+	nativeDims := map[string]int{"dot": 8, "bn": 5}
+	if nd, fixed := nativeDims[strings.ToLower(kind)]; fixed && d > nd {
+		return nil, fmt.Errorf("dataset: %s has only %d attributes, %d requested", strings.ToLower(kind), nd, d)
+	}
+	var t *Table
+	switch strings.ToLower(kind) {
+	case "dot":
+		t = DOTLike(n, seed)
+	case "bn":
+		t = BNLike(n, seed)
+	case "independent":
+		t = Independent(n, synthDims, seed)
+	case "correlated":
+		t = Correlated(n, synthDims, seed)
+	case "anticorrelated":
+		t = AntiCorrelated(n, synthDims, seed)
+	default:
+		return nil, fmt.Errorf("dataset: unknown kind %q (want dot, bn, independent, correlated or anticorrelated)", kind)
+	}
+	if d > 0 && d < t.Dims() {
+		return t.FirstDims(d)
+	}
+	return t, nil
 }
 
 func synthTable(name string, d int) *Table {

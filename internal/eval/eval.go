@@ -18,10 +18,14 @@ import (
 	"rrr/internal/sweep"
 )
 
+// DefaultSamples is the number of ranking functions the estimators draw
+// when Options.Samples is zero — 10,000, the paper's Section 6.1 setting.
+const DefaultSamples = 10000
+
 // Options configures the sampled estimators.
 type Options struct {
 	// Samples is the number of ranking functions drawn uniformly from the
-	// positive orthant of the unit hypersphere. Default 10,000 (paper §6.1).
+	// positive orthant of the unit hypersphere. Default DefaultSamples.
 	Samples int
 	// Seed drives the sampler; fixed seeds give reproducible estimates.
 	Seed int64
@@ -32,7 +36,7 @@ type Options struct {
 
 func (o Options) samples() int {
 	if o.Samples <= 0 {
-		return 10000
+		return DefaultSamples
 	}
 	return o.Samples
 }

@@ -1,0 +1,202 @@
+package service
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Key identifies one precomputation: a representative of dataset Dataset
+// at rank target K by algorithm Algo. Algo is the *resolved* algorithm
+// (never "auto"), so "auto" and its resolution share one cache slot. Gen
+// is the registry entry's registration generation: a re-registered dataset
+// gets fresh keys, so results computed against removed data — including
+// computations in flight across the removal — are unreachable rather than
+// stale.
+type Key struct {
+	Dataset string
+	Gen     int64
+	K       int
+	Algo    string
+}
+
+// computation is one cache slot. The first requester (the leader) owns the
+// computation; followers block on done. A slot whose computation failed is
+// evicted by the leader so later requests retry instead of caching the
+// error forever.
+type computation struct {
+	done chan struct{}
+
+	// Written by the leader before close(done), read-only afterwards.
+	ids     []int
+	stats   ResultStats
+	elapsed time.Duration
+	err     error
+}
+
+// ResultStats carries the solver's work counters through the cache.
+type ResultStats struct {
+	KSets int
+	Nodes int
+}
+
+// Cache is a keyed precomputation cache with singleflight semantics:
+// concurrent requests for the same key share exactly one underlying
+// computation, and completed computations are served from memory until
+// Invalidate. It deliberately has no size bound — entries are a few ints
+// per (dataset, k, algorithm) triple — but InvalidateDataset keeps it in
+// step with dataset removal.
+type Cache struct {
+	mu      sync.Mutex
+	slots   map[Key]*computation
+	metrics *Metrics
+	// sem bounds the number of concurrently *running* computations —
+	// admission control, so a burst of distinct keys (say, a client
+	// sweeping k) queues solves instead of launching them all at once and
+	// exhausting CPU and memory. Followers of an in-flight key wait on
+	// the slot, not the semaphore, so sharing is never throttled.
+	sem chan struct{}
+}
+
+// NewCache returns an empty cache reporting into metrics (may be nil).
+// maxConcurrent bounds simultaneously running computations; values <= 0
+// default to GOMAXPROCS (each solver already parallelizes internally, so
+// more concurrent solves than cores only adds memory pressure).
+func NewCache(metrics *Metrics, maxConcurrent int) *Cache {
+	if maxConcurrent <= 0 {
+		maxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	return &Cache{
+		slots:   make(map[Key]*computation),
+		metrics: metrics,
+		sem:     make(chan struct{}, maxConcurrent),
+	}
+}
+
+// CachedResult is what Do returns: the representative IDs plus provenance
+// (whether this request hit the cache and how long the underlying
+// computation took).
+type CachedResult struct {
+	IDs     []int
+	Stats   ResultStats
+	Elapsed time.Duration
+	Cached  bool
+}
+
+// Do returns the cached result for key, computing it via compute if absent.
+// If another request is already computing the key, Do waits for it and
+// shares its result (counted as a hit). compute runs without the cache lock
+// held, so unrelated keys never serialize behind one computation.
+func (c *Cache) Do(key Key, compute func() ([]int, ResultStats, error)) (CachedResult, error) {
+	c.mu.Lock()
+	if slot, ok := c.slots[key]; ok {
+		c.mu.Unlock()
+		<-slot.done
+		if slot.err != nil {
+			// A shared failure is not a hit: nothing was served from
+			// cache, the client gets the flight's error.
+			return CachedResult{}, slot.err
+		}
+		c.metrics.hit()
+		return CachedResult{IDs: slot.ids, Stats: slot.stats, Elapsed: slot.elapsed, Cached: true}, nil
+	}
+	slot := &computation{done: make(chan struct{})}
+	c.slots[key] = slot
+	c.mu.Unlock()
+
+	c.metrics.miss()
+	c.sem <- struct{}{}
+	defer func() { <-c.sem }()
+	c.metrics.computeStarted()
+	start := time.Now()
+	finished := false
+	defer func() {
+		if finished {
+			return
+		}
+		// compute panicked. Publish an error so followers blocked on this
+		// slot unwedge, evict the slot so later requests retry, then let
+		// the panic continue (net/http logs and recovers it per request).
+		slot.err = fmt.Errorf("service: computation for %v panicked", key)
+		slot.elapsed = time.Since(start)
+		c.metrics.computeFinished(key.Algo, slot.elapsed, slot.err)
+		c.evict(key, slot)
+		close(slot.done)
+	}()
+	slot.ids, slot.stats, slot.err = compute()
+	finished = true
+	slot.elapsed = time.Since(start)
+	c.metrics.computeFinished(key.Algo, slot.elapsed, slot.err)
+	if slot.err != nil {
+		// Evict before waking followers: a transient failure must not
+		// poison the key. Followers still observe this attempt's error.
+		c.evict(key, slot)
+		close(slot.done)
+		return CachedResult{}, slot.err
+	}
+	close(slot.done)
+	return CachedResult{IDs: slot.ids, Stats: slot.stats, Elapsed: slot.elapsed, Cached: false}, nil
+}
+
+// evict removes the slot if it is still the one mapped at key.
+func (c *Cache) evict(key Key, slot *computation) {
+	c.mu.Lock()
+	if c.slots[key] == slot {
+		delete(c.slots, key)
+	}
+	c.mu.Unlock()
+}
+
+// Peek reports whether key has a completed result, without computing.
+func (c *Cache) Peek(key Key) (CachedResult, bool) {
+	c.mu.Lock()
+	slot, ok := c.slots[key]
+	c.mu.Unlock()
+	if !ok {
+		return CachedResult{}, false
+	}
+	select {
+	case <-slot.done:
+	default:
+		return CachedResult{}, false
+	}
+	if slot.err != nil {
+		return CachedResult{}, false
+	}
+	return CachedResult{IDs: slot.ids, Stats: slot.stats, Elapsed: slot.elapsed, Cached: true}, true
+}
+
+// InvalidateDataset drops every completed result for the named dataset,
+// returning how many were dropped. In-flight computations are left to
+// finish — their slot lingers, but because keys carry the registration
+// generation it can never be reached by requests for a re-registered
+// dataset; the few ints it holds are the cost of not blocking removal on
+// a running solver.
+func (c *Cache) InvalidateDataset(name string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for key, slot := range c.slots {
+		if key.Dataset != name {
+			continue
+		}
+		select {
+		case <-slot.done:
+			delete(c.slots, key)
+			dropped++
+		default:
+			// Still computing; followers arriving before completion (all
+			// necessarily holding the same now-removed generation) still
+			// share the flight.
+		}
+	}
+	return dropped
+}
+
+// Len returns the number of slots (completed or in flight).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.slots)
+}

@@ -1,0 +1,333 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// maxUploadBytes bounds POST /datasets bodies (CSV uploads included).
+const maxUploadBytes = 64 << 20
+
+// Server adapts a Service to JSON-over-HTTP. Mount it directly or via
+// Handler().
+//
+// Endpoints:
+//
+//	POST /datasets        register a dataset (JSON spec: generator or CSV)
+//	GET  /datasets        list registered datasets
+//	DELETE /datasets/{name}  unregister + invalidate cache
+//	GET  /representative?dataset=&k=&algo=   cached representative
+//	GET  /rank?dataset=&weights=&id=|ids=    rank / rank-regret probe
+//	GET  /regret?dataset=&ids=&samples=      sampled worst-case rank-regret
+//	GET  /healthz         liveness
+//	GET  /stats           cache + latency counters
+type Server struct {
+	svc *Service
+	mux *http.ServeMux
+}
+
+// NewServer builds the HTTP adapter over svc.
+func NewServer(svc *Service) *Server {
+	s := &Server{svc: svc, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /datasets", s.handleRegister)
+	s.mux.HandleFunc("GET /datasets", s.handleList)
+	s.mux.HandleFunc("DELETE /datasets/{name}", s.handleRemove)
+	s.mux.HandleFunc("GET /representative", s.handleRepresentative)
+	s.mux.HandleFunc("GET /rank", s.handleRank)
+	s.mux.HandleFunc("GET /regret", s.handleRegret)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Handler returns the underlying mux (for wrapping in middleware).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError maps the service's sentinel error kinds to HTTP statuses.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrBadRequest):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrConflict):
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// registerRequest is the POST /datasets payload. Exactly one of Kind or
+// CSV must be set: Kind generates a synthetic dataset (dot, bn,
+// independent, correlated, anticorrelated) of N rows (projected onto Dims
+// attributes when 0 < Dims < native), CSV registers inline data in the
+// repository's header convention ("Name:+" / "Name:-").
+type registerRequest struct {
+	Name string `json:"name"`
+	Kind string `json:"kind,omitempty"`
+	N    int    `json:"n,omitempty"`
+	Dims int    `json:"dims,omitempty"`
+	Seed int64  `json:"seed,omitempty"`
+	CSV  string `json:"csv,omitempty"`
+}
+
+// datasetInfo describes one registered dataset in responses.
+type datasetInfo struct {
+	Name  string   `json:"name"`
+	N     int      `json:"n"`
+	Dims  int      `json:"dims"`
+	Attrs []string `json:"attrs"`
+}
+
+func describe(e *Entry) datasetInfo {
+	attrs := make([]string, len(e.Table.Attrs))
+	for i, a := range e.Table.Attrs {
+		dir := ":+"
+		if !a.HigherBetter {
+			dir = ":-"
+		}
+		attrs[i] = a.Name + dir
+	}
+	return datasetInfo{Name: e.Name, N: e.Data.N(), Dims: e.Data.Dims(), Attrs: attrs}
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUploadBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("service: invalid JSON body: %v: %w", err, ErrBadRequest))
+		return
+	}
+	var entry *Entry
+	var err error
+	switch {
+	case req.Kind != "" && req.CSV != "":
+		writeError(w, fmt.Errorf("service: body sets both kind and csv: %w", ErrBadRequest))
+		return
+	case req.Kind != "":
+		entry, err = s.svc.Registry().Generate(req.Name, req.Kind, req.N, req.Dims, req.Seed)
+	case req.CSV != "":
+		entry, err = s.svc.Registry().RegisterCSV(req.Name, strings.NewReader(req.CSV))
+	default:
+		writeError(w, fmt.Errorf("service: body sets neither kind nor csv: %w", ErrBadRequest))
+		return
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, describe(entry))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	entries := s.svc.Registry().Entries()
+	out := make([]datasetInfo, len(entries))
+	for i, e := range entries {
+		out[i] = describe(e)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": out})
+}
+
+func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.svc.RemoveDataset(name) {
+		writeError(w, fmt.Errorf("service: dataset %q: %w", name, ErrNotFound))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"removed": name})
+}
+
+// representativeResponse is the GET /representative payload.
+type representativeResponse struct {
+	Dataset   string  `json:"dataset"`
+	K         int     `json:"k"`
+	Algorithm string  `json:"algorithm"`
+	Size      int     `json:"size"`
+	IDs       []int   `json:"ids"`
+	Cached    bool    `json:"cached"`
+	ElapsedMS float64 `json:"compute_ms"`
+	KSets     int     `json:"ksets,omitempty"`
+	Nodes     int     `json:"nodes,omitempty"`
+}
+
+func (s *Server) handleRepresentative(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name := q.Get("dataset")
+	if name == "" {
+		writeError(w, fmt.Errorf("service: missing dataset parameter: %w", ErrBadRequest))
+		return
+	}
+	k, err := intParam(q.Get("k"), "k")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	rep, err := s.svc.Representative(name, k, q.Get("algo"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, representativeResponse{
+		Dataset:   rep.Dataset,
+		K:         rep.K,
+		Algorithm: string(rep.Algorithm),
+		Size:      len(rep.IDs),
+		IDs:       rep.IDs,
+		Cached:    rep.Cached,
+		ElapsedMS: float64(rep.Elapsed) / 1e6,
+		KSets:     rep.Stats.KSets,
+		Nodes:     rep.Stats.Nodes,
+	})
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name := q.Get("dataset")
+	if name == "" {
+		writeError(w, fmt.Errorf("service: missing dataset parameter: %w", ErrBadRequest))
+		return
+	}
+	weights, err := parseFloats(q.Get("weights"), "weights")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	switch {
+	case q.Get("id") != "":
+		id, err := intParam(q.Get("id"), "id")
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		rank, err := s.svc.RankOf(name, id, weights)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"dataset": name, "id": id, "rank": rank})
+	case q.Get("ids") != "":
+		ids, err := parseInts(q.Get("ids"), "ids")
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		rr, err := s.svc.RankRegretOf(name, ids, weights)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"dataset": name, "ids": ids, "rank_regret": rr})
+	default:
+		writeError(w, fmt.Errorf("service: missing id or ids parameter: %w", ErrBadRequest))
+	}
+}
+
+func (s *Server) handleRegret(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name := q.Get("dataset")
+	if name == "" {
+		writeError(w, fmt.Errorf("service: missing dataset parameter: %w", ErrBadRequest))
+		return
+	}
+	ids, err := parseInts(q.Get("ids"), "ids")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	samples := 0
+	if raw := q.Get("samples"); raw != "" {
+		if samples, err = intParam(raw, "samples"); err != nil {
+			writeError(w, err)
+			return
+		}
+	}
+	est, err := s.svc.EstimateRegret(name, ids, samples)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dataset":    name,
+		"ids":        ids,
+		"worst_rank": est.WorstRank,
+		"witness":    est.Witness,
+		"samples":    est.Samples,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"datasets": s.svc.Registry().Len(),
+		"time":     time.Now().UTC().Format(time.RFC3339),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.Metrics().Snapshot())
+}
+
+func intParam(raw, name string) (int, error) {
+	if raw == "" {
+		return 0, fmt.Errorf("service: missing %s parameter: %w", name, ErrBadRequest)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("service: %s=%q is not an integer: %w", name, raw, ErrBadRequest)
+	}
+	return v, nil
+}
+
+func parseInts(raw, name string) ([]int, error) {
+	if raw == "" {
+		return nil, fmt.Errorf("service: missing %s parameter: %w", name, ErrBadRequest)
+	}
+	parts := strings.Split(raw, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("service: %s element %q is not an integer: %w", name, p, ErrBadRequest)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func parseFloats(raw, name string) ([]float64, error) {
+	if raw == "" {
+		return nil, fmt.Errorf("service: missing %s parameter: %w", name, ErrBadRequest)
+	}
+	parts := strings.Split(raw, ",")
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("service: %s element %q is not a number: %w", name, p, ErrBadRequest)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

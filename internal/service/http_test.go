@@ -1,0 +1,352 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"rrr"
+)
+
+// newTestServer builds a server with one small 2-D dataset ("flights")
+// preloaded, plus the Service behind it for white-box assertions.
+func newTestServer(t *testing.T) (*httptest.Server, *Service) {
+	t.Helper()
+	svc := New(rrr.Options{Seed: 1})
+	if _, err := svc.Registry().Generate("flights", "dot", 300, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(svc))
+	t.Cleanup(ts.Close)
+	return ts, svc
+}
+
+// getJSON issues a GET and decodes the body, returning the status code.
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decoding body: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var body struct {
+		Status   string `json:"status"`
+		Datasets int    `json:"datasets"`
+	}
+	if code := getJSON(t, ts.URL+"/healthz", &body); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if body.Status != "ok" || body.Datasets != 1 {
+		t.Fatalf("body = %+v", body)
+	}
+}
+
+func TestRepresentativeEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var body representativeResponse
+	if code := getJSON(t, ts.URL+"/representative?dataset=flights&k=20", &body); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if body.Algorithm != "2drrr" {
+		t.Fatalf("auto on 2-D data resolved to %q, want 2drrr", body.Algorithm)
+	}
+	if body.Size == 0 || body.Size != len(body.IDs) {
+		t.Fatalf("size = %d, ids = %v", body.Size, body.IDs)
+	}
+	if body.Cached {
+		t.Fatal("first request reported cached")
+	}
+
+	var second representativeResponse
+	getJSON(t, ts.URL+"/representative?dataset=flights&k=20", &second)
+	if !second.Cached {
+		t.Fatal("second request not served from cache")
+	}
+	// "auto" and the resolved name share one cache slot.
+	var explicit representativeResponse
+	getJSON(t, ts.URL+"/representative?dataset=flights&k=20&algo=2drrr", &explicit)
+	if !explicit.Cached {
+		t.Fatal("explicit algorithm missed the auto-resolved cache slot")
+	}
+}
+
+// TestRepresentativeConcurrentSingleflight is the acceptance-criteria
+// test: concurrent identical requests trigger exactly one underlying
+// computation.
+func TestRepresentativeConcurrentSingleflight(t *testing.T) {
+	ts, svc := newTestServer(t)
+	const clients = 16
+	url := ts.URL + "/representative?dataset=flights&k=50&algo=mdrrr"
+
+	var wg sync.WaitGroup
+	bodies := make([]representativeResponse, clients)
+	codes := make([]int, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i] = getJSON(t, url, &bodies[i])
+		}(i)
+	}
+	wg.Wait()
+
+	var want []int
+	for i := 0; i < clients; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("client %d: status %d", i, codes[i])
+		}
+		if want == nil {
+			want = bodies[i].IDs
+		} else if fmt.Sprint(bodies[i].IDs) != fmt.Sprint(want) {
+			t.Fatalf("client %d saw IDs %v, others saw %v", i, bodies[i].IDs, want)
+		}
+	}
+	snap := svc.Metrics().Snapshot()
+	if snap.Computations != 1 {
+		t.Fatalf("underlying computations = %d, want exactly 1", snap.Computations)
+	}
+	if snap.CacheMisses != 1 {
+		t.Fatalf("cache misses = %d, want 1", snap.CacheMisses)
+	}
+	if snap.CacheHits != clients-1 {
+		t.Fatalf("cache hits = %d, want %d", snap.CacheHits, clients-1)
+	}
+	if _, ok := snap.Latencies["mdrrr"]; !ok {
+		t.Fatalf("no mdrrr latency histogram in %v", snap.Latencies)
+	}
+}
+
+func TestRankEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var single struct {
+		Rank int `json:"rank"`
+	}
+	if code := getJSON(t, ts.URL+"/rank?dataset=flights&id=0&weights=0.5,0.5", &single); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if single.Rank < 1 || single.Rank > 300 {
+		t.Fatalf("rank = %d out of [1,300]", single.Rank)
+	}
+
+	// Rank-regret of a set can only improve on its members' ranks.
+	var set struct {
+		RankRegret int `json:"rank_regret"`
+	}
+	if code := getJSON(t, ts.URL+"/rank?dataset=flights&ids=0,1,2&weights=0.5,0.5", &set); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if set.RankRegret > single.Rank {
+		t.Fatalf("rank-regret %d worse than member rank %d", set.RankRegret, single.Rank)
+	}
+}
+
+func TestRegretEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	// The representative's sampled regret must respect the 2k bound of
+	// Theorem 4 (observed ≤ k in practice; assert the guarantee).
+	var rep representativeResponse
+	getJSON(t, ts.URL+"/representative?dataset=flights&k=30", &rep)
+	ids := strings.Trim(strings.Join(strings.Fields(fmt.Sprint(rep.IDs)), ","), "[]")
+	var reg struct {
+		WorstRank int       `json:"worst_rank"`
+		Witness   []float64 `json:"witness"`
+		Samples   int       `json:"samples"`
+	}
+	if code := getJSON(t, ts.URL+"/regret?dataset=flights&ids="+ids+"&samples=500", &reg); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if reg.WorstRank > 60 {
+		t.Fatalf("sampled rank-regret %d exceeds 2k = 60", reg.WorstRank)
+	}
+	if len(reg.Witness) != 2 || reg.Samples != 500 {
+		t.Fatalf("witness = %v, samples = %d", reg.Witness, reg.Samples)
+	}
+}
+
+func TestRegisterListRemove(t *testing.T) {
+	ts, _ := newTestServer(t)
+	body := `{"name":"uni","kind":"independent","n":100,"dims":3,"seed":7}`
+	resp, err := http.Post(ts.URL+"/datasets", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info datasetInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if info.N != 100 || info.Dims != 3 {
+		t.Fatalf("info = %+v", info)
+	}
+
+	// Inline CSV upload.
+	csvBody := `{"name":"shop","csv":"Price:-,Quality:+\n10,0.5\n20,0.9\n"}`
+	resp, err = http.Post(ts.URL+"/datasets", "application/json", strings.NewReader(csvBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("CSV upload status = %d", resp.StatusCode)
+	}
+
+	var list struct {
+		Datasets []datasetInfo `json:"datasets"`
+	}
+	getJSON(t, ts.URL+"/datasets", &list)
+	if len(list.Datasets) != 3 {
+		t.Fatalf("listed %d datasets, want 3", len(list.Datasets))
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/datasets/uni", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status = %d", resp.StatusCode)
+	}
+	if code := getJSON(t, ts.URL+"/representative?dataset=uni&k=5", nil); code != http.StatusNotFound {
+		t.Fatalf("representative of removed dataset: status = %d, want 404", code)
+	}
+}
+
+// TestErrorPaths covers the malformed-input and unknown-resource cases.
+func TestErrorPaths(t *testing.T) {
+	ts, _ := newTestServer(t)
+	cases := []struct {
+		name string
+		url  string
+		want int
+	}{
+		{"unknown dataset", "/representative?dataset=nope&k=10", http.StatusNotFound},
+		{"missing k", "/representative?dataset=flights", http.StatusBadRequest},
+		{"non-integer k", "/representative?dataset=flights&k=ten", http.StatusBadRequest},
+		{"non-positive k", "/representative?dataset=flights&k=0", http.StatusBadRequest},
+		{"unknown algorithm", "/representative?dataset=flights&k=10&algo=quantum", http.StatusBadRequest},
+		{"missing dataset", "/representative?k=10", http.StatusBadRequest},
+		{"malformed weights", "/rank?dataset=flights&id=0&weights=0.5;0.5", http.StatusBadRequest},
+		{"negative weights", "/rank?dataset=flights&id=0&weights=-1,2", http.StatusBadRequest},
+		{"zero weights", "/rank?dataset=flights&id=0&weights=0,0", http.StatusBadRequest},
+		{"wrong arity weights", "/rank?dataset=flights&id=0&weights=0.2,0.3,0.5", http.StatusBadRequest},
+		{"unknown tuple", "/rank?dataset=flights&id=99999&weights=0.5,0.5", http.StatusNotFound},
+		{"missing id and ids", "/rank?dataset=flights&weights=0.5,0.5", http.StatusBadRequest},
+		{"rank on unknown dataset", "/rank?dataset=nope&id=0&weights=0.5,0.5", http.StatusNotFound},
+		{"regret with unknown ids", "/regret?dataset=flights&ids=99999", http.StatusNotFound},
+		{"regret missing ids", "/regret?dataset=flights", http.StatusBadRequest},
+		{"regret samples over limit", "/regret?dataset=flights&ids=0&samples=2000000000", http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		var body errorBody
+		code := getJSON(t, ts.URL+tc.url, &body)
+		if code != tc.want {
+			t.Errorf("%s: status = %d, want %d (error: %s)", tc.name, code, tc.want, body.Error)
+		}
+		if body.Error == "" {
+			t.Errorf("%s: empty error message", tc.name)
+		}
+	}
+
+	// POST /datasets error paths.
+	posts := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"not JSON", "kind=dot", http.StatusBadRequest},
+		{"neither kind nor csv", `{"name":"x"}`, http.StatusBadRequest},
+		{"both kind and csv", `{"name":"x","kind":"dot","csv":"A:+\n1\n"}`, http.StatusBadRequest},
+		{"duplicate name", `{"name":"flights","kind":"dot","n":10}`, http.StatusConflict},
+		{"bad csv", `{"name":"x","csv":"A:+\nnope\n"}`, http.StatusBadRequest},
+	}
+	for _, tc := range posts {
+		resp, err := http.Post(ts.URL+"/datasets", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("POST %s: status = %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+// TestAlgorithmDimensionMismatch: asking for an algorithm the dataset's
+// dimensionality cannot support is a client error, not a solver failure.
+func TestAlgorithmDimensionMismatch(t *testing.T) {
+	ts, svc := newTestServer(t)
+	if _, err := svc.Registry().Generate("cube", "independent", 50, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	var body errorBody
+	if code := getJSON(t, ts.URL+"/representative?dataset=cube&k=5&algo=2drrr", &body); code != http.StatusBadRequest {
+		t.Fatalf("2drrr on 3-D data: status = %d, want 400 (error: %s)", code, body.Error)
+	}
+	if snap := svc.Metrics().Snapshot(); snap.Failures != 0 || snap.CacheMisses != 0 {
+		t.Fatalf("doomed request reached the solver: %+v", snap)
+	}
+}
+
+// TestReregisterServesFreshResults: removing a dataset and registering
+// different data under the same name must never serve the old data's
+// cached representative.
+func TestReregisterServesFreshResults(t *testing.T) {
+	ts, svc := newTestServer(t)
+	if _, err := svc.Registry().Generate("d", "correlated", 80, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	var first representativeResponse
+	getJSON(t, ts.URL+"/representative?dataset=d&k=8", &first)
+
+	if !svc.RemoveDataset("d") {
+		t.Fatal("remove failed")
+	}
+	if _, err := svc.Registry().Generate("d", "anticorrelated", 80, 2, 99); err != nil {
+		t.Fatal(err)
+	}
+	var second representativeResponse
+	getJSON(t, ts.URL+"/representative?dataset=d&k=8", &second)
+	if second.Cached {
+		t.Fatal("re-registered dataset served a cached result from the removed one")
+	}
+	if snap := svc.Metrics().Snapshot(); snap.Computations != 2 {
+		t.Fatalf("computations = %d, want 2 (one per registration)", snap.Computations)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	getJSON(t, ts.URL+"/representative?dataset=flights&k=10", nil)
+	getJSON(t, ts.URL+"/representative?dataset=flights&k=10", nil)
+	var snap Snapshot
+	if code := getJSON(t, ts.URL+"/stats", &snap); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if snap.CacheMisses != 1 || snap.CacheHits != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", snap.CacheHits, snap.CacheMisses)
+	}
+	if snap.Computations != 1 {
+		t.Fatalf("computations = %d, want 1", snap.Computations)
+	}
+	if snap.UptimeSeconds <= 0 {
+		t.Fatalf("uptime = %g", snap.UptimeSeconds)
+	}
+}

@@ -1,0 +1,176 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"rrr/internal/core"
+	"rrr/internal/dataset"
+)
+
+// Entry is one registered dataset: the raw table it was loaded from and the
+// normalized point cloud the algorithms run on. Entries are immutable once
+// registered; re-registering a name is an error (callers must Remove
+// first), which keeps cached representatives consistent with their data.
+type Entry struct {
+	Name  string
+	Table *dataset.Table
+	Data  *core.Dataset
+	// Gen uniquely identifies this registration within the registry's
+	// lifetime. Cache keys include it, so a dataset removed and
+	// re-registered under the same name can never be served results
+	// computed against the old data — even results whose computation was
+	// in flight across the removal.
+	Gen int64
+}
+
+// Registry is the concurrency-safe name → dataset map behind the daemon.
+// Loading and normalizing are done by the caller before insertion, so the
+// registry itself only ever holds ready-to-serve entries.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry
+	nextGen int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*Entry)}
+}
+
+// Register normalizes the table and stores it under the given name.
+func (r *Registry) Register(name string, t *dataset.Table) (*Entry, error) {
+	if err := validateName(name); err != nil {
+		return nil, err
+	}
+	data, err := t.Normalize()
+	if err != nil {
+		return nil, fmt.Errorf("service: dataset %q: %w", name, err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[name]; dup {
+		return nil, fmt.Errorf("service: dataset %q already registered: %w", name, ErrConflict)
+	}
+	r.nextGen++
+	e := &Entry{Name: name, Table: t, Data: data, Gen: r.nextGen}
+	r.entries[name] = e
+	return e, nil
+}
+
+// RegisterCSV parses a CSV stream in the repository convention (header
+// "Name:+" / "Name:-") and registers it.
+func (r *Registry) RegisterCSV(name string, csv io.Reader) (*Entry, error) {
+	t, err := dataset.ReadCSV(csv, name)
+	if err != nil {
+		return nil, fmt.Errorf("service: dataset %q: %v: %w", name, err, ErrBadRequest)
+	}
+	return r.Register(name, t)
+}
+
+// Bounds on request-driven synthetic generation: a 60-byte POST must not
+// be able to allocate an arbitrarily large table. The row cap comfortably
+// covers the paper's largest dataset (457,892 rows); the attribute cap is
+// far above anything the algorithms handle in reasonable time.
+const (
+	maxGenerateRows = 2_000_000
+	maxGenerateDims = 32
+)
+
+// Generate builds one of the repository's synthetic datasets and registers
+// it. Kind is one of dot, bn, independent, correlated, anticorrelated;
+// dims > 0 projects onto the first dims attributes (the experiments'
+// device). Name and size are validated before any generation work.
+func (r *Registry) Generate(name, kind string, n, dims int, seed int64) (*Entry, error) {
+	if err := validateName(name); err != nil {
+		return nil, err
+	}
+	t, err := GenerateTable(kind, n, dims, seed)
+	if err != nil {
+		return nil, err
+	}
+	return r.Register(name, t)
+}
+
+// GenerateTable builds a synthetic table without registering it, enforcing
+// the service's generation bounds.
+func GenerateTable(kind string, n, dims int, seed int64) (*dataset.Table, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("service: dataset size must be positive, got %d: %w", n, ErrBadRequest)
+	}
+	if n > maxGenerateRows {
+		return nil, fmt.Errorf("service: dataset size %d exceeds the %d-row limit: %w", n, maxGenerateRows, ErrBadRequest)
+	}
+	if dims > maxGenerateDims {
+		return nil, fmt.Errorf("service: %d attributes exceeds the %d-attribute limit: %w", dims, maxGenerateDims, ErrBadRequest)
+	}
+	t, err := dataset.ByKind(kind, n, dims, seed)
+	if err != nil {
+		return nil, fmt.Errorf("service: %v: %w", err, ErrBadRequest)
+	}
+	return t, nil
+}
+
+// Get returns the entry registered under name.
+func (r *Registry) Get(name string) (*Entry, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("service: dataset %q: %w", name, ErrNotFound)
+	}
+	return e, nil
+}
+
+// Remove drops the entry registered under name, reporting whether it
+// existed. The caller owns invalidating any cached results for it.
+func (r *Registry) Remove(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.entries[name]
+	delete(r.entries, name)
+	return ok
+}
+
+// Names lists the registered dataset names in sorted order.
+func (r *Registry) Names() []string {
+	entries := r.Entries()
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// Entries returns a consistent snapshot of all registered datasets,
+// sorted by name.
+func (r *Registry) Entries() []*Entry {
+	r.mu.RLock()
+	out := make([]*Entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of registered datasets.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+func validateName(name string) error {
+	if name == "" {
+		return fmt.Errorf("service: empty dataset name: %w", ErrBadRequest)
+	}
+	if strings.ContainsAny(name, " \t\n/?&=") {
+		return fmt.Errorf("service: dataset name %q contains reserved characters: %w", name, ErrBadRequest)
+	}
+	return nil
+}

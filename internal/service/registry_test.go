@@ -1,0 +1,121 @@
+package service
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRegistryRegisterAndGet(t *testing.T) {
+	r := NewRegistry()
+	e, err := r.Generate("uni", "independent", 50, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Data.N() != 50 || e.Data.Dims() != 3 {
+		t.Fatalf("generated n=%d d=%d, want 50×3", e.Data.N(), e.Data.Dims())
+	}
+	got, err := r.Get("uni")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != e {
+		t.Fatal("Get returned a different entry")
+	}
+	if names := r.Names(); len(names) != 1 || names[0] != "uni" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestRegistryDuplicateIsConflict(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Generate("d", "independent", 10, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.Generate("d", "independent", 10, 2, 1)
+	if !errors.Is(err, ErrConflict) {
+		t.Fatalf("err = %v, want ErrConflict", err)
+	}
+}
+
+func TestRegistryUnknownIsNotFound(t *testing.T) {
+	r := NewRegistry()
+	_, err := r.Get("nope")
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestRegistryBadInputs(t *testing.T) {
+	r := NewRegistry()
+	cases := []struct {
+		name string
+		call func() error
+	}{
+		{"empty name", func() error { _, err := r.Generate("", "dot", 10, 0, 1); return err }},
+		{"reserved chars", func() error { _, err := r.Generate("a b", "dot", 10, 0, 1); return err }},
+		{"unknown kind", func() error { _, err := r.Generate("x", "zipf", 10, 0, 1); return err }},
+		{"non-positive n", func() error { _, err := r.Generate("x", "dot", 0, 0, 1); return err }},
+		{"n over limit", func() error { _, err := r.Generate("x", "independent", maxGenerateRows+1, 2, 1); return err }},
+		{"dims over limit", func() error { _, err := r.Generate("x", "independent", 10, maxGenerateDims+1, 1); return err }},
+		{"dims beyond native schema", func() error { _, err := r.Generate("x", "dot", 10, 9, 1); return err }},
+	}
+	for _, tc := range cases {
+		if err := tc.call(); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("%s: err = %v, want ErrBadRequest", tc.name, err)
+		}
+	}
+}
+
+func TestRegistryCSVRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	csv := "Price:-,Quality:+\n100,0.9\n50,0.5\n75,0.7\n"
+	e, err := r.RegisterCSV("shop", strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Data.N() != 3 || e.Data.Dims() != 2 {
+		t.Fatalf("n=%d d=%d, want 3×2", e.Data.N(), e.Data.Dims())
+	}
+	// Price is lower-better: the 50-price row normalizes to 1 on axis 0.
+	if v := e.Data.Tuple(1).Attrs[0]; v != 1 {
+		t.Fatalf("normalized price of cheapest row = %g, want 1", v)
+	}
+	if _, err := r.RegisterCSV("bad", strings.NewReader("A:+\nnot-a-number\n")); err == nil {
+		t.Fatal("malformed CSV registered without error")
+	}
+}
+
+func TestRegistryRemove(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Generate("d", "correlated", 20, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Remove("d") {
+		t.Fatal("Remove of existing dataset returned false")
+	}
+	if r.Remove("d") {
+		t.Fatal("second Remove returned true")
+	}
+	if r.Len() != 0 {
+		t.Fatalf("len = %d, want 0", r.Len())
+	}
+}
+
+func TestGenerateTableNativeDims(t *testing.T) {
+	t.Parallel()
+	dot, err := GenerateTable("dot", 10, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dot.Dims() != 8 {
+		t.Fatalf("dot dims = %d, want 8", dot.Dims())
+	}
+	bn, err := GenerateTable("bn", 10, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bn.Dims() != 3 {
+		t.Fatalf("projected bn dims = %d, want 3", bn.Dims())
+	}
+}

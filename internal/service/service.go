@@ -1,0 +1,217 @@
+// Package service is the serving layer of the RRR reproduction: it wraps
+// the batch library (rrr.Representative and the internal/eval estimators)
+// behind a dataset registry, a keyed precomputation cache with singleflight
+// semantics, and the JSON/HTTP handlers the rrrd daemon mounts.
+//
+// The paper's workload is precompute-once, serve-many: a 10-tuple
+// representative of a flight database answers "show me a top-100 flight"
+// for *every* linear preference vector, so the expensive solve happens once
+// per (dataset, k, algorithm) and every subsequent request is a map lookup.
+// The cache enforces exactly that: concurrent requests for the same key
+// share one computation (the first request leads, the rest block on its
+// completion), distinct keys compute independently, and failed computations
+// are evicted so transient errors don't stick.
+//
+// Layering: Registry (named datasets) and Cache (keyed singleflight) are
+// independent of HTTP; Service composes them with the solver facade; Server
+// (http.go) is a thin JSON adapter over Service. Later scaling PRs
+// (sharding the registry, batching rank probes) slot in behind the Service
+// API without touching the handlers.
+package service
+
+import (
+	"errors"
+	"fmt"
+
+	"rrr"
+)
+
+// Sentinel error kinds the HTTP layer maps to status codes. Errors wrap
+// one of these; everything else is a 500.
+var (
+	// ErrNotFound marks lookups of unregistered datasets or tuple IDs.
+	ErrNotFound = errors.New("not found")
+	// ErrBadRequest marks malformed client input (weights, names, params).
+	ErrBadRequest = errors.New("bad request")
+	// ErrConflict marks attempts to re-register an existing dataset name.
+	ErrConflict = errors.New("conflict")
+)
+
+// Service glues registry, cache, metrics and the solver facade together.
+// It is the transport-independent core of the daemon; Server adapts it to
+// HTTP, and tests drive it directly.
+type Service struct {
+	registry *Registry
+	cache    *Cache
+	metrics  *Metrics
+	opts     rrr.Options
+}
+
+// New builds a Service with an empty registry and cache. baseOpts provides
+// solver tuning shared by every computation (sampler settings, seed); its
+// Algorithm field is overridden per request.
+func New(baseOpts rrr.Options) *Service {
+	m := NewMetrics()
+	return &Service{
+		registry: NewRegistry(),
+		cache:    NewCache(m, 0),
+		metrics:  m,
+		opts:     baseOpts,
+	}
+}
+
+// Registry exposes the dataset registry for preloading and tests.
+func (s *Service) Registry() *Registry { return s.registry }
+
+// Metrics exposes the operational counters.
+func (s *Service) Metrics() *Metrics { return s.metrics }
+
+// RemoveDataset unregisters a dataset and invalidates its cached results.
+func (s *Service) RemoveDataset(name string) bool {
+	ok := s.registry.Remove(name)
+	if ok {
+		s.cache.InvalidateDataset(name)
+	}
+	return ok
+}
+
+// Representative is a served representative: the cached solver output plus
+// provenance.
+type Representative struct {
+	Dataset   string
+	K         int
+	Algorithm rrr.Algorithm
+	CachedResult
+}
+
+// Representative returns the rank-regret representative of the named
+// dataset for target k under the named algorithm ("" = auto), computing it
+// on first request and serving it from cache afterwards. Concurrent first
+// requests share one computation.
+func (s *Service) Representative(name string, k int, algoName string) (*Representative, error) {
+	entry, err := s.registry.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("service: k must be positive, got %d: %w", k, ErrBadRequest)
+	}
+	algo, err := rrr.ParseAlgorithm(algoName)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", err, ErrBadRequest)
+	}
+	algo = algo.Resolve(entry.Data.Dims())
+	// Algorithm/dimension mismatches are client mistakes; reject them
+	// before they reach the solver (and the failure metrics) as 500s.
+	switch dims := entry.Data.Dims(); {
+	case algo == rrr.Algo2DRRR && dims != 2:
+		return nil, fmt.Errorf("service: 2drrr requires a 2-D dataset; %q has %d attributes: %w", name, dims, ErrBadRequest)
+	case algo != rrr.Algo2DRRR && dims < 2:
+		return nil, fmt.Errorf("service: %s requires at least 2 attributes; %q has %d: %w", algo, name, dims, ErrBadRequest)
+	}
+	key := Key{Dataset: name, Gen: entry.Gen, K: k, Algo: string(algo)}
+	cached, err := s.cache.Do(key, func() ([]int, ResultStats, error) {
+		opts := s.opts
+		opts.Algorithm = algo
+		res, err := rrr.Representative(entry.Data, k, opts)
+		if err != nil {
+			return nil, ResultStats{}, fmt.Errorf("service: %s on %q (k=%d): %w", algo, name, k, err)
+		}
+		return res.IDs, ResultStats{KSets: res.KSets, Nodes: res.Nodes}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Representative{Dataset: name, K: k, Algorithm: algo, CachedResult: cached}, nil
+}
+
+// ParseWeights validates a raw weight vector against a dataset's
+// dimensionality and returns the ranking function.
+func ParseWeights(entry *Entry, weights []float64) (rrr.LinearFunc, error) {
+	f := rrr.NewLinearFunc(weights...)
+	if err := f.Validate(entry.Data.Dims()); err != nil {
+		return rrr.LinearFunc{}, fmt.Errorf("service: weights: %w: %w", err, ErrBadRequest)
+	}
+	return f, nil
+}
+
+// RankOf returns the 1-based rank of tuple id in the named dataset under
+// the given weights.
+func (s *Service) RankOf(name string, id int, weights []float64) (int, error) {
+	entry, err := s.registry.Get(name)
+	if err != nil {
+		return 0, err
+	}
+	f, err := ParseWeights(entry, weights)
+	if err != nil {
+		return 0, err
+	}
+	r, err := rrr.Rank(entry.Data, f, id)
+	if err != nil {
+		return 0, fmt.Errorf("service: %w: %w", err, ErrNotFound)
+	}
+	return r, nil
+}
+
+// RankRegretOf returns RR_f(ids): the best rank any of the given tuples
+// achieves under the weights — the request-time check that a precomputed
+// representative serves this user within its guarantee.
+func (s *Service) RankRegretOf(name string, ids []int, weights []float64) (int, error) {
+	entry, err := s.registry.Get(name)
+	if err != nil {
+		return 0, err
+	}
+	f, err := ParseWeights(entry, weights)
+	if err != nil {
+		return 0, err
+	}
+	if len(ids) == 0 {
+		return 0, fmt.Errorf("service: empty tuple set: %w", ErrBadRequest)
+	}
+	r, err := rrr.RankRegret(entry.Data, f, ids)
+	if err != nil {
+		return 0, fmt.Errorf("service: %w: %w", err, ErrNotFound)
+	}
+	return r, nil
+}
+
+// maxRegretSamples bounds request-driven regret estimation: like dataset
+// generation, a tiny GET must not be able to allocate an arbitrarily large
+// sample set. 100× the paper's default is ample precision.
+const maxRegretSamples = 1_000_000
+
+// RegretEstimate is the sampled worst-case picture of a subset's quality.
+type RegretEstimate struct {
+	WorstRank int
+	Witness   []float64
+	Samples   int
+}
+
+// EstimateRegret estimates the worst-case rank-regret of the given tuples
+// over the whole function space by uniform sampling (internal/eval's
+// parallel evaluator), returning the worst rank observed and the weight
+// vector witnessing it.
+func (s *Service) EstimateRegret(name string, ids []int, samples int) (*RegretEstimate, error) {
+	entry, err := s.registry.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("service: empty tuple set: %w", ErrBadRequest)
+	}
+	if samples < 0 {
+		return nil, fmt.Errorf("service: negative sample count %d: %w", samples, ErrBadRequest)
+	}
+	if samples > maxRegretSamples {
+		return nil, fmt.Errorf("service: sample count %d exceeds the %d limit: %w", samples, maxRegretSamples, ErrBadRequest)
+	}
+	opt := rrr.EvalOptions{Samples: samples, Seed: s.opts.Seed}
+	worst, witness, err := rrr.EstimateRankRegret(entry.Data, ids, opt)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w: %w", err, ErrNotFound)
+	}
+	if samples <= 0 {
+		samples = rrr.DefaultEvalSamples
+	}
+	return &RegretEstimate{WorstRank: worst, Witness: witness.W, Samples: samples}, nil
+}

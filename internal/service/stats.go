@@ -1,0 +1,161 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the upper bounds of the per-algorithm latency
+// histogram, chosen to straddle the repository's measured range: 2-D runs
+// finish in microseconds, MDRC on paper-scale data takes seconds.
+var latencyBuckets = []time.Duration{
+	time.Millisecond,
+	5 * time.Millisecond,
+	25 * time.Millisecond,
+	100 * time.Millisecond,
+	500 * time.Millisecond,
+	2500 * time.Millisecond,
+	10 * time.Second,
+}
+
+// numBuckets counts the histogram slots: one per bound plus overflow.
+const numBuckets = 8
+
+// histogram is a fixed-bucket latency histogram; the last index is the
+// overflow bucket.
+type histogram struct {
+	counts [numBuckets]atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+	total  atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	i := 0
+	for i < len(latencyBuckets) && d > latencyBuckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(int64(d))
+	h.total.Add(1)
+}
+
+// HistogramSnapshot is the JSON-friendly view of one algorithm's latencies.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	MeanMS  float64          `json:"mean_ms"`
+	Buckets map[string]int64 `json:"buckets"`
+}
+
+func (h *histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Buckets: make(map[string]int64, len(latencyBuckets)+1)}
+	for i := range h.counts {
+		label := "+inf"
+		if i < len(latencyBuckets) {
+			label = "le_" + latencyBuckets[i].String()
+		}
+		if n := h.counts[i].Load(); n > 0 {
+			s.Buckets[label] = n
+		}
+	}
+	s.Count = h.total.Load()
+	if s.Count > 0 {
+		s.MeanMS = float64(h.sum.Load()) / float64(s.Count) / 1e6
+	}
+	return s
+}
+
+// Metrics aggregates the daemon's operational counters: cache hits and
+// misses, in-flight computations, per-algorithm latency histograms, and
+// computation failures. All methods are safe for concurrent use and safe on
+// a nil receiver (components constructed without metrics just don't
+// report).
+type Metrics struct {
+	hits     atomic.Int64
+	misses   atomic.Int64
+	inflight atomic.Int64
+	failures atomic.Int64
+
+	mu        sync.Mutex
+	latencies map[string]*histogram
+
+	start time.Time
+}
+
+// NewMetrics returns zeroed metrics with the uptime clock started.
+func NewMetrics() *Metrics {
+	return &Metrics{latencies: make(map[string]*histogram), start: time.Now()}
+}
+
+func (m *Metrics) hit() {
+	if m != nil {
+		m.hits.Add(1)
+	}
+}
+
+func (m *Metrics) miss() {
+	if m != nil {
+		m.misses.Add(1)
+	}
+}
+
+func (m *Metrics) computeStarted() {
+	if m != nil {
+		m.inflight.Add(1)
+	}
+}
+
+func (m *Metrics) computeFinished(algo string, elapsed time.Duration, err error) {
+	if m == nil {
+		return
+	}
+	m.inflight.Add(-1)
+	if err != nil {
+		m.failures.Add(1)
+		return
+	}
+	m.mu.Lock()
+	h, ok := m.latencies[algo]
+	if !ok {
+		h = &histogram{}
+		m.latencies[algo] = h
+	}
+	m.mu.Unlock()
+	h.observe(elapsed)
+}
+
+// Snapshot is the /stats payload.
+type Snapshot struct {
+	UptimeSeconds float64                      `json:"uptime_seconds"`
+	CacheHits     int64                        `json:"cache_hits"`
+	CacheMisses   int64                        `json:"cache_misses"`
+	InFlight      int64                        `json:"in_flight"`
+	Failures      int64                        `json:"failures"`
+	Computations  int64                        `json:"computations"`
+	Latencies     map[string]HistogramSnapshot `json:"latency_by_algorithm"`
+}
+
+// Snapshot captures the current counters. Counters are read individually
+// without a global lock, so a snapshot taken mid-flight may be off by a
+// request — fine for an operational endpoint.
+func (m *Metrics) Snapshot() Snapshot {
+	if m == nil {
+		return Snapshot{}
+	}
+	s := Snapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		CacheHits:     m.hits.Load(),
+		CacheMisses:   m.misses.Load(),
+		InFlight:      m.inflight.Load(),
+		Failures:      m.failures.Load(),
+		Latencies:     make(map[string]HistogramSnapshot),
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for algo, h := range m.latencies {
+		snap := h.snapshot()
+		s.Computations += snap.Count
+		s.Latencies[algo] = snap
+	}
+	return s
+}

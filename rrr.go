@@ -3,6 +3,7 @@ package rrr
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"rrr/internal/algo"
 	"rrr/internal/core"
@@ -47,6 +48,37 @@ const (
 	// AlgoMDRC is the function-space partitioning algorithm (Section 5.3).
 	AlgoMDRC Algorithm = "mdrc"
 )
+
+// Resolve applies the auto-dispatch rule to a dataset dimensionality:
+// AlgoAuto becomes Algo2DRRR for 2-D data and AlgoMDRC otherwise; explicit
+// choices pass through. Representative and the rrrd daemon's cache keys
+// share this single source of truth.
+func (a Algorithm) Resolve(dims int) Algorithm {
+	if a != AlgoAuto {
+		return a
+	}
+	if dims == 2 {
+		return Algo2DRRR
+	}
+	return AlgoMDRC
+}
+
+// ParseAlgorithm resolves a user-facing algorithm name ("auto", "2drrr",
+// "mdrrr", "mdrc", case-insensitive, "" = auto) to an Algorithm. CLIs and
+// the rrrd daemon share this mapping.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	switch strings.ToLower(name) {
+	case "", "auto":
+		return AlgoAuto, nil
+	case string(Algo2DRRR):
+		return Algo2DRRR, nil
+	case string(AlgoMDRRR):
+		return AlgoMDRRR, nil
+	case string(AlgoMDRC):
+		return AlgoMDRC, nil
+	}
+	return AlgoAuto, fmt.Errorf("rrr: unknown algorithm %q (want auto, 2drrr, mdrrr or mdrc)", name)
+}
 
 // Options tunes Representative. The zero value reproduces the paper's
 // defaults.
@@ -93,14 +125,7 @@ func Representative(d *Dataset, k int, opt Options) (*Result, error) {
 	if d == nil {
 		return nil, errors.New("rrr: nil dataset")
 	}
-	algorithm := opt.Algorithm
-	if algorithm == AlgoAuto {
-		if d.Dims() == 2 {
-			algorithm = Algo2DRRR
-		} else {
-			algorithm = AlgoMDRC
-		}
-	}
+	algorithm := opt.Algorithm.Resolve(d.Dims())
 	switch algorithm {
 	case Algo2DRRR:
 		cover := algo.CoverMaxGain
