@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt fmt-check race ci clean
+.PHONY: all build test vet fmt fmt-check race bench ci clean
 
 all: build
 
@@ -14,6 +14,12 @@ test:
 
 race:
 	$(GO) test -race ./internal/service/ ./internal/eval/
+
+# Tier-1 benchmarks, 5 repetitions for benchstat-able variance. CI uploads
+# bench.txt as an artifact so every PR leaves a perf data point to compare
+# against.
+bench:
+	$(GO) test -bench . -benchmem -count 5 -run '^$$' . | tee bench.txt
 
 vet:
 	$(GO) vet ./...

@@ -12,6 +12,7 @@ package rrr_test
 // effectiveness claims are visible straight from the bench output.
 
 import (
+	"context"
 	"testing"
 
 	"rrr"
@@ -33,7 +34,7 @@ func benchFigure(b *testing.B, id string) {
 	}
 	var last *harness.Result
 	for i := 0; i < b.N; i++ {
-		res, err := f.Run(harness.ScaleSmoke)
+		res, err := f.Run(context.Background(), harness.ScaleSmoke)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -98,7 +99,7 @@ func BenchmarkFindRanges(b *testing.B) {
 	d := benchDataset(b, "dot", 2000, 2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sweep.FindRanges(d, 20); err != nil {
+		if _, err := sweep.FindRanges(context.Background(), d, 20); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -108,7 +109,7 @@ func BenchmarkTwoDRRR(b *testing.B) {
 	d := benchDataset(b, "dot", 2000, 2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := algo.TwoDRRR(d, 20, algo.TwoDOptions{}); err != nil {
+		if _, err := algo.TwoDRRR(context.Background(), d, 20, algo.TwoDOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -118,7 +119,7 @@ func BenchmarkMDRC(b *testing.B) {
 	d := benchDataset(b, "dot", 5000, 4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := algo.MDRC(d, 50, algo.MDRCOptions{}); err != nil {
+		if _, err := algo.MDRC(context.Background(), d, 50, algo.MDRCOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -128,7 +129,7 @@ func BenchmarkMDRRRSampled(b *testing.B) {
 	d := benchDataset(b, "bn", 1000, 3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, err := algo.MDRRR(d, 10, algo.MDRRROptions{
+		_, err := algo.MDRRR(context.Background(), d, 10, algo.MDRRROptions{
 			Sampler: kset.SampleOptions{Termination: 50, MaxDraws: 20000, Seed: 1},
 		})
 		if err != nil {
@@ -171,7 +172,7 @@ func BenchmarkLPStrictSeparation(b *testing.B) {
 
 func BenchmarkEstimateRankRegret(b *testing.B) {
 	d := benchDataset(b, "dot", 5000, 3)
-	res, err := algo.MDRC(d, 50, algo.MDRCOptions{})
+	res, err := algo.MDRC(context.Background(), d, 50, algo.MDRCOptions{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -190,7 +191,7 @@ func BenchmarkEstimateRankRegret(b *testing.B) {
 // output sizes (the reproduction finding: max-gain can be +1).
 func BenchmarkAblationIntervalCover(b *testing.B) {
 	d := benchDataset(b, "dot", 2000, 2)
-	ranges, err := sweep.FindRanges(d, 20)
+	ranges, err := sweep.FindRanges(context.Background(), d, 20)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func BenchmarkAblationIntervalCover(b *testing.B) {
 // sampled k-set collection.
 func BenchmarkAblationHittingSet(b *testing.B) {
 	d := benchDataset(b, "bn", 1000, 3)
-	col, _, err := kset.Sample(d, 10, kset.SampleOptions{Termination: 100, Seed: 1})
+	col, _, err := kset.Sample(context.Background(), d, 10, kset.SampleOptions{Termination: 100, Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -264,7 +265,7 @@ func BenchmarkAblationMDRCPick(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var size int
 			for i := 0; i < b.N; i++ {
-				res, err := algo.MDRC(d, 30, algo.MDRCOptions{Pick: pick})
+				res, err := algo.MDRC(context.Background(), d, 30, algo.MDRCOptions{Pick: pick})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -281,7 +282,7 @@ func BenchmarkAblationMDRCMemo(b *testing.B) {
 	for name, disable := range map[string]bool{"memo": false, "nomemo": true} {
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := algo.MDRC(d, 30, algo.MDRCOptions{DisableMemo: disable}); err != nil {
+				if _, err := algo.MDRC(context.Background(), d, 30, algo.MDRCOptions{DisableMemo: disable}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -298,7 +299,7 @@ func BenchmarkAblationKSetTermination(b *testing.B) {
 		b.Run(map[int]string{10: "c10", 100: "c100", 1000: "c1000"}[c], func(b *testing.B) {
 			var found int
 			for i := 0; i < b.N; i++ {
-				col, _, err := kset.Sample(d, 10, kset.SampleOptions{Termination: c, MaxDraws: 100000, Seed: 1})
+				col, _, err := kset.Sample(context.Background(), d, 10, kset.SampleOptions{Termination: c, MaxDraws: 100000, Seed: 1})
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -13,10 +13,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"text/tabwriter"
+	"time"
 
 	"rrr"
 )
@@ -24,6 +29,18 @@ import (
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "rrr:", err)
+		// A typed solver error carries the work done before the stop —
+		// worth surfacing so an interrupted run isn't a silent total loss.
+		var solveErr *rrr.Error
+		if errors.As(err, &solveErr) {
+			p := solveErr.Partial
+			fmt.Fprintf(os.Stderr, "rrr: partial work: nodes=%d ksets=%d draws=%d elapsed=%v\n",
+				p.Nodes, p.KSets, p.Draws, p.Elapsed.Round(time.Millisecond))
+			if p.Best != nil {
+				fmt.Fprintf(os.Stderr, "rrr: best dual result before stop: k=%d size=%d\n",
+					p.BestK, len(p.Best.IDs))
+			}
+		}
 		os.Exit(1)
 	}
 }
@@ -39,6 +56,8 @@ func run() error {
 		seed     = flag.Int64("seed", 1, "random seed (data generation and MDRRR sampling)")
 		evaluate = flag.Bool("evaluate", false, "estimate the output's rank-regret on 10k sampled functions")
 		dual     = flag.Int("size", 0, "solve the dual problem instead: minimal k for this size budget")
+		timeout  = flag.Duration("timeout", 0, "abort the solve after this long (0 = no deadline)")
+		progress = flag.Bool("progress", false, "report solver progress to stderr while running")
 	)
 	flag.Parse()
 
@@ -58,23 +77,43 @@ func run() error {
 	}
 	fmt.Printf("dataset: %s, n=%d, d=%d\n", table.Name, ds.N(), ds.Dims())
 
-	opt := rrr.Options{Seed: *seed}
-	opt.Algorithm, err = rrr.ParseAlgorithm(*algoName)
+	algorithm, err := rrr.ParseAlgorithm(*algoName)
 	if err != nil {
 		return err
+	}
+	opts := []rrr.Option{rrr.WithAlgorithm(algorithm), rrr.WithSeed(*seed)}
+	if *progress {
+		last := time.Now()
+		opts = append(opts, rrr.WithProgress(func(p rrr.Progress) {
+			if time.Since(last) < 500*time.Millisecond {
+				return
+			}
+			last = time.Now()
+			fmt.Fprintf(os.Stderr, "rrr: %s running: nodes=%d ksets=%d draws=%d elapsed=%v\n",
+				p.Algorithm, p.Nodes, p.KSets, p.Draws, p.Elapsed.Round(time.Millisecond))
+		}))
+	}
+	solver := rrr.New(opts...)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	var res *rrr.Result
 	if *dual > 0 {
 		var gotK int
-		gotK, res, err = rrr.MinimalKForSize(ds, *dual, opt)
+		gotK, res, err = solver.MinimalKForSize(ctx, ds, *dual)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("dual problem: size budget %d achieved at k=%d\n", *dual, gotK)
 		*k = gotK
 	} else {
-		res, err = rrr.Representative(ds, *k, opt)
+		res, err = solver.Solve(ctx, ds, *k)
 		if err != nil {
 			return err
 		}

@@ -6,14 +6,19 @@
 // duplicates share that computation, and every later request is a cache
 // hit.
 //
+// The HTTP API lives under /v1 (unversioned paths remain as legacy
+// aliases). -request-timeout bounds each request's deadline end to end:
+// the context reaches the solver's hot loops, so an over-budget solve is
+// actually interrupted, not merely abandoned.
+//
 // Examples:
 //
-//	rrrd -addr :8080 -preload flights=dot:5000:3,diamonds=bn:5000
-//	curl localhost:8080/healthz
-//	curl 'localhost:8080/representative?dataset=flights&k=100'
-//	curl 'localhost:8080/rank?dataset=flights&id=42&weights=0.5,0.3,0.2'
-//	curl -X POST localhost:8080/datasets -d '{"name":"uni","kind":"independent","n":2000,"dims":4}'
-//	curl localhost:8080/stats
+//	rrrd -addr :8080 -preload flights=dot:5000:3,diamonds=bn:5000 -request-timeout 30s
+//	curl localhost:8080/v1/healthz
+//	curl 'localhost:8080/v1/representative?dataset=flights&k=100'
+//	curl 'localhost:8080/v1/rank?dataset=flights&id=42&weights=0.5,0.3,0.2'
+//	curl -X POST localhost:8080/v1/datasets -d '{"name":"uni","kind":"independent","n":2000,"dims":4}'
+//	curl localhost:8080/v1/stats
 package main
 
 import (
@@ -43,20 +48,30 @@ func main() {
 
 func run() error {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		preload = flag.String("preload", "", "datasets to register at startup: name=kind[:n[:d[:seed]]], comma separated (e.g. flights=dot:5000:3)")
-		seed    = flag.Int64("seed", 1, "solver seed (MDRRR sampling, regret estimation)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		preload    = flag.String("preload", "", "datasets to register at startup: name=kind[:n[:d[:seed]]], comma separated (e.g. flights=dot:5000:3)")
+		seed       = flag.Int64("seed", 1, "solver seed (MDRRR sampling, regret estimation)")
+		reqTimeout = flag.Duration("request-timeout", 0, "per-request deadline; a representative request exceeding it gets 504 with kind \"canceled\" (0 = unlimited)")
+		nodeBudget = flag.Int("node-budget", 0, "hard MDRC recursion-node budget per solve; exhaustion returns kind \"budget_exhausted\" (0 = paper's soft cap)")
+		drawBudget = flag.Int("draw-budget", 0, "hard K-SETr draw budget per solve; exhaustion returns kind \"budget_exhausted\" (0 = paper's soft cap)")
 	)
 	flag.Parse()
 
-	svc := service.New(rrr.Options{Seed: *seed})
+	var solverOpts []rrr.Option
+	if *nodeBudget > 0 {
+		solverOpts = append(solverOpts, rrr.WithNodeBudget(*nodeBudget))
+	}
+	if *drawBudget > 0 {
+		solverOpts = append(solverOpts, rrr.WithDrawBudget(*drawBudget))
+	}
+	svc := service.New(service.Config{Seed: *seed, SolverOptions: solverOpts})
 	if err := preloadDatasets(svc, *preload); err != nil {
 		return err
 	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           logRequests(service.NewServer(svc)),
+		Handler:           logRequests(service.NewServer(svc, service.WithRequestTimeout(*reqTimeout))),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

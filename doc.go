@@ -19,11 +19,18 @@
 // # Quickstart
 //
 //	d, _ := rrr.NewDataset(points)        // points in [0,1]^d, higher = better
-//	res, _ := rrr.Representative(d, 100, rrr.Options{})
+//	solver := rrr.New()                   // functional options tune algorithms
+//	res, _ := solver.Solve(ctx, d, 100)
 //	fmt.Println(res.IDs)                  // small set hitting every top-100
 //
-// Representative dispatches to 2DRRR for two-dimensional data and MDRC
-// otherwise; Options selects algorithms and tuning explicitly. Raw data
+// Solve dispatches to 2DRRR for two-dimensional data and MDRC otherwise;
+// options like WithAlgorithm, WithSeed, WithNodeBudget and WithProgress
+// select algorithms and tuning explicitly. The context is honored inside
+// every algorithm's hot loop: cancellation and deadlines interrupt a
+// running solve within microseconds, returning a typed *Error (see
+// ErrCanceled, ErrBudgetExhausted, ErrInfeasible) that reports the work
+// done before the stop. The pre-context entry points (Representative,
+// MinimalKForSize, Options) remain as deprecated wrappers. Raw data
 // with mixed "higher is better"/"lower is better" attributes can be loaded
 // and normalized with the Table helpers (DOTLike, BNLike, ReadCSV,
 // Table.Normalize).

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,8 +40,9 @@ func main() {
 	fmt.Println("convex hull (k=1 representative):", hull)
 
 	// ...but relaxing to "one of everybody's top-2" needs only two: the
-	// paper's 2DRRR returns {t3, t1}.
-	res, err := rrr.Representative(d, 2, rrr.Options{})
+	// paper's 2DRRR returns {t3, t1}. The Solver's context would let us
+	// cancel or deadline a big solve; the worked example is instant.
+	res, err := rrr.New().Solve(context.Background(), d, 2)
 	if err != nil {
 		log.Fatal(err)
 	}

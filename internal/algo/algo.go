@@ -62,6 +62,31 @@ type Stats struct {
 	CacheHits int
 }
 
+// ErrBudget is the cause recorded in Interrupted when a hard node or draw
+// budget ran out before the algorithm finished.
+var ErrBudget = errors.New("algo: work budget exhausted")
+
+// Interrupted reports a solve that stopped before producing a complete
+// representative — context cancellation, deadline expiry, or a hard work
+// budget. Stats carries the work performed up to the stop; Err is the
+// cause and unwraps to context.Canceled, context.DeadlineExceeded, or
+// ErrBudget so callers can branch with errors.Is.
+type Interrupted struct {
+	Stats Stats
+	Err   error
+}
+
+func (e *Interrupted) Error() string {
+	return fmt.Sprintf("algo: solve interrupted: %v", e.Err)
+}
+
+func (e *Interrupted) Unwrap() error { return e.Err }
+
+// progressInterval is how many units of loop work (MDRC nodes, K-SETr
+// draws) pass between OnProgress callbacks — frequent enough for live
+// dashboards, rare enough to stay invisible in profiles.
+const progressInterval = 64
+
 // validate performs the shared argument checking.
 func validate(d *core.Dataset, k int) error {
 	if d == nil || d.N() == 0 {

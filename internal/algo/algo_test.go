@@ -1,6 +1,7 @@
 package algo_test
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"sort"
@@ -63,7 +64,7 @@ func subsetOfSizeWorks(t *testing.T, d *core.Dataset, k int, ids, chosen []int, 
 
 func TestTwoDRRRPaperExample(t *testing.T) {
 	d := paperfig.Figure1()
-	res, err := algo.TwoDRRR(d, 2, algo.TwoDOptions{})
+	res, err := algo.TwoDRRR(context.Background(), d, 2, algo.TwoDOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestTwoDRRRTheorems3And4(t *testing.T) {
 		k := 1 + rng.Intn(3)
 		opt := bruteOptimalRRR2D(t, d, k)
 		for _, strategy := range []algo.CoverStrategy{algo.CoverMaxGain, algo.CoverOptimalSweep} {
-			res, err := algo.TwoDRRR(d, k, algo.TwoDOptions{Cover: strategy})
+			res, err := algo.TwoDRRR(context.Background(), d, k, algo.TwoDOptions{Cover: strategy})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -113,11 +114,11 @@ func TestTwoDRRRCoverStrategies(t *testing.T) {
 	for trial := 0; trial < 10; trial++ {
 		d := randomDataset(rng, 10+rng.Intn(40), 2)
 		k := 1 + rng.Intn(4)
-		a, err := algo.TwoDRRR(d, k, algo.TwoDOptions{Cover: algo.CoverMaxGain})
+		a, err := algo.TwoDRRR(context.Background(), d, k, algo.TwoDOptions{Cover: algo.CoverMaxGain})
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := algo.TwoDRRR(d, k, algo.TwoDOptions{Cover: algo.CoverOptimalSweep})
+		b, err := algo.TwoDRRR(context.Background(), d, k, algo.TwoDOptions{Cover: algo.CoverOptimalSweep})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -135,24 +136,24 @@ func TestTwoDRRRCoverStrategies(t *testing.T) {
 
 func TestTwoDRRRErrors(t *testing.T) {
 	d3 := core.MustNewDataset([][]float64{{1, 2, 3}})
-	if _, err := algo.TwoDRRR(d3, 1, algo.TwoDOptions{}); err == nil {
+	if _, err := algo.TwoDRRR(context.Background(), d3, 1, algo.TwoDOptions{}); err == nil {
 		t.Error("3-D input must error")
 	}
 	d := paperfig.Figure1()
-	if _, err := algo.TwoDRRR(d, 0, algo.TwoDOptions{}); err == nil {
+	if _, err := algo.TwoDRRR(context.Background(), d, 0, algo.TwoDOptions{}); err == nil {
 		t.Error("k=0 must error")
 	}
-	if _, err := algo.TwoDRRR(nil, 1, algo.TwoDOptions{}); err == nil {
+	if _, err := algo.TwoDRRR(context.Background(), nil, 1, algo.TwoDOptions{}); err == nil {
 		t.Error("nil dataset must error")
 	}
-	if _, err := algo.TwoDRRR(d, 1, algo.TwoDOptions{Cover: 99}); err == nil {
+	if _, err := algo.TwoDRRR(context.Background(), d, 1, algo.TwoDOptions{Cover: 99}); err == nil {
 		t.Error("unknown strategy must error")
 	}
 }
 
 func TestTwoDRRRKLargerThanN(t *testing.T) {
 	d := paperfig.Figure1()
-	res, err := algo.TwoDRRR(d, 100, algo.TwoDOptions{})
+	res, err := algo.TwoDRRR(context.Background(), d, 100, algo.TwoDOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestMDRRRGuaranteesKWithExactKSets2D(t *testing.T) {
 		for _, s := range exact {
 			col.Add(s)
 		}
-		res, err := algo.MDRRR(d, k, algo.MDRRROptions{KSets: col})
+		res, err := algo.MDRRR(context.Background(), d, k, algo.MDRRROptions{KSets: col})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -196,7 +197,7 @@ func TestMDRRRWithSampling3D(t *testing.T) {
 	rng := rand.New(rand.NewSource(61))
 	d := randomDataset(rng, 60, 3)
 	k := 5
-	res, err := algo.MDRRR(d, k, algo.MDRRROptions{
+	res, err := algo.MDRRR(context.Background(), d, k, algo.MDRRROptions{
 		Sampler: kset.SampleOptions{Termination: 1000, Seed: 7},
 	})
 	if err != nil {
@@ -223,12 +224,12 @@ func TestMDRRRHitsEveryKSet(t *testing.T) {
 	rng := rand.New(rand.NewSource(71))
 	d := randomDataset(rng, 40, 3)
 	k := 4
-	col, _, err := kset.Sample(d, k, kset.SampleOptions{Termination: 200, Seed: 3})
+	col, _, err := kset.Sample(context.Background(), d, k, kset.SampleOptions{Termination: 200, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, strategy := range []algo.HittingStrategy{algo.HitGreedy, algo.HitEpsilonNet} {
-		res, err := algo.MDRRR(d, k, algo.MDRRROptions{KSets: col, Strategy: strategy})
+		res, err := algo.MDRRR(context.Background(), d, k, algo.MDRRROptions{KSets: col, Strategy: strategy})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -240,20 +241,20 @@ func TestMDRRRHitsEveryKSet(t *testing.T) {
 
 func TestMDRRRErrors(t *testing.T) {
 	d := paperfig.Figure1()
-	if _, err := algo.MDRRR(d, 0, algo.MDRRROptions{}); err == nil {
+	if _, err := algo.MDRRR(context.Background(), d, 0, algo.MDRRROptions{}); err == nil {
 		t.Error("k=0 must error")
 	}
-	if _, err := algo.MDRRR(d, 2, algo.MDRRROptions{KSets: kset.NewCollection()}); err == nil {
+	if _, err := algo.MDRRR(context.Background(), d, 2, algo.MDRRROptions{KSets: kset.NewCollection()}); err == nil {
 		t.Error("empty provided collection must error")
 	}
-	if _, err := algo.MDRRR(d, 2, algo.MDRRROptions{Strategy: 99}); err == nil {
+	if _, err := algo.MDRRR(context.Background(), d, 2, algo.MDRRROptions{Strategy: 99}); err == nil {
 		t.Error("unknown strategy must error")
 	}
 }
 
 func TestMDRCPaperExample(t *testing.T) {
 	d := paperfig.Figure1()
-	res, err := algo.MDRC(d, 2, algo.MDRCOptions{})
+	res, err := algo.MDRC(context.Background(), d, 2, algo.MDRCOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +280,7 @@ func TestMDRCTheorem6In2D(t *testing.T) {
 		// at a point and share no common tuple, so the recursion
 		// legitimately bottoms out in the fallback.
 		k := 2 + rng.Intn(4)
-		res, err := algo.MDRC(d, k, algo.MDRCOptions{})
+		res, err := algo.MDRC(context.Background(), d, k, algo.MDRCOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -304,7 +305,7 @@ func TestMDRCTheorem6InMD(t *testing.T) {
 			n := 30 + rng.Intn(80)
 			d := randomDataset(rng, n, dims)
 			k := 2 + rng.Intn(6)
-			res, err := algo.MDRC(d, k, algo.MDRCOptions{})
+			res, err := algo.MDRC(context.Background(), d, k, algo.MDRCOptions{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -324,7 +325,7 @@ func TestMDRCPickStrategiesBothCover(t *testing.T) {
 	d := randomDataset(rng, 50, 3)
 	k := 5
 	for _, pick := range []algo.PickStrategy{algo.PickFirst, algo.PickMinMaxRank} {
-		res, err := algo.MDRC(d, k, algo.MDRCOptions{Pick: pick})
+		res, err := algo.MDRC(context.Background(), d, k, algo.MDRCOptions{Pick: pick})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -341,11 +342,11 @@ func TestMDRCPickStrategiesBothCover(t *testing.T) {
 func TestMDRCMemoizationInvariance(t *testing.T) {
 	rng := rand.New(rand.NewSource(103))
 	d := randomDataset(rng, 40, 3)
-	withMemo, err := algo.MDRC(d, 4, algo.MDRCOptions{})
+	withMemo, err := algo.MDRC(context.Background(), d, 4, algo.MDRCOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	without, err := algo.MDRC(d, 4, algo.MDRCOptions{DisableMemo: true})
+	without, err := algo.MDRC(context.Background(), d, 4, algo.MDRCOptions{DisableMemo: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -369,12 +370,12 @@ func TestMDRCMemoizationInvariance(t *testing.T) {
 func TestMDRCWorkerInvariance(t *testing.T) {
 	rng := rand.New(rand.NewSource(137))
 	d := randomDataset(rng, 300, 4)
-	base, err := algo.MDRC(d, 10, algo.MDRCOptions{Workers: 1})
+	base, err := algo.MDRC(context.Background(), d, 10, algo.MDRCOptions{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 4, 16} {
-		got, err := algo.MDRC(d, 10, algo.MDRCOptions{Workers: workers})
+		got, err := algo.MDRC(context.Background(), d, 10, algo.MDRCOptions{Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -390,11 +391,11 @@ func TestMDRCWorkerInvariance(t *testing.T) {
 func TestMDRCDeterministic(t *testing.T) {
 	rng := rand.New(rand.NewSource(107))
 	d := randomDataset(rng, 60, 4)
-	a, err := algo.MDRC(d, 6, algo.MDRCOptions{})
+	a, err := algo.MDRC(context.Background(), d, 6, algo.MDRCOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := algo.MDRC(d, 6, algo.MDRCOptions{})
+	b, err := algo.MDRC(context.Background(), d, 6, algo.MDRCOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -404,15 +405,15 @@ func TestMDRCDeterministic(t *testing.T) {
 }
 
 func TestMDRCErrors(t *testing.T) {
-	if _, err := algo.MDRC(nil, 1, algo.MDRCOptions{}); err == nil {
+	if _, err := algo.MDRC(context.Background(), nil, 1, algo.MDRCOptions{}); err == nil {
 		t.Error("nil dataset must error")
 	}
 	d1 := core.MustNewDataset([][]float64{{1}})
-	if _, err := algo.MDRC(d1, 1, algo.MDRCOptions{}); err == nil {
+	if _, err := algo.MDRC(context.Background(), d1, 1, algo.MDRCOptions{}); err == nil {
 		t.Error("1-D dataset must error")
 	}
 	d := paperfig.Figure1()
-	if _, err := algo.MDRC(d, -1, algo.MDRCOptions{}); err == nil {
+	if _, err := algo.MDRC(context.Background(), d, -1, algo.MDRCOptions{}); err == nil {
 		t.Error("negative k must error")
 	}
 }
@@ -424,7 +425,7 @@ func TestMDRCErrors(t *testing.T) {
 func TestMDRCKOneTerminates(t *testing.T) {
 	rng := rand.New(rand.NewSource(131))
 	d := randomDataset(rng, 200, 3)
-	res, err := algo.MDRC(d, 1, algo.MDRCOptions{MaxNodes: 20000})
+	res, err := algo.MDRC(context.Background(), d, 1, algo.MDRCOptions{MaxNodes: 20000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -453,7 +454,7 @@ func TestMDRCKOneTerminates(t *testing.T) {
 
 func TestMDRCKClamped(t *testing.T) {
 	d := paperfig.Figure1()
-	res, err := algo.MDRC(d, 999, algo.MDRCOptions{})
+	res, err := algo.MDRC(context.Background(), d, 999, algo.MDRCOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -465,7 +466,7 @@ func TestMDRCKClamped(t *testing.T) {
 func TestResultIDsSortedAndDeduped(t *testing.T) {
 	rng := rand.New(rand.NewSource(113))
 	d := randomDataset(rng, 50, 3)
-	res, err := algo.MDRC(d, 3, algo.MDRCOptions{})
+	res, err := algo.MDRC(context.Background(), d, 3, algo.MDRCOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -484,7 +485,7 @@ func TestResultIDsSortedAndDeduped(t *testing.T) {
 func TestMDRCOutputSmall(t *testing.T) {
 	rng := rand.New(rand.NewSource(127))
 	d := randomDataset(rng, 500, 4)
-	res, err := algo.MDRC(d, 25, algo.MDRCOptions{})
+	res, err := algo.MDRC(context.Background(), d, 25, algo.MDRCOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

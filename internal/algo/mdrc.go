@@ -1,7 +1,9 @@
 package algo
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 	"runtime"
 	"sync"
@@ -42,8 +44,13 @@ type MDRCOptions struct {
 	// MinWidth — exponential in the angle-space dimension. Once the
 	// budget is reached every remaining rectangle is resolved by the
 	// center-function fallback, preserving coverage at the cost of the
-	// Theorem 6 bound on those rectangles (visible in Stats.Fallbacks).
+	// Theorem 6 bound on those rectangles (visible in Stats.Fallbacks) —
+	// unless HardMaxNodes makes exhaustion an error instead.
 	MaxNodes int
+	// HardMaxNodes turns the MaxNodes cap into a hard budget: reaching it
+	// aborts the solve with an *Interrupted error wrapping ErrBudget,
+	// instead of degrading to the center-function fallback.
+	HardMaxNodes bool
 	// DisableMemo turns off the corner top-k cache (ablation).
 	DisableMemo bool
 	// Workers bounds the parallelism of per-node corner top-k scans
@@ -51,6 +58,9 @@ type MDRCOptions struct {
 	// O(n log k) scan on a cache miss; they are independent and are
 	// evaluated concurrently. Results are identical for any worker count.
 	Workers int
+	// OnProgress, if non-nil, receives the running stats every
+	// progressInterval recursion nodes.
+	OnProgress func(Stats)
 }
 
 // MDRC runs the paper's function-space partitioning algorithm (Section
@@ -59,7 +69,15 @@ type MDRCOptions struct {
 // a top-k tuple is assigned that tuple, otherwise it is bisected. Theorem 6
 // bounds the output's rank-regret by d·k; the experiments (paper's and
 // ours) observe ≤ k.
-func MDRC(d *core.Dataset, k int, opt MDRCOptions) (*Result, error) {
+//
+// The context is checked at every recursion node — the k = 1 corner case
+// makes the tree explode, so cancellation must reach deep into it. A
+// canceled or expired context, or an exhausted hard node budget, returns
+// an *Interrupted error carrying the nodes visited.
+func MDRC(ctx context.Context, d *core.Dataset, k int, opt MDRCOptions) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := validate(d, k); err != nil {
 		return nil, err
 	}
@@ -82,6 +100,7 @@ func MDRC(d *core.Dataset, k int, opt MDRCOptions) (*Result, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	m := &mdrcRun{
+		ctx:      ctx,
 		d:        d,
 		k:        k,
 		opt:      opt,
@@ -91,11 +110,14 @@ func MDRC(d *core.Dataset, k int, opt MDRCOptions) (*Result, error) {
 		cache:    make(map[string][]int),
 	}
 	var picked []int
-	m.recurse(geom.FullAngleSpace(d.Dims()), 0, &picked)
+	if err := m.recurse(geom.FullAngleSpace(d.Dims()), 0, &picked); err != nil {
+		return nil, &Interrupted{Stats: m.stats, Err: err}
+	}
 	return finish(picked, m.stats), nil
 }
 
 type mdrcRun struct {
+	ctx      context.Context
 	d        *core.Dataset
 	k        int
 	opt      MDRCOptions
@@ -170,28 +192,45 @@ func angleKey(theta []float64) string {
 	return string(buf)
 }
 
-func (m *mdrcRun) recurse(r geom.Rect, level int, picked *[]int) {
+func (m *mdrcRun) recurse(r geom.Rect, level int, picked *[]int) error {
+	// The per-node check is what bounds cancellation latency: every node
+	// costs up to 2^{d−1} corner scans, so nothing runs long between two
+	// checks even when the k = 1 pathology makes the tree enormous.
+	if err := m.ctx.Err(); err != nil {
+		return err
+	}
 	m.stats.Nodes++
+	if m.opt.HardMaxNodes && m.stats.Nodes > m.maxNodes {
+		return fmt.Errorf("%w: node budget %d", ErrBudget, m.maxNodes)
+	}
+	if m.opt.OnProgress != nil && m.stats.Nodes%progressInterval == 0 {
+		m.opt.OnProgress(m.stats)
+	}
 	if level > m.stats.MaxDepth {
 		m.stats.MaxDepth = level
 	}
 	lists := m.cornerLists(r.Corners())
 	if id, ok := m.commonTuple(lists); ok {
 		*picked = append(*picked, id)
-		return
+		return nil
 	}
-	if r.MaxWidth() < m.minWidth || m.stats.Nodes >= m.maxNodes {
+	// The node-budget fallback applies only in soft mode: with HardMaxNodes
+	// the budget is a contract, and hitting it must surface as ErrBudget at
+	// the next node rather than silently degrading the last rectangles.
+	if r.MaxWidth() < m.minWidth || (!m.opt.HardMaxNodes && m.stats.Nodes >= m.maxNodes) {
 		// Give the sliver the best tuple of its center; Theorem 1 no
 		// longer bounds its rank for the whole rectangle, so count it.
 		m.stats.Fallbacks++
 		top := topk.TopK(m.d, geom.FuncFromAngles(r.Center()), 1)
 		*picked = append(*picked, top[0])
-		return
+		return nil
 	}
 	axis := level % r.Dim()
 	lo, hi := r.Split(axis)
-	m.recurse(lo, level+1, picked)
-	m.recurse(hi, level+1, picked)
+	if err := m.recurse(lo, level+1, picked); err != nil {
+		return err
+	}
+	return m.recurse(hi, level+1, picked)
 }
 
 // commonTuple intersects the corner top-k lists (Algorithm 5 line 2) and

@@ -1,7 +1,9 @@
 package algo
 
 import (
+	"context"
 	"errors"
+	"fmt"
 
 	"rrr/internal/core"
 	"rrr/internal/cover"
@@ -35,6 +37,9 @@ type MDRRROptions struct {
 	Strategy HittingStrategy
 	// BG configures the ε-net algorithm when Strategy == HitEpsilonNet.
 	BG cover.BGOptions
+	// OnProgress, if non-nil, receives the running stats periodically
+	// from the K-SETr draw loop.
+	OnProgress func(Stats)
 }
 
 // MDRRR runs the paper's hitting-set algorithm (Section 5.2, Algorithm 3):
@@ -44,28 +49,58 @@ type MDRRROptions struct {
 // exactly ≤ k; with the sampled collection the guarantee holds for every
 // discovered k-set, and the missing ones occupy slivers of the function
 // space that random functions virtually never hit (Section 5.2.1).
-func MDRRR(d *core.Dataset, k int, opt MDRRROptions) (*Result, error) {
+//
+// The context is checked periodically inside the K-SETr draw loop; a
+// canceled or expired context — or an exhausted hard draw budget — returns
+// an *Interrupted error carrying the draws and k-sets reached.
+func MDRRR(ctx context.Context, d *core.Dataset, k int, opt MDRRROptions) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := validate(d, k); err != nil {
 		return nil, err
 	}
 	stats := Stats{}
 	col := opt.KSets
 	if col == nil {
+		sampler := opt.Sampler
+		if opt.OnProgress != nil {
+			fn := opt.OnProgress
+			sampler.OnProgress = func(ss kset.SampleStats) {
+				fn(Stats{SamplerDraws: ss.Draws, KSets: ss.Distinct})
+			}
+		}
 		var (
 			sampleStats kset.SampleStats
 			err         error
 		)
-		col, sampleStats, err = kset.Sample(d, k, opt.Sampler)
-		if err != nil {
-			return nil, err
-		}
+		col, sampleStats, err = kset.Sample(ctx, d, k, sampler)
 		stats.SamplerDraws = sampleStats.Draws
 		stats.SamplerTruncated = sampleStats.Truncated
+		if err != nil {
+			partial := Stats{
+				SamplerDraws:     sampleStats.Draws,
+				SamplerTruncated: sampleStats.Truncated,
+				KSets:            sampleStats.Distinct,
+			}
+			switch {
+			case errors.Is(err, kset.ErrDrawBudget):
+				return nil, &Interrupted{Stats: partial, Err: fmt.Errorf("%w: %v", ErrBudget, err)}
+			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+				return nil, &Interrupted{Stats: partial, Err: err}
+			}
+			return nil, err
+		}
 	}
 	if col.Len() == 0 {
 		return nil, errors.New("algo: empty k-set collection")
 	}
 	stats.KSets = col.Len()
+	// One more check before the hitting set: sampling a large collection
+	// may have consumed the whole deadline already.
+	if err := ctx.Err(); err != nil {
+		return nil, &Interrupted{Stats: stats, Err: err}
+	}
 
 	var (
 		ids []int

@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"errors"
 
 	"rrr/internal/core"
@@ -30,6 +31,10 @@ const (
 // TwoDOptions configures TwoDRRR. The zero value reproduces the paper.
 type TwoDOptions struct {
 	Cover CoverStrategy
+	// OnProgress, if non-nil, is invoked with the running stats once the
+	// sweep has produced its ranges (the sweep dominates the cost; the
+	// cover phase is near-instant).
+	OnProgress func(Stats)
 }
 
 // TwoDRRR runs the paper's 2-D algorithm (Section 4): FindRanges (Algorithm
@@ -37,20 +42,30 @@ type TwoDOptions struct {
 // is at most the optimal RRR size (Theorem 3) and its rank-regret is at
 // most 2k (Theorem 4); in the paper's experiments — and in this
 // repository's — it achieves ≤ k on real-like data.
-func TwoDRRR(d *core.Dataset, k int, opt TwoDOptions) (*Result, error) {
+//
+// The context is checked periodically inside the angular sweep; a canceled
+// or expired context returns an *Interrupted error.
+func TwoDRRR(ctx context.Context, d *core.Dataset, k int, opt TwoDOptions) (*Result, error) {
 	if err := validate(d, k); err != nil {
 		return nil, err
 	}
 	if d.Dims() != 2 {
 		return nil, errors.New("algo: TwoDRRR requires a 2-D dataset; use MDRRR or MDRC otherwise")
 	}
-	ranges, err := sweep.FindRanges(d, k)
+	ranges, err := sweep.FindRanges(ctx, d, k)
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, &Interrupted{Err: err}
+		}
 		return nil, err
 	}
 	intervals := make([]cover.Interval, 0, len(ranges))
 	for _, r := range ranges {
 		intervals = append(intervals, cover.Interval{ID: r.ID, Lo: r.Lo, Hi: r.Hi})
+	}
+	stats := Stats{Ranges: len(intervals)}
+	if opt.OnProgress != nil {
+		opt.OnProgress(stats)
 	}
 	var ids []int
 	switch opt.Cover {
@@ -64,5 +79,5 @@ func TwoDRRR(d *core.Dataset, k int, opt TwoDOptions) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return finish(ids, Stats{Ranges: len(intervals)}), nil
+	return finish(ids, stats), nil
 }

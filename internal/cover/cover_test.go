@@ -1,6 +1,7 @@
 package cover_test
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"reflect"
@@ -16,7 +17,7 @@ import (
 
 func paperIntervals(t *testing.T) []cover.Interval {
 	t.Helper()
-	ranges, err := sweep.FindRanges(paperfig.Figure1(), 2)
+	ranges, err := sweep.FindRanges(context.Background(), paperfig.Figure1(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}

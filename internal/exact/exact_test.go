@@ -1,6 +1,7 @@
 package exact_test
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -157,7 +158,7 @@ func TestTheorem3AgainstTrueOptimum(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := algo.TwoDRRR(d, k, algo.TwoDOptions{Cover: algo.CoverOptimalSweep})
+		res, err := algo.TwoDRRR(context.Background(), d, k, algo.TwoDOptions{Cover: algo.CoverOptimalSweep})
 		if err != nil {
 			t.Fatal(err)
 		}

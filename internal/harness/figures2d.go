@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"rrr/internal/algo"
@@ -35,7 +36,7 @@ func twoDFixedN(s Scale) int {
 	}
 }
 
-func run2DVaryN(figID string, s Scale) (*Result, error) {
+func run2DVaryN(ctx context.Context, figID string, s Scale) (*Result, error) {
 	res := &Result{Figure: figID, Title: "2D DOT, vary n, k = 1%", Scale: s}
 	for _, n := range twoDSizes(s) {
 		k := kFromFraction(n, 0.01)
@@ -43,7 +44,7 @@ func run2DVaryN(figID string, s Scale) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		rows, err := run2DPoint(d, k, fmt.Sprintf("n=%d", n))
+		rows, err := run2DPoint(ctx, d, k, fmt.Sprintf("n=%d", n))
 		if err != nil {
 			return nil, err
 		}
@@ -52,7 +53,7 @@ func run2DVaryN(figID string, s Scale) (*Result, error) {
 	return res, nil
 }
 
-func run2DVaryK(figID string, s Scale) (*Result, error) {
+func run2DVaryK(ctx context.Context, figID string, s Scale) (*Result, error) {
 	n := twoDFixedN(s)
 	res := &Result{Figure: figID, Title: fmt.Sprintf("2D DOT, n = %d, vary k", n), Scale: s}
 	d, err := makeDataset(kindDOT, n, 2)
@@ -61,7 +62,7 @@ func run2DVaryK(figID string, s Scale) (*Result, error) {
 	}
 	for _, frac := range []float64{0.002, 0.01, 0.1} {
 		k := kFromFraction(n, frac)
-		rows, err := run2DPoint(d, k, fmt.Sprintf("k=%g%%", frac*100))
+		rows, err := run2DPoint(ctx, d, k, fmt.Sprintf("k=%g%%", frac*100))
 		if err != nil {
 			return nil, err
 		}
@@ -73,12 +74,12 @@ func run2DVaryK(figID string, s Scale) (*Result, error) {
 // run2DPoint executes the three algorithms at one (dataset, k) setting.
 // The exact rank-regret of all three outputs is graded in a single batched
 // sweep at the end — one O(n²) pass instead of three.
-func run2DPoint(d *core.Dataset, k int, x string) ([]Row, error) {
+func run2DPoint(ctx context.Context, d *core.Dataset, k int, x string) ([]Row, error) {
 	// 2DRRR.
 	var twoD *algo.Result
 	secsTwoD, err := timed(func() error {
 		var e error
-		twoD, e = algo.TwoDRRR(d, k, algo.TwoDOptions{})
+		twoD, e = algo.TwoDRRR(ctx, d, k, algo.TwoDOptions{})
 		return e
 	})
 	if err != nil {
@@ -96,7 +97,7 @@ func run2DPoint(d *core.Dataset, k int, x string) ([]Row, error) {
 		for _, set := range sets {
 			col.Add(set)
 		}
-		md, e = algo.MDRRR(d, k, algo.MDRRROptions{KSets: col})
+		md, e = algo.MDRRR(ctx, d, k, algo.MDRRROptions{KSets: col})
 		return e
 	})
 	if err != nil {
@@ -107,7 +108,7 @@ func run2DPoint(d *core.Dataset, k int, x string) ([]Row, error) {
 	var mc *algo.Result
 	secsMC, err := timed(func() error {
 		var e error
-		mc, e = algo.MDRC(d, k, algo.MDRCOptions{})
+		mc, e = algo.MDRC(ctx, d, k, algo.MDRCOptions{})
 		return e
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"rrr/internal/algo"
@@ -43,7 +44,7 @@ func extN(s Scale) int {
 // runExtDistributions runs the MD algorithm suite on the three synthetic
 // families. Skylines grow anti > ind > corr; the representatives must stay
 // small and within k on all three.
-func runExtDistributions(s Scale) (*Result, error) {
+func runExtDistributions(ctx context.Context, s Scale) (*Result, error) {
 	n := extN(s)
 	res := &Result{Figure: "ext01", Title: fmt.Sprintf("distribution study, n = %d, d = 3, k = 1%%", n), Scale: s}
 	k := kFromFraction(n, 0.01)
@@ -60,7 +61,7 @@ func runExtDistributions(s Scale) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		rows, err := runMDPoint(d, k, g.name, s)
+		rows, err := runMDPoint(ctx, d, k, g.name, s)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", g.name, err)
 		}
@@ -78,7 +79,7 @@ func runExtDistributions(s Scale) (*Result, error) {
 
 // runExtSkylineFrontier sweeps k and compares the k-RRR size (MDRC)
 // against the constant-size maxima representations.
-func runExtSkylineFrontier(s Scale) (*Result, error) {
+func runExtSkylineFrontier(ctx context.Context, s Scale) (*Result, error) {
 	n := extN(s)
 	res := &Result{Figure: "ext02", Title: fmt.Sprintf("size frontier, DOT-like, n = %d, d = 3", n), Scale: s}
 	d, err := makeDataset(kindDOT, n, 3)
@@ -91,7 +92,7 @@ func runExtSkylineFrontier(s Scale) (*Result, error) {
 		var mc *algo.Result
 		secs, err := timed(func() error {
 			var e error
-			mc, e = algo.MDRC(d, k, algo.MDRCOptions{})
+			mc, e = algo.MDRC(ctx, d, k, algo.MDRCOptions{})
 			return e
 		})
 		if err != nil {
@@ -112,7 +113,7 @@ func runExtSkylineFrontier(s Scale) (*Result, error) {
 
 // runAblCover compares the two interval-cover strategies on real
 // Algorithm 1 ranges.
-func runAblCover(s Scale) (*Result, error) {
+func runAblCover(ctx context.Context, s Scale) (*Result, error) {
 	n := extN(s)
 	res := &Result{Figure: "abl01", Title: fmt.Sprintf("interval cover on DOT 2-D ranges, n = %d", n), Scale: s}
 	d, err := makeDataset(kindDOT, n, 2)
@@ -121,7 +122,7 @@ func runAblCover(s Scale) (*Result, error) {
 	}
 	for _, frac := range []float64{0.002, 0.01, 0.1} {
 		k := kFromFraction(n, frac)
-		ranges, err := sweep.FindRanges(d, k)
+		ranges, err := sweep.FindRanges(ctx, d, k)
 		if err != nil {
 			return nil, err
 		}
@@ -154,7 +155,7 @@ func runAblCover(s Scale) (*Result, error) {
 
 // runAblHitting compares greedy and ε-net hitting sets over one sampled
 // k-set collection per k.
-func runAblHitting(s Scale) (*Result, error) {
+func runAblHitting(ctx context.Context, s Scale) (*Result, error) {
 	n := extN(s)
 	res := &Result{Figure: "abl02", Title: fmt.Sprintf("hitting set on BN k-sets, n = %d, d = 3", n), Scale: s}
 	d, err := makeDataset(kindBN, n, 3)
@@ -163,7 +164,7 @@ func runAblHitting(s Scale) (*Result, error) {
 	}
 	for _, frac := range []float64{0.002, 0.01} {
 		k := kFromFraction(n, frac)
-		col, _, err := kset.Sample(d, k, samplerOptions(s))
+		col, _, err := kset.Sample(ctx, d, k, samplerOptions(s))
 		if err != nil {
 			return nil, err
 		}
@@ -200,7 +201,7 @@ func runAblHitting(s Scale) (*Result, error) {
 }
 
 // runAblPick compares MDRC's two representative-pick rules.
-func runAblPick(s Scale) (*Result, error) {
+func runAblPick(ctx context.Context, s Scale) (*Result, error) {
 	n := extN(s)
 	res := &Result{Figure: "abl03", Title: fmt.Sprintf("MDRC pick rule, DOT, n = %d, d = 4", n), Scale: s}
 	d, err := makeDataset(kindDOT, n, 4)
@@ -216,7 +217,7 @@ func runAblPick(s Scale) (*Result, error) {
 		var mc *algo.Result
 		secs, err := timed(func() error {
 			var e error
-			mc, e = algo.MDRC(d, k, algo.MDRCOptions{Pick: p.pick})
+			mc, e = algo.MDRC(ctx, d, k, algo.MDRCOptions{Pick: p.pick})
 			return e
 		})
 		if err != nil {
@@ -235,7 +236,7 @@ func runAblPick(s Scale) (*Result, error) {
 }
 
 // runAblMemo measures the corner top-k cache's effect on MDRC.
-func runAblMemo(s Scale) (*Result, error) {
+func runAblMemo(ctx context.Context, s Scale) (*Result, error) {
 	n := extN(s)
 	res := &Result{Figure: "abl04", Title: fmt.Sprintf("MDRC memoization, DOT, n = %d, d = 4", n), Scale: s}
 	d, err := makeDataset(kindDOT, n, 4)
@@ -251,7 +252,7 @@ func runAblMemo(s Scale) (*Result, error) {
 		var mc *algo.Result
 		secs, err := timed(func() error {
 			var e error
-			mc, e = algo.MDRC(d, k, algo.MDRCOptions{DisableMemo: disable})
+			mc, e = algo.MDRC(ctx, d, k, algo.MDRCOptions{DisableMemo: disable})
 			return e
 		})
 		if err != nil {
@@ -269,7 +270,7 @@ func runAblMemo(s Scale) (*Result, error) {
 }
 
 // runAblTermination sweeps K-SETr's consecutive-miss threshold.
-func runAblTermination(s Scale) (*Result, error) {
+func runAblTermination(ctx context.Context, s Scale) (*Result, error) {
 	n := extN(s)
 	res := &Result{Figure: "abl05", Title: fmt.Sprintf("K-SETr termination, BN, n = %d, d = 3, k = 1%%", n), Scale: s}
 	d, err := makeDataset(kindBN, n, 3)
@@ -286,7 +287,7 @@ func runAblTermination(s Scale) (*Result, error) {
 		var stats kset.SampleStats
 		secs, err := timed(func() error {
 			var e error
-			col, stats, e = kset.Sample(d, k, kset.SampleOptions{Termination: c, MaxDraws: 200_000, Seed: 11})
+			col, stats, e = kset.Sample(ctx, d, k, kset.SampleOptions{Termination: c, MaxDraws: 200_000, Seed: 11})
 			return e
 		})
 		if err != nil {

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"rrr/internal/core"
@@ -33,7 +34,7 @@ func samplerOptions(s Scale) kset.SampleOptions {
 	}
 }
 
-func runKSetVaryK(figID string, kind datasetKind, s Scale) (*Result, error) {
+func runKSetVaryK(ctx context.Context, figID string, kind datasetKind, s Scale) (*Result, error) {
 	n := ksetFixedN(s)
 	res := &Result{Figure: figID, Title: fmt.Sprintf("%s k-set count, n = %d, d = 3, vary k", kind.name(), n), Scale: s}
 	d, err := makeDataset(kind, n, 3)
@@ -42,7 +43,7 @@ func runKSetVaryK(figID string, kind datasetKind, s Scale) (*Result, error) {
 	}
 	for _, frac := range []float64{0.001, 0.01, 0.1} {
 		k := kFromFraction(n, frac)
-		row, err := runKSetPoint(d, k, 3, fmt.Sprintf("k=%g%%", frac*100), s)
+		row, err := runKSetPoint(ctx, d, k, 3, fmt.Sprintf("k=%g%%", frac*100), s)
 		if err != nil {
 			return nil, err
 		}
@@ -51,7 +52,7 @@ func runKSetVaryK(figID string, kind datasetKind, s Scale) (*Result, error) {
 	return res, nil
 }
 
-func runKSetVaryD(figID string, kind datasetKind, s Scale) (*Result, error) {
+func runKSetVaryD(ctx context.Context, figID string, kind datasetKind, s Scale) (*Result, error) {
 	n := ksetFixedN(s)
 	res := &Result{Figure: figID, Title: fmt.Sprintf("%s k-set count, n = %d, k = 1%%, vary d", kind.name(), n), Scale: s}
 	dims := []int{2, 3, 4, 5, 6}
@@ -68,7 +69,7 @@ func runKSetVaryD(figID string, kind datasetKind, s Scale) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		row, err := runKSetPoint(d, k, dim, fmt.Sprintf("d=%d", dim), s)
+		row, err := runKSetPoint(ctx, d, k, dim, fmt.Sprintf("d=%d", dim), s)
 		if err != nil {
 			return nil, err
 		}
@@ -77,14 +78,14 @@ func runKSetVaryD(figID string, kind datasetKind, s Scale) (*Result, error) {
 	return res, nil
 }
 
-func runKSetPoint(d *core.Dataset, k, dim int, x string, s Scale) (Row, error) {
+func runKSetPoint(ctx context.Context, d *core.Dataset, k, dim int, x string, s Scale) (Row, error) {
 	var (
 		col   *kset.Collection
 		stats kset.SampleStats
 	)
 	secs, err := timed(func() error {
 		var e error
-		col, stats, e = kset.Sample(d, k, samplerOptions(s))
+		col, stats, e = kset.Sample(ctx, d, k, samplerOptions(s))
 		return e
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"rrr/internal/algo"
@@ -72,7 +73,7 @@ func hdrrmsOptions(s Scale) baseline.HDRRMSOptions {
 	}
 }
 
-func runMDVaryN(figID string, kind datasetKind, s Scale) (*Result, error) {
+func runMDVaryN(ctx context.Context, figID string, kind datasetKind, s Scale) (*Result, error) {
 	res := &Result{Figure: figID, Title: fmt.Sprintf("MD %s, d = 3, k = 1%%, vary n", kind.name()), Scale: s}
 	for _, n := range mdSizes(kind, s) {
 		k := kFromFraction(n, 0.01)
@@ -80,7 +81,7 @@ func runMDVaryN(figID string, kind datasetKind, s Scale) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		rows, err := runMDPoint(d, k, fmt.Sprintf("n=%d", n), s)
+		rows, err := runMDPoint(ctx, d, k, fmt.Sprintf("n=%d", n), s)
 		if err != nil {
 			return nil, err
 		}
@@ -89,7 +90,7 @@ func runMDVaryN(figID string, kind datasetKind, s Scale) (*Result, error) {
 	return res, nil
 }
 
-func runMDVaryD(figID string, kind datasetKind, s Scale) (*Result, error) {
+func runMDVaryD(ctx context.Context, figID string, kind datasetKind, s Scale) (*Result, error) {
 	n := mdFixedN(s)
 	res := &Result{Figure: figID, Title: fmt.Sprintf("MD %s, n = %d, k = 1%%, vary d", kind.name(), n), Scale: s}
 	dims := []int{3, 4, 5, 6}
@@ -105,7 +106,7 @@ func runMDVaryD(figID string, kind datasetKind, s Scale) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		rows, err := runMDPoint(d, k, fmt.Sprintf("d=%d", dim), s)
+		rows, err := runMDPoint(ctx, d, k, fmt.Sprintf("d=%d", dim), s)
 		if err != nil {
 			return nil, err
 		}
@@ -114,7 +115,7 @@ func runMDVaryD(figID string, kind datasetKind, s Scale) (*Result, error) {
 	return res, nil
 }
 
-func runMDVaryK(figID string, kind datasetKind, s Scale) (*Result, error) {
+func runMDVaryK(ctx context.Context, figID string, kind datasetKind, s Scale) (*Result, error) {
 	n := mdFixedN(s)
 	res := &Result{Figure: figID, Title: fmt.Sprintf("MD %s, n = %d, d = 3, vary k", kind.name(), n), Scale: s}
 	d, err := makeDataset(kind, n, 3)
@@ -123,7 +124,7 @@ func runMDVaryK(figID string, kind datasetKind, s Scale) (*Result, error) {
 	}
 	for _, frac := range []float64{0.001, 0.01, 0.1} {
 		k := kFromFraction(n, frac)
-		rows, err := runMDPoint(d, k, fmt.Sprintf("k=%g%%", frac*100), s)
+		rows, err := runMDPoint(ctx, d, k, fmt.Sprintf("k=%g%%", frac*100), s)
 		if err != nil {
 			return nil, err
 		}
@@ -133,7 +134,7 @@ func runMDVaryK(figID string, kind datasetKind, s Scale) (*Result, error) {
 }
 
 // runMDPoint executes MDRC, MDRRR and HD-RRMS at one (dataset, k) setting.
-func runMDPoint(d *core.Dataset, k int, x string, s Scale) ([]Row, error) {
+func runMDPoint(ctx context.Context, d *core.Dataset, k int, x string, s Scale) ([]Row, error) {
 	evalOpt := evalOptions(s)
 	var rows []Row
 
@@ -141,7 +142,7 @@ func runMDPoint(d *core.Dataset, k int, x string, s Scale) ([]Row, error) {
 	var mc *algo.Result
 	secs, err := timed(func() error {
 		var e error
-		mc, e = algo.MDRC(d, k, algo.MDRCOptions{})
+		mc, e = algo.MDRC(ctx, d, k, algo.MDRCOptions{})
 		return e
 	})
 	if err != nil {
@@ -161,7 +162,7 @@ func runMDPoint(d *core.Dataset, k int, x string, s Scale) ([]Row, error) {
 		var md *algo.Result
 		secs, err = timed(func() error {
 			var e error
-			md, e = algo.MDRRR(d, k, algo.MDRRROptions{Sampler: samplerOptions(s)})
+			md, e = algo.MDRRR(ctx, d, k, algo.MDRRROptions{Sampler: samplerOptions(s)})
 			return e
 		})
 		if err != nil {

@@ -13,6 +13,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -97,32 +98,32 @@ type Figure struct {
 	// Title summarizes the paper figure being reproduced.
 	Title string
 	// Run executes the sweep at the given scale.
-	Run func(Scale) (*Result, error)
+	Run func(context.Context, Scale) (*Result, error)
 }
 
 // Figures returns all figure specifications in paper order.
 func Figures() []Figure {
 	return []Figure{
-		{ID: "fig09", Title: "DOT 2D efficiency: time vs n (2DRRR, MDRRR, MDRC)", Run: func(s Scale) (*Result, error) { return run2DVaryN("fig09", s) }},
-		{ID: "fig10", Title: "DOT 2D effectiveness: rank-regret & size vs n", Run: func(s Scale) (*Result, error) { return run2DVaryN("fig10", s) }},
-		{ID: "fig11", Title: "DOT 2D efficiency: time vs k", Run: func(s Scale) (*Result, error) { return run2DVaryK("fig11", s) }},
-		{ID: "fig12", Title: "DOT 2D effectiveness: rank-regret & size vs k", Run: func(s Scale) (*Result, error) { return run2DVaryK("fig12", s) }},
-		{ID: "fig13", Title: "DOT k-set count & K-SETr time vs k", Run: func(s Scale) (*Result, error) { return runKSetVaryK("fig13", kindDOT, s) }},
-		{ID: "fig14", Title: "DOT k-set count & K-SETr time vs d", Run: func(s Scale) (*Result, error) { return runKSetVaryD("fig14", kindDOT, s) }},
-		{ID: "fig15", Title: "BN k-set count & K-SETr time vs k", Run: func(s Scale) (*Result, error) { return runKSetVaryK("fig15", kindBN, s) }},
-		{ID: "fig16", Title: "BN k-set count & K-SETr time vs d", Run: func(s Scale) (*Result, error) { return runKSetVaryD("fig16", kindBN, s) }},
-		{ID: "fig17", Title: "DOT MD efficiency: time vs n (MDRC, MDRRR, HD-RRMS)", Run: func(s Scale) (*Result, error) { return runMDVaryN("fig17", kindDOT, s) }},
-		{ID: "fig18", Title: "DOT MD effectiveness: rank-regret & size vs n", Run: func(s Scale) (*Result, error) { return runMDVaryN("fig18", kindDOT, s) }},
-		{ID: "fig19", Title: "BN MD efficiency: time vs n", Run: func(s Scale) (*Result, error) { return runMDVaryN("fig19", kindBN, s) }},
-		{ID: "fig20", Title: "BN MD effectiveness: rank-regret & size vs n", Run: func(s Scale) (*Result, error) { return runMDVaryN("fig20", kindBN, s) }},
-		{ID: "fig21", Title: "DOT MD efficiency: time vs d", Run: func(s Scale) (*Result, error) { return runMDVaryD("fig21", kindDOT, s) }},
-		{ID: "fig22", Title: "DOT MD effectiveness: rank-regret & size vs d", Run: func(s Scale) (*Result, error) { return runMDVaryD("fig22", kindDOT, s) }},
-		{ID: "fig23", Title: "BN MD efficiency: time vs d", Run: func(s Scale) (*Result, error) { return runMDVaryD("fig23", kindBN, s) }},
-		{ID: "fig24", Title: "BN MD effectiveness: rank-regret & size vs d", Run: func(s Scale) (*Result, error) { return runMDVaryD("fig24", kindBN, s) }},
-		{ID: "fig25", Title: "DOT MD efficiency: time vs k", Run: func(s Scale) (*Result, error) { return runMDVaryK("fig25", kindDOT, s) }},
-		{ID: "fig26", Title: "DOT MD effectiveness: rank-regret & size vs k", Run: func(s Scale) (*Result, error) { return runMDVaryK("fig26", kindDOT, s) }},
-		{ID: "fig27", Title: "BN MD efficiency: time vs k", Run: func(s Scale) (*Result, error) { return runMDVaryK("fig27", kindBN, s) }},
-		{ID: "fig28", Title: "BN MD effectiveness: rank-regret & size vs k", Run: func(s Scale) (*Result, error) { return runMDVaryK("fig28", kindBN, s) }},
+		{ID: "fig09", Title: "DOT 2D efficiency: time vs n (2DRRR, MDRRR, MDRC)", Run: func(ctx context.Context, s Scale) (*Result, error) { return run2DVaryN(ctx, "fig09", s) }},
+		{ID: "fig10", Title: "DOT 2D effectiveness: rank-regret & size vs n", Run: func(ctx context.Context, s Scale) (*Result, error) { return run2DVaryN(ctx, "fig10", s) }},
+		{ID: "fig11", Title: "DOT 2D efficiency: time vs k", Run: func(ctx context.Context, s Scale) (*Result, error) { return run2DVaryK(ctx, "fig11", s) }},
+		{ID: "fig12", Title: "DOT 2D effectiveness: rank-regret & size vs k", Run: func(ctx context.Context, s Scale) (*Result, error) { return run2DVaryK(ctx, "fig12", s) }},
+		{ID: "fig13", Title: "DOT k-set count & K-SETr time vs k", Run: func(ctx context.Context, s Scale) (*Result, error) { return runKSetVaryK(ctx, "fig13", kindDOT, s) }},
+		{ID: "fig14", Title: "DOT k-set count & K-SETr time vs d", Run: func(ctx context.Context, s Scale) (*Result, error) { return runKSetVaryD(ctx, "fig14", kindDOT, s) }},
+		{ID: "fig15", Title: "BN k-set count & K-SETr time vs k", Run: func(ctx context.Context, s Scale) (*Result, error) { return runKSetVaryK(ctx, "fig15", kindBN, s) }},
+		{ID: "fig16", Title: "BN k-set count & K-SETr time vs d", Run: func(ctx context.Context, s Scale) (*Result, error) { return runKSetVaryD(ctx, "fig16", kindBN, s) }},
+		{ID: "fig17", Title: "DOT MD efficiency: time vs n (MDRC, MDRRR, HD-RRMS)", Run: func(ctx context.Context, s Scale) (*Result, error) { return runMDVaryN(ctx, "fig17", kindDOT, s) }},
+		{ID: "fig18", Title: "DOT MD effectiveness: rank-regret & size vs n", Run: func(ctx context.Context, s Scale) (*Result, error) { return runMDVaryN(ctx, "fig18", kindDOT, s) }},
+		{ID: "fig19", Title: "BN MD efficiency: time vs n", Run: func(ctx context.Context, s Scale) (*Result, error) { return runMDVaryN(ctx, "fig19", kindBN, s) }},
+		{ID: "fig20", Title: "BN MD effectiveness: rank-regret & size vs n", Run: func(ctx context.Context, s Scale) (*Result, error) { return runMDVaryN(ctx, "fig20", kindBN, s) }},
+		{ID: "fig21", Title: "DOT MD efficiency: time vs d", Run: func(ctx context.Context, s Scale) (*Result, error) { return runMDVaryD(ctx, "fig21", kindDOT, s) }},
+		{ID: "fig22", Title: "DOT MD effectiveness: rank-regret & size vs d", Run: func(ctx context.Context, s Scale) (*Result, error) { return runMDVaryD(ctx, "fig22", kindDOT, s) }},
+		{ID: "fig23", Title: "BN MD efficiency: time vs d", Run: func(ctx context.Context, s Scale) (*Result, error) { return runMDVaryD(ctx, "fig23", kindBN, s) }},
+		{ID: "fig24", Title: "BN MD effectiveness: rank-regret & size vs d", Run: func(ctx context.Context, s Scale) (*Result, error) { return runMDVaryD(ctx, "fig24", kindBN, s) }},
+		{ID: "fig25", Title: "DOT MD efficiency: time vs k", Run: func(ctx context.Context, s Scale) (*Result, error) { return runMDVaryK(ctx, "fig25", kindDOT, s) }},
+		{ID: "fig26", Title: "DOT MD effectiveness: rank-regret & size vs k", Run: func(ctx context.Context, s Scale) (*Result, error) { return runMDVaryK(ctx, "fig26", kindDOT, s) }},
+		{ID: "fig27", Title: "BN MD efficiency: time vs k", Run: func(ctx context.Context, s Scale) (*Result, error) { return runMDVaryK(ctx, "fig27", kindBN, s) }},
+		{ID: "fig28", Title: "BN MD effectiveness: rank-regret & size vs k", Run: func(ctx context.Context, s Scale) (*Result, error) { return runMDVaryK(ctx, "fig28", kindBN, s) }},
 	}
 }
 

@@ -1,6 +1,7 @@
 package harness_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -99,7 +100,7 @@ func TestSmokeRunExtensions(t *testing.T) {
 	for _, f := range harness.Extensions() {
 		f := f
 		t.Run(f.ID, func(t *testing.T) {
-			res, err := f.Run(harness.ScaleSmoke)
+			res, err := f.Run(context.Background(), harness.ScaleSmoke)
 			if err != nil {
 				t.Fatalf("%s: %v", f.ID, err)
 			}
@@ -164,7 +165,7 @@ func TestSmokeRunAllFigures(t *testing.T) {
 	for _, f := range harness.Figures() {
 		f := f
 		t.Run(f.ID, func(t *testing.T) {
-			res, err := f.Run(harness.ScaleSmoke)
+			res, err := f.Run(context.Background(), harness.ScaleSmoke)
 			if err != nil {
 				t.Fatalf("%s: %v", f.ID, err)
 			}
@@ -202,7 +203,7 @@ func TestSmokeRunAllFigures(t *testing.T) {
 // theoretical upper bound.
 func TestGuaranteesAtSmokeScale(t *testing.T) {
 	f, _ := harness.ByID("fig10")
-	res, err := f.Run(harness.ScaleSmoke)
+	res, err := f.Run(context.Background(), harness.ScaleSmoke)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +219,7 @@ func TestGuaranteesAtSmokeScale(t *testing.T) {
 		}
 	}
 	f, _ = harness.ByID("fig13")
-	res, err = f.Run(harness.ScaleSmoke)
+	res, err = f.Run(context.Background(), harness.ScaleSmoke)
 	if err != nil {
 		t.Fatal(err)
 	}

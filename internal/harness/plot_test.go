@@ -1,6 +1,7 @@
 package harness_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -13,7 +14,7 @@ func smokeResult(t *testing.T, id string) *harness.Result {
 	if !ok {
 		t.Fatalf("unknown figure %s", id)
 	}
-	res, err := f.Run(harness.ScaleSmoke)
+	res, err := f.Run(context.Background(), harness.ScaleSmoke)
 	if err != nil {
 		t.Fatal(err)
 	}

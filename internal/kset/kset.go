@@ -19,6 +19,7 @@
 package kset
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -117,9 +118,29 @@ type SampleOptions struct {
 	// MaxDraws caps the total number of sampled functions as a safety
 	// valve. Default 2,000,000.
 	MaxDraws int
+	// HardMaxDraws makes reaching MaxDraws an error (wrapping
+	// ErrDrawBudget) instead of a silent truncation of the collection.
+	HardMaxDraws bool
 	// Seed drives the random function generator.
 	Seed int64
+	// OnProgress, if non-nil, receives the running stats periodically
+	// during the draw loop.
+	OnProgress func(SampleStats)
 }
+
+// ErrDrawBudget is returned (wrapped) by Sample when HardMaxDraws is set
+// and the draw cap is reached before the termination rule fires.
+var ErrDrawBudget = errors.New("kset: draw budget exhausted")
+
+// cancelCheckInterval is how many draws pass between context checks. A
+// draw costs an O(n log k) top-k scan, so even a small interval keeps the
+// check overhead unmeasurable while bounding cancellation latency to a
+// few dozen scans.
+const cancelCheckInterval = 16
+
+// progressInterval is how many draws pass between OnProgress callbacks; a
+// multiple of cancelCheckInterval so both fire on the same cheap branch.
+const progressInterval = 256
 
 // SampleStats reports how the sampler behaved.
 type SampleStats struct {
@@ -135,7 +156,15 @@ type SampleStats struct {
 // Sample runs K-SETr: repeatedly draw a uniform random ranking function,
 // record its top-k as a k-set, and stop once Termination consecutive draws
 // yield nothing new.
-func Sample(d *core.Dataset, k int, opt SampleOptions) (*Collection, SampleStats, error) {
+//
+// The context is checked every cancelCheckInterval draws. On cancellation
+// (or a HardMaxDraws overrun) Sample returns the partial collection and
+// stats alongside the error, so callers can report — or even use — what
+// the interrupted run discovered.
+func Sample(ctx context.Context, d *core.Dataset, k int, opt SampleOptions) (*Collection, SampleStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if k <= 0 {
 		return nil, SampleStats{}, errors.New("kset: k must be positive")
 	}
@@ -157,7 +186,23 @@ func Sample(d *core.Dataset, k int, opt SampleOptions) (*Collection, SampleStats
 	for counter <= term {
 		if stats.Draws >= maxDraws {
 			stats.Truncated = true
+			if opt.HardMaxDraws {
+				stats.Distinct = col.Len()
+				return col, stats, fmt.Errorf("%w after %d draws (%d k-sets found)",
+					ErrDrawBudget, stats.Draws, col.Len())
+			}
 			break
+		}
+		if stats.Draws%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				stats.Distinct = col.Len()
+				return col, stats, fmt.Errorf("kset: sampling canceled after %d draws: %w",
+					stats.Draws, err)
+			}
+			if opt.OnProgress != nil && stats.Draws%progressInterval == 0 {
+				stats.Distinct = col.Len()
+				opt.OnProgress(stats)
+			}
 		}
 		f := geom.RandomFunc(d.Dims(), rng)
 		stats.Draws++

@@ -1,6 +1,7 @@
 package kset_test
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"sort"
@@ -76,7 +77,7 @@ func TestCanonSortsCopy(t *testing.T) {
 
 func TestSamplePaper2Sets(t *testing.T) {
 	d := paperfig.Figure1()
-	col, stats, err := kset.Sample(d, 2, kset.SampleOptions{Termination: 200, Seed: 3})
+	col, stats, err := kset.Sample(context.Background(), d, 2, kset.SampleOptions{Termination: 200, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestSampleMatchesSweepIn2D(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		col, _, err := kset.Sample(d, k, kset.SampleOptions{Termination: 400, Seed: int64(trial)})
+		col, _, err := kset.Sample(context.Background(), d, k, kset.SampleOptions{Termination: 400, Seed: int64(trial)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -131,11 +132,11 @@ func keyOf(ids []int) string {
 
 func TestSampleDeterministicPerSeed(t *testing.T) {
 	d := paperfig.Figure1()
-	a, sa, err := kset.Sample(d, 2, kset.SampleOptions{Seed: 5})
+	a, sa, err := kset.Sample(context.Background(), d, 2, kset.SampleOptions{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, sb, err := kset.Sample(d, 2, kset.SampleOptions{Seed: 5})
+	b, sb, err := kset.Sample(context.Background(), d, 2, kset.SampleOptions{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestSampleDeterministicPerSeed(t *testing.T) {
 
 func TestSampleTruncation(t *testing.T) {
 	d := paperfig.Figure1()
-	_, stats, err := kset.Sample(d, 2, kset.SampleOptions{Termination: 1000, MaxDraws: 5, Seed: 1})
+	_, stats, err := kset.Sample(context.Background(), d, 2, kset.SampleOptions{Termination: 1000, MaxDraws: 5, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,14 +158,14 @@ func TestSampleTruncation(t *testing.T) {
 
 func TestSampleKClamping(t *testing.T) {
 	d := paperfig.Figure1()
-	col, _, err := kset.Sample(d, 99, kset.SampleOptions{Termination: 5, Seed: 1})
+	col, _, err := kset.Sample(context.Background(), d, 99, kset.SampleOptions{Termination: 5, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if col.Len() != 1 || len(col.Sets()[0]) != d.N() {
 		t.Fatalf("k>n must yield the single full set, got %v", col.Sets())
 	}
-	if _, _, err := kset.Sample(d, 0, kset.SampleOptions{}); err == nil {
+	if _, _, err := kset.Sample(context.Background(), d, 0, kset.SampleOptions{}); err == nil {
 		t.Fatal("k=0 must error")
 	}
 }
@@ -336,7 +337,7 @@ func TestUpperBoundFormulas(t *testing.T) {
 func TestSampledSetsAreValid(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
 	d := randomDataset(rng, 15, 3)
-	col, _, err := kset.Sample(d, 3, kset.SampleOptions{Termination: 100, Seed: 2})
+	col, _, err := kset.Sample(context.Background(), d, 3, kset.SampleOptions{Termination: 100, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,10 +1,14 @@
 package service
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
+
+	"rrr"
 )
 
 // Key identifies one precomputation: a representative of dataset Dataset
@@ -21,14 +25,24 @@ type Key struct {
 	Algo    string
 }
 
-// computation is one cache slot. The first requester (the leader) owns the
-// computation; followers block on done. A slot whose computation failed is
-// evicted by the leader so later requests retry instead of caching the
-// error forever.
+// computation is one cache slot. The computation runs on its own goroutine
+// under a context detached from any single request: requests — the one
+// that created the flight and any that joined it — are *waiters*. A waiter
+// whose own context dies leaves the flight; when the last waiter leaves,
+// the computation's context is canceled, so abandoned work stops burning
+// CPU instead of running to completion for nobody. A slot whose
+// computation failed (including by cancellation) is evicted so later
+// requests retry instead of caching the error forever.
 type computation struct {
-	done chan struct{}
+	done   chan struct{}
+	cancel context.CancelFunc
 
-	// Written by the leader before close(done), read-only afterwards.
+	// waiters is guarded by Cache.mu: the number of requests currently
+	// blocked on (or about to block on) this slot.
+	waiters int
+
+	// Written by the computing goroutine before close(done), read-only
+	// afterwards.
 	ids     []int
 	stats   ResultStats
 	elapsed time.Duration
@@ -86,57 +100,117 @@ type CachedResult struct {
 
 // Do returns the cached result for key, computing it via compute if absent.
 // If another request is already computing the key, Do waits for it and
-// shares its result (counted as a hit). compute runs without the cache lock
-// held, so unrelated keys never serialize behind one computation.
-func (c *Cache) Do(key Key, compute func() ([]int, ResultStats, error)) (CachedResult, error) {
-	c.mu.Lock()
-	if slot, ok := c.slots[key]; ok {
-		c.mu.Unlock()
-		<-slot.done
-		if slot.err != nil {
-			// A shared failure is not a hit: nothing was served from
-			// cache, the client gets the flight's error.
-			return CachedResult{}, slot.err
-		}
-		c.metrics.hit()
-		return CachedResult{IDs: slot.ids, Stats: slot.stats, Elapsed: slot.elapsed, Cached: true}, nil
+// shares its result (counted as a hit). compute runs on its own goroutine
+// under a context detached from ctx, so one client disconnecting never
+// kills a solve other clients are waiting on; but when ctx dies and this
+// was the last waiter, the computation's context is canceled and the
+// solve stops. compute must honor its context for that to interrupt work.
+func (c *Cache) Do(ctx context.Context, key Key, compute func(context.Context) ([]int, ResultStats, error)) (CachedResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	slot := &computation{done: make(chan struct{})}
-	c.slots[key] = slot
+	c.mu.Lock()
+	slot, found := c.slots[key]
+	if !found {
+		runCtx, cancel := context.WithCancel(context.Background())
+		slot = &computation{done: make(chan struct{}), cancel: cancel}
+		c.slots[key] = slot
+		c.metrics.miss()
+		go c.run(key, slot, runCtx, compute)
+	}
+	slot.waiters++
 	c.mu.Unlock()
 
-	c.metrics.miss()
-	c.sem <- struct{}{}
-	defer func() { <-c.sem }()
+	select {
+	case <-slot.done:
+	case <-ctx.Done():
+		// Prefer a completed result over reporting cancellation when both
+		// raced: the work is done, serve it.
+		select {
+		case <-slot.done:
+		default:
+			c.mu.Lock()
+			slot.waiters--
+			abandoned := slot.waiters == 0
+			if abandoned && c.slots[key] == slot {
+				// Evict in the same critical section that detects
+				// abandonment: a request arriving after this point starts
+				// a fresh flight instead of joining a doomed one and
+				// inheriting its cancellation error.
+				delete(c.slots, key)
+			}
+			c.mu.Unlock()
+			if abandoned {
+				// Last waiter gone: nobody wants this result anymore.
+				slot.cancel()
+			}
+			return CachedResult{}, fmt.Errorf("service: request for %s on %q (k=%d) abandoned: %w",
+				key.Algo, key.Dataset, key.K, ctx.Err())
+		}
+	}
+	c.mu.Lock()
+	slot.waiters--
+	c.mu.Unlock()
+	if slot.err != nil {
+		// A shared failure is not a hit: nothing was served from cache,
+		// the client gets the flight's error.
+		return CachedResult{}, slot.err
+	}
+	if !found {
+		// This request created the flight; its result is fresh, not cached.
+		return CachedResult{IDs: slot.ids, Stats: slot.stats, Elapsed: slot.elapsed, Cached: false}, nil
+	}
+	c.metrics.hit()
+	return CachedResult{IDs: slot.ids, Stats: slot.stats, Elapsed: slot.elapsed, Cached: true}, nil
+}
+
+// run executes one computation on its own goroutine: admission control,
+// metrics, publication, and eviction-on-failure. Panics in compute are
+// recovered and published as errors — the goroutine is detached from any
+// request, so net/http's per-request recovery cannot catch them.
+func (c *Cache) run(key Key, slot *computation, ctx context.Context, compute func(context.Context) ([]int, ResultStats, error)) {
+	defer slot.cancel() // release the context's resources on every path
+	select {
+	case c.sem <- struct{}{}:
+		defer func() { <-c.sem }()
+	case <-ctx.Done():
+		// Every waiter left while this computation was still queued
+		// behind the admission semaphore; it never started.
+		slot.err = fmt.Errorf("service: computation for %v canceled while queued: %w", key, ctx.Err())
+		c.metrics.computeAbandonedQueued()
+		c.evict(key, slot)
+		close(slot.done)
+		return
+	}
 	c.metrics.computeStarted()
 	start := time.Now()
 	finished := false
 	defer func() {
-		if finished {
-			return
+		if !finished {
+			// compute panicked: publish an error so waiters unwedge, evict
+			// the slot so later requests retry, and swallow the panic —
+			// re-panicking on a detached goroutine would kill the process.
+			slot.err = fmt.Errorf("service: computation for %v panicked: %v", key, recover())
+			slot.elapsed = time.Since(start)
+			c.metrics.computeFinished(key.Algo, slot.elapsed, slot.err)
+			c.evict(key, slot)
+			close(slot.done)
 		}
-		// compute panicked. Publish an error so followers blocked on this
-		// slot unwedge, evict the slot so later requests retry, then let
-		// the panic continue (net/http logs and recovers it per request).
-		slot.err = fmt.Errorf("service: computation for %v panicked", key)
-		slot.elapsed = time.Since(start)
-		c.metrics.computeFinished(key.Algo, slot.elapsed, slot.err)
-		c.evict(key, slot)
-		close(slot.done)
 	}()
-	slot.ids, slot.stats, slot.err = compute()
+	slot.ids, slot.stats, slot.err = compute(ctx)
 	finished = true
 	slot.elapsed = time.Since(start)
 	c.metrics.computeFinished(key.Algo, slot.elapsed, slot.err)
-	if slot.err != nil {
-		// Evict before waking followers: a transient failure must not
-		// poison the key. Followers still observe this attempt's error.
+	if slot.err != nil && !errors.Is(slot.err, rrr.ErrBudgetExhausted) {
+		// Evict before waking waiters: transient failures and
+		// cancellations must not poison the key. Budget exhaustion is the
+		// exception — it is deterministic for a (dataset, k, algorithm)
+		// triple under the daemon's configured budgets, so the typed error
+		// is cached until the dataset is removed; evicting it would make
+		// every retry of a doomed key burn the full budget again.
 		c.evict(key, slot)
-		close(slot.done)
-		return CachedResult{}, slot.err
 	}
 	close(slot.done)
-	return CachedResult{IDs: slot.ids, Stats: slot.stats, Elapsed: slot.elapsed, Cached: false}, nil
 }
 
 // evict removes the slot if it is still the one mapped at key.

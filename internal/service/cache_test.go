@@ -1,7 +1,9 @@
 package service
 
 import (
+	"context"
 	"errors"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -27,7 +29,7 @@ func TestCacheSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = c.Do(key, func() ([]int, ResultStats, error) {
+			results[i], errs[i] = c.Do(context.Background(), key, func(context.Context) ([]int, ResultStats, error) {
 				computations.Add(1)
 				close(entered)
 				<-release
@@ -72,18 +74,18 @@ func TestCacheHitAfterCompletion(t *testing.T) {
 	c := NewCache(m, 0)
 	key := Key{Dataset: "d", K: 5, Algo: "2drrr"}
 	calls := 0
-	compute := func() ([]int, ResultStats, error) {
+	compute := func(context.Context) ([]int, ResultStats, error) {
 		calls++
 		return []int{9}, ResultStats{}, nil
 	}
-	first, err := c.Do(key, compute)
+	first, err := c.Do(context.Background(), key, compute)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if first.Cached {
 		t.Fatal("first request reported cached")
 	}
-	second, err := c.Do(key, compute)
+	second, err := c.Do(context.Background(), key, compute)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +105,7 @@ func TestCacheHitAfterCompletion(t *testing.T) {
 func TestCacheDistinctKeysIndependent(t *testing.T) {
 	c := NewCache(nil, 0)
 	var calls atomic.Int64
-	compute := func() ([]int, ResultStats, error) {
+	compute := func(context.Context) ([]int, ResultStats, error) {
 		calls.Add(1)
 		return []int{1}, ResultStats{}, nil
 	}
@@ -114,7 +116,7 @@ func TestCacheDistinctKeysIndependent(t *testing.T) {
 		{Dataset: "b", K: 1, Algo: "mdrc"},
 	}
 	for _, k := range keys {
-		if _, err := c.Do(k, compute); err != nil {
+		if _, err := c.Do(context.Background(), k, compute); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -134,7 +136,7 @@ func TestCacheErrorEviction(t *testing.T) {
 	c := NewCache(m, 0)
 	key := Key{Dataset: "d", K: 3, Algo: "mdrc"}
 	boom := errors.New("boom")
-	if _, err := c.Do(key, func() ([]int, ResultStats, error) {
+	if _, err := c.Do(context.Background(), key, func(context.Context) ([]int, ResultStats, error) {
 		return nil, ResultStats{}, boom
 	}); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
@@ -142,7 +144,7 @@ func TestCacheErrorEviction(t *testing.T) {
 	if c.Len() != 0 {
 		t.Fatalf("failed slot not evicted: len = %d", c.Len())
 	}
-	res, err := c.Do(key, func() ([]int, ResultStats, error) {
+	res, err := c.Do(context.Background(), key, func(context.Context) ([]int, ResultStats, error) {
 		return []int{4}, ResultStats{}, nil
 	})
 	if err != nil {
@@ -156,9 +158,11 @@ func TestCacheErrorEviction(t *testing.T) {
 	}
 }
 
-// TestCachePanicUnwedges: a panicking computation must release followers
-// with an error, evict the slot so later requests retry, and let the panic
-// propagate to the leader's goroutine (where net/http would recover it).
+// TestCachePanicUnwedges: a panicking computation must release every
+// waiter with an error and evict the slot so later requests retry. The
+// computation runs on a detached goroutine, so the cache recovers the
+// panic itself (an unrecovered panic there would kill the process) and
+// publishes it as the flight's error.
 func TestCachePanicUnwedges(t *testing.T) {
 	m := NewMetrics()
 	c := NewCache(m, 0)
@@ -166,31 +170,31 @@ func TestCachePanicUnwedges(t *testing.T) {
 
 	entered := make(chan struct{})
 	release := make(chan struct{})
-	leaderPanicked := make(chan any, 1)
+	leaderErr := make(chan error, 1)
 	go func() {
-		defer func() { leaderPanicked <- recover() }()
-		c.Do(key, func() ([]int, ResultStats, error) {
+		_, err := c.Do(context.Background(), key, func(context.Context) ([]int, ResultStats, error) {
 			close(entered)
 			<-release
 			panic("solver blew up")
 		})
+		leaderErr <- err
 	}()
 	<-entered
 
 	followerErr := make(chan error, 1)
 	go func() {
-		_, err := c.Do(key, func() ([]int, ResultStats, error) {
+		_, err := c.Do(context.Background(), key, func(context.Context) ([]int, ResultStats, error) {
 			t.Error("follower ran its own computation while leader was in flight")
 			return nil, ResultStats{}, nil
 		})
 		followerErr <- err
 	}()
-	// Let the follower reach the slot, then blow up the leader.
+	// Let the follower reach the slot, then blow up the computation.
 	time.Sleep(10 * time.Millisecond)
 	close(release)
 
-	if v := <-leaderPanicked; v != "solver blew up" {
-		t.Fatalf("leader recover() = %v, want the original panic", v)
+	if err := <-leaderErr; err == nil || !strings.Contains(err.Error(), "solver blew up") {
+		t.Fatalf("leader error = %v, want the recovered panic message", err)
 	}
 	if err := <-followerErr; err == nil {
 		t.Fatal("follower got nil error from a panicked computation")
@@ -203,7 +207,7 @@ func TestCachePanicUnwedges(t *testing.T) {
 		t.Fatalf("in-flight/failures = %d/%d, want 0/1", snap.InFlight, snap.Failures)
 	}
 	// The key must be usable again.
-	res, err := c.Do(key, func() ([]int, ResultStats, error) {
+	res, err := c.Do(context.Background(), key, func(context.Context) ([]int, ResultStats, error) {
 		return []int{5}, ResultStats{}, nil
 	})
 	if err != nil || res.Cached {
@@ -222,7 +226,7 @@ func TestCacheAdmissionControl(t *testing.T) {
 	aDone := make(chan struct{})
 	go func() {
 		defer close(aDone)
-		c.Do(Key{Dataset: "a", K: 1, Algo: "mdrc"}, func() ([]int, ResultStats, error) {
+		c.Do(context.Background(), Key{Dataset: "a", K: 1, Algo: "mdrc"}, func(context.Context) ([]int, ResultStats, error) {
 			close(aEntered)
 			<-aRelease
 			return []int{1}, ResultStats{}, nil
@@ -233,7 +237,7 @@ func TestCacheAdmissionControl(t *testing.T) {
 	bDone := make(chan struct{})
 	go func() {
 		defer close(bDone)
-		c.Do(Key{Dataset: "b", K: 1, Algo: "mdrc"}, func() ([]int, ResultStats, error) {
+		c.Do(context.Background(), Key{Dataset: "b", K: 1, Algo: "mdrc"}, func(context.Context) ([]int, ResultStats, error) {
 			bStarted.Store(true)
 			return []int{2}, ResultStats{}, nil
 		})
@@ -253,13 +257,13 @@ func TestCacheAdmissionControl(t *testing.T) {
 // TestCacheInvalidateDataset drops only the named dataset's slots.
 func TestCacheInvalidateDataset(t *testing.T) {
 	c := NewCache(nil, 0)
-	ok := func() ([]int, ResultStats, error) { return []int{1}, ResultStats{}, nil }
+	ok := func(context.Context) ([]int, ResultStats, error) { return []int{1}, ResultStats{}, nil }
 	for _, k := range []Key{
 		{Dataset: "a", K: 1, Algo: "mdrc"},
 		{Dataset: "a", K: 2, Algo: "mdrc"},
 		{Dataset: "b", K: 1, Algo: "mdrc"},
 	} {
-		if _, err := c.Do(k, ok); err != nil {
+		if _, err := c.Do(context.Background(), k, ok); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,52 +9,106 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"rrr"
 )
 
 // maxUploadBytes bounds POST /datasets bodies (CSV uploads included).
 const maxUploadBytes = 64 << 20
 
+// statusClientClosedRequest is nginx's non-standard 499: the client went
+// away before the response. No client sees it, but access logs and
+// metrics distinguish "they hung up" from a real failure.
+const statusClientClosedRequest = 499
+
 // Server adapts a Service to JSON-over-HTTP. Mount it directly or via
 // Handler().
 //
-// Endpoints:
+// The API is versioned under /v1; the unversioned paths remain as aliases
+// for pre-v1 clients and may be removed in a future major version.
 //
-//	POST /datasets        register a dataset (JSON spec: generator or CSV)
-//	GET  /datasets        list registered datasets
-//	DELETE /datasets/{name}  unregister + invalidate cache
-//	GET  /representative?dataset=&k=&algo=   cached representative
-//	GET  /rank?dataset=&weights=&id=|ids=    rank / rank-regret probe
-//	GET  /regret?dataset=&ids=&samples=      sampled worst-case rank-regret
-//	GET  /healthz         liveness
-//	GET  /stats           cache + latency counters
+// Endpoints (each also available without the /v1 prefix):
+//
+//	POST /v1/datasets        register a dataset (JSON spec: generator or CSV)
+//	GET  /v1/datasets        list registered datasets
+//	DELETE /v1/datasets/{name}  unregister + invalidate cache
+//	GET  /v1/representative?dataset=&k=&algo=   cached representative
+//	GET  /v1/rank?dataset=&weights=&id=|ids=    rank / rank-regret probe
+//	GET  /v1/regret?dataset=&ids=&samples=      sampled worst-case rank-regret
+//	GET  /v1/healthz         liveness
+//	GET  /v1/stats           cache + latency counters
+//
+// Errors are JSON envelopes {"error": ..., "kind": ...} where kind is one
+// of "bad_request", "not_found", "conflict", "canceled",
+// "budget_exhausted", "infeasible", or "internal".
 type Server struct {
-	svc *Service
-	mux *http.ServeMux
+	svc     *Service
+	mux     *http.ServeMux
+	timeout time.Duration
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithRequestTimeout bounds every request's context: a representative
+// request whose computation (or wait for a shared computation) exceeds d
+// fails with 504 and kind "canceled". Zero means no per-request deadline.
+// This is the HTTP face of the daemon's -request-timeout flag.
+func WithRequestTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.timeout = d }
 }
 
 // NewServer builds the HTTP adapter over svc.
-func NewServer(svc *Service) *Server {
+func NewServer(svc *Service, opts ...ServerOption) *Server {
 	s := &Server{svc: svc, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /datasets", s.handleRegister)
-	s.mux.HandleFunc("GET /datasets", s.handleList)
-	s.mux.HandleFunc("DELETE /datasets/{name}", s.handleRemove)
-	s.mux.HandleFunc("GET /representative", s.handleRepresentative)
-	s.mux.HandleFunc("GET /rank", s.handleRank)
-	s.mux.HandleFunc("GET /regret", s.handleRegret)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
+	for _, o := range opts {
+		if o != nil {
+			o(s)
+		}
+	}
+	s.route("POST /datasets", s.handleRegister)
+	s.route("GET /datasets", s.handleList)
+	s.route("DELETE /datasets/{name}", s.handleRemove)
+	s.route("GET /representative", s.handleRepresentative)
+	s.route("GET /rank", s.handleRank)
+	s.route("GET /regret", s.handleRegret)
+	s.route("GET /healthz", s.handleHealthz)
+	s.route("GET /stats", s.handleStats)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// route registers a handler at its /v1 path and at the legacy unversioned
+// alias.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	method, path, ok := strings.Cut(pattern, " ")
+	if !ok {
+		panic("service: route pattern must be \"METHOD /path\": " + pattern)
+	}
+	s.mux.HandleFunc(method+" /v1"+path, h)
+	s.mux.HandleFunc(pattern, h)
+}
 
-// Handler returns the underlying mux (for wrapping in middleware).
-func (s *Server) Handler() http.Handler { return s.mux }
+// ServeHTTP implements http.Handler, applying the per-request deadline
+// before dispatch so every handler (and the solves behind them) inherits
+// it.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.timeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+	s.mux.ServeHTTP(w, r)
+}
 
-// errorBody is the JSON error envelope.
+// Handler returns the server as an http.Handler (for wrapping in
+// middleware). The returned handler applies the request timeout.
+func (s *Server) Handler() http.Handler { return s }
+
+// errorBody is the JSON error envelope. Kind is machine-readable so
+// clients branch without parsing messages.
 type errorBody struct {
 	Error string `json:"error"`
+	Kind  string `json:"kind"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -64,18 +119,41 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// writeError maps the service's sentinel error kinds to HTTP statuses.
+// writeError maps the service's sentinel error kinds — and the solver's
+// typed *rrr.Error hierarchy — to HTTP statuses and structured bodies.
 func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
+	status, kind := classifyError(err)
+	writeJSON(w, status, errorBody{Error: err.Error(), Kind: kind})
+}
+
+func classifyError(err error) (status int, kind string) {
+	var solveErr *rrr.Error
 	switch {
 	case errors.Is(err, ErrNotFound):
-		status = http.StatusNotFound
+		return http.StatusNotFound, "not_found"
 	case errors.Is(err, ErrBadRequest):
-		status = http.StatusBadRequest
+		return http.StatusBadRequest, "bad_request"
 	case errors.Is(err, ErrConflict):
-		status = http.StatusConflict
+		return http.StatusConflict, "conflict"
+	case errors.As(err, &solveErr):
+		switch solveErr.KindName() {
+		case "canceled":
+			if errors.Is(err, context.DeadlineExceeded) {
+				return http.StatusGatewayTimeout, "canceled"
+			}
+			return statusClientClosedRequest, "canceled"
+		case "budget_exhausted":
+			return http.StatusServiceUnavailable, "budget_exhausted"
+		case "infeasible":
+			return http.StatusUnprocessableEntity, "infeasible"
+		}
+	case errors.Is(err, context.DeadlineExceeded):
+		// The request deadline fired while waiting on a computation.
+		return http.StatusGatewayTimeout, "canceled"
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest, "canceled"
 	}
-	writeJSON(w, status, errorBody{Error: err.Error()})
+	return http.StatusInternalServerError, "internal"
 }
 
 // registerRequest is the POST /datasets payload. Exactly one of Kind or
@@ -184,7 +262,7 @@ func (s *Server) handleRepresentative(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	rep, err := s.svc.Representative(name, k, q.Get("algo"))
+	rep, err := s.svc.Representative(r.Context(), name, k, q.Get("algo"))
 	if err != nil {
 		writeError(w, err)
 		return
@@ -192,7 +270,7 @@ func (s *Server) handleRepresentative(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, representativeResponse{
 		Dataset:   rep.Dataset,
 		K:         rep.K,
-		Algorithm: string(rep.Algorithm),
+		Algorithm: rep.Algorithm.String(),
 		Size:      len(rep.IDs),
 		IDs:       rep.IDs,
 		Cached:    rep.Cached,

@@ -8,15 +8,13 @@ import (
 	"strings"
 	"sync"
 	"testing"
-
-	"rrr"
 )
 
 // newTestServer builds a server with one small 2-D dataset ("flights")
 // preloaded, plus the Service behind it for white-box assertions.
 func newTestServer(t *testing.T) (*httptest.Server, *Service) {
 	t.Helper()
-	svc := New(rrr.Options{Seed: 1})
+	svc := New(Config{Seed: 1})
 	if _, err := svc.Registry().Generate("flights", "dot", 300, 2, 1); err != nil {
 		t.Fatal(err)
 	}

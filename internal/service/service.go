@@ -20,14 +20,18 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"slices"
 
 	"rrr"
 )
 
 // Sentinel error kinds the HTTP layer maps to status codes. Errors wrap
-// one of these; everything else is a 500.
+// one of these; everything else falls through to the solver's typed
+// *rrr.Error hierarchy (canceled / budget exhausted / infeasible), and
+// anything still unclassified is a 500.
 var (
 	// ErrNotFound marks lookups of unregistered datasets or tuple IDs.
 	ErrNotFound = errors.New("not found")
@@ -37,6 +41,20 @@ var (
 	ErrConflict = errors.New("conflict")
 )
 
+// Config tunes a Service.
+type Config struct {
+	// Seed drives the randomized components: MDRRR's k-set sampling and
+	// the regret estimator.
+	Seed int64
+	// SolverOptions is extra solver tuning applied to every computation
+	// (e.g. rrr.WithNodeBudget to bound the worst-case solve the daemon
+	// will attempt). The algorithm and seed are appended per request.
+	SolverOptions []rrr.Option
+	// MaxConcurrentSolves bounds simultaneously running computations
+	// (<= 0 defaults to GOMAXPROCS).
+	MaxConcurrentSolves int
+}
+
 // Service glues registry, cache, metrics and the solver facade together.
 // It is the transport-independent core of the daemon; Server adapts it to
 // HTTP, and tests drive it directly.
@@ -44,20 +62,27 @@ type Service struct {
 	registry *Registry
 	cache    *Cache
 	metrics  *Metrics
-	opts     rrr.Options
+	cfg      Config
 }
 
-// New builds a Service with an empty registry and cache. baseOpts provides
-// solver tuning shared by every computation (sampler settings, seed); its
-// Algorithm field is overridden per request.
-func New(baseOpts rrr.Options) *Service {
+// New builds a Service with an empty registry and cache.
+func New(cfg Config) *Service {
 	m := NewMetrics()
 	return &Service{
 		registry: NewRegistry(),
-		cache:    NewCache(m, 0),
+		cache:    NewCache(m, cfg.MaxConcurrentSolves),
 		metrics:  m,
-		opts:     baseOpts,
+		cfg:      cfg,
 	}
+}
+
+// solver builds the per-request Solver: the service-wide base options,
+// then the seed, then the request's resolved algorithm (last wins on
+// conflicts, so a request can never un-pin its algorithm).
+func (s *Service) solver(algorithm rrr.Algorithm) *rrr.Solver {
+	opts := slices.Clone(s.cfg.SolverOptions)
+	opts = append(opts, rrr.WithSeed(s.cfg.Seed), rrr.WithAlgorithm(algorithm))
+	return rrr.New(opts...)
 }
 
 // Registry exposes the dataset registry for preloading and tests.
@@ -88,7 +113,12 @@ type Representative struct {
 // dataset for target k under the named algorithm ("" = auto), computing it
 // on first request and serving it from cache afterwards. Concurrent first
 // requests share one computation.
-func (s *Service) Representative(name string, k int, algoName string) (*Representative, error) {
+//
+// ctx is this *request's* context: it bounds how long the caller waits,
+// not how long the computation may run. The computation is detached from
+// any single request and is canceled only when every request waiting on
+// it has gone (see Cache.Do).
+func (s *Service) Representative(ctx context.Context, name string, k int, algoName string) (*Representative, error) {
 	entry, err := s.registry.Get(name)
 	if err != nil {
 		return nil, err
@@ -110,10 +140,9 @@ func (s *Service) Representative(name string, k int, algoName string) (*Represen
 		return nil, fmt.Errorf("service: %s requires at least 2 attributes; %q has %d: %w", algo, name, dims, ErrBadRequest)
 	}
 	key := Key{Dataset: name, Gen: entry.Gen, K: k, Algo: string(algo)}
-	cached, err := s.cache.Do(key, func() ([]int, ResultStats, error) {
-		opts := s.opts
-		opts.Algorithm = algo
-		res, err := rrr.Representative(entry.Data, k, opts)
+	solver := s.solver(algo)
+	cached, err := s.cache.Do(ctx, key, func(runCtx context.Context) ([]int, ResultStats, error) {
+		res, err := solver.Solve(runCtx, entry.Data, k)
 		if err != nil {
 			return nil, ResultStats{}, fmt.Errorf("service: %s on %q (k=%d): %w", algo, name, k, err)
 		}
@@ -205,7 +234,7 @@ func (s *Service) EstimateRegret(name string, ids []int, samples int) (*RegretEs
 	if samples > maxRegretSamples {
 		return nil, fmt.Errorf("service: sample count %d exceeds the %d limit: %w", samples, maxRegretSamples, ErrBadRequest)
 	}
-	opt := rrr.EvalOptions{Samples: samples, Seed: s.opts.Seed}
+	opt := rrr.EvalOptions{Samples: samples, Seed: s.cfg.Seed}
 	worst, witness, err := rrr.EstimateRankRegret(entry.Data, ids, opt)
 	if err != nil {
 		return nil, fmt.Errorf("service: %w: %w", err, ErrNotFound)

@@ -1,6 +1,8 @@
 package service
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -75,6 +77,7 @@ type Metrics struct {
 	misses   atomic.Int64
 	inflight atomic.Int64
 	failures atomic.Int64
+	canceled atomic.Int64
 
 	mu        sync.Mutex
 	latencies map[string]*histogram
@@ -99,6 +102,16 @@ func (m *Metrics) miss() {
 	}
 }
 
+// computeAbandonedQueued records a computation canceled before it ever
+// started running — every waiter left while it was queued behind the
+// admission semaphore. It never entered the in-flight gauge, but it must
+// show up in the canceled counter or overload cancellations are invisible.
+func (m *Metrics) computeAbandonedQueued() {
+	if m != nil {
+		m.canceled.Add(1)
+	}
+}
+
 func (m *Metrics) computeStarted() {
 	if m != nil {
 		m.inflight.Add(1)
@@ -111,7 +124,14 @@ func (m *Metrics) computeFinished(algo string, elapsed time.Duration, err error)
 	}
 	m.inflight.Add(-1)
 	if err != nil {
-		m.failures.Add(1)
+		// Cancellations (client gone, deadline hit) are operationally
+		// distinct from solver failures: one is demand disappearing, the
+		// other is the system misbehaving.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			m.canceled.Add(1)
+		} else {
+			m.failures.Add(1)
+		}
 		return
 	}
 	m.mu.Lock()
@@ -131,6 +151,7 @@ type Snapshot struct {
 	CacheMisses   int64                        `json:"cache_misses"`
 	InFlight      int64                        `json:"in_flight"`
 	Failures      int64                        `json:"failures"`
+	Canceled      int64                        `json:"canceled"`
 	Computations  int64                        `json:"computations"`
 	Latencies     map[string]HistogramSnapshot `json:"latency_by_algorithm"`
 }
@@ -148,6 +169,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		CacheMisses:   m.misses.Load(),
 		InFlight:      m.inflight.Load(),
 		Failures:      m.failures.Load(),
+		Canceled:      m.canceled.Load(),
 		Latencies:     make(map[string]HistogramSnapshot),
 	}
 	m.mu.Lock()

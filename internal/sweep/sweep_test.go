@@ -1,6 +1,7 @@
 package sweep_test
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"reflect"
@@ -162,7 +163,7 @@ func TestSweepEventCountEqualsCrossingPairs(t *testing.T) {
 
 func TestFindRangesPaperFigure4(t *testing.T) {
 	d := paperfig.Figure1()
-	ranges, err := sweep.FindRanges(d, 2)
+	ranges, err := sweep.FindRanges(context.Background(), d, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestFindRangesTheorem1Bound(t *testing.T) {
 		n := 5 + rng.Intn(50)
 		d := randomDataset2D(rng, n, false)
 		k := 1 + rng.Intn(5)
-		ranges, err := sweep.FindRanges(d, k)
+		ranges, err := sweep.FindRanges(context.Background(), d, k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -244,7 +245,7 @@ func TestFindRangesEndpointsInTopK(t *testing.T) {
 		n := 5 + rng.Intn(30)
 		d := randomDataset2D(rng, n, false)
 		k := 1 + rng.Intn(4)
-		ranges, err := sweep.FindRanges(d, k)
+		ranges, err := sweep.FindRanges(context.Background(), d, k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -272,12 +273,12 @@ func TestFindRangesMultiMatchesSingle(t *testing.T) {
 	for trial := 0; trial < 8; trial++ {
 		d := randomDataset2D(rng, 8+rng.Intn(40), false)
 		ks := []int{1 + rng.Intn(4), 2 + rng.Intn(6), 1 + rng.Intn(4)} // with dupes sometimes
-		multi, err := sweep.FindRangesMulti(d, ks)
+		multi, err := sweep.FindRangesMulti(context.Background(), d, ks)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for i, k := range ks {
-			single, err := sweep.FindRanges(d, k)
+			single, err := sweep.FindRanges(context.Background(), d, k)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -287,17 +288,17 @@ func TestFindRangesMultiMatchesSingle(t *testing.T) {
 		}
 	}
 	d := randomDataset2D(rng, 10, false)
-	if _, err := sweep.FindRangesMulti(d, nil); err == nil {
+	if _, err := sweep.FindRangesMulti(context.Background(), d, nil); err == nil {
 		t.Fatal("no k values must error")
 	}
-	if _, err := sweep.FindRangesMulti(d, []int{0}); err == nil {
+	if _, err := sweep.FindRangesMulti(context.Background(), d, []int{0}); err == nil {
 		t.Fatal("k=0 must error")
 	}
 }
 
 func TestFindRangesKAtLeastN(t *testing.T) {
 	d := paperfig.Figure1()
-	ranges, err := sweep.FindRanges(d, 100)
+	ranges, err := sweep.FindRanges(context.Background(), d, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,7 +314,7 @@ func TestFindRangesKAtLeastN(t *testing.T) {
 
 func TestFindRangesRejectsBadK(t *testing.T) {
 	d := paperfig.Figure1()
-	if _, err := sweep.FindRanges(d, 0); err == nil {
+	if _, err := sweep.FindRanges(context.Background(), d, 0); err == nil {
 		t.Fatal("k=0 must error")
 	}
 }

@@ -1,6 +1,7 @@
 package rrr
 
 import (
+	"context"
 	"errors"
 	"sort"
 
@@ -34,7 +35,7 @@ func Profile2D(d *Dataset, ks []int) ([]ProfilePoint, error) {
 	if len(ks) == 0 {
 		return nil, errors.New("rrr: no k values")
 	}
-	rangesPerK, err := sweep.FindRangesMulti(d, ks)
+	rangesPerK, err := sweep.FindRangesMulti(context.Background(), d, ks)
 	if err != nil {
 		return nil, err
 	}

@@ -1,13 +1,12 @@
 package rrr
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"strings"
+	"time"
 
-	"rrr/internal/algo"
 	"rrr/internal/core"
-	"rrr/internal/kset"
 	"rrr/internal/skyline"
 	"rrr/internal/topk"
 )
@@ -32,7 +31,10 @@ func FromTuples(ts []Tuple) (*Dataset, error) { return core.FromTuples(ts) }
 // NewLinearFunc builds a ranking function from non-negative weights.
 func NewLinearFunc(w ...float64) LinearFunc { return core.NewLinearFunc(w...) }
 
-// Algorithm names an RRR algorithm.
+// Algorithm names an RRR algorithm. The zero value is not a valid
+// algorithm — ParseAlgorithm returns it alongside an error — but it
+// resolves like AlgoAuto wherever it reaches a solve, so zero-valued
+// legacy Options keep their meaning.
 type Algorithm string
 
 const (
@@ -40,7 +42,7 @@ const (
 	// paper's recommendation for practice ("MDRC seems to be scalable: in
 	// all experiments, within a few seconds, it could find a small subset
 	// with small rank-regret").
-	AlgoAuto Algorithm = ""
+	AlgoAuto Algorithm = "auto"
 	// Algo2DRRR is the 2-D sweep + interval-cover algorithm (Section 4).
 	Algo2DRRR Algorithm = "2drrr"
 	// AlgoMDRRR is the k-set hitting-set algorithm (Section 5.2).
@@ -49,12 +51,22 @@ const (
 	AlgoMDRC Algorithm = "mdrc"
 )
 
+// String returns the user-facing algorithm name. The zero value reports
+// "auto" — it dispatches like AlgoAuto — so logs and the daemon's /stats
+// never print a blank algorithm name.
+func (a Algorithm) String() string {
+	if a == "" {
+		return string(AlgoAuto)
+	}
+	return string(a)
+}
+
 // Resolve applies the auto-dispatch rule to a dataset dimensionality:
-// AlgoAuto becomes Algo2DRRR for 2-D data and AlgoMDRC otherwise; explicit
-// choices pass through. Representative and the rrrd daemon's cache keys
-// share this single source of truth.
+// AlgoAuto (and the zero value) becomes Algo2DRRR for 2-D data and
+// AlgoMDRC otherwise; explicit choices pass through. The Solver and the
+// rrrd daemon's cache keys share this single source of truth.
 func (a Algorithm) Resolve(dims int) Algorithm {
-	if a != AlgoAuto {
+	if a != AlgoAuto && a != "" {
 		return a
 	}
 	if dims == 2 {
@@ -65,10 +77,11 @@ func (a Algorithm) Resolve(dims int) Algorithm {
 
 // ParseAlgorithm resolves a user-facing algorithm name ("auto", "2drrr",
 // "mdrrr", "mdrc", case-insensitive, "" = auto) to an Algorithm. CLIs and
-// the rrrd daemon share this mapping.
+// the rrrd daemon share this mapping. On error it returns the zero
+// Algorithm — which is not a valid choice — never a usable value.
 func ParseAlgorithm(name string) (Algorithm, error) {
 	switch strings.ToLower(name) {
-	case "", "auto":
+	case "", string(AlgoAuto):
 		return AlgoAuto, nil
 	case string(Algo2DRRR):
 		return Algo2DRRR, nil
@@ -77,11 +90,17 @@ func ParseAlgorithm(name string) (Algorithm, error) {
 	case string(AlgoMDRC):
 		return AlgoMDRC, nil
 	}
-	return AlgoAuto, fmt.Errorf("rrr: unknown algorithm %q (want auto, 2drrr, mdrrr or mdrc)", name)
+	return "", fmt.Errorf("rrr: unknown algorithm %q (want auto, 2drrr, mdrrr or mdrc)", name)
 }
 
 // Options tunes Representative. The zero value reproduces the paper's
 // defaults.
+//
+// Deprecated: configure a Solver with functional options instead —
+// rrr.New(rrr.WithAlgorithm(...), rrr.WithSeed(...)) — which adds
+// context cancellation, hard budgets and progress reporting. Options
+// remains as the configuration of the legacy wrappers; SolverOptions
+// converts it.
 type Options struct {
 	// Algorithm selects the solver; AlgoAuto dispatches on dimension.
 	Algorithm Algorithm
@@ -95,6 +114,8 @@ type Options struct {
 	// MDRRR (default 100, the paper's setting).
 	SamplerTermination int
 	// SamplerMaxDraws caps K-SETr's total draws (default 2,000,000).
+	// This is a soft cap: reaching it truncates the collection rather
+	// than failing the solve (contrast WithDrawBudget).
 	SamplerMaxDraws int
 	// Seed drives MDRRR's randomized k-set sampling.
 	Seed int64
@@ -107,8 +128,23 @@ type Options struct {
 	PickMinMaxRank bool
 }
 
-// Result is the output of Representative: the chosen tuple IDs (ascending)
-// and the algorithm that produced them.
+// SolverOptions converts the legacy Options struct to the functional
+// options accepted by New, preserving its semantics (in particular,
+// SamplerMaxDraws stays a soft truncation cap, not a hard budget).
+func (o Options) SolverOptions() []Option {
+	return []Option{
+		WithAlgorithm(o.Algorithm),
+		WithSeed(o.Seed),
+		WithOptimalCover(o.OptimalCover),
+		WithEpsilonNetHitting(o.EpsilonNetHitting),
+		WithPickMinMaxRank(o.PickMinMaxRank),
+		WithSamplerTermination(o.SamplerTermination),
+		func(c *config) { c.softMaxDraws = o.SamplerMaxDraws },
+	}
+}
+
+// Result is the output of a solve: the chosen tuple IDs (ascending), the
+// algorithm that produced them, and its work counters.
 type Result struct {
 	IDs       []int
 	Algorithm Algorithm
@@ -116,91 +152,36 @@ type Result struct {
 	KSets int
 	// Nodes is the number of recursion nodes MDRC visited (0 otherwise).
 	Nodes int
+	// Draws is the number of ranking functions K-SETr sampled (0 for
+	// algorithms other than MDRRR).
+	Draws int
+	// Elapsed is the wall-clock time of the solve.
+	Elapsed time.Duration
 }
 
 // Representative computes a rank-regret representative: a small subset of d
 // containing at least one top-k tuple of every linear ranking function
 // (Definition 3 of the paper).
+//
+// Deprecated: use New(opts...).Solve(ctx, d, k), which supports
+// cancellation, deadlines, hard budgets and progress reporting. This
+// wrapper runs with context.Background() and is kept so existing callers
+// compile unchanged.
 func Representative(d *Dataset, k int, opt Options) (*Result, error) {
-	if d == nil {
-		return nil, errors.New("rrr: nil dataset")
-	}
-	algorithm := opt.Algorithm.Resolve(d.Dims())
-	switch algorithm {
-	case Algo2DRRR:
-		cover := algo.CoverMaxGain
-		if opt.OptimalCover {
-			cover = algo.CoverOptimalSweep
-		}
-		res, err := algo.TwoDRRR(d, k, algo.TwoDOptions{Cover: cover})
-		if err != nil {
-			return nil, err
-		}
-		return &Result{IDs: res.IDs, Algorithm: Algo2DRRR}, nil
-	case AlgoMDRRR:
-		strategy := algo.HitGreedy
-		if opt.EpsilonNetHitting {
-			strategy = algo.HitEpsilonNet
-		}
-		res, err := algo.MDRRR(d, k, algo.MDRRROptions{
-			Sampler: kset.SampleOptions{
-				Termination: opt.SamplerTermination,
-				MaxDraws:    opt.SamplerMaxDraws,
-				Seed:        opt.Seed,
-			},
-			Strategy: strategy,
-		})
-		if err != nil {
-			return nil, err
-		}
-		return &Result{IDs: res.IDs, Algorithm: AlgoMDRRR, KSets: res.Stats.KSets}, nil
-	case AlgoMDRC:
-		pick := algo.PickFirst
-		if opt.PickMinMaxRank {
-			pick = algo.PickMinMaxRank
-		}
-		res, err := algo.MDRC(d, k, algo.MDRCOptions{Pick: pick})
-		if err != nil {
-			return nil, err
-		}
-		return &Result{IDs: res.IDs, Algorithm: AlgoMDRC, Nodes: res.Stats.Nodes}, nil
-	}
-	return nil, fmt.Errorf("rrr: unknown algorithm %q", opt.Algorithm)
+	return New(opt.SolverOptions()...).Solve(context.Background(), d, k)
 }
 
 // MinimalKForSize solves the paper's dual formulation (Section 2): given a
 // budget on the output size, find the smallest k for which a representative
-// of at most that size exists, by binary search over k with the RRR solver
-// as the oracle. It returns the achieved k and the representative.
+// of at most that size exists. It returns the achieved k and the
+// representative.
+//
+// Deprecated: use New(opts...).MinimalKForSize(ctx, d, size), which checks
+// the context between binary-search probes and reports the best result
+// found so far on interruption. This wrapper runs with
+// context.Background() and is kept so existing callers compile unchanged.
 func MinimalKForSize(d *Dataset, size int, opt Options) (int, *Result, error) {
-	if d == nil {
-		return 0, nil, errors.New("rrr: nil dataset")
-	}
-	if size <= 0 {
-		return 0, nil, fmt.Errorf("rrr: size budget must be positive, got %d", size)
-	}
-	lo, hi := 1, d.N()
-	var best *Result
-	bestK := 0
-	for lo <= hi {
-		mid := (lo + hi) / 2
-		res, err := Representative(d, mid, opt)
-		if err != nil {
-			return 0, nil, err
-		}
-		if len(res.IDs) <= size {
-			best, bestK = res, mid
-			hi = mid - 1
-		} else {
-			lo = mid + 1
-		}
-	}
-	if best == nil {
-		// k = n always admits a singleton representative, so this cannot
-		// happen for size >= 1; defend anyway.
-		return 0, nil, errors.New("rrr: no k admits the requested size")
-	}
-	return bestK, best, nil
+	return New(opt.SolverOptions()...).MinimalKForSize(context.Background(), d, size)
 }
 
 // TopK returns the IDs of the k best tuples under f, best first.

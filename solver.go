@@ -1,0 +1,313 @@
+package rrr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"rrr/internal/algo"
+	"rrr/internal/kset"
+)
+
+// Progress is a periodic snapshot of a running solve, delivered to the
+// WithProgress callback from inside the algorithms' hot loops (the MDRC
+// recursion, the K-SETr draw loop). Counters irrelevant to the running
+// algorithm are zero.
+type Progress struct {
+	// Algorithm is the resolved algorithm doing the work.
+	Algorithm Algorithm
+	// Nodes is the number of MDRC recursion nodes visited so far.
+	Nodes int
+	// KSets is the number of distinct k-sets discovered so far.
+	KSets int
+	// Draws is the number of ranking functions sampled so far.
+	Draws int
+	// Elapsed is the wall-clock time since the solve started.
+	Elapsed time.Duration
+}
+
+// config is the resolved option set of a Solver.
+type config struct {
+	algorithm          Algorithm
+	seed               int64
+	optimalCover       bool
+	epsilonNetHitting  bool
+	pickMinMaxRank     bool
+	samplerTermination int
+	softMaxDraws       int // legacy Options.SamplerMaxDraws: truncate, don't fail
+	drawBudget         int // hard: exceeding returns ErrBudgetExhausted
+	nodeBudget         int // hard: exceeding returns ErrBudgetExhausted
+	progress           func(Progress)
+}
+
+// Option configures a Solver. Options are applied in order; later options
+// override earlier ones.
+type Option func(*config)
+
+// WithAlgorithm selects the solver algorithm. The default (AlgoAuto)
+// dispatches on the dataset's dimensionality at Solve time.
+func WithAlgorithm(a Algorithm) Option { return func(c *config) { c.algorithm = a } }
+
+// WithSeed seeds the randomized components (K-SETr sampling).
+func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
+
+// WithOptimalCover makes 2DRRR use the provably minimal interval cover
+// instead of the paper's max-gain greedy.
+func WithOptimalCover(on bool) Option { return func(c *config) { c.optimalCover = on } }
+
+// WithEpsilonNetHitting switches MDRRR from the greedy hitting set to the
+// Brönnimann–Goodrich ε-net algorithm the paper cites.
+func WithEpsilonNetHitting(on bool) Option { return func(c *config) { c.epsilonNetHitting = on } }
+
+// WithPickMinMaxRank switches MDRC from the paper's first-common-item rule
+// to picking the common tuple with the best worst-corner rank.
+func WithPickMinMaxRank(on bool) Option { return func(c *config) { c.pickMinMaxRank = on } }
+
+// WithSamplerTermination sets K-SETr's consecutive-miss stop rule (the
+// paper's c; default 100).
+func WithSamplerTermination(c int) Option { return func(cfg *config) { cfg.samplerTermination = c } }
+
+// WithDrawBudget puts a hard cap on the number of ranking functions K-SETr
+// may sample. Exceeding it fails the solve with ErrBudgetExhausted (the
+// partial stats report the draws and k-sets reached), unlike the legacy
+// Options.SamplerMaxDraws, which silently truncated the collection.
+// Zero or negative means no hard budget.
+func WithDrawBudget(n int) Option { return func(c *config) { c.drawBudget = n } }
+
+// WithNodeBudget puts a hard cap on the number of recursion nodes MDRC may
+// visit. Exceeding it fails the solve with ErrBudgetExhausted, unlike the
+// legacy soft cap, which resolved remaining rectangles by a fallback rule.
+// Zero or negative means no hard budget (the soft cap still applies).
+func WithNodeBudget(n int) Option { return func(c *config) { c.nodeBudget = n } }
+
+// WithProgress registers a callback invoked periodically from the running
+// algorithm's hot loop. The callback runs on the solving goroutine: keep it
+// fast, and do not call back into the Solver from it. A common use is
+// cooperative cancellation on a work threshold:
+//
+//	ctx, cancel := context.WithCancel(ctx)
+//	s := rrr.New(rrr.WithProgress(func(p rrr.Progress) {
+//		if p.Nodes > 1_000_000 {
+//			cancel()
+//		}
+//	}))
+func WithProgress(fn func(Progress)) Option { return func(c *config) { c.progress = fn } }
+
+// Solver computes rank-regret representatives. It is immutable after New
+// and safe for concurrent use by multiple goroutines; per-call inputs
+// (dataset, k, context) arrive through the methods.
+type Solver struct {
+	cfg config
+}
+
+// New builds a Solver from functional options. The zero configuration
+// reproduces the paper's defaults: auto algorithm dispatch, max-gain
+// cover, greedy hitting set, termination c = 100, soft work caps.
+func New(opts ...Option) *Solver {
+	var cfg config
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	return &Solver{cfg: cfg}
+}
+
+// Solve computes a rank-regret representative of d for target k: a small
+// subset containing at least one top-k tuple of every linear ranking
+// function (Definition 3 of the paper).
+//
+// The context is checked periodically inside every algorithm's hot loop —
+// the 2-D sweep, the K-SETr draw loop, the MDRC recursion — so canceling
+// ctx or exceeding its deadline interrupts the work promptly. Interrupted
+// solves return a *Error wrapping ErrCanceled (or ErrBudgetExhausted for
+// hard budgets) whose Partial field reports the work done.
+func (s *Solver) Solve(ctx context.Context, d *Dataset, k int) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if d == nil {
+		return nil, errors.New("rrr: nil dataset")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("rrr: k must be positive, got %d", k)
+	}
+	algorithm := s.cfg.algorithm.Resolve(d.Dims())
+	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, &Error{Kind: ErrCanceled, Op: "solve", Algorithm: algorithm, Cause: err,
+			Partial: PartialStats{Elapsed: time.Since(start)}}
+	}
+	switch dims := d.Dims(); {
+	case algorithm == Algo2DRRR && dims != 2:
+		return nil, &Error{Kind: ErrInfeasible, Op: "solve", Algorithm: algorithm,
+			Cause: fmt.Errorf("2drrr requires a 2-D dataset, got %d attributes", dims)}
+	case algorithm != Algo2DRRR && dims < 2:
+		return nil, &Error{Kind: ErrInfeasible, Op: "solve", Algorithm: algorithm,
+			Cause: fmt.Errorf("%s requires at least 2 attributes, got %d", algorithm, dims)}
+	}
+
+	onProgress := s.progressHook(algorithm, start)
+	var (
+		res *algo.Result
+		err error
+	)
+	switch algorithm {
+	case Algo2DRRR:
+		coverStrategy := algo.CoverMaxGain
+		if s.cfg.optimalCover {
+			coverStrategy = algo.CoverOptimalSweep
+		}
+		res, err = algo.TwoDRRR(ctx, d, k, algo.TwoDOptions{Cover: coverStrategy, OnProgress: onProgress})
+	case AlgoMDRRR:
+		strategy := algo.HitGreedy
+		if s.cfg.epsilonNetHitting {
+			strategy = algo.HitEpsilonNet
+		}
+		maxDraws, hard := s.cfg.softMaxDraws, false
+		if s.cfg.drawBudget > 0 {
+			maxDraws, hard = s.cfg.drawBudget, true
+		}
+		res, err = algo.MDRRR(ctx, d, k, algo.MDRRROptions{
+			Sampler: kset.SampleOptions{
+				Termination:  s.cfg.samplerTermination,
+				MaxDraws:     maxDraws,
+				HardMaxDraws: hard,
+				Seed:         s.cfg.seed,
+			},
+			Strategy:   strategy,
+			OnProgress: onProgress,
+		})
+	case AlgoMDRC:
+		pick := algo.PickFirst
+		if s.cfg.pickMinMaxRank {
+			pick = algo.PickMinMaxRank
+		}
+		res, err = algo.MDRC(ctx, d, k, algo.MDRCOptions{
+			Pick:         pick,
+			MaxNodes:     s.cfg.nodeBudget,
+			HardMaxNodes: s.cfg.nodeBudget > 0,
+			OnProgress:   onProgress,
+		})
+	default:
+		return nil, fmt.Errorf("rrr: unknown algorithm %q", algorithm)
+	}
+	if err != nil {
+		return nil, s.wrapSolveError(algorithm, start, err)
+	}
+	return &Result{
+		IDs:       res.IDs,
+		Algorithm: algorithm,
+		KSets:     res.Stats.KSets,
+		Nodes:     res.Stats.Nodes,
+		Draws:     res.Stats.SamplerDraws,
+		Elapsed:   time.Since(start),
+	}, nil
+}
+
+// MinimalKForSize solves the paper's dual formulation (Section 2): given a
+// budget on the output size, find the smallest k for which a representative
+// of at most that size exists, by binary search over k with Solve as the
+// oracle. It returns the achieved k and its representative.
+//
+// The context is checked between binary-search probes as well as inside
+// each probe. On interruption the returned *Error carries the best
+// (smallest-k) feasible result found so far in Partial.BestK/Partial.Best,
+// so callers keep the strongest answer the budget bought.
+func (s *Solver) MinimalKForSize(ctx context.Context, d *Dataset, size int) (int, *Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if d == nil {
+		return 0, nil, errors.New("rrr: nil dataset")
+	}
+	if size <= 0 {
+		return 0, nil, fmt.Errorf("rrr: size budget must be positive, got %d", size)
+	}
+	algorithm := s.cfg.algorithm.Resolve(d.Dims())
+	start := time.Now()
+	lo, hi := 1, d.N()
+	var best *Result
+	bestK := 0
+	for lo <= hi {
+		// Check between probes: a canceled search must not launch another
+		// solve just to have it fail.
+		if err := ctx.Err(); err != nil {
+			return 0, nil, &Error{Kind: ErrCanceled, Op: "minimal-k", Algorithm: algorithm, Cause: err,
+				Partial: PartialStats{Elapsed: time.Since(start), BestK: bestK, Best: best}}
+		}
+		mid := (lo + hi) / 2
+		res, err := s.Solve(ctx, d, mid)
+		if err != nil {
+			var e *Error
+			if errors.As(err, &e) {
+				// Re-wrap the probe's typed error with the search state.
+				out := *e
+				out.Op = "minimal-k"
+				out.Partial.Elapsed = time.Since(start)
+				out.Partial.BestK = bestK
+				out.Partial.Best = best
+				return 0, nil, &out
+			}
+			return 0, nil, err
+		}
+		if len(res.IDs) <= size {
+			best, bestK = res, mid
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	if best == nil {
+		// k = n always admits a singleton representative, so this cannot
+		// happen for size >= 1; defend anyway.
+		return 0, nil, &Error{Kind: ErrInfeasible, Op: "minimal-k", Algorithm: algorithm,
+			Cause:   fmt.Errorf("no k admits a representative of size <= %d", size),
+			Partial: PartialStats{Elapsed: time.Since(start)}}
+	}
+	return bestK, best, nil
+}
+
+// progressHook adapts the user's Progress callback to the internal
+// algo.Stats shape; nil when no callback is registered, so the algorithms
+// skip the plumbing entirely.
+func (s *Solver) progressHook(algorithm Algorithm, start time.Time) func(algo.Stats) {
+	if s.cfg.progress == nil {
+		return nil
+	}
+	fn := s.cfg.progress
+	return func(st algo.Stats) {
+		fn(Progress{
+			Algorithm: algorithm,
+			Nodes:     st.Nodes,
+			KSets:     st.KSets,
+			Draws:     st.SamplerDraws,
+			Elapsed:   time.Since(start),
+		})
+	}
+}
+
+// wrapSolveError converts internal interruption errors to the public typed
+// hierarchy; everything else passes through untouched.
+func (s *Solver) wrapSolveError(algorithm Algorithm, start time.Time, err error) error {
+	var in *algo.Interrupted
+	if errors.As(err, &in) {
+		kind := ErrCanceled
+		if errors.Is(in.Err, algo.ErrBudget) {
+			kind = ErrBudgetExhausted
+		}
+		return &Error{Kind: kind, Op: "solve", Algorithm: algorithm, Cause: in.Err,
+			Partial: PartialStats{
+				Nodes:   in.Stats.Nodes,
+				KSets:   in.Stats.KSets,
+				Draws:   in.Stats.SamplerDraws,
+				Elapsed: time.Since(start),
+			}}
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return &Error{Kind: ErrCanceled, Op: "solve", Algorithm: algorithm, Cause: err,
+			Partial: PartialStats{Elapsed: time.Since(start)}}
+	}
+	return err
+}

@@ -1,0 +1,182 @@
+package rrr_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"rrr"
+)
+
+// TestSolverMatchesLegacyRepresentative: the deprecated wrapper and the
+// Solver must produce identical outputs for every algorithm — the wrapper
+// is a thin shim, not a second implementation.
+func TestSolverMatchesLegacyRepresentative(t *testing.T) {
+	d2, err := rrr.Independent(300, 2, 7).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d3, err := rrr.Independent(300, 3, 7).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		d    *rrr.Dataset
+		k    int
+		opt  rrr.Options
+	}{
+		{"2drrr", d2, 10, rrr.Options{Algorithm: rrr.Algo2DRRR}},
+		{"2drrr-optimal", d2, 10, rrr.Options{Algorithm: rrr.Algo2DRRR, OptimalCover: true}},
+		{"mdrrr", d3, 10, rrr.Options{Algorithm: rrr.AlgoMDRRR, Seed: 3}},
+		{"mdrc", d3, 10, rrr.Options{Algorithm: rrr.AlgoMDRC}},
+		{"auto-2d", d2, 5, rrr.Options{}},
+		{"auto-3d", d3, 5, rrr.Options{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			legacy, err := rrr.Representative(tc.d, tc.k, tc.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			modern, err := rrr.New(tc.opt.SolverOptions()...).Solve(context.Background(), tc.d, tc.k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(legacy.IDs) != fmt.Sprint(modern.IDs) {
+				t.Fatalf("legacy IDs %v != solver IDs %v", legacy.IDs, modern.IDs)
+			}
+			if legacy.Algorithm != modern.Algorithm {
+				t.Fatalf("legacy algorithm %q != solver algorithm %q", legacy.Algorithm, modern.Algorithm)
+			}
+			if modern.Elapsed <= 0 {
+				t.Fatal("solver result missing elapsed time")
+			}
+		})
+	}
+}
+
+// TestSolverMinimalKMatchesLegacy: same for the dual problem.
+func TestSolverMinimalKMatchesLegacy(t *testing.T) {
+	d, err := rrr.Independent(200, 2, 5).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, res1, err := rrr.MinimalKForSize(d, 3, rrr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, res2, err := rrr.New().MinimalKForSize(context.Background(), d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 || fmt.Sprint(res1.IDs) != fmt.Sprint(res2.IDs) {
+		t.Fatalf("legacy (%d, %v) != solver (%d, %v)", k1, res1.IDs, k2, res2.IDs)
+	}
+}
+
+// TestSolverValidation: bad inputs fail fast with plain errors, not typed
+// solve errors.
+func TestSolverValidation(t *testing.T) {
+	d, err := rrr.Independent(20, 3, 1).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rrr.New()
+	if _, err := s.Solve(context.Background(), nil, 5); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+	if _, err := s.Solve(context.Background(), d, 0); err == nil {
+		t.Fatal("k = 0 accepted")
+	}
+	if _, _, err := s.MinimalKForSize(context.Background(), d, 0); err == nil {
+		t.Fatal("size = 0 accepted")
+	}
+	if _, _, err := s.MinimalKForSize(context.Background(), nil, 3); err == nil {
+		t.Fatal("nil dataset accepted by dual solver")
+	}
+}
+
+// TestSolverInfeasibleAlgorithm: an algorithm/dimensionality mismatch is a
+// typed infeasibility, so transports can 422 it without string matching.
+func TestSolverInfeasibleAlgorithm(t *testing.T) {
+	d3, err := rrr.Independent(20, 3, 1).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rrr.New(rrr.WithAlgorithm(rrr.Algo2DRRR)).Solve(context.Background(), d3, 2)
+	if !errors.Is(err, rrr.ErrInfeasible) {
+		t.Fatalf("2drrr on 3-D data: want ErrInfeasible, got %v", err)
+	}
+	var solveErr *rrr.Error
+	if !errors.As(err, &solveErr) || solveErr.KindName() != "infeasible" {
+		t.Fatalf("want kind infeasible, got %v", err)
+	}
+}
+
+// TestParseAlgorithmZeroOnError is the satellite regression: the error
+// path must return the zero Algorithm, not AlgoAuto, which is a valid
+// (and dangerous, for a caller ignoring the error) choice.
+func TestParseAlgorithmZeroOnError(t *testing.T) {
+	got, err := rrr.ParseAlgorithm("quantum")
+	if err == nil {
+		t.Fatal("bogus algorithm accepted")
+	}
+	if got != Algorithm("") {
+		t.Fatalf("error path returned %q, want the zero Algorithm", got)
+	}
+	if got == rrr.AlgoAuto {
+		t.Fatal("error path returned AlgoAuto, a valid value")
+	}
+	for name, want := range map[string]rrr.Algorithm{
+		"":      rrr.AlgoAuto,
+		"auto":  rrr.AlgoAuto,
+		"AUTO":  rrr.AlgoAuto,
+		"2drrr": rrr.Algo2DRRR,
+		"MDRRR": rrr.AlgoMDRRR,
+		"mdrc":  rrr.AlgoMDRC,
+	} {
+		got, err := rrr.ParseAlgorithm(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseAlgorithm(%q) = (%q, %v), want %q", name, got, err, want)
+		}
+	}
+}
+
+// Algorithm aliases rrr.Algorithm for zero-value comparisons.
+type Algorithm = rrr.Algorithm
+
+// TestAlgorithmString: the zero value and AlgoAuto both print "auto";
+// nothing prints blank.
+func TestAlgorithmString(t *testing.T) {
+	if got := Algorithm("").String(); got != "auto" {
+		t.Fatalf("zero Algorithm prints %q, want auto", got)
+	}
+	if got := rrr.AlgoAuto.String(); got != "auto" {
+		t.Fatalf("AlgoAuto prints %q, want auto", got)
+	}
+	if got := fmt.Sprintf("%s", Algorithm("")); got != "auto" {
+		t.Fatalf("%%s of zero Algorithm = %q, want auto", got)
+	}
+	if got := rrr.AlgoMDRC.String(); got != "mdrc" {
+		t.Fatalf("AlgoMDRC prints %q", got)
+	}
+}
+
+// TestAlgorithmResolveZero: the zero Algorithm dispatches like AlgoAuto,
+// preserving the meaning of zero-valued legacy Options.
+func TestAlgorithmResolveZero(t *testing.T) {
+	if got := Algorithm("").Resolve(2); got != rrr.Algo2DRRR {
+		t.Fatalf("zero.Resolve(2) = %q", got)
+	}
+	if got := Algorithm("").Resolve(5); got != rrr.AlgoMDRC {
+		t.Fatalf("zero.Resolve(5) = %q", got)
+	}
+	if got := rrr.AlgoAuto.Resolve(2); got != rrr.Algo2DRRR {
+		t.Fatalf("AlgoAuto.Resolve(2) = %q", got)
+	}
+	if got := rrr.AlgoMDRRR.Resolve(2); got != rrr.AlgoMDRRR {
+		t.Fatalf("explicit choice did not pass through Resolve: %q", got)
+	}
+}
