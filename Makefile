@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt fmt-check race bench ci clean
+.PHONY: all build test vet fmt fmt-check race bench bench-json bench-gate ci clean
 
 all: build
 
@@ -20,6 +20,22 @@ race:
 # against.
 bench:
 	$(GO) test -bench . -benchmem -count 5 -run '^$$' . | tee bench.txt
+
+# Machine-readable perf artifact: BENCH_<short-sha>.json with per-benchmark
+# ns/op, B/op, allocs/op means and the raw ns/op samples. Reuses bench.txt
+# when present so CI converts the run it just made instead of re-running.
+bench-json:
+	@test -f bench.txt || $(MAKE) bench
+	$(GO) run ./cmd/benchjson -in bench.txt -sha $$(git rev-parse --short HEAD)
+
+# Perf-regression gate: compare bench.txt against the baseline (CI restores
+# the latest main-branch run into bench-baseline/). Fails on a >25%
+# significant ns/op regression; passes with a notice when no baseline
+# exists yet. BASELINE can be overridden for local what-if comparisons:
+#   make bench-gate BASELINE=some/old/bench.txt
+BASELINE ?= bench-baseline/bench.txt
+bench-gate:
+	$(GO) run ./cmd/benchgate -baseline $(BASELINE) -current bench.txt -threshold 25 -alpha 0.05
 
 vet:
 	$(GO) vet ./...

@@ -184,6 +184,46 @@ func BenchmarkEstimateRankRegret(b *testing.B) {
 	}
 }
 
+// --- batch engine ----------------------------------------------------------
+
+// batchKs is the acceptance workload: 8 distinct k values on a tier-1 2-D
+// dataset. BenchmarkSolveBatch8K amortizes one sweep across all of them;
+// BenchmarkSolveSequential8K pays for 8. The ratio is the headline number
+// recorded in EXPERIMENTS.md §5.
+var batchKs = []int{5, 10, 20, 35, 50, 75, 100, 150}
+
+func BenchmarkSolveBatch8K(b *testing.B) {
+	d := benchDataset(b, "dot", 2000, 2)
+	solver := rrr.New()
+	reqs := make([]rrr.Request, len(batchKs))
+	for i, k := range batchKs {
+		reqs[i] = rrr.Request{K: k}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br, err := solver.SolveBatch(context.Background(), d, reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if br.Stats.Sweeps != 1 {
+			b.Fatalf("sweeps = %d, want 1", br.Stats.Sweeps)
+		}
+	}
+}
+
+func BenchmarkSolveSequential8K(b *testing.B) {
+	d := benchDataset(b, "dot", 2000, 2)
+	solver := rrr.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, k := range batchKs {
+			if _, err := solver.Solve(context.Background(), d, k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // --- ablation benches (DESIGN.md §7) ---------------------------------------
 
 // BenchmarkAblationIntervalCover compares the paper's max-gain greedy with

@@ -1,0 +1,122 @@
+// Command benchgate is the CI perf-regression gate: it compares the
+// current `make bench` output against the most recent main-branch
+// baseline and fails (exit 1) when any benchmark regressed by more than
+// the threshold with statistical significance.
+//
+//	benchgate -baseline bench-baseline/bench.txt -current bench.txt -threshold 25 -alpha 0.05
+//
+// A missing baseline file is not an error: the first run of a fresh
+// repository (or a wiped cache) prints a notice and passes, seeding the
+// baseline for the next run. A regression must clear two bars to fail the
+// gate: the mean ns/op grew by more than -threshold percent, AND the
+// Mann–Whitney U test (the test benchstat uses) rejects "same
+// distribution" at -alpha — so a noisy single rep can't fail CI, and a
+// real slowdown can't hide behind an insignificant-looking mean.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"rrr/internal/benchparse"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("benchgate", flag.ExitOnError)
+	var (
+		baseline  = fs.String("baseline", "", "baseline bench output (missing file = pass with notice)")
+		current   = fs.String("current", "bench.txt", "current bench output")
+		threshold = fs.Float64("threshold", 25, "max tolerated ns/op mean regression, percent")
+		alpha     = fs.Float64("alpha", 0.05, "significance level for the Mann-Whitney test")
+	)
+	fs.Parse(args)
+
+	if *baseline == "" {
+		fmt.Fprintln(out, "benchgate: no -baseline given; nothing to gate")
+		return 2
+	}
+	baseFile, err := os.Open(*baseline)
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Fprintf(out, "benchgate: no baseline at %s — first run on this branch, passing; this run's bench.txt seeds the next comparison\n", *baseline)
+			return 0
+		}
+		fmt.Fprintln(out, "benchgate:", err)
+		return 2
+	}
+	defer baseFile.Close()
+	curFile, err := os.Open(*current)
+	if err != nil {
+		fmt.Fprintln(out, "benchgate:", err)
+		return 2
+	}
+	defer curFile.Close()
+
+	base, err := benchparse.Parse(baseFile)
+	if err != nil {
+		fmt.Fprintln(out, "benchgate: parsing baseline:", err)
+		return 2
+	}
+	cur, err := benchparse.Parse(curFile)
+	if err != nil {
+		fmt.Fprintln(out, "benchgate: parsing current:", err)
+		return 2
+	}
+	regressions := Compare(base, cur, *threshold, *alpha, out)
+	if len(regressions) > 0 {
+		fmt.Fprintf(out, "\nbenchgate: FAIL — %d benchmark(s) regressed > %.0f%% (alpha %.2f): %v\n",
+			len(regressions), *threshold, *alpha, regressions)
+		return 1
+	}
+	fmt.Fprintf(out, "\nbenchgate: ok — no benchmark regressed > %.0f%% at alpha %.2f\n", *threshold, *alpha)
+	return 0
+}
+
+// Compare prints a per-benchmark delta table and returns the names that
+// regressed beyond threshold percent with p < alpha.
+func Compare(base, cur map[string]*benchparse.Benchmark, threshold, alpha float64, out io.Writer) []string {
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var regressions []string
+	fmt.Fprintf(out, "%-40s %14s %14s %8s %7s\n", "benchmark", "old ns/op", "new ns/op", "delta", "p")
+	for _, name := range names {
+		b, ok := base[name]
+		if !ok {
+			fmt.Fprintf(out, "%-40s %14s %14.0f %8s %7s\n", name, "(new)", benchparse.Mean(cur[name].NsPerOp()), "-", "-")
+			continue
+		}
+		oldNs, newNs := b.NsPerOp(), cur[name].NsPerOp()
+		if len(oldNs) == 0 || len(newNs) == 0 {
+			continue
+		}
+		oldMean, newMean := benchparse.Mean(oldNs), benchparse.Mean(newNs)
+		delta := (newMean - oldMean) / oldMean * 100
+		p := benchparse.MannWhitneyU(oldNs, newNs)
+		verdict := ""
+		// With a single rep per side the U test can never reach
+		// significance; gate on the mean alone rather than letting
+		// unrepeated benchmarks bypass the gate.
+		significant := p < alpha || (len(oldNs) < 2 || len(newNs) < 2)
+		if delta > threshold && significant {
+			verdict = "  REGRESSION"
+			regressions = append(regressions, name)
+		}
+		fmt.Fprintf(out, "%-40s %14.0f %14.0f %+7.1f%% %7.3f%s\n", name, oldMean, newMean, delta, p, verdict)
+	}
+	for name := range base {
+		if _, ok := cur[name]; !ok {
+			fmt.Fprintf(out, "%-40s %14s (benchmark removed)\n", name, "-")
+		}
+	}
+	return regressions
+}

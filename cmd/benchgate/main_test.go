@@ -1,0 +1,121 @@
+package main
+
+// The acceptance demonstration for the CI perf gate: an injected slowdown
+// is flagged (exit 1), noise and improvements pass, and a missing
+// baseline passes with a notice.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// benchLines renders repetitions of one benchmark at the given ns/op
+// values, in `go test -bench` output format.
+func benchLines(name string, ns ...int) string {
+	var sb strings.Builder
+	sb.WriteString("goos: linux\npkg: rrr\n")
+	for _, v := range ns {
+		fmt.Fprintf(&sb, "%s-8\t5\t%d ns/op\n", name, v)
+	}
+	sb.WriteString("PASS\n")
+	return sb.String()
+}
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func gate(t *testing.T, baseline, current string) (int, string) {
+	t.Helper()
+	var buf bytes.Buffer
+	code := run([]string{"-baseline", baseline, "-current", current, "-threshold", "25", "-alpha", "0.05"}, &buf)
+	return code, buf.String()
+}
+
+// TestGateFlagsInjectedSlowdown: a clean +50% regression across 5 reps
+// fails the gate and names the benchmark.
+func TestGateFlagsInjectedSlowdown(t *testing.T) {
+	baseline := writeTemp(t, "base.txt",
+		benchLines("BenchmarkFindRanges", 100000, 101000, 99000, 100500, 99500)+
+			benchLines("BenchmarkTopK", 5000, 5100, 4900, 5050, 4950))
+	current := writeTemp(t, "cur.txt",
+		benchLines("BenchmarkFindRanges", 150000, 151000, 149000, 150500, 149500)+ // injected slowdown
+			benchLines("BenchmarkTopK", 5010, 5110, 4910, 5060, 4960))
+	code, out := gate(t, baseline, current)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "FindRanges") || !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("regression not named:\n%s", out)
+	}
+	if strings.Contains(out, "TopK           REGRESSION") {
+		t.Fatalf("stable benchmark flagged:\n%s", out)
+	}
+}
+
+// TestGatePassesWithinThreshold: a significant but small (+10%) slowdown
+// stays under the 25% bar.
+func TestGatePassesWithinThreshold(t *testing.T) {
+	baseline := writeTemp(t, "base.txt", benchLines("BenchmarkTopK", 100000, 101000, 99000, 100500, 99500))
+	current := writeTemp(t, "cur.txt", benchLines("BenchmarkTopK", 110000, 111000, 109000, 110500, 109500))
+	if code, out := gate(t, baseline, current); code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out)
+	}
+}
+
+// TestGatePassesOnNoise: a >25% mean delta produced by overlapping noisy
+// samples is not significant and passes.
+func TestGatePassesOnNoise(t *testing.T) {
+	baseline := writeTemp(t, "base.txt", benchLines("BenchmarkNoisy", 100, 400, 100, 400, 100))
+	current := writeTemp(t, "cur.txt", benchLines("BenchmarkNoisy", 400, 100, 400, 100, 400))
+	code, out := gate(t, baseline, current)
+	if code != 0 {
+		t.Fatalf("noisy overlap failed the gate (exit %d):\n%s", code, out)
+	}
+}
+
+// TestGatePassesOnImprovement: getting faster is never a regression.
+func TestGatePassesOnImprovement(t *testing.T) {
+	baseline := writeTemp(t, "base.txt", benchLines("BenchmarkTopK", 100000, 101000, 99000, 100500, 99500))
+	current := writeTemp(t, "cur.txt", benchLines("BenchmarkTopK", 50000, 51000, 49000, 50500, 49500))
+	if code, out := gate(t, baseline, current); code != 0 {
+		t.Fatalf("improvement failed the gate (exit %d):\n%s", code, out)
+	}
+}
+
+// TestGateNoBaselinePasses: the first run has nothing to compare against
+// and must pass with a notice.
+func TestGateNoBaselinePasses(t *testing.T) {
+	current := writeTemp(t, "cur.txt", benchLines("BenchmarkTopK", 100, 100, 100))
+	var buf bytes.Buffer
+	code := run([]string{"-baseline", filepath.Join(t.TempDir(), "missing.txt"), "-current", current}, &buf)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "no baseline") {
+		t.Fatalf("missing the first-run notice:\n%s", buf.String())
+	}
+}
+
+// TestGateHandlesNewAndRemoved: added/removed benchmarks are reported but
+// never gate.
+func TestGateHandlesNewAndRemoved(t *testing.T) {
+	baseline := writeTemp(t, "base.txt", benchLines("BenchmarkGone", 100, 100, 100))
+	current := writeTemp(t, "cur.txt", benchLines("BenchmarkNew", 100, 100, 100))
+	code, out := gate(t, baseline, current)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "(new)") || !strings.Contains(out, "removed") {
+		t.Fatalf("membership changes not reported:\n%s", out)
+	}
+}

@@ -1,0 +1,104 @@
+// Command benchjson converts `go test -bench` output into the
+// machine-readable perf artifact CI uploads alongside bench.txt:
+//
+//	benchjson -in bench.txt -out BENCH_abc1234.json -sha abc1234
+//
+// The JSON maps benchmark name to the mean of every reported metric
+// (ns/op, B/op, allocs/op, plus custom b.ReportMetric units), with the
+// per-rep samples kept for ns/op so later tooling can re-test
+// significance instead of trusting a mean. One file per commit seeds the
+// repository's perf trajectory: collect them across history and every
+// benchmark becomes a time series.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"rrr/internal/benchparse"
+)
+
+// Entry is one benchmark's aggregated numbers.
+type Entry struct {
+	Runs        int                `json:"runs"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"b_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	NsSamples   []float64          `json:"ns_samples,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the artifact layout.
+type File struct {
+	SHA        string           `json:"sha"`
+	Generated  string           `json:"generated"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		in  = flag.String("in", "bench.txt", "bench output to read")
+		out = flag.String("out", "", "JSON file to write (default BENCH_<sha>.json)")
+		sha = flag.String("sha", "unknown", "commit short SHA recorded in the artifact")
+	)
+	flag.Parse()
+	if *out == "" {
+		*out = fmt.Sprintf("BENCH_%s.json", *sha)
+	}
+	if err := convert(*in, *out, *sha); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %s\n", *out)
+}
+
+func convert(in, out, sha string) error {
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	parsed, err := benchparse.Parse(f)
+	if err != nil {
+		return err
+	}
+	if len(parsed) == 0 {
+		return fmt.Errorf("no benchmark lines in %s", in)
+	}
+	file := File{SHA: sha, Generated: time.Now().UTC().Format(time.RFC3339), Benchmarks: make(map[string]Entry, len(parsed))}
+	names := make([]string, 0, len(parsed))
+	for name := range parsed {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := parsed[name]
+		e := Entry{
+			Runs:        len(b.NsPerOp()),
+			NsPerOp:     benchparse.Mean(b.NsPerOp()),
+			BytesPerOp:  benchparse.Mean(b.Metrics["B/op"]),
+			AllocsPerOp: benchparse.Mean(b.Metrics["allocs/op"]),
+			NsSamples:   b.NsPerOp(),
+		}
+		for unit, samples := range b.Metrics {
+			switch unit {
+			case "ns/op", "B/op", "allocs/op":
+			default:
+				if e.Metrics == nil {
+					e.Metrics = make(map[string]float64)
+				}
+				e.Metrics[unit] = benchparse.Mean(samples)
+			}
+		}
+		file.Benchmarks[name] = e
+	}
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestConvert(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	out := filepath.Join(dir, "BENCH_abc1234.json")
+	raw := `goos: linux
+BenchmarkSolveBatch8K-8	4	261561142 ns/op	706752 B/op	302 allocs/op
+BenchmarkSolveBatch8K-8	4	267570310 ns/op	706752 B/op	302 allocs/op
+BenchmarkFig09-8	2	500000000 ns/op	12.0 max_size	6.0 max_rankregret
+PASS
+`
+	if err := os.WriteFile(in, []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := convert(in, out, "abc1234"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.SHA != "abc1234" || len(f.Benchmarks) != 2 {
+		t.Fatalf("file = %+v", f)
+	}
+	sb := f.Benchmarks["SolveBatch8K"]
+	if sb.Runs != 2 || sb.NsPerOp != (261561142.0+267570310.0)/2 {
+		t.Fatalf("SolveBatch8K entry = %+v", sb)
+	}
+	if sb.BytesPerOp != 706752 || sb.AllocsPerOp != 302 || len(sb.NsSamples) != 2 {
+		t.Fatalf("SolveBatch8K mem/samples = %+v", sb)
+	}
+	if f.Benchmarks["Fig09"].Metrics["max_size"] != 12 {
+		t.Fatalf("custom metric = %+v", f.Benchmarks["Fig09"])
+	}
+	// An empty input is an error, not an empty artifact.
+	empty := filepath.Join(dir, "empty.txt")
+	os.WriteFile(empty, []byte("PASS\n"), 0o644)
+	if err := convert(empty, out, "x"); err == nil {
+		t.Fatal("empty bench output accepted")
+	}
+}

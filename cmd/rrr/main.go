@@ -10,6 +10,7 @@
 //	rrr -input diamonds.csv -k 100
 //	rrr -dataset bn -n 10000 -d 3 -k 100 -algo mdrrr -evaluate
 //	rrr -dataset dot -n 5000 -d 2 -k 50 -algo 2drrr
+//	rrr -dataset dot -n 5000 -d 2 -ks 10,50,100   # one sweep, three answers
 package main
 
 import (
@@ -19,6 +20,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"text/tabwriter"
 	"time"
@@ -52,6 +55,7 @@ func run() error {
 		n        = flag.Int("n", 10000, "rows to generate for -dataset")
 		d        = flag.Int("d", 3, "attributes to keep (first d columns)")
 		k        = flag.Int("k", 100, "rank-regret target k")
+		ksFlag   = flag.String("ks", "", "comma-separated k values solved as one batch (shared sweep/sampling); overrides -k")
 		algoName = flag.String("algo", "auto", "algorithm: auto, 2drrr, mdrrr, mdrc")
 		seed     = flag.Int64("seed", 1, "random seed (data generation and MDRRR sampling)")
 		evaluate = flag.Bool("evaluate", false, "estimate the output's rank-regret on 10k sampled functions")
@@ -103,6 +107,10 @@ func run() error {
 		defer cancel()
 	}
 
+	if *ksFlag != "" {
+		return runBatch(ctx, solver, ds, *ksFlag, *dual)
+	}
+
 	var res *rrr.Result
 	if *dual > 0 {
 		var gotK int
@@ -144,6 +152,49 @@ func run() error {
 		fmt.Printf("worst function found: %v\n", witness)
 	}
 	return nil
+}
+
+// runBatch answers every -ks value (plus an optional -size dual query) in
+// one SolveBatch call and prints a per-query summary: the shared phases —
+// the 2-D sweep, the K-SETr sampling stream — run once for the whole set.
+func runBatch(ctx context.Context, solver *rrr.Solver, ds *rrr.Dataset, ksSpec string, size int) error {
+	var reqs []rrr.Request
+	for _, part := range strings.Split(ksSpec, ",") {
+		kv, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return fmt.Errorf("bad -ks value %q", part)
+		}
+		reqs = append(reqs, rrr.Request{K: kv})
+	}
+	if size > 0 {
+		reqs = append(reqs, rrr.Request{Size: size})
+	}
+	br, err := solver.SolveBatch(ctx, ds, reqs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("batch: %d queries, %d solves, %d reused, %d sweeps, %d draws, %v\n\n",
+		len(br.Items), br.Stats.Solves, br.Stats.Reused, br.Stats.Sweeps, br.Stats.Draws,
+		br.Stats.Elapsed.Round(time.Millisecond))
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "query\tk\tsize\tids")
+	var firstErr error
+	for _, it := range br.Items {
+		label := fmt.Sprintf("k=%d", it.Request.K)
+		if it.Request.Size > 0 {
+			label = fmt.Sprintf("size<=%d", it.Request.Size)
+		}
+		if it.Err != nil {
+			fmt.Fprintf(w, "%s\t-\t-\terror: %v\n", label, it.Err)
+			if firstErr == nil {
+				firstErr = it.Err
+			}
+			continue
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%v\n", label, it.K, len(it.Result.IDs), it.Result.IDs)
+	}
+	w.Flush()
+	return firstErr
 }
 
 func loadTable(input, kind string, n int, seed int64) (*rrr.Table, error) {

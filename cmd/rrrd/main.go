@@ -16,6 +16,7 @@
 //	rrrd -addr :8080 -preload flights=dot:5000:3,diamonds=bn:5000 -request-timeout 30s
 //	curl localhost:8080/v1/healthz
 //	curl 'localhost:8080/v1/representative?dataset=flights&k=100'
+//	curl -X POST localhost:8080/v1/batch -d '{"dataset":"flights","items":[{"k":10},{"k":50},{"k":100},{"size":5}]}'
 //	curl 'localhost:8080/v1/rank?dataset=flights&id=42&weights=0.5,0.3,0.2'
 //	curl -X POST localhost:8080/v1/datasets -d '{"name":"uni","kind":"independent","n":2000,"dims":4}'
 //	curl localhost:8080/v1/stats
@@ -54,6 +55,7 @@ func run() error {
 		reqTimeout = flag.Duration("request-timeout", 0, "per-request deadline; a representative request exceeding it gets 504 with kind \"canceled\" (0 = unlimited)")
 		nodeBudget = flag.Int("node-budget", 0, "hard MDRC recursion-node budget per solve; exhaustion returns kind \"budget_exhausted\" (0 = paper's soft cap)")
 		drawBudget = flag.Int("draw-budget", 0, "hard K-SETr draw budget per solve; exhaustion returns kind \"budget_exhausted\" (0 = paper's soft cap)")
+		batchWork  = flag.Int("batch-workers", 0, "worker pool for /v1/batch per-query tail work (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -63,6 +65,9 @@ func run() error {
 	}
 	if *drawBudget > 0 {
 		solverOpts = append(solverOpts, rrr.WithDrawBudget(*drawBudget))
+	}
+	if *batchWork > 0 {
+		solverOpts = append(solverOpts, rrr.WithBatchWorkers(*batchWork))
 	}
 	svc := service.New(service.Config{Seed: *seed, SolverOptions: solverOpts})
 	if err := preloadDatasets(svc, *preload); err != nil {

@@ -29,7 +29,11 @@
 // every algorithm's hot loop: cancellation and deadlines interrupt a
 // running solve within microseconds, returning a typed *Error (see
 // ErrCanceled, ErrBudgetExhausted, ErrInfeasible) that reports the work
-// done before the stop. The pre-context entry points (Representative,
+// done before the stop. SolveBatch answers many queries — several k
+// values, dual MinimalKForSize size budgets — through one shared
+// expensive phase (one angular sweep, one K-SETr sampling stream), with
+// per-item results identical to the equivalent sequential calls. The
+// pre-context entry points (Representative,
 // MinimalKForSize, Options) remain as deprecated wrappers. Raw data
 // with mixed "higher is better"/"lower is better" attributes can be loaded
 // and normalized with the Table helpers (DOTLike, BNLike, ReadCSV,

@@ -2,6 +2,7 @@ package algo_test
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"reflect"
 	"sort"
@@ -153,12 +154,18 @@ func TestTwoDRRRErrors(t *testing.T) {
 
 func TestTwoDRRRKLargerThanN(t *testing.T) {
 	d := paperfig.Figure1()
-	res, err := algo.TwoDRRR(context.Background(), d, 100, algo.TwoDOptions{})
+	// k = n is the largest feasible target: every tuple is always in the
+	// top-n, so any single tuple suffices.
+	res, err := algo.TwoDRRR(context.Background(), d, d.N(), algo.TwoDOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res.IDs) != 1 {
-		t.Fatalf("k >= n: any single tuple suffices, got %v", res.IDs)
+		t.Fatalf("k = n: any single tuple suffices, got %v", res.IDs)
+	}
+	// k > n propagates the sweep's typed rejection instead of clamping.
+	if _, err := algo.TwoDRRR(context.Background(), d, 100, algo.TwoDOptions{}); !errors.Is(err, sweep.ErrKExceedsN) {
+		t.Fatalf("k > n: err = %v, want sweep.ErrKExceedsN", err)
 	}
 }
 

@@ -59,6 +59,16 @@ func TwoDRRR(ctx context.Context, d *core.Dataset, k int, opt TwoDOptions) (*Res
 		}
 		return nil, err
 	}
+	return TwoDRRRFromRanges(ranges, opt)
+}
+
+// TwoDRRRFromRanges runs the cover phase of the 2-D algorithm on
+// precomputed Algorithm 1 ranges. It is the tail TwoDRRR fans into after
+// its own sweep; the batch engine calls it directly so that one
+// sweep.FindRangesMulti pass can feed the cover instances of many k values
+// — the results are identical to per-k TwoDRRR calls because the ranges
+// are.
+func TwoDRRRFromRanges(ranges map[int]sweep.Range, opt TwoDOptions) (*Result, error) {
 	intervals := make([]cover.Interval, 0, len(ranges))
 	for _, r := range ranges {
 		intervals = append(intervals, cover.Interval{ID: r.ID, Lo: r.Lo, Hi: r.Hi})
@@ -67,7 +77,10 @@ func TwoDRRR(ctx context.Context, d *core.Dataset, k int, opt TwoDOptions) (*Res
 	if opt.OnProgress != nil {
 		opt.OnProgress(stats)
 	}
-	var ids []int
+	var (
+		ids []int
+		err error
+	)
 	switch opt.Cover {
 	case CoverMaxGain:
 		ids, err = cover.CoverMaxGain(intervals, 0, geom.HalfPi)

@@ -1,0 +1,160 @@
+// Package benchparse reads `go test -bench` output into per-benchmark
+// sample sets and provides the small statistics the perf-regression gate
+// needs (sample means, an exact Mann–Whitney U test). It exists so that
+// cmd/benchgate (the CI gate) and cmd/benchjson (the machine-readable
+// perf artifact) agree on what a benchmark line means.
+package benchparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is the aggregated samples of one benchmark across -count
+// repetitions. Metrics maps a unit ("ns/op", "B/op", "allocs/op",
+// "max_size", ...) to its sample values in input order.
+type Benchmark struct {
+	Name    string
+	Metrics map[string][]float64
+}
+
+// NsPerOp returns the ns/op samples (nil if absent).
+func (b *Benchmark) NsPerOp() []float64 { return b.Metrics["ns/op"] }
+
+// procSuffix strips the trailing -<GOMAXPROCS> go test appends to
+// benchmark names, so runs from machines with different core counts
+// compare under one name.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// Parse reads benchmark lines ("BenchmarkX-8  10  123 ns/op  4 B/op ...")
+// and aggregates samples per benchmark name. Non-benchmark lines (the
+// goos/pkg header, PASS, ok) are ignored.
+func Parse(r io.Reader) (map[string]*Benchmark, error) {
+	out := make(map[string]*Benchmark)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // not an iteration count: not a benchmark result line
+		}
+		name := procSuffix.ReplaceAllString(strings.TrimPrefix(fields[0], "Benchmark"), "")
+		b := out[name]
+		if b == nil {
+			b = &Benchmark{Name: name, Metrics: make(map[string][]float64)}
+			out[name] = b
+		}
+		// The rest of the line is value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchparse: bad value %q on line %q", fields[i], sc.Text())
+			}
+			unit := fields[i+1]
+			b.Metrics[unit] = append(b.Metrics[unit], v)
+		}
+	}
+	return out, sc.Err()
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MannWhitneyU runs the exact two-sided Mann–Whitney U test — the test
+// benchstat uses — returning the p-value for the null hypothesis that a
+// and b come from the same distribution. Ties are midranked; the exact
+// null distribution is computed by dynamic programming over rank sums
+// (fine for benchmark-sized samples). Samples too small to ever reach
+// significance (either side < 2) return p = 1.
+func MannWhitneyU(a, b []float64) float64 {
+	n, m := len(a), len(b)
+	if n < 2 || m < 2 {
+		return 1
+	}
+	type obs struct {
+		v    float64
+		from int
+	}
+	all := make([]obs, 0, n+m)
+	for _, v := range a {
+		all = append(all, obs{v, 0})
+	}
+	for _, v := range b {
+		all = append(all, obs{v, 1})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+	// Midranks for ties.
+	ranks := make([]float64, n+m)
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // ranks are 1-based
+		for k := i; k < j; k++ {
+			ranks[k] = mid
+		}
+		i = j
+	}
+	var ra float64
+	for i, o := range all {
+		if o.from == 0 {
+			ra += ranks[i]
+		}
+	}
+	// Exact null distribution of the rank sum of n items drawn from
+	// 1..n+m, assuming distinct values: counts[j][s] = number of ways to
+	// pick j of the first i ranks with sum s. Ties make the observed
+	// midrank sum possibly half-integral and the true tied-null slightly
+	// different, so near ties the p-value is an approximation — adequate
+	// for a gate that also requires a 25% mean regression.
+	total := n + m
+	maxSum := n * (2*total - n + 1) / 2
+	counts := make([][]float64, n+1)
+	for j := range counts {
+		counts[j] = make([]float64, maxSum+1)
+	}
+	counts[0][0] = 1
+	for i := 1; i <= total; i++ {
+		for j := min(i, n); j >= 1; j-- {
+			row, prev := counts[j], counts[j-1]
+			for s := maxSum; s >= i; s-- {
+				row[s] += prev[s-i]
+			}
+		}
+	}
+	var totalWays, leWays, geWays float64
+	for s := 0; s <= maxSum; s++ {
+		c := counts[n][s]
+		if c == 0 {
+			continue
+		}
+		totalWays += c
+		if float64(s) <= ra+1e-9 {
+			leWays += c
+		}
+		if float64(s) >= ra-1e-9 {
+			geWays += c
+		}
+	}
+	p := 2 * math.Min(leWays/totalWays, geWays/totalWays)
+	return math.Min(p, 1)
+}

@@ -1,0 +1,74 @@
+package benchparse
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: rrr
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSolveBatch8K-8      	       4	 261561142 ns/op	  706752 B/op	     302 allocs/op
+BenchmarkSolveBatch8K-8      	       4	 267570310 ns/op	  706752 B/op	     302 allocs/op
+BenchmarkFig09_2D_VaryN_Time-8   	       2	 500000000 ns/op	        12.0 max_size	         6.0 max_rankregret
+PASS
+ok  	rrr	12.311s
+`
+
+func TestParse(t *testing.T) {
+	got, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
+	}
+	sb := got["SolveBatch8K"]
+	if sb == nil {
+		t.Fatalf("SolveBatch8K missing (proc suffix not stripped?): %v", got)
+	}
+	if ns := sb.NsPerOp(); len(ns) != 2 || ns[0] != 261561142 || ns[1] != 267570310 {
+		t.Fatalf("ns/op samples = %v", ns)
+	}
+	if b := sb.Metrics["B/op"]; len(b) != 2 || b[0] != 706752 {
+		t.Fatalf("B/op samples = %v", b)
+	}
+	fig := got["Fig09_2D_VaryN_Time"]
+	if fig == nil || fig.Metrics["max_size"][0] != 12 {
+		t.Fatalf("custom metric lost: %+v", fig)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Fatalf("mean = %v", m)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Fatalf("empty mean = %v", m)
+	}
+}
+
+func TestMannWhitneyU(t *testing.T) {
+	// Fully separated 5-vs-5 samples: the most extreme rank assignment,
+	// exact two-sided p = 2/C(10,5) = 2/252.
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{10, 11, 12, 13, 14}
+	if p := MannWhitneyU(a, b); p > 0.009 || p < 0.007 {
+		t.Fatalf("separated samples p = %v, want ~0.0079", p)
+	}
+	// Identical samples: no evidence of difference.
+	if p := MannWhitneyU(a, a); p < 0.99 {
+		t.Fatalf("identical samples p = %v, want 1", p)
+	}
+	// Interleaved samples: far from significant.
+	c := []float64{1, 3, 5, 7, 9}
+	d := []float64{2, 4, 6, 8, 10}
+	if p := MannWhitneyU(c, d); p < 0.3 {
+		t.Fatalf("interleaved samples p = %v, want large", p)
+	}
+	// Degenerate sample sizes can never be significant.
+	if p := MannWhitneyU([]float64{1}, []float64{100, 100}); p != 1 {
+		t.Fatalf("n=1 p = %v, want 1", p)
+	}
+}

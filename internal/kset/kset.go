@@ -155,7 +155,9 @@ type SampleStats struct {
 
 // Sample runs K-SETr: repeatedly draw a uniform random ranking function,
 // record its top-k as a k-set, and stop once Termination consecutive draws
-// yield nothing new.
+// yield nothing new. k must be in [1, n] — k > n is rejected like
+// sweep.FindRanges rejects it, not silently clamped, so every algorithm
+// reports the same condition for the same input.
 //
 // The context is checked every cancelCheckInterval draws. On cancellation
 // (or a HardMaxDraws overrun) Sample returns the partial collection and
@@ -169,7 +171,7 @@ func Sample(ctx context.Context, d *core.Dataset, k int, opt SampleOptions) (*Co
 		return nil, SampleStats{}, errors.New("kset: k must be positive")
 	}
 	if k > d.N() {
-		k = d.N()
+		return nil, SampleStats{}, fmt.Errorf("kset: k=%d exceeds dataset size n=%d", k, d.N())
 	}
 	term := opt.Termination
 	if term <= 0 {
@@ -215,6 +217,131 @@ func Sample(ctx context.Context, d *core.Dataset, k int, opt SampleOptions) (*Co
 	}
 	stats.Distinct = col.Len()
 	return col, stats, nil
+}
+
+// SampleMulti runs K-SETr for several k values over one shared stream of
+// sampled ranking functions: each draw's ordered top-max(k) is computed
+// once and every still-active k takes its length-k prefix as that
+// function's k-set (the top-k under a strict total order is a prefix of
+// the top-k′ for any k′ ≥ k). Each k keeps its own consecutive-miss
+// counter, draw budget and stats, so its collection, draw count and
+// truncation flag are identical to an independent Sample(ctx, d, k, opt)
+// call with the same options — the whole point: a batch of adjacent k
+// values pays for one function stream and one scoring pass per draw
+// instead of len(ks).
+//
+// Results align with ks by index. errs[i] is non-nil when that k's run
+// failed (a hard draw budget wrapping ErrDrawBudget, or the context dying
+// while the k was still active); its collection holds the partial state,
+// like Sample's. k values must be in [1, n]; duplicates are allowed and
+// evolve independently (their results are equal).
+func SampleMulti(ctx context.Context, d *core.Dataset, ks []int, opt SampleOptions) ([]*Collection, []SampleStats, []error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cols := make([]*Collection, len(ks))
+	stats := make([]SampleStats, len(ks))
+	errs := make([]error, len(ks))
+	if len(ks) == 0 {
+		return cols, stats, errs
+	}
+	term := opt.Termination
+	if term <= 0 {
+		term = 100
+	}
+	maxDraws := opt.MaxDraws
+	if maxDraws <= 0 {
+		maxDraws = 2_000_000
+	}
+	type state struct {
+		k       int
+		counter int
+		active  bool
+	}
+	states := make([]*state, len(ks))
+	for i, k := range ks {
+		cols[i] = NewCollection()
+		if k <= 0 {
+			errs[i] = errors.New("kset: k must be positive")
+			continue
+		}
+		if k > d.N() {
+			errs[i] = fmt.Errorf("kset: k=%d exceeds dataset size n=%d", k, d.N())
+			continue
+		}
+		states[i] = &state{k: k, active: true}
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	draws := 0
+	for {
+		// Per-k stopping rules, checked before each draw exactly as Sample
+		// checks its own: termination already fired (counter > term, caught
+		// below), or the draw budget is reached.
+		maxActive := 0
+		for i, st := range states {
+			if st == nil || !st.active {
+				continue
+			}
+			if draws >= maxDraws {
+				stats[i].Truncated = true
+				if opt.HardMaxDraws {
+					stats[i].Distinct = cols[i].Len()
+					errs[i] = fmt.Errorf("%w after %d draws (%d k-sets found)",
+						ErrDrawBudget, stats[i].Draws, cols[i].Len())
+				}
+				st.active = false
+				continue
+			}
+			if st.k > maxActive {
+				maxActive = st.k
+			}
+		}
+		if maxActive == 0 {
+			break
+		}
+		if draws%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				for i, st := range states {
+					if st == nil || !st.active {
+						continue
+					}
+					stats[i].Distinct = cols[i].Len()
+					errs[i] = fmt.Errorf("kset: sampling canceled after %d draws: %w",
+						stats[i].Draws, err)
+					st.active = false
+				}
+				break
+			}
+			if opt.OnProgress != nil && draws%progressInterval == 0 {
+				agg := SampleStats{Draws: draws}
+				for i := range cols {
+					agg.Distinct += cols[i].Len()
+				}
+				opt.OnProgress(agg)
+			}
+		}
+		f := geom.RandomFunc(d.Dims(), rng)
+		draws++
+		ordered := topk.TopK(d, f, maxActive)
+		for i, st := range states {
+			if st == nil || !st.active {
+				continue
+			}
+			stats[i].Draws++
+			if cols[i].Add(Canon(ordered[:st.k])) {
+				st.counter = 0
+			} else {
+				st.counter++
+			}
+			if st.counter > term {
+				st.active = false
+			}
+		}
+	}
+	for i := range cols {
+		stats[i].Distinct = cols[i].Len()
+	}
+	return cols, stats, errs
 }
 
 // IsValid checks whether the given tuple IDs form a valid k-set of d by

@@ -2,6 +2,7 @@ package kset_test
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"reflect"
 	"sort"
@@ -156,17 +157,85 @@ func TestSampleTruncation(t *testing.T) {
 	}
 }
 
-func TestSampleKClamping(t *testing.T) {
+func TestSampleRejectsBadK(t *testing.T) {
 	d := paperfig.Figure1()
-	col, _, err := kset.Sample(context.Background(), d, 99, kset.SampleOptions{Termination: 5, Seed: 1})
+	// k = n is the largest valid target: one full set.
+	col, _, err := kset.Sample(context.Background(), d, d.N(), kset.SampleOptions{Termination: 5, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if col.Len() != 1 || len(col.Sets()[0]) != d.N() {
-		t.Fatalf("k>n must yield the single full set, got %v", col.Sets())
+		t.Fatalf("k=n must yield the single full set, got %v", col.Sets())
+	}
+	// k > n is an error, not a silent clamp — same contract as
+	// sweep.FindRanges and SampleMulti.
+	if _, _, err := kset.Sample(context.Background(), d, 99, kset.SampleOptions{Termination: 5, Seed: 1}); err == nil {
+		t.Fatal("k>n must error")
 	}
 	if _, _, err := kset.Sample(context.Background(), d, 0, kset.SampleOptions{}); err == nil {
 		t.Fatal("k=0 must error")
+	}
+}
+
+// TestSampleMultiMatchesSingle is the shared-state property the batch
+// engine rests on: for every k, SampleMulti's collection, draw count and
+// truncation flag equal an independent Sample run with the same options —
+// the one shared function stream is observationally invisible per k.
+func TestSampleMultiMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 6; trial++ {
+		n := 10 + rng.Intn(40)
+		dims := 2 + rng.Intn(3)
+		d := randomDataset(rng, n, dims)
+		ks := []int{1 + rng.Intn(3), 2 + rng.Intn(5), 1 + rng.Intn(n/2), 1 + rng.Intn(3)}
+		opt := kset.SampleOptions{Termination: 30, MaxDraws: 5000, Seed: int64(trial + 1)}
+		cols, stats, errs := kset.SampleMulti(context.Background(), d, ks, opt)
+		for i, k := range ks {
+			if errs[i] != nil {
+				t.Fatalf("trial %d k=%d: %v", trial, k, errs[i])
+			}
+			single, sstats, err := kset.Sample(context.Background(), d, k, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(cols[i].Sets(), single.Sets()) {
+				t.Fatalf("trial %d k=%d: multi found %d sets, single %d — collections diverged",
+					trial, k, cols[i].Len(), single.Len())
+			}
+			if stats[i] != sstats {
+				t.Fatalf("trial %d k=%d: stats %+v vs single %+v", trial, k, stats[i], sstats)
+			}
+		}
+	}
+}
+
+// TestSampleMultiPerKBudgets: a hard draw budget fails exactly the k
+// values that would fail individually, leaving the cheap ones intact.
+func TestSampleMultiPerKBudgets(t *testing.T) {
+	d := randomDataset(rand.New(rand.NewSource(3)), 60, 3)
+	// k=1 terminates in a handful of draws; the budget of 5 draws kills
+	// every k whose termination rule hasn't fired by then.
+	opt := kset.SampleOptions{Termination: 1000, MaxDraws: 5, HardMaxDraws: true, Seed: 1}
+	cols, stats, errs := kset.SampleMulti(context.Background(), d, []int{4, 9}, opt)
+	for i := range errs {
+		if !errors.Is(errs[i], kset.ErrDrawBudget) {
+			t.Fatalf("k index %d: err = %v, want ErrDrawBudget", i, errs[i])
+		}
+		if stats[i].Draws != 5 || !stats[i].Truncated {
+			t.Fatalf("k index %d: stats = %+v, want 5 truncated draws", i, stats[i])
+		}
+		if cols[i].Len() == 0 {
+			t.Fatalf("k index %d: partial collection missing", i)
+		}
+	}
+	// Invalid k values fail per item without touching valid ones.
+	cols, _, errs = kset.SampleMulti(context.Background(), d,
+		[]int{2, 0, d.N() + 1}, kset.SampleOptions{Termination: 10, Seed: 1})
+	if errs[0] != nil || cols[0].Len() == 0 {
+		t.Fatalf("valid k poisoned by invalid neighbors: %v", errs[0])
+	}
+	if errs[1] == nil || errs[2] == nil {
+		t.Fatalf("invalid ks accepted: %v %v", errs[1], errs[2])
 	}
 }
 

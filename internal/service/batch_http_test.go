@@ -1,0 +1,306 @@
+package service
+
+// Tests of the /v1/batch surface: per-item statuses for mixed
+// success/failure batches, cache interplay (second batch = all hits),
+// mid-batch client disconnect, and a single /v1/representative request
+// coalescing onto an in-flight batch.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"rrr"
+)
+
+func postBatch(t *testing.T, url string, body string, out *batchResponse) int {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/batch", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding batch response: %v", err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestBatchEndpointMixed(t *testing.T) {
+	ts, svc := newTestServer(t) // "flights": dot, n=300, 2-D
+	body := `{"dataset":"flights","items":[
+		{"k":10},{"k":20},{"size":3},{"k":1000},{"k":-2},{}
+	]}`
+	var resp batchResponse
+	if code := postBatch(t, ts.URL, body, &resp); code != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (failures are per item)", code)
+	}
+	if resp.Algorithm != "2drrr" {
+		t.Fatalf("algorithm = %q, want 2drrr", resp.Algorithm)
+	}
+	if len(resp.Items) != 6 {
+		t.Fatalf("items = %d, want 6", len(resp.Items))
+	}
+	// Two primal successes.
+	for i, k := range []int{10, 20} {
+		it := resp.Items[i]
+		if it.Error != "" || it.K != k || it.Size == 0 || len(it.IDs) != it.Size {
+			t.Fatalf("item %d = %+v, want a k=%d result", i, it, k)
+		}
+	}
+	// The dual: achieved k with a representative within the size budget.
+	dual := resp.Items[2]
+	if dual.Error != "" || dual.K == 0 || dual.SizeLimit != 3 || dual.Size > 3 {
+		t.Fatalf("dual item = %+v", dual)
+	}
+	// k > n: infeasible, per item.
+	if resp.Items[3].Kind != "infeasible" || resp.Items[3].Error == "" {
+		t.Fatalf("k>n item = %+v, want kind infeasible", resp.Items[3])
+	}
+	// Malformed queries: bad_request, per item.
+	for _, i := range []int{4, 5} {
+		if resp.Items[i].Kind != "bad_request" {
+			t.Fatalf("item %d = %+v, want kind bad_request", i, resp.Items[i])
+		}
+	}
+	// The whole batch ran as one claimed computation: 4 well-formed
+	// queries claimed keys (the k > n one fails per item inside the
+	// solve); the malformed two never reached the cache.
+	snap := svc.Metrics().Snapshot()
+	if snap.Batches != 1 || snap.BatchItems != 4 {
+		t.Fatalf("batches/items = %d/%d, want 1 batch claiming 4 keys", snap.Batches, snap.BatchItems)
+	}
+
+	// A second identical batch is served entirely from cache, and the
+	// items agree with the single-query endpoint.
+	var again batchResponse
+	postBatch(t, ts.URL, body, &again)
+	for i := 0; i < 3; i++ {
+		if !again.Items[i].Cached {
+			t.Fatalf("rerun item %d not cached: %+v", i, again.Items[i])
+		}
+	}
+	var single representativeResponse
+	if code := getJSON(t, ts.URL+"/v1/representative?dataset=flights&k=10", &single); code != http.StatusOK {
+		t.Fatalf("representative status = %d", code)
+	}
+	if !single.Cached {
+		t.Fatal("single request after batch missed the cache")
+	}
+	if got, want := single.IDs, resp.Items[0].IDs; len(got) != len(want) {
+		t.Fatalf("single IDs %v != batch IDs %v", got, want)
+	}
+
+	// Batch-level failures stay top-level errors.
+	var errBody errorBody
+	resp2, err := http.Post(ts.URL+"/v1/batch", "application/json",
+		bytes.NewBufferString(`{"dataset":"nope","items":[{"k":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown dataset status = %d", resp2.StatusCode)
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&errBody); err != nil || errBody.Kind != "not_found" {
+		t.Fatalf("unknown dataset body = %+v (%v)", errBody, err)
+	}
+}
+
+// blockingProgressService builds a service whose solver blocks inside the
+// first progress callback until release is closed — a deterministic way
+// to hold a computation in flight.
+func blockingProgressService(t *testing.T, kind string, n, dims int) (*Service, func()) {
+	t.Helper()
+	release := make(chan struct{})
+	var once sync.Once
+	free := func() { once.Do(func() { close(release) }) }
+	t.Cleanup(free)
+	svc := New(Config{Seed: 1, SolverOptions: []rrr.Option{
+		rrr.WithProgress(func(rrr.Progress) { <-release }),
+	}})
+	if _, err := svc.Registry().Generate("flights", kind, n, dims, 1); err != nil {
+		t.Fatal(err)
+	}
+	return svc, free
+}
+
+// TestBatchCoalescesSingleRequest is the satellite acceptance test: a
+// single-k request arriving while a batch covering its k is in flight
+// joins that computation instead of starting its own.
+func TestBatchCoalescesSingleRequest(t *testing.T) {
+	svc, free := blockingProgressService(t, "dot", 300, 2)
+	ts := httptest.NewServer(NewServer(svc))
+	t.Cleanup(ts.Close)
+
+	batchResp := make(chan batchResponse, 1)
+	go func() {
+		var resp batchResponse
+		postBatch(t, ts.URL, `{"dataset":"flights","items":[{"k":7},{"k":9}]}`, &resp)
+		batchResp <- resp
+	}()
+	// The batch claims its keys before computing; once it is in flight its
+	// cover tails are blocked inside the progress callback.
+	waitFor(t, "batch to start computing", func() bool {
+		return svc.Metrics().Snapshot().InFlight == 1
+	})
+
+	singleResp := make(chan representativeResponse, 1)
+	go func() {
+		var rep representativeResponse
+		getJSON(t, ts.URL+"/v1/representative?dataset=flights&k=7", &rep)
+		singleResp <- rep
+	}()
+	// The single request must register as a coalesced join, not a miss.
+	waitFor(t, "single request to coalesce onto the batch", func() bool {
+		return svc.Metrics().Snapshot().CoalescedJoins == 1
+	})
+	free()
+
+	batch := <-batchResp
+	single := <-singleResp
+	if batch.Items[0].Error != "" || single.Size == 0 {
+		t.Fatalf("batch item = %+v, single = %+v", batch.Items[0], single)
+	}
+	if !single.Cached {
+		t.Fatal("coalesced single request not reported as shared")
+	}
+	if len(single.IDs) != len(batch.Items[0].IDs) {
+		t.Fatalf("coalesced IDs %v != batch IDs %v", single.IDs, batch.Items[0].IDs)
+	}
+	snap := svc.Metrics().Snapshot()
+	// One batch computation total: the single request started nothing.
+	if snap.Batches != 1 || snap.CacheMisses != 2 {
+		t.Fatalf("batches/misses = %d/%d, want 1/2", snap.Batches, snap.CacheMisses)
+	}
+}
+
+// TestBatchEndpointClientDisconnect: a client abandoning a /v1/batch
+// mid-computation cancels the underlying solves once no other waiter
+// holds any of its keys, and the claimed slots become retryable.
+func TestBatchEndpointClientDisconnect(t *testing.T) {
+	svc := New(Config{Seed: 1})
+	// MDRC at k=1 on anticorrelated data runs long enough that the
+	// disconnect provably lands mid-solve (same pathology newSlowServer
+	// uses).
+	if _, err := svc.Registry().Generate("slow", "anticorrelated", 400, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(svc))
+	t.Cleanup(ts.Close)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/batch",
+		bytes.NewBufferString(`{"dataset":"slow","algo":"mdrc","items":[{"k":1},{"k":2}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+
+	waitFor(t, "batch solve to start", func() bool {
+		return svc.Metrics().Snapshot().InFlight == 1
+	})
+	cancel() // client hangs up mid-batch
+	if err := <-errc; err == nil {
+		t.Fatal("canceled batch request returned a response")
+	}
+	// The flight dies with its last waiter: solves interrupted, the batch
+	// computation unwinds, and the abandoned keys are evicted.
+	waitFor(t, "batch computation to unwind", func() bool {
+		snap := svc.Metrics().Snapshot()
+		return snap.InFlight == 0 && svc.cache.Len() == 0
+	})
+	waitFor(t, "canceled items to be counted", func() bool {
+		return svc.Metrics().Snapshot().Canceled >= 1
+	})
+	// The keys are retryable: a fresh cheap request computes from scratch.
+	var resp batchResponse
+	if code := postBatch(t, ts.URL, `{"dataset":"slow","algo":"mdrc","items":[{"k":50}]}`, &resp); code != http.StatusOK {
+		t.Fatalf("retry status = %d", code)
+	}
+	if resp.Items[0].Error != "" || resp.Items[0].Cached {
+		t.Fatalf("retry item = %+v, want a fresh successful solve", resp.Items[0])
+	}
+}
+
+// TestBatchDualKeysAreCached: dual queries cache under their own key
+// range and re-serve without recomputation.
+func TestBatchDualKeysAreCached(t *testing.T) {
+	ts, svc := newTestServer(t)
+	body := `{"dataset":"flights","items":[{"size":4}]}`
+	var first, second batchResponse
+	postBatch(t, ts.URL, body, &first)
+	postBatch(t, ts.URL, body, &second)
+	if first.Items[0].Error != "" || first.Items[0].Cached {
+		t.Fatalf("first dual = %+v", first.Items[0])
+	}
+	if !second.Items[0].Cached {
+		t.Fatalf("second dual = %+v, want cached", second.Items[0])
+	}
+	if first.Items[0].K != second.Items[0].K || first.Items[0].K == 0 {
+		t.Fatalf("dual K diverged: %d vs %d", first.Items[0].K, second.Items[0].K)
+	}
+	// The dual slot coexists with primal slots under the same dataset and
+	// dies with it.
+	if !svc.RemoveDataset("flights") {
+		t.Fatal("remove failed")
+	}
+	if svc.cache.Len() != 0 {
+		t.Fatalf("dual slot survived dataset removal: len = %d", svc.cache.Len())
+	}
+}
+
+// TestServiceBatchDirect exercises Service.Batch without HTTP: per-item
+// typed errors and result parity with Representative.
+func TestServiceBatchDirect(t *testing.T) {
+	svc := New(Config{Seed: 1})
+	if _, err := svc.Registry().Generate("d", "dot", 200, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	items, algo, err := svc.Batch(context.Background(), "d", "", []BatchQuery{
+		{K: 5}, {Size: 2}, {K: 10_000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if algo != rrr.AlgoMDRC {
+		t.Fatalf("resolved algorithm = %q, want mdrc for 3-D data", algo)
+	}
+	if items[0].Err != nil || items[1].Err != nil {
+		t.Fatalf("items: %v / %v", items[0].Err, items[1].Err)
+	}
+	if !errors.Is(items[2].Err, rrr.ErrInfeasible) {
+		t.Fatalf("k>n err = %v, want ErrInfeasible", items[2].Err)
+	}
+	rep, err := svc.Representative(context.Background(), "d", 5, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Cached {
+		t.Fatal("representative after batch missed the cache")
+	}
+	if len(rep.IDs) != len(items[0].IDs) {
+		t.Fatalf("batch IDs %v != representative IDs %v", items[0].IDs, rep.IDs)
+	}
+	if _, _, err := svc.Batch(context.Background(), "d", "", nil); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("empty batch err = %v", err)
+	}
+	if _, _, err := svc.Batch(context.Background(), "nope", "", []BatchQuery{{K: 1}}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown dataset err = %v", err)
+	}
+}

@@ -18,11 +18,29 @@ import (
 // gets fresh keys, so results computed against removed data — including
 // computations in flight across the removal — are unreachable rather than
 // stale.
+//
+// K > 0 is a primal query. K < 0 encodes the dual size query
+// MinimalKForSize(-K): the dual's answer is deterministic per (dataset,
+// gen, size, algorithm) exactly like a primal solve, so it caches and
+// coalesces under the same machinery with a disjoint key range.
 type Key struct {
 	Dataset string
 	Gen     int64
 	K       int
 	Algo    string
+}
+
+// flight is the shared state of one batch computation claiming several
+// keys at once. refs counts the waiters currently attached to *unfilled*
+// slots of the flight (guarded by Cache.mu): when it reaches zero while
+// unfilled slots remain, nobody is waiting for anything the batch still
+// has to produce, and the flight's context is canceled. A waiter on an
+// already-filled slot holds no reference — its result exists regardless
+// of the flight's fate.
+type flight struct {
+	cancel   context.CancelFunc
+	refs     int
+	unfilled int
 }
 
 // computation is one cache slot. The computation runs on its own goroutine
@@ -33,13 +51,20 @@ type Key struct {
 // CPU instead of running to completion for nobody. A slot whose
 // computation failed (including by cancellation) is evicted so later
 // requests retry instead of caching the error forever.
+//
+// A slot created by DoBatch belongs to a flight shared with its sibling
+// keys; fl is nil for single-key computations.
 type computation struct {
 	done   chan struct{}
 	cancel context.CancelFunc
+	fl     *flight
 
 	// waiters is guarded by Cache.mu: the number of requests currently
 	// blocked on (or about to block on) this slot.
 	waiters int
+	// filled is guarded by Cache.mu: a flight slot whose result has been
+	// published (done is closed at the same moment).
+	filled bool
 
 	// Written by the computing goroutine before close(done), read-only
 	// afterwards.
@@ -53,14 +78,20 @@ type computation struct {
 type ResultStats struct {
 	KSets int
 	Nodes int
+	// BestK is the achieved k of a dual (negative-K) computation; zero
+	// for primal results.
+	BestK int
 }
 
 // Cache is a keyed precomputation cache with singleflight semantics:
 // concurrent requests for the same key share exactly one underlying
 // computation, and completed computations are served from memory until
-// Invalidate. It deliberately has no size bound — entries are a few ints
-// per (dataset, k, algorithm) triple — but InvalidateDataset keeps it in
-// step with dataset removal.
+// Invalidate. DoBatch extends the claim to a *set* of keys: a batch
+// registers every key it will produce before computing, so a single-key
+// request arriving while the batch is in flight joins that computation
+// instead of starting its own. The cache deliberately has no size bound —
+// entries are a few ints per (dataset, k, algorithm) triple — but
+// InvalidateDataset keeps it in step with dataset removal.
 type Cache struct {
 	mu      sync.Mutex
 	slots   map[Key]*computation
@@ -69,7 +100,9 @@ type Cache struct {
 	// admission control, so a burst of distinct keys (say, a client
 	// sweeping k) queues solves instead of launching them all at once and
 	// exhausting CPU and memory. Followers of an in-flight key wait on
-	// the slot, not the semaphore, so sharing is never throttled.
+	// the slot, not the semaphore, so sharing is never throttled. A batch
+	// holds one admission slot for all its keys; its internal worker pool
+	// bounds the fan-out.
 	sem chan struct{}
 }
 
@@ -98,13 +131,58 @@ type CachedResult struct {
 	Cached  bool
 }
 
+// addWaiterLocked attaches a request to a slot. Callers hold c.mu.
+func (c *Cache) addWaiterLocked(slot *computation) {
+	slot.waiters++
+	if slot.fl != nil && !slot.filled {
+		slot.fl.refs++
+	}
+}
+
+// leaveLocked detaches a request that gave up before the slot completed.
+// It evicts an abandoned slot so later requests start fresh, and reports
+// whether the departing waiter was the last interest keeping the
+// computation alive — the caller must then cancel outside the lock.
+// Callers hold c.mu.
+func (c *Cache) leaveLocked(key Key, slot *computation) (cancel context.CancelFunc) {
+	slot.waiters--
+	if slot.fl != nil {
+		if !slot.filled {
+			slot.fl.refs--
+			if slot.fl.refs == 0 {
+				cancel = slot.fl.cancel
+			}
+		}
+		if slot.waiters == 0 && !slot.filled && c.slots[key] == slot {
+			// Evict in the same critical section that detects abandonment
+			// (see the single-slot case below); the batch goroutine still
+			// publishes into the detached slot, harmlessly.
+			delete(c.slots, key)
+		}
+		return cancel
+	}
+	if slot.waiters == 0 {
+		if c.slots[key] == slot {
+			// Evict in the same critical section that detects
+			// abandonment: a request arriving after this point starts
+			// a fresh flight instead of joining a doomed one and
+			// inheriting its cancellation error.
+			delete(c.slots, key)
+		}
+		cancel = slot.cancel
+	}
+	return cancel
+}
+
 // Do returns the cached result for key, computing it via compute if absent.
 // If another request is already computing the key, Do waits for it and
-// shares its result (counted as a hit). compute runs on its own goroutine
-// under a context detached from ctx, so one client disconnecting never
-// kills a solve other clients are waiting on; but when ctx dies and this
-// was the last waiter, the computation's context is canceled and the
-// solve stops. compute must honor its context for that to interrupt work.
+// shares its result (counted as a hit) — including when the in-flight
+// computation is a batch that claimed the key (counted as a coalesced
+// join). compute runs on its own goroutine under a context detached from
+// ctx, so one client disconnecting never kills a solve other clients are
+// waiting on; but when ctx dies and this was the last waiter, the
+// computation's context is canceled and the solve stops. compute must
+// honor its context for that to interrupt work.
 func (c *Cache) Do(ctx context.Context, key Key, compute func(context.Context) ([]int, ResultStats, error)) (CachedResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -117,8 +195,12 @@ func (c *Cache) Do(ctx context.Context, key Key, compute func(context.Context) (
 		c.slots[key] = slot
 		c.metrics.miss()
 		go c.run(key, slot, runCtx, compute)
+	} else if slot.fl != nil && !slot.filled {
+		// Joining a key a batch claimed but hasn't produced yet: the
+		// coalescing the batch engine exists for.
+		c.metrics.coalesce()
 	}
-	slot.waiters++
+	c.addWaiterLocked(slot)
 	c.mu.Unlock()
 
 	select {
@@ -130,19 +212,11 @@ func (c *Cache) Do(ctx context.Context, key Key, compute func(context.Context) (
 		case <-slot.done:
 		default:
 			c.mu.Lock()
-			slot.waiters--
-			abandoned := slot.waiters == 0
-			if abandoned && c.slots[key] == slot {
-				// Evict in the same critical section that detects
-				// abandonment: a request arriving after this point starts
-				// a fresh flight instead of joining a doomed one and
-				// inheriting its cancellation error.
-				delete(c.slots, key)
-			}
+			cancel := c.leaveLocked(key, slot)
 			c.mu.Unlock()
-			if abandoned {
+			if cancel != nil {
 				// Last waiter gone: nobody wants this result anymore.
-				slot.cancel()
+				cancel()
 			}
 			return CachedResult{}, fmt.Errorf("service: request for %s on %q (k=%d) abandoned: %w",
 				key.Algo, key.Dataset, key.K, ctx.Err())
@@ -211,6 +285,230 @@ func (c *Cache) run(key Key, slot *computation, ctx context.Context, compute fun
 		c.evict(key, slot)
 	}
 	close(slot.done)
+}
+
+// BatchFill publishes one key's outcome from inside a DoBatch compute
+// function. It must be called exactly once per owned key.
+type BatchFill func(key Key, ids []int, stats ResultStats, err error)
+
+// DoBatch resolves a set of keys through one shared computation. Keys
+// already cached or in flight are joined exactly as Do joins them; the
+// remaining keys are *claimed* — their slots exist, marked in-flight,
+// before compute starts — and compute is invoked once, on a detached
+// goroutine, with the claimed keys. It must publish every owned key
+// exactly once via fill (streaming as results become ready); owned keys
+// it fails to publish are failed on its behalf when it returns.
+//
+// Claiming is what makes batches coalesce: a single-key Do arriving while
+// the batch is in flight finds the claimed slot and waits on it instead
+// of computing. Waiter accounting spans the key set — the batch caller
+// counts as one waiter per owned slot, and the flight's context is
+// canceled only when no request is waiting on any *unpublished* slot.
+//
+// The returned maps hold one entry per distinct input key: a result or
+// that key's error (computation failure, or abandonment when ctx died
+// first). Like Do, a caller abandoning some keys keeps results it already
+// collected.
+func (c *Cache) DoBatch(ctx context.Context, keys []Key, compute func(ctx context.Context, owned []Key, fill BatchFill)) (map[Key]CachedResult, map[Key]error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make(map[Key]CachedResult, len(keys))
+	errs := make(map[Key]error)
+
+	fl := &flight{}
+	runCtx, cancel := context.WithCancel(context.Background())
+	fl.cancel = cancel
+	var owned []Key
+	waiting := make(map[Key]*computation, len(keys))
+	joined := make(map[Key]bool, len(keys))
+	c.mu.Lock()
+	for _, key := range keys {
+		if _, dup := waiting[key]; dup {
+			continue
+		}
+		slot, found := c.slots[key]
+		if found {
+			joined[key] = true
+			if slot.fl != nil && !slot.filled {
+				c.metrics.coalesce()
+			}
+		} else {
+			slot = &computation{done: make(chan struct{}), fl: fl}
+			c.slots[key] = slot
+			fl.unfilled++
+			owned = append(owned, key)
+			c.metrics.miss()
+		}
+		waiting[key] = slot
+		c.addWaiterLocked(slot)
+	}
+	c.mu.Unlock()
+
+	if len(owned) > 0 {
+		c.metrics.batchStarted(len(owned))
+		// Restrict the fill surface to the claimed slots: a compute that
+		// publishes a key it merely joined must be a no-op, not a write
+		// into a foreign computation.
+		ownedSlots := make(map[Key]*computation, len(owned))
+		for _, key := range owned {
+			ownedSlots[key] = waiting[key]
+		}
+		go c.runBatch(fl, runCtx, owned, ownedSlots, compute)
+	} else {
+		cancel() // nothing claimed; release the unused context
+	}
+
+	for key, slot := range waiting {
+		select {
+		case <-slot.done:
+		case <-ctx.Done():
+			select {
+			case <-slot.done:
+			default:
+				// The request died with keys outstanding: collect any that
+				// completed anyway (their results are done work — serving
+				// them beats evicting them), leave the rest and report
+				// those keys abandoned. Results already collected stay
+				// valid.
+				var cancels []context.CancelFunc
+				c.mu.Lock()
+				for k2, s2 := range waiting {
+					if _, collected := results[k2]; collected {
+						continue
+					}
+					if _, failed := errs[k2]; failed {
+						continue
+					}
+					select {
+					case <-s2.done:
+						s2.waiters--
+						switch {
+						case s2.err != nil:
+							errs[k2] = s2.err
+						case joined[k2]:
+							c.metrics.hit()
+							results[k2] = CachedResult{IDs: s2.ids, Stats: s2.stats, Elapsed: s2.elapsed, Cached: true}
+						default:
+							results[k2] = CachedResult{IDs: s2.ids, Stats: s2.stats, Elapsed: s2.elapsed, Cached: false}
+						}
+					default:
+						if cfn := c.leaveLocked(k2, s2); cfn != nil {
+							cancels = append(cancels, cfn)
+						}
+						errs[k2] = fmt.Errorf("service: request for %s on %q (k=%d) abandoned: %w",
+							k2.Algo, k2.Dataset, k2.K, ctx.Err())
+					}
+				}
+				c.mu.Unlock()
+				for _, cfn := range cancels {
+					cfn()
+				}
+				return results, errs
+			}
+		}
+		c.mu.Lock()
+		slot.waiters--
+		c.mu.Unlock()
+		switch {
+		case slot.err != nil:
+			errs[key] = slot.err
+		case joined[key]:
+			c.metrics.hit()
+			results[key] = CachedResult{IDs: slot.ids, Stats: slot.stats, Elapsed: slot.elapsed, Cached: true}
+		default:
+			results[key] = CachedResult{IDs: slot.ids, Stats: slot.stats, Elapsed: slot.elapsed, Cached: false}
+		}
+	}
+	return results, errs
+}
+
+// runBatch executes one batch computation on its own goroutine, holding a
+// single admission slot for the whole key set. fill publishes per-key
+// results as compute produces them, waking that key's waiters immediately;
+// whatever compute leaves unpublished (early return, panic) is failed and
+// evicted so no waiter wedges.
+func (c *Cache) runBatch(fl *flight, ctx context.Context, owned []Key, slots map[Key]*computation, compute func(context.Context, []Key, BatchFill)) {
+	defer fl.cancel()
+	select {
+	case c.sem <- struct{}{}:
+		defer func() { <-c.sem }()
+	case <-ctx.Done():
+		// One queued-abandonment event, however many keys it claimed —
+		// counting each key's fill as a cancellation too would report one
+		// overload event len(owned)+1 times.
+		err := fmt.Errorf("service: batch computation canceled while queued: %w", ctx.Err())
+		c.metrics.computeAbandonedQueued()
+		for _, key := range owned {
+			c.fill(fl, key, slots[key], nil, ResultStats{}, err, 0, false)
+		}
+		return
+	}
+	c.metrics.computeStarted()
+	start := time.Now()
+	published := make(map[Key]bool, len(owned))
+	var mu sync.Mutex // guards published; compute may fill from worker goroutines
+	fill := func(key Key, ids []int, stats ResultStats, err error) {
+		mu.Lock()
+		slot, ok := slots[key]
+		if published[key] || !ok {
+			mu.Unlock()
+			return
+		}
+		published[key] = true
+		mu.Unlock()
+		c.fill(fl, key, slot, ids, stats, err, time.Since(start), true)
+	}
+	finished := false
+	defer func() {
+		var err error
+		if !finished {
+			err = fmt.Errorf("service: batch computation panicked: %v", recover())
+		} else {
+			err = errors.New("service: batch computation ended without publishing this key")
+		}
+		for _, key := range owned {
+			mu.Lock()
+			done := published[key]
+			published[key] = true
+			mu.Unlock()
+			if !done {
+				c.fill(fl, key, slots[key], nil, ResultStats{}, err, time.Since(start), true)
+			}
+		}
+		c.metrics.computeFinished("batch", time.Since(start), nil)
+	}()
+	compute(ctx, owned, fill)
+	finished = true
+}
+
+// fill publishes one slot's outcome: record, update flight accounting,
+// evict failures (budget exhaustion excepted, as in run), close done, and
+// cancel the flight when the last interested waiter's key was just
+// published while unfilled siblings remain. counted=false skips per-item
+// metrics for events already counted at the batch level.
+func (c *Cache) fill(fl *flight, key Key, slot *computation, ids []int, stats ResultStats, err error, elapsed time.Duration, counted bool) {
+	c.mu.Lock()
+	slot.ids, slot.stats, slot.err, slot.elapsed = ids, stats, err, elapsed
+	slot.filled = true
+	fl.unfilled--
+	// Waiters on this slot got what they came for; they no longer keep
+	// the rest of the flight alive.
+	fl.refs -= slot.waiters
+	cancelFlight := fl.refs == 0 && fl.unfilled > 0
+	if err != nil && !errors.Is(err, rrr.ErrBudgetExhausted) {
+		if c.slots[key] == slot {
+			delete(c.slots, key)
+		}
+	}
+	c.mu.Unlock()
+	if counted {
+		c.metrics.batchItemFinished(key.Algo, elapsed, err)
+	}
+	close(slot.done)
+	if cancelFlight {
+		fl.cancel()
+	}
 }
 
 // evict removes the slot if it is still the one mapped at key.

@@ -33,6 +33,7 @@ const statusClientClosedRequest = 499
 //	GET  /v1/datasets        list registered datasets
 //	DELETE /v1/datasets/{name}  unregister + invalidate cache
 //	GET  /v1/representative?dataset=&k=&algo=   cached representative
+//	POST /v1/batch           many queries, one shared computation
 //	GET  /v1/rank?dataset=&weights=&id=|ids=    rank / rank-regret probe
 //	GET  /v1/regret?dataset=&ids=&samples=      sampled worst-case rank-regret
 //	GET  /v1/healthz         liveness
@@ -70,6 +71,7 @@ func NewServer(svc *Service, opts ...ServerOption) *Server {
 	s.route("GET /datasets", s.handleList)
 	s.route("DELETE /datasets/{name}", s.handleRemove)
 	s.route("GET /representative", s.handleRepresentative)
+	s.route("POST /batch", s.handleBatch)
 	s.route("GET /rank", s.handleRank)
 	s.route("GET /regret", s.handleRegret)
 	s.route("GET /healthz", s.handleHealthz)
@@ -278,6 +280,85 @@ func (s *Server) handleRepresentative(w http.ResponseWriter, r *http.Request) {
 		KSets:     rep.Stats.KSets,
 		Nodes:     rep.Stats.Nodes,
 	})
+}
+
+// batchRequest is the POST /batch payload: one dataset, one algorithm,
+// many queries. Each item sets exactly one of k (primal rank target) and
+// size (dual size budget).
+type batchRequest struct {
+	Dataset string           `json:"dataset"`
+	Algo    string           `json:"algo,omitempty"`
+	Items   []batchQueryBody `json:"items"`
+}
+
+type batchQueryBody struct {
+	K    int `json:"k,omitempty"`
+	Size int `json:"size,omitempty"`
+}
+
+// batchItemResponse is one query's outcome. Successful items carry the
+// result fields; failed items carry {error, kind} with the same kinds the
+// single-query endpoints use, so clients branch per item exactly as they
+// branch per response elsewhere.
+type batchItemResponse struct {
+	K         int     `json:"k,omitempty"`
+	SizeLimit int     `json:"size_limit,omitempty"`
+	Size      int     `json:"size,omitempty"`
+	IDs       []int   `json:"ids,omitempty"`
+	Cached    bool    `json:"cached,omitempty"`
+	ElapsedMS float64 `json:"compute_ms,omitempty"`
+	KSets     int     `json:"ksets,omitempty"`
+	Nodes     int     `json:"nodes,omitempty"`
+	Error     string  `json:"error,omitempty"`
+	Kind      string  `json:"kind,omitempty"`
+}
+
+type batchResponse struct {
+	Dataset   string              `json:"dataset"`
+	Algorithm string              `json:"algorithm"`
+	Items     []batchItemResponse `json:"items"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUploadBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("service: invalid JSON body: %v: %w", err, ErrBadRequest))
+		return
+	}
+	if req.Dataset == "" {
+		writeError(w, fmt.Errorf("service: missing dataset field: %w", ErrBadRequest))
+		return
+	}
+	queries := make([]BatchQuery, len(req.Items))
+	for i, it := range req.Items {
+		queries[i] = BatchQuery{K: it.K, Size: it.Size}
+	}
+	items, algo, err := s.svc.Batch(r.Context(), req.Dataset, req.Algo, queries)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := batchResponse{Dataset: req.Dataset, Algorithm: string(algo), Items: make([]batchItemResponse, len(items))}
+	for i, it := range items {
+		out := &resp.Items[i]
+		out.K = it.K
+		out.SizeLimit = it.Query.Size
+		if it.Err != nil {
+			out.K = it.Query.K
+			_, out.Kind = classifyError(it.Err)
+			out.Error = it.Err.Error()
+			continue
+		}
+		out.Size = len(it.IDs)
+		out.IDs = it.IDs
+		out.Cached = it.Cached
+		out.ElapsedMS = float64(it.Elapsed) / 1e6
+		out.KSets = it.Stats.KSets
+		out.Nodes = it.Stats.Nodes
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {

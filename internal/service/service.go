@@ -100,6 +100,25 @@ func (s *Service) RemoveDataset(name string) bool {
 	return ok
 }
 
+// resolveAlgo parses and resolves a request's algorithm name against the
+// dataset's dimensionality, rejecting mismatches as client mistakes
+// before they reach the solver (and the failure metrics) as 500s.
+// Representative and Batch share this single source of truth.
+func resolveAlgo(entry *Entry, algoName string) (rrr.Algorithm, error) {
+	algo, err := rrr.ParseAlgorithm(algoName)
+	if err != nil {
+		return "", fmt.Errorf("%w: %w", err, ErrBadRequest)
+	}
+	algo = algo.Resolve(entry.Data.Dims())
+	switch dims := entry.Data.Dims(); {
+	case algo == rrr.Algo2DRRR && dims != 2:
+		return "", fmt.Errorf("service: 2drrr requires a 2-D dataset; %q has %d attributes: %w", entry.Name, dims, ErrBadRequest)
+	case algo != rrr.Algo2DRRR && dims < 2:
+		return "", fmt.Errorf("service: %s requires at least 2 attributes; %q has %d: %w", algo, entry.Name, dims, ErrBadRequest)
+	}
+	return algo, nil
+}
+
 // Representative is a served representative: the cached solver output plus
 // provenance.
 type Representative struct {
@@ -126,18 +145,9 @@ func (s *Service) Representative(ctx context.Context, name string, k int, algoNa
 	if k <= 0 {
 		return nil, fmt.Errorf("service: k must be positive, got %d: %w", k, ErrBadRequest)
 	}
-	algo, err := rrr.ParseAlgorithm(algoName)
+	algo, err := resolveAlgo(entry, algoName)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %w", err, ErrBadRequest)
-	}
-	algo = algo.Resolve(entry.Data.Dims())
-	// Algorithm/dimension mismatches are client mistakes; reject them
-	// before they reach the solver (and the failure metrics) as 500s.
-	switch dims := entry.Data.Dims(); {
-	case algo == rrr.Algo2DRRR && dims != 2:
-		return nil, fmt.Errorf("service: 2drrr requires a 2-D dataset; %q has %d attributes: %w", name, dims, ErrBadRequest)
-	case algo != rrr.Algo2DRRR && dims < 2:
-		return nil, fmt.Errorf("service: %s requires at least 2 attributes; %q has %d: %w", algo, name, dims, ErrBadRequest)
+		return nil, err
 	}
 	key := Key{Dataset: name, Gen: entry.Gen, K: k, Algo: string(algo)}
 	solver := s.solver(algo)
@@ -152,6 +162,164 @@ func (s *Service) Representative(ctx context.Context, name string, k int, algoNa
 		return nil, err
 	}
 	return &Representative{Dataset: name, K: k, Algorithm: algo, CachedResult: cached}, nil
+}
+
+// maxBatchQueries bounds one /v1/batch request: enough for any realistic
+// k-sweep, small enough that a single request cannot claim unbounded
+// cache slots and solver work.
+const maxBatchQueries = 256
+
+// BatchQuery is one query of a batch request: a primal rank target
+// (K > 0) or a dual size budget (Size > 0 with K == 0).
+type BatchQuery struct {
+	K    int
+	Size int
+}
+
+// key maps a query onto the cache's key space: primal queries use K
+// directly, dual queries use the negative size (see Key).
+func (q BatchQuery) key(name string, gen int64, algo rrr.Algorithm) Key {
+	if q.K > 0 {
+		return Key{Dataset: name, Gen: gen, K: q.K, Algo: string(algo)}
+	}
+	return Key{Dataset: name, Gen: gen, K: -q.Size, Algo: string(algo)}
+}
+
+// keyLabel renders a key's query for error messages: "k=10" for primal
+// keys, "size=5" for the negative-K dual encoding — clients must never
+// see the internal negative k.
+func keyLabel(key Key) string {
+	if key.K < 0 {
+		return fmt.Sprintf("size=%d", -key.K)
+	}
+	return fmt.Sprintf("k=%d", key.K)
+}
+
+// valid reports whether the query is well-formed; the reason wraps
+// ErrBadRequest when not.
+func (q BatchQuery) valid() error {
+	switch {
+	case q.K > 0 && q.Size > 0:
+		return fmt.Errorf("service: query sets both k=%d and size=%d: %w", q.K, q.Size, ErrBadRequest)
+	case q.K < 0:
+		return fmt.Errorf("service: k must be positive, got %d: %w", q.K, ErrBadRequest)
+	case q.Size < 0:
+		return fmt.Errorf("service: size must be positive, got %d: %w", q.Size, ErrBadRequest)
+	case q.K == 0 && q.Size == 0:
+		return fmt.Errorf("service: empty query: set k or size: %w", ErrBadRequest)
+	}
+	return nil
+}
+
+// BatchItem is one query's outcome in a Batch response. Exactly one of
+// Err and the result fields is meaningful.
+type BatchItem struct {
+	Query BatchQuery
+	// K is the rank target the result satisfies (the achieved k for dual
+	// queries).
+	K int
+	CachedResult
+	Err error
+}
+
+// Batch answers many queries over one dataset in a single request. All
+// queries not already cached are claimed in the cache as one key set and
+// solved by a single rrr.SolveBatch computation, which executes the
+// shared phases (the 2-D angular sweep, the K-SETr sampling stream) once
+// for the whole set; queries already cached or in flight — including keys
+// another running batch claimed — join the existing work. Dual size
+// queries travel in the same computation and binary search in lockstep
+// (see Key for how they share the key space).
+//
+// Per-query outcomes are independent: an infeasible k fails its item with
+// the typed error while the rest of the batch answers normally. Like
+// Representative, ctx bounds how long this caller waits, not how long the
+// computation runs; the computation dies only when every waiter across
+// all its keys has gone. The returned Algorithm is the resolved one the
+// whole batch ran under.
+func (s *Service) Batch(ctx context.Context, name string, algoName string, queries []BatchQuery) ([]BatchItem, rrr.Algorithm, error) {
+	entry, err := s.registry.Get(name)
+	if err != nil {
+		return nil, "", err
+	}
+	if len(queries) == 0 {
+		return nil, "", fmt.Errorf("service: empty batch: %w", ErrBadRequest)
+	}
+	if len(queries) > maxBatchQueries {
+		return nil, "", fmt.Errorf("service: batch of %d queries exceeds the %d limit: %w",
+			len(queries), maxBatchQueries, ErrBadRequest)
+	}
+	algo, err := resolveAlgo(entry, algoName)
+	if err != nil {
+		return nil, "", err
+	}
+
+	items := make([]BatchItem, len(queries))
+	var keys []Key
+	queryByKey := make(map[Key]BatchQuery)
+	for i, q := range queries {
+		items[i].Query = q
+		if err := q.valid(); err != nil {
+			items[i].Err = err
+			continue
+		}
+		key := q.key(name, entry.Gen, algo)
+		if _, dup := queryByKey[key]; !dup {
+			queryByKey[key] = q
+			keys = append(keys, key)
+		}
+	}
+	if len(keys) == 0 {
+		return items, algo, nil
+	}
+
+	solver := s.solver(algo)
+	data := entry.Data
+	results, errs := s.cache.DoBatch(ctx, keys, func(runCtx context.Context, owned []Key, fill BatchFill) {
+		reqs := make([]rrr.Request, len(owned))
+		for i, key := range owned {
+			q := queryByKey[key]
+			reqs[i] = rrr.Request{K: q.K, Size: q.Size}
+		}
+		br, err := solver.SolveBatch(runCtx, data, reqs)
+		if err != nil {
+			err = fmt.Errorf("service: batch %s on %q: %w", algo, name, err)
+			for _, key := range owned {
+				fill(key, nil, ResultStats{}, err)
+			}
+			return
+		}
+		for i, item := range br.Items {
+			key := owned[i]
+			if item.Err != nil {
+				fill(key, nil, ResultStats{}, fmt.Errorf("service: %s on %q (%s): %w",
+					algo, name, keyLabel(key), item.Err))
+				continue
+			}
+			stats := ResultStats{KSets: item.Result.KSets, Nodes: item.Result.Nodes}
+			if item.Request.Size > 0 {
+				stats.BestK = item.K
+			}
+			fill(key, item.Result.IDs, stats, nil)
+		}
+	})
+	for i := range items {
+		if items[i].Err != nil {
+			continue
+		}
+		key := items[i].Query.key(name, entry.Gen, algo)
+		if err, failed := errs[key]; failed {
+			items[i].Err = err
+			continue
+		}
+		res := results[key]
+		items[i].CachedResult = res
+		items[i].K = items[i].Query.K
+		if items[i].Query.Size > 0 {
+			items[i].K = res.Stats.BestK
+		}
+	}
+	return items, algo, nil
 }
 
 // ParseWeights validates a raw weight vector against a dataset's

@@ -79,6 +79,10 @@ type Metrics struct {
 	failures atomic.Int64
 	canceled atomic.Int64
 
+	batches    atomic.Int64
+	batchItems atomic.Int64
+	coalesced  atomic.Int64
+
 	mu        sync.Mutex
 	latencies map[string]*histogram
 
@@ -99,6 +103,37 @@ func (m *Metrics) hit() {
 func (m *Metrics) miss() {
 	if m != nil {
 		m.misses.Add(1)
+	}
+}
+
+// coalesce records a request joining a key an in-flight batch claimed:
+// the computation it would have started is absorbed into the batch.
+func (m *Metrics) coalesce() {
+	if m != nil {
+		m.coalesced.Add(1)
+	}
+}
+
+// batchStarted records one batch computation claiming n keys.
+func (m *Metrics) batchStarted(n int) {
+	if m != nil {
+		m.batches.Add(1)
+		m.batchItems.Add(int64(n))
+	}
+}
+
+// batchItemFinished records one batch item's outcome. Failures and
+// cancellations count like single computations; successful items are
+// carried by the batch-level latency entry, so they are not re-counted
+// here.
+func (m *Metrics) batchItemFinished(algo string, elapsed time.Duration, err error) {
+	if m == nil || err == nil {
+		return
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		m.canceled.Add(1)
+	} else {
+		m.failures.Add(1)
 	}
 }
 
@@ -146,14 +181,17 @@ func (m *Metrics) computeFinished(algo string, elapsed time.Duration, err error)
 
 // Snapshot is the /stats payload.
 type Snapshot struct {
-	UptimeSeconds float64                      `json:"uptime_seconds"`
-	CacheHits     int64                        `json:"cache_hits"`
-	CacheMisses   int64                        `json:"cache_misses"`
-	InFlight      int64                        `json:"in_flight"`
-	Failures      int64                        `json:"failures"`
-	Canceled      int64                        `json:"canceled"`
-	Computations  int64                        `json:"computations"`
-	Latencies     map[string]HistogramSnapshot `json:"latency_by_algorithm"`
+	UptimeSeconds  float64                      `json:"uptime_seconds"`
+	CacheHits      int64                        `json:"cache_hits"`
+	CacheMisses    int64                        `json:"cache_misses"`
+	InFlight       int64                        `json:"in_flight"`
+	Failures       int64                        `json:"failures"`
+	Canceled       int64                        `json:"canceled"`
+	Computations   int64                        `json:"computations"`
+	Batches        int64                        `json:"batches"`
+	BatchItems     int64                        `json:"batch_items"`
+	CoalescedJoins int64                        `json:"coalesced_joins"`
+	Latencies      map[string]HistogramSnapshot `json:"latency_by_algorithm"`
 }
 
 // Snapshot captures the current counters. Counters are read individually
@@ -164,13 +202,16 @@ func (m *Metrics) Snapshot() Snapshot {
 		return Snapshot{}
 	}
 	s := Snapshot{
-		UptimeSeconds: time.Since(m.start).Seconds(),
-		CacheHits:     m.hits.Load(),
-		CacheMisses:   m.misses.Load(),
-		InFlight:      m.inflight.Load(),
-		Failures:      m.failures.Load(),
-		Canceled:      m.canceled.Load(),
-		Latencies:     make(map[string]HistogramSnapshot),
+		UptimeSeconds:  time.Since(m.start).Seconds(),
+		CacheHits:      m.hits.Load(),
+		CacheMisses:    m.misses.Load(),
+		InFlight:       m.inflight.Load(),
+		Failures:       m.failures.Load(),
+		Canceled:       m.canceled.Load(),
+		Batches:        m.batches.Load(),
+		BatchItems:     m.batchItems.Load(),
+		CoalescedJoins: m.coalesced.Load(),
+		Latencies:      make(map[string]HistogramSnapshot),
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()

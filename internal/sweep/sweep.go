@@ -36,6 +36,13 @@ import (
 // the event loop's profile.
 const cancelCheckInterval = 4096
 
+// ErrKExceedsN is returned (wrapped) by FindRanges and FindRangesMulti
+// when a requested k exceeds the dataset size. The solver surfaces the
+// condition as rrr.ErrInfeasible; the sweep used to clamp such k silently,
+// which made batch items for the same input report differently depending
+// on which layer caught it first.
+var ErrKExceedsN = errors.New("sweep: k exceeds dataset size")
+
 // Event is a single ordering exchange: at angle Theta the tuple Above
 // (currently ranked at 0-based position Pos) and the tuple Below (position
 // Pos+1) swap places, Below outranking Above for larger angles.
@@ -231,7 +238,8 @@ type Range struct {
 
 // FindRanges is Algorithm 1: it returns one Range per tuple that is in the
 // top-k of at least one function, keyed by tuple ID. Tuples never entering
-// any top-k are absent from the map.
+// any top-k are absent from the map. k must be in [1, n]; k > n returns an
+// error wrapping ErrKExceedsN.
 //
 // The context is checked every cancelCheckInterval sweep events; a
 // canceled or expired context aborts the sweep and returns an error
@@ -248,7 +256,7 @@ func FindRanges(ctx context.Context, d *core.Dataset, k int) (map[int]Range, err
 		return nil, err
 	}
 	if k > d.N() {
-		k = d.N()
+		return nil, fmt.Errorf("%w: k=%d, n=%d", ErrKExceedsN, k, d.N())
 	}
 	begin := make(map[int]float64, 2*k)
 	end := make(map[int]float64, 2*k)
@@ -298,8 +306,10 @@ func FindRanges(ctx context.Context, d *core.Dataset, k int) (map[int]Range, err
 // single sweep: the boundary exchange of order k happens at position k−1,
 // so one pass can watch all requested boundaries at once. It returns one
 // range map per requested k, in input order. Duplicate k values are
-// allowed; k values are clamped to n. Like FindRanges, it checks the
-// context periodically and aborts on cancellation.
+// allowed; a k exceeding n fails the whole call with an error wrapping
+// ErrKExceedsN, exactly as FindRanges does for the same input. Like
+// FindRanges, it checks the context periodically and aborts on
+// cancellation.
 func FindRangesMulti(ctx context.Context, d *core.Dataset, ks []int) ([]map[int]Range, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -326,7 +336,7 @@ func FindRangesMulti(ctx context.Context, d *core.Dataset, ks []int) ([]map[int]
 			return nil, errors.New("sweep: k must be positive")
 		}
 		if k > n {
-			k = n
+			return nil, fmt.Errorf("%w: k=%d, n=%d", ErrKExceedsN, k, n)
 		}
 		st := &state{
 			k:     k,

@@ -2,6 +2,7 @@ package sweep_test
 
 import (
 	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"reflect"
@@ -296,9 +297,9 @@ func TestFindRangesMultiMatchesSingle(t *testing.T) {
 	}
 }
 
-func TestFindRangesKAtLeastN(t *testing.T) {
+func TestFindRangesKEqualsN(t *testing.T) {
 	d := paperfig.Figure1()
-	ranges, err := sweep.FindRanges(context.Background(), d, 100)
+	ranges, err := sweep.FindRanges(context.Background(), d, d.N())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,6 +317,14 @@ func TestFindRangesRejectsBadK(t *testing.T) {
 	d := paperfig.Figure1()
 	if _, err := sweep.FindRanges(context.Background(), d, 0); err == nil {
 		t.Fatal("k=0 must error")
+	}
+	// k > n is a typed error, not a silent clamp: the solver maps it to
+	// rrr.ErrInfeasible so single and batch solves report identically.
+	if _, err := sweep.FindRanges(context.Background(), d, d.N()+1); !errors.Is(err, sweep.ErrKExceedsN) {
+		t.Fatalf("k > n: err = %v, want ErrKExceedsN", err)
+	}
+	if _, err := sweep.FindRangesMulti(context.Background(), d, []int{1, d.N() + 1}); !errors.Is(err, sweep.ErrKExceedsN) {
+		t.Fatalf("multi k > n: err = %v, want ErrKExceedsN", err)
 	}
 }
 

@@ -38,6 +38,7 @@ type config struct {
 	softMaxDraws       int // legacy Options.SamplerMaxDraws: truncate, don't fail
 	drawBudget         int // hard: exceeding returns ErrBudgetExhausted
 	nodeBudget         int // hard: exceeding returns ErrBudgetExhausted
+	batchWorkers       int // SolveBatch fan-out pool size; <= 0 = GOMAXPROCS
 	progress           func(Progress)
 }
 
@@ -80,6 +81,12 @@ func WithDrawBudget(n int) Option { return func(c *config) { c.drawBudget = n } 
 // legacy soft cap, which resolved remaining rectangles by a fallback rule.
 // Zero or negative means no hard budget (the soft cap still applies).
 func WithNodeBudget(n int) Option { return func(c *config) { c.nodeBudget = n } }
+
+// WithBatchWorkers bounds the worker pool SolveBatch fans per-query tail
+// work across (interval covers, hitting sets, independent MDRC solves).
+// Zero or negative means GOMAXPROCS. Single-query Solve calls are
+// unaffected.
+func WithBatchWorkers(n int) Option { return func(c *config) { c.batchWorkers = n } }
 
 // WithProgress registers a callback invoked periodically from the running
 // algorithm's hot loop. The callback runs on the solving goroutine: keep it
@@ -139,13 +146,11 @@ func (s *Solver) Solve(ctx context.Context, d *Dataset, k int) (*Result, error) 
 		return nil, &Error{Kind: ErrCanceled, Op: "solve", Algorithm: algorithm, Cause: err,
 			Partial: PartialStats{Elapsed: time.Since(start)}}
 	}
-	switch dims := d.Dims(); {
-	case algorithm == Algo2DRRR && dims != 2:
-		return nil, &Error{Kind: ErrInfeasible, Op: "solve", Algorithm: algorithm,
-			Cause: fmt.Errorf("2drrr requires a 2-D dataset, got %d attributes", dims)}
-	case algorithm != Algo2DRRR && dims < 2:
-		return nil, &Error{Kind: ErrInfeasible, Op: "solve", Algorithm: algorithm,
-			Cause: fmt.Errorf("%s requires at least 2 attributes, got %d", algorithm, dims)}
+	if err := validateDims(algorithm, d.Dims()); err != nil {
+		return nil, err
+	}
+	if k > d.N() {
+		return nil, infeasibleK(algorithm, k, d.N())
 	}
 
 	onProgress := s.progressHook(algorithm, start)
@@ -155,41 +160,11 @@ func (s *Solver) Solve(ctx context.Context, d *Dataset, k int) (*Result, error) 
 	)
 	switch algorithm {
 	case Algo2DRRR:
-		coverStrategy := algo.CoverMaxGain
-		if s.cfg.optimalCover {
-			coverStrategy = algo.CoverOptimalSweep
-		}
-		res, err = algo.TwoDRRR(ctx, d, k, algo.TwoDOptions{Cover: coverStrategy, OnProgress: onProgress})
+		res, err = algo.TwoDRRR(ctx, d, k, s.twoDOptions(onProgress))
 	case AlgoMDRRR:
-		strategy := algo.HitGreedy
-		if s.cfg.epsilonNetHitting {
-			strategy = algo.HitEpsilonNet
-		}
-		maxDraws, hard := s.cfg.softMaxDraws, false
-		if s.cfg.drawBudget > 0 {
-			maxDraws, hard = s.cfg.drawBudget, true
-		}
-		res, err = algo.MDRRR(ctx, d, k, algo.MDRRROptions{
-			Sampler: kset.SampleOptions{
-				Termination:  s.cfg.samplerTermination,
-				MaxDraws:     maxDraws,
-				HardMaxDraws: hard,
-				Seed:         s.cfg.seed,
-			},
-			Strategy:   strategy,
-			OnProgress: onProgress,
-		})
+		res, err = algo.MDRRR(ctx, d, k, s.mdrrrOptions(onProgress))
 	case AlgoMDRC:
-		pick := algo.PickFirst
-		if s.cfg.pickMinMaxRank {
-			pick = algo.PickMinMaxRank
-		}
-		res, err = algo.MDRC(ctx, d, k, algo.MDRCOptions{
-			Pick:         pick,
-			MaxNodes:     s.cfg.nodeBudget,
-			HardMaxNodes: s.cfg.nodeBudget > 0,
-			OnProgress:   onProgress,
-		})
+		res, err = algo.MDRC(ctx, d, k, s.mdrcOptions(onProgress))
 	default:
 		return nil, fmt.Errorf("rrr: unknown algorithm %q", algorithm)
 	}
@@ -204,6 +179,57 @@ func (s *Solver) Solve(ctx context.Context, d *Dataset, k int) (*Result, error) 
 		Draws:     res.Stats.SamplerDraws,
 		Elapsed:   time.Since(start),
 	}, nil
+}
+
+// twoDOptions assembles the 2DRRR configuration from the solver options.
+func (s *Solver) twoDOptions(onProgress func(algo.Stats)) algo.TwoDOptions {
+	coverStrategy := algo.CoverMaxGain
+	if s.cfg.optimalCover {
+		coverStrategy = algo.CoverOptimalSweep
+	}
+	return algo.TwoDOptions{Cover: coverStrategy, OnProgress: onProgress}
+}
+
+// samplerOptions assembles the K-SETr configuration from the solver
+// options, including the soft-cap/hard-budget distinction.
+func (s *Solver) samplerOptions() kset.SampleOptions {
+	maxDraws, hard := s.cfg.softMaxDraws, false
+	if s.cfg.drawBudget > 0 {
+		maxDraws, hard = s.cfg.drawBudget, true
+	}
+	return kset.SampleOptions{
+		Termination:  s.cfg.samplerTermination,
+		MaxDraws:     maxDraws,
+		HardMaxDraws: hard,
+		Seed:         s.cfg.seed,
+	}
+}
+
+// mdrrrOptions assembles the MDRRR configuration from the solver options.
+func (s *Solver) mdrrrOptions(onProgress func(algo.Stats)) algo.MDRRROptions {
+	strategy := algo.HitGreedy
+	if s.cfg.epsilonNetHitting {
+		strategy = algo.HitEpsilonNet
+	}
+	return algo.MDRRROptions{
+		Sampler:    s.samplerOptions(),
+		Strategy:   strategy,
+		OnProgress: onProgress,
+	}
+}
+
+// mdrcOptions assembles the MDRC configuration from the solver options.
+func (s *Solver) mdrcOptions(onProgress func(algo.Stats)) algo.MDRCOptions {
+	pick := algo.PickFirst
+	if s.cfg.pickMinMaxRank {
+		pick = algo.PickMinMaxRank
+	}
+	return algo.MDRCOptions{
+		Pick:         pick,
+		MaxNodes:     s.cfg.nodeBudget,
+		HardMaxNodes: s.cfg.nodeBudget > 0,
+		OnProgress:   onProgress,
+	}
 }
 
 // MinimalKForSize solves the paper's dual formulation (Section 2): given a
@@ -267,6 +293,30 @@ func (s *Solver) MinimalKForSize(ctx context.Context, d *Dataset, size int) (int
 			Partial: PartialStats{Elapsed: time.Since(start)}}
 	}
 	return bestK, best, nil
+}
+
+// validateDims rejects algorithm/dimensionality mismatches with the typed
+// infeasible error. Solve, SolveBatch and the serving layer share this
+// single source of truth.
+func validateDims(algorithm Algorithm, dims int) error {
+	switch {
+	case algorithm == Algo2DRRR && dims != 2:
+		return &Error{Kind: ErrInfeasible, Op: "solve", Algorithm: algorithm,
+			Cause: fmt.Errorf("2drrr requires a 2-D dataset, got %d attributes", dims)}
+	case algorithm != Algo2DRRR && dims < 2:
+		return &Error{Kind: ErrInfeasible, Op: "solve", Algorithm: algorithm,
+			Cause: fmt.Errorf("%s requires at least 2 attributes, got %d", algorithm, dims)}
+	}
+	return nil
+}
+
+// infeasibleK is the typed error for a rank target exceeding the dataset
+// size. The internal sweep rejects such k with sweep.ErrKExceedsN; this is
+// the same condition at the public surface, caught before any algorithm
+// runs so single solves and batch items report identically.
+func infeasibleK(algorithm Algorithm, k, n int) *Error {
+	return &Error{Kind: ErrInfeasible, Op: "solve", Algorithm: algorithm,
+		Cause: fmt.Errorf("k=%d exceeds dataset size n=%d", k, n)}
 }
 
 // progressHook adapts the user's Progress callback to the internal
