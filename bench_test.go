@@ -189,7 +189,7 @@ func BenchmarkEstimateRankRegret(b *testing.B) {
 // batchKs is the acceptance workload: 8 distinct k values on a tier-1 2-D
 // dataset. BenchmarkSolveBatch8K amortizes one sweep across all of them;
 // BenchmarkSolveSequential8K pays for 8. The ratio is the headline number
-// recorded in EXPERIMENTS.md §5.
+// recorded in EXPERIMENTS.md §4.
 var batchKs = []int{5, 10, 20, 35, 50, 75, 100, 150}
 
 func BenchmarkSolveBatch8K(b *testing.B) {
@@ -221,6 +221,58 @@ func BenchmarkSolveSequential8K(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	}
+}
+
+// --- sharded map-reduce engine ---------------------------------------------
+
+// shardBenchCases are the acceptance workloads for the map-reduce engine:
+// the 2-D path (where the map phase replaces one O(n²) sweep with P
+// parallel O((n/P)²) sweeps plus a reduce sweep over the pruned pool) and
+// the MDRC path (where every corner top-k scan shrinks from n to the
+// candidate pool). Sharded and sequential runs produce identical IDs —
+// tested in shards_test.go — so the ratio of these benchmarks is pure
+// speedup, recorded in EXPERIMENTS.md §5.
+var shardBenchCases = []struct {
+	name    string
+	kind    string
+	n, d, k int
+}{
+	{"2d", "dot", 8000, 2, 50},
+	{"mdrc", "dot", 5000, 4, 50},
+}
+
+func BenchmarkShardedSolve(b *testing.B) {
+	for _, tc := range shardBenchCases {
+		b.Run(tc.name+"-p8", func(b *testing.B) {
+			d := benchDataset(b, tc.kind, tc.n, tc.d)
+			solver := rrr.New(rrr.WithShards(8))
+			b.ResetTimer()
+			var prune float64
+			for i := 0; i < b.N; i++ {
+				res, err := solver.Solve(context.Background(), d, tc.k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				prune = res.PruneRatio
+			}
+			b.ReportMetric(prune*100, "prune_%")
+		})
+	}
+}
+
+func BenchmarkSequentialSolve(b *testing.B) {
+	for _, tc := range shardBenchCases {
+		b.Run(tc.name, func(b *testing.B) {
+			d := benchDataset(b, tc.kind, tc.n, tc.d)
+			solver := rrr.New()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := solver.Solve(context.Background(), d, tc.k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

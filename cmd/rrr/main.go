@@ -11,6 +11,7 @@
 //	rrr -dataset bn -n 10000 -d 3 -k 100 -algo mdrrr -evaluate
 //	rrr -dataset dot -n 5000 -d 2 -k 50 -algo 2drrr
 //	rrr -dataset dot -n 5000 -d 2 -ks 10,50,100   # one sweep, three answers
+//	rrr -dataset dot -n 50000 -d 2 -k 50 -shards 8   # map-reduce, same answer
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
@@ -62,8 +64,16 @@ func run() error {
 		dual     = flag.Int("size", 0, "solve the dual problem instead: minimal k for this size budget")
 		timeout  = flag.Duration("timeout", 0, "abort the solve after this long (0 = no deadline)")
 		progress = flag.Bool("progress", false, "report solver progress to stderr while running")
+		shards   = flag.Int("shards", 1, "map-reduce shard count (1 = unsharded; results identical on the deterministic paths)")
+		shardW   = flag.Int("shard-workers", runtime.GOMAXPROCS(0), "worker pool for the shard map phase (defaults to GOMAXPROCS)")
 	)
 	flag.Parse()
+	if *shards <= 0 {
+		return fmt.Errorf("-shards must be at least 1 (1 = unsharded), got %d", *shards)
+	}
+	if *shardW <= 0 {
+		return fmt.Errorf("-shard-workers must be at least 1, got %d", *shardW)
+	}
 
 	table, err := loadTable(*input, *dsKind, *n, *seed)
 	if err != nil {
@@ -85,7 +95,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	opts := []rrr.Option{rrr.WithAlgorithm(algorithm), rrr.WithSeed(*seed)}
+	opts := []rrr.Option{rrr.WithAlgorithm(algorithm), rrr.WithSeed(*seed),
+		rrr.WithShards(*shards), rrr.WithShardWorkers(*shardW)}
 	if *progress {
 		last := time.Now()
 		opts = append(opts, rrr.WithProgress(func(p rrr.Progress) {
@@ -126,7 +137,12 @@ func run() error {
 			return err
 		}
 	}
-	fmt.Printf("algorithm: %s, k=%d, output size: %d\n\n", res.Algorithm, *k, len(res.IDs))
+	fmt.Printf("algorithm: %s, k=%d, output size: %d\n", res.Algorithm, *k, len(res.IDs))
+	if res.Shards > 0 {
+		fmt.Printf("sharded: %d shards, %d candidates (%.1f%% pruned)\n",
+			res.Shards, res.Candidates, res.PruneRatio*100)
+	}
+	fmt.Println()
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	header := "id"
@@ -173,9 +189,14 @@ func runBatch(ctx context.Context, solver *rrr.Solver, ds *rrr.Dataset, ksSpec s
 	if err != nil {
 		return err
 	}
-	fmt.Printf("batch: %d queries, %d solves, %d reused, %d sweeps, %d draws, %v\n\n",
+	fmt.Printf("batch: %d queries, %d solves, %d reused, %d sweeps, %d draws, %v\n",
 		len(br.Items), br.Stats.Solves, br.Stats.Reused, br.Stats.Sweeps, br.Stats.Draws,
 		br.Stats.Elapsed.Round(time.Millisecond))
+	if br.Stats.Shards > 0 {
+		fmt.Printf("sharded: %d shards, %d candidates (%.1f%% pruned)\n",
+			br.Stats.Shards, br.Stats.Candidates, br.Stats.PruneRatio*100)
+	}
+	fmt.Println()
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "query\tk\tsize\tids")
 	var firstErr error

@@ -11,15 +11,22 @@
 // the context reaches the solver's hot loops, so an over-budget solve is
 // actually interrupted, not merely abandoned.
 //
+// -shards routes every solve through the map-reduce engine: the dataset is
+// split into P shards, a parallel map phase prunes it to an exact candidate
+// pool, and the algorithm runs on the pool (see DESIGN.md §7). Shard
+// counters appear in /v1/stats and, in Prometheus text format, /v1/metrics.
+//
 // Examples:
 //
 //	rrrd -addr :8080 -preload flights=dot:5000:3,diamonds=bn:5000 -request-timeout 30s
+//	rrrd -shards 8 -shard-workers 4 -preload flights=dot:100000:2
 //	curl localhost:8080/v1/healthz
 //	curl 'localhost:8080/v1/representative?dataset=flights&k=100'
 //	curl -X POST localhost:8080/v1/batch -d '{"dataset":"flights","items":[{"k":10},{"k":50},{"k":100},{"size":5}]}'
 //	curl 'localhost:8080/v1/rank?dataset=flights&id=42&weights=0.5,0.3,0.2'
 //	curl -X POST localhost:8080/v1/datasets -d '{"name":"uni","kind":"independent","n":2000,"dims":4}'
 //	curl localhost:8080/v1/stats
+//	curl localhost:8080/v1/metrics
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
@@ -54,22 +62,29 @@ func run() error {
 		seed       = flag.Int64("seed", 1, "solver seed (MDRRR sampling, regret estimation)")
 		reqTimeout = flag.Duration("request-timeout", 0, "per-request deadline; a representative request exceeding it gets 504 with kind \"canceled\" (0 = unlimited)")
 		nodeBudget = flag.Int("node-budget", 0, "hard MDRC recursion-node budget per solve; exhaustion returns kind \"budget_exhausted\" (0 = paper's soft cap)")
-		drawBudget = flag.Int("draw-budget", 0, "hard K-SETr draw budget per solve; exhaustion returns kind \"budget_exhausted\" (0 = paper's soft cap)")
-		batchWork  = flag.Int("batch-workers", 0, "worker pool for /v1/batch per-query tail work (0 = GOMAXPROCS)")
+		drawBudget = flag.Int("draw-budget", 0, "hard K-SETr draw budget per sampling phase (with -shards each shard's map sampler and the reduce get their own); exhaustion returns kind \"budget_exhausted\" (0 = paper's soft cap)")
+		batchWork  = flag.Int("batch-workers", runtime.GOMAXPROCS(0), "worker pool for /v1/batch per-query tail work (defaults to GOMAXPROCS)")
+		shards     = flag.Int("shards", 1, "map-reduce shard count for every solve (1 = unsharded)")
+		shardWork  = flag.Int("shard-workers", runtime.GOMAXPROCS(0), "worker pool for the shard map phase (defaults to GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	var solverOpts []rrr.Option
+	if err := validateWorkerFlags(*shards, *shardWork, *batchWork); err != nil {
+		return err
+	}
+	solverOpts := []rrr.Option{rrr.WithBatchWorkers(*batchWork)}
 	if *nodeBudget > 0 {
 		solverOpts = append(solverOpts, rrr.WithNodeBudget(*nodeBudget))
 	}
 	if *drawBudget > 0 {
 		solverOpts = append(solverOpts, rrr.WithDrawBudget(*drawBudget))
 	}
-	if *batchWork > 0 {
-		solverOpts = append(solverOpts, rrr.WithBatchWorkers(*batchWork))
-	}
-	svc := service.New(service.Config{Seed: *seed, SolverOptions: solverOpts})
+	svc := service.New(service.Config{
+		Seed:          *seed,
+		SolverOptions: solverOpts,
+		Shards:        *shards,
+		ShardWorkers:  *shardWork,
+	})
 	if err := preloadDatasets(svc, *preload); err != nil {
 		return err
 	}
@@ -103,6 +118,23 @@ func run() error {
 		}
 		return nil
 	}
+}
+
+// validateWorkerFlags rejects nonsensical parallelism settings up front
+// with a clear message, instead of letting a zero or negative value
+// silently fall back to some library default the operator didn't choose.
+// All three flags must be at least 1: -shards 1 means "unsharded", and
+// both worker pools default to GOMAXPROCS.
+func validateWorkerFlags(shards, shardWorkers, batchWorkers int) error {
+	switch {
+	case shards <= 0:
+		return fmt.Errorf("-shards must be at least 1 (1 = unsharded), got %d", shards)
+	case shardWorkers <= 0:
+		return fmt.Errorf("-shard-workers must be at least 1, got %d", shardWorkers)
+	case batchWorkers <= 0:
+		return fmt.Errorf("-batch-workers must be at least 1, got %d", batchWorkers)
+	}
+	return nil
 }
 
 // preloadDatasets parses and registers the -preload specs.

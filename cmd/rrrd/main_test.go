@@ -1,0 +1,36 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateWorkerFlags(t *testing.T) {
+	cases := []struct {
+		shards, shardWorkers, batchWorkers int
+		wantErr                            string
+	}{
+		{1, 1, 1, ""},
+		{8, 4, 4, ""},
+		{0, 4, 4, "-shards"},
+		{-2, 4, 4, "-shards"},
+		{2, 0, 4, "-shard-workers"},
+		{2, -1, 4, "-shard-workers"},
+		{2, 4, 0, "-batch-workers"},
+		{2, 4, -7, "-batch-workers"},
+	}
+	for _, tc := range cases {
+		err := validateWorkerFlags(tc.shards, tc.shardWorkers, tc.batchWorkers)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("validateWorkerFlags(%d, %d, %d) = %v, want nil",
+					tc.shards, tc.shardWorkers, tc.batchWorkers, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("validateWorkerFlags(%d, %d, %d) = %v, want error mentioning %q",
+				tc.shards, tc.shardWorkers, tc.batchWorkers, err, tc.wantErr)
+		}
+	}
+}

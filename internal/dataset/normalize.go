@@ -3,6 +3,7 @@ package dataset
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"rrr/internal/core"
 )
@@ -31,6 +32,14 @@ func (t *Table) Normalize() (*core.Dataset, error) {
 			return nil, fmt.Errorf("dataset: row %d has %d values, want %d", i, len(row), d)
 		}
 		for j, v := range row {
+			// Reject non-finite values here rather than relying on the
+			// downstream dataset constructor: a NaN that is neither the
+			// column minimum nor maximum (NaN comparisons are all false)
+			// would otherwise masquerade as a constant column and silently
+			// normalize to 0.5.
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("dataset: row %d attribute %q is not finite", i, t.Attrs[j].Name)
+			}
 			if v < mins[j] {
 				mins[j] = v
 			}

@@ -1,0 +1,110 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+// table builds a raw test table with the given preference directions.
+func table(t *testing.T, dirs []bool, rows [][]float64) *Table {
+	t.Helper()
+	attrs := make([]Attr, len(dirs))
+	for i, hb := range dirs {
+		attrs[i] = Attr{Name: attrName(i), HigherBetter: hb}
+	}
+	return &Table{Name: "test", Attrs: attrs, Rows: rows}
+}
+
+func TestNormalizeMinMaxAndFlip(t *testing.T) {
+	// Column 0 higher-better maps linearly onto [0,1]; column 1
+	// lower-better flips, so its smallest raw value becomes 1.
+	tb := table(t, []bool{true, false}, [][]float64{
+		{0, 10},
+		{5, 30},
+		{10, 20},
+	})
+	ds, err := tb.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{
+		{0, 1},
+		{0.5, 0},
+		{1, 0.5},
+	}
+	for i, w := range want {
+		got := ds.Tuple(i).Attrs
+		for j := range w {
+			if math.Abs(got[j]-w[j]) > 1e-12 {
+				t.Fatalf("tuple %d attr %d = %g, want %g", i, j, got[j], w[j])
+			}
+		}
+	}
+}
+
+func TestNormalizeConstantColumnsPinned(t *testing.T) {
+	// A constant column cannot discriminate tuples; the paper's formula is
+	// 0/0 there, and the implementation pins it to 0.5 — for both
+	// preference directions.
+	tb := table(t, []bool{true, false, true}, [][]float64{
+		{7, 3, 0},
+		{7, 3, 1},
+		{7, 3, 2},
+	})
+	ds, err := tb.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ds.N(); i++ {
+		attrs := ds.Tuple(i).Attrs
+		if attrs[0] != 0.5 || attrs[1] != 0.5 {
+			t.Fatalf("tuple %d constant columns = (%g, %g), want (0.5, 0.5)", i, attrs[0], attrs[1])
+		}
+	}
+	// The varying column still spans [0,1].
+	if ds.Tuple(0).Attrs[2] != 0 || ds.Tuple(2).Attrs[2] != 1 {
+		t.Fatalf("varying column not normalized: %v %v", ds.Tuple(0).Attrs, ds.Tuple(2).Attrs)
+	}
+}
+
+func TestNormalizeSingleRow(t *testing.T) {
+	// One row makes every column constant: the dataset is a single point
+	// at (0.5, ..., 0.5), not a division-by-zero.
+	tb := table(t, []bool{true, false}, [][]float64{{42, -3}})
+	ds, err := tb.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 1 {
+		t.Fatalf("n = %d, want 1", ds.N())
+	}
+	for j, v := range ds.Tuple(0).Attrs {
+		if v != 0.5 {
+			t.Fatalf("attr %d = %g, want 0.5", j, v)
+		}
+	}
+}
+
+func TestNormalizeRejectsNonFinite(t *testing.T) {
+	cases := map[string][][]float64{
+		"nan":     {{1, 2}, {math.NaN(), 3}},
+		"posinf":  {{1, 2}, {math.Inf(1), 3}},
+		"neginf":  {{1, math.Inf(-1)}, {2, 3}},
+		"nan-all": {{math.NaN(), math.NaN()}},
+	}
+	for name, rows := range cases {
+		tb := table(t, []bool{true, true}, rows)
+		if _, err := tb.Normalize(); err == nil {
+			t.Errorf("%s: non-finite input normalized without error", name)
+		}
+	}
+}
+
+func TestNormalizeNoAttributes(t *testing.T) {
+	// A table with rows but a zero-attribute schema (empty and ragged
+	// tables are covered by TestNormalizeErrors).
+	noAttrs := &Table{Name: "bare", Rows: [][]float64{{}}}
+	if _, err := noAttrs.Normalize(); err == nil {
+		t.Error("zero-attribute table normalized without error")
+	}
+}

@@ -23,11 +23,19 @@ import (
 // MinimalKForSize(-K): the dual's answer is deterministic per (dataset,
 // gen, size, algorithm) exactly like a primal solve, so it caches and
 // coalesces under the same machinery with a disjoint key range.
+//
+// Shards is the shard plan's fingerprint (shard.Plan.Fingerprint) when the
+// service solves through the map-reduce engine, empty otherwise. The
+// deterministic algorithms produce identical results for any plan, but the
+// sampled MDRRR path does not, and work counters differ for all of them —
+// so results computed under different shard configurations never share a
+// slot.
 type Key struct {
 	Dataset string
 	Gen     int64
 	K       int
 	Algo    string
+	Shards  string
 }
 
 // flight is the shared state of one batch computation claiming several
@@ -81,6 +89,10 @@ type ResultStats struct {
 	// BestK is the achieved k of a dual (negative-K) computation; zero
 	// for primal results.
 	BestK int
+	// Shards and Candidates describe the map-reduce plan a sharded solve
+	// ran through (zero for unsharded computations).
+	Shards     int
+	Candidates int
 }
 
 // Cache is a keyed precomputation cache with singleflight semantics:

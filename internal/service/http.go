@@ -37,7 +37,8 @@ const statusClientClosedRequest = 499
 //	GET  /v1/rank?dataset=&weights=&id=|ids=    rank / rank-regret probe
 //	GET  /v1/regret?dataset=&ids=&samples=      sampled worst-case rank-regret
 //	GET  /v1/healthz         liveness
-//	GET  /v1/stats           cache + latency counters
+//	GET  /v1/stats           cache + latency + shard counters (JSON)
+//	GET  /v1/metrics         the same counters in Prometheus text format
 //
 // Errors are JSON envelopes {"error": ..., "kind": ...} where kind is one
 // of "bad_request", "not_found", "conflict", "canceled",
@@ -76,6 +77,7 @@ func NewServer(svc *Service, opts ...ServerOption) *Server {
 	s.route("GET /regret", s.handleRegret)
 	s.route("GET /healthz", s.handleHealthz)
 	s.route("GET /stats", s.handleStats)
+	s.route("GET /metrics", s.handleMetrics)
 	return s
 }
 
@@ -446,6 +448,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.svc.Metrics().Snapshot())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.svc.Metrics().WritePrometheus(w)
 }
 
 func intParam(raw, name string) (int, error) {

@@ -1,0 +1,75 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// WritePrometheus renders the daemon's operational counters in the
+// Prometheus text exposition format (version 0.0.4) — the same numbers
+// /v1/stats serves as JSON, shaped for a scraper: monotone counters carry
+// the _total suffix, the per-algorithm latency histograms become native
+// Prometheus histograms with cumulative le buckets in seconds.
+//
+// The implementation is hand-rolled on purpose: the repository takes no
+// dependencies beyond the standard library, and the format is a dozen
+// lines of text.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	if m == nil {
+		return
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+
+	gauge("rrrd_uptime_seconds", "Seconds since the metrics were created.", time.Since(m.start).Seconds())
+	counter("rrrd_cache_hits_total", "Requests served from a completed or shared computation.", m.hits.Load())
+	counter("rrrd_cache_misses_total", "Requests that started a new computation.", m.misses.Load())
+	gauge("rrrd_inflight_computations", "Computations currently running.", float64(m.inflight.Load()))
+	counter("rrrd_failures_total", "Computations that failed (excluding cancellations).", m.failures.Load())
+	counter("rrrd_canceled_total", "Computations canceled by waiter abandonment or deadlines.", m.canceled.Load())
+	counter("rrrd_batches_total", "Batch computations started.", m.batches.Load())
+	counter("rrrd_batch_items_total", "Keys claimed by batch computations.", m.batchItems.Load())
+	counter("rrrd_coalesced_joins_total", "Requests that joined a key an in-flight batch claimed.", m.coalesced.Load())
+	counter("rrrd_sharded_solves_total", "Computations routed through the map-reduce shard engine.", m.shardedSolves.Load())
+	counter("rrrd_shards_done_total", "Shards whose map-phase extraction completed.", m.shardsDone.Load())
+	counter("rrrd_shard_candidates_total", "Candidate tuples the map phases kept.", m.shardCandidates.Load())
+	counter("rrrd_shard_input_tuples_total", "Tuples the map phases saw before pruning.", m.shardInput.Load())
+
+	// Latency histograms, one series set per algorithm, iterated in sorted
+	// order so the exposition is deterministic. The lock covers only the
+	// map snapshot, never the writes: w may be a slow client's
+	// ResponseWriter, and computeFinished takes the same mutex on every
+	// successful solve. The histogram fields themselves are atomics, safe
+	// to read unlocked.
+	const hname = "rrrd_solve_duration_seconds"
+	fmt.Fprintf(w, "# HELP %s Successful computation latency by algorithm.\n# TYPE %s histogram\n", hname, hname)
+	m.mu.Lock()
+	hists := make(map[string]*histogram, len(m.latencies))
+	algos := make([]string, 0, len(m.latencies))
+	for a, h := range m.latencies {
+		algos = append(algos, a)
+		hists[a] = h
+	}
+	m.mu.Unlock()
+	sort.Strings(algos)
+	for _, a := range algos {
+		h := hists[a]
+		cum := int64(0)
+		for i := range h.counts {
+			cum += h.counts[i].Load()
+			le := "+Inf"
+			if i < len(latencyBuckets) {
+				le = fmt.Sprintf("%g", latencyBuckets[i].Seconds())
+			}
+			fmt.Fprintf(w, "%s_bucket{algorithm=%q,le=%q} %d\n", hname, a, le, cum)
+		}
+		fmt.Fprintf(w, "%s_sum{algorithm=%q} %g\n", hname, a, time.Duration(h.sum.Load()).Seconds())
+		fmt.Fprintf(w, "%s_count{algorithm=%q} %d\n", hname, a, h.total.Load())
+	}
+}

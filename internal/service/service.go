@@ -26,6 +26,7 @@ import (
 	"slices"
 
 	"rrr"
+	"rrr/internal/shard"
 )
 
 // Sentinel error kinds the HTTP layer maps to status codes. Errors wrap
@@ -53,6 +54,13 @@ type Config struct {
 	// MaxConcurrentSolves bounds simultaneously running computations
 	// (<= 0 defaults to GOMAXPROCS).
 	MaxConcurrentSolves int
+	// Shards routes every solve through the map-reduce engine with this
+	// many contiguous shards (<= 1 = unsharded). The shard plan's
+	// fingerprint becomes part of every cache key, so changing the
+	// configuration can never serve results computed under another plan.
+	Shards int
+	// ShardWorkers bounds the map phase's worker pool (<= 0 = GOMAXPROCS).
+	ShardWorkers int
 }
 
 // Service glues registry, cache, metrics and the solver facade together.
@@ -63,24 +71,35 @@ type Service struct {
 	cache    *Cache
 	metrics  *Metrics
 	cfg      Config
+	// shardKey is the fingerprint of the configured shard plan, empty when
+	// unsharded; every cache key carries it.
+	shardKey string
 }
 
 // New builds a Service with an empty registry and cache.
 func New(cfg Config) *Service {
 	m := NewMetrics()
-	return &Service{
+	s := &Service{
 		registry: NewRegistry(),
 		cache:    NewCache(m, cfg.MaxConcurrentSolves),
 		metrics:  m,
 		cfg:      cfg,
 	}
+	if cfg.Shards > 1 {
+		s.shardKey = shard.Fingerprint(shard.Contiguous, cfg.Shards)
+	}
+	return s
 }
 
 // solver builds the per-request Solver: the service-wide base options,
-// then the seed, then the request's resolved algorithm (last wins on
-// conflicts, so a request can never un-pin its algorithm).
+// then the seed, the shard configuration, and the request's resolved
+// algorithm (last wins on conflicts, so a request can never un-pin its
+// algorithm).
 func (s *Service) solver(algorithm rrr.Algorithm) *rrr.Solver {
 	opts := slices.Clone(s.cfg.SolverOptions)
+	if s.cfg.Shards > 1 {
+		opts = append(opts, rrr.WithShards(s.cfg.Shards), rrr.WithShardWorkers(s.cfg.ShardWorkers))
+	}
 	opts = append(opts, rrr.WithSeed(s.cfg.Seed), rrr.WithAlgorithm(algorithm))
 	return rrr.New(opts...)
 }
@@ -149,14 +168,15 @@ func (s *Service) Representative(ctx context.Context, name string, k int, algoNa
 	if err != nil {
 		return nil, err
 	}
-	key := Key{Dataset: name, Gen: entry.Gen, K: k, Algo: string(algo)}
+	key := Key{Dataset: name, Gen: entry.Gen, K: k, Algo: string(algo), Shards: s.shardKey}
 	solver := s.solver(algo)
 	cached, err := s.cache.Do(ctx, key, func(runCtx context.Context) ([]int, ResultStats, error) {
 		res, err := solver.Solve(runCtx, entry.Data, k)
 		if err != nil {
 			return nil, ResultStats{}, fmt.Errorf("service: %s on %q (k=%d): %w", algo, name, k, err)
 		}
-		return res.IDs, ResultStats{KSets: res.KSets, Nodes: res.Nodes}, nil
+		s.metrics.shardSolve(res.Shards, res.Candidates, entry.Data.N())
+		return res.IDs, ResultStats{KSets: res.KSets, Nodes: res.Nodes, Shards: res.Shards, Candidates: res.Candidates}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -177,12 +197,13 @@ type BatchQuery struct {
 }
 
 // key maps a query onto the cache's key space: primal queries use K
-// directly, dual queries use the negative size (see Key).
-func (q BatchQuery) key(name string, gen int64, algo rrr.Algorithm) Key {
+// directly, dual queries use the negative size (see Key). shards is the
+// service's shard plan fingerprint.
+func (q BatchQuery) key(name string, gen int64, algo rrr.Algorithm, shards string) Key {
 	if q.K > 0 {
-		return Key{Dataset: name, Gen: gen, K: q.K, Algo: string(algo)}
+		return Key{Dataset: name, Gen: gen, K: q.K, Algo: string(algo), Shards: shards}
 	}
-	return Key{Dataset: name, Gen: gen, K: -q.Size, Algo: string(algo)}
+	return Key{Dataset: name, Gen: gen, K: -q.Size, Algo: string(algo), Shards: shards}
 }
 
 // keyLabel renders a key's query for error messages: "k=10" for primal
@@ -263,7 +284,7 @@ func (s *Service) Batch(ctx context.Context, name string, algoName string, queri
 			items[i].Err = err
 			continue
 		}
-		key := q.key(name, entry.Gen, algo)
+		key := q.key(name, entry.Gen, algo, s.shardKey)
 		if _, dup := queryByKey[key]; !dup {
 			queryByKey[key] = q
 			keys = append(keys, key)
@@ -289,6 +310,7 @@ func (s *Service) Batch(ctx context.Context, name string, algoName string, queri
 			}
 			return
 		}
+		s.metrics.shardSolve(br.Stats.Shards, br.Stats.Candidates, data.N())
 		for i, item := range br.Items {
 			key := owned[i]
 			if item.Err != nil {
@@ -296,7 +318,8 @@ func (s *Service) Batch(ctx context.Context, name string, algoName string, queri
 					algo, name, keyLabel(key), item.Err))
 				continue
 			}
-			stats := ResultStats{KSets: item.Result.KSets, Nodes: item.Result.Nodes}
+			stats := ResultStats{KSets: item.Result.KSets, Nodes: item.Result.Nodes,
+				Shards: item.Result.Shards, Candidates: item.Result.Candidates}
 			if item.Request.Size > 0 {
 				stats.BestK = item.K
 			}
@@ -307,7 +330,7 @@ func (s *Service) Batch(ctx context.Context, name string, algoName string, queri
 		if items[i].Err != nil {
 			continue
 		}
-		key := items[i].Query.key(name, entry.Gen, algo)
+		key := items[i].Query.key(name, entry.Gen, algo, s.shardKey)
 		if err, failed := errs[key]; failed {
 			items[i].Err = err
 			continue

@@ -83,6 +83,11 @@ type Metrics struct {
 	batchItems atomic.Int64
 	coalesced  atomic.Int64
 
+	shardedSolves   atomic.Int64
+	shardsDone      atomic.Int64
+	shardCandidates atomic.Int64
+	shardInput      atomic.Int64
+
 	mu        sync.Mutex
 	latencies map[string]*histogram
 
@@ -112,6 +117,19 @@ func (m *Metrics) coalesce() {
 	if m != nil {
 		m.coalesced.Add(1)
 	}
+}
+
+// shardSolve records one computation that went through the map-reduce
+// engine: how many shards its plan held and how far the map phase pruned.
+// No-op for unsharded results (shards == 0), so call sites don't branch.
+func (m *Metrics) shardSolve(shards, candidates, input int) {
+	if m == nil || shards <= 0 {
+		return
+	}
+	m.shardedSolves.Add(1)
+	m.shardsDone.Add(int64(shards))
+	m.shardCandidates.Add(int64(candidates))
+	m.shardInput.Add(int64(input))
 }
 
 // batchStarted records one batch computation claiming n keys.
@@ -179,6 +197,19 @@ func (m *Metrics) computeFinished(algo string, elapsed time.Duration, err error)
 	h.observe(elapsed)
 }
 
+// ShardSnapshot summarizes the map-reduce engine's activity: how many
+// computations were sharded, the total shards their plans held, and the
+// aggregate pruning power of the map phases (candidate tuples kept vs
+// input tuples seen).
+type ShardSnapshot struct {
+	ShardedSolves int64 `json:"sharded_solves"`
+	ShardsDone    int64 `json:"shards_done"`
+	Candidates    int64 `json:"candidates"`
+	InputTuples   int64 `json:"input_tuples"`
+	// PruneRatio is 1 − Candidates/InputTuples across all sharded solves.
+	PruneRatio float64 `json:"prune_ratio"`
+}
+
 // Snapshot is the /stats payload.
 type Snapshot struct {
 	UptimeSeconds  float64                      `json:"uptime_seconds"`
@@ -191,6 +222,7 @@ type Snapshot struct {
 	Batches        int64                        `json:"batches"`
 	BatchItems     int64                        `json:"batch_items"`
 	CoalescedJoins int64                        `json:"coalesced_joins"`
+	Shard          ShardSnapshot                `json:"shard"`
 	Latencies      map[string]HistogramSnapshot `json:"latency_by_algorithm"`
 }
 
@@ -211,7 +243,16 @@ func (m *Metrics) Snapshot() Snapshot {
 		Batches:        m.batches.Load(),
 		BatchItems:     m.batchItems.Load(),
 		CoalescedJoins: m.coalesced.Load(),
-		Latencies:      make(map[string]HistogramSnapshot),
+		Shard: ShardSnapshot{
+			ShardedSolves: m.shardedSolves.Load(),
+			ShardsDone:    m.shardsDone.Load(),
+			Candidates:    m.shardCandidates.Load(),
+			InputTuples:   m.shardInput.Load(),
+		},
+		Latencies: make(map[string]HistogramSnapshot),
+	}
+	if s.Shard.InputTuples > 0 {
+		s.Shard.PruneRatio = 1 - float64(s.Shard.Candidates)/float64(s.Shard.InputTuples)
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -1,0 +1,328 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"rrr/internal/core"
+	"rrr/internal/kset"
+	"rrr/internal/sweep"
+)
+
+// Extractor selects the per-shard candidate rule of the map phase. See the
+// package comment for why each rule's union across shards is a valid
+// candidate pool for its algorithm.
+type Extractor int
+
+const (
+	// TopKRanges runs sweep.FindRanges on each 2-D shard and keeps the
+	// tuples owning a range — exactly those that ever enter the shard's
+	// top-k. Minimal and exact; 2-D only.
+	TopKRanges Extractor = iota
+	// KSetSample runs kset.Sample on each shard and keeps the union of
+	// sampled k-set members. Probabilistically complete, like the MDRRR
+	// algorithm it feeds.
+	KSetSample
+	// Dominance keeps the tuples outranked by fewer than k shard tuples
+	// under every linear function (componentwise comparison plus the
+	// library's ID tie-break). Exact for any dimensionality; the MDRC
+	// extractor.
+	Dominance
+)
+
+// Options configures the map phase.
+type Options struct {
+	// Workers bounds the map-phase worker pool (shards are processed
+	// concurrently). <= 0 means GOMAXPROCS.
+	Workers int
+	// Sampler configures the per-shard kset.Sample runs of the KSetSample
+	// extractor. Each shard's sampler is reseeded deterministically from
+	// Sampler.Seed and the shard index, so shards draw independent
+	// function streams while the whole map phase stays reproducible.
+	Sampler kset.SampleOptions
+	// OnShardDone, if non-nil, is invoked after each shard's extraction
+	// with the number of shards completed so far and the plan's total. It
+	// may be called from map workers concurrently with other shards'
+	// extraction but never concurrently with itself.
+	OnShardDone func(done, total int)
+}
+
+// Stats describes one map phase.
+type Stats struct {
+	// ShardsDone is the number of shards whose extraction completed. On
+	// success it equals the plan's P; on interruption it reports progress.
+	ShardsDone int
+	// Candidates is the size of the candidate pool (0 until the phase
+	// completes).
+	Candidates int
+	// Input is the size of the full dataset.
+	Input int
+	// Draws is the total number of ranking functions the KSetSample
+	// extractor drew across all shards — including shards that failed
+	// mid-sampling — so callers can account the map phase's sampling work
+	// alongside the reduce phase's. Zero for the other extractors.
+	Draws int
+}
+
+// PruneRatio is the fraction of the dataset the map phase eliminated:
+// 1 − Candidates/Input. Zero when nothing was pruned (or nothing ran).
+func (s Stats) PruneRatio() float64 {
+	if s.Input == 0 || s.Candidates == 0 {
+		return 0
+	}
+	return 1 - float64(s.Candidates)/float64(s.Input)
+}
+
+// cancelCheckInterval is how many tuples the dominance extractor processes
+// between context checks; each tuple costs an O(n_s·d) scan, so the check
+// is both cheap and frequent.
+const cancelCheckInterval = 64
+
+// Candidates runs the map phase: every shard's extractor on a worker pool,
+// unioned into a sorted candidate ID pool. The pool provably (TopKRanges,
+// Dominance) or probabilistically (KSetSample) contains every tuple that is
+// in the top-k of the *full* dataset under any linear function, so solving
+// on the pool reproduces the unsharded answer — the reduce phase.
+//
+// k is the global rank target; shards smaller than k contribute all their
+// tuples (every tuple of an n-tuple dataset is in its top-n). The context
+// is checked inside every extractor; on cancellation (or a sampler's hard
+// draw budget) Candidates returns the error with Stats reporting how many
+// shards finished.
+func Candidates(ctx context.Context, pl *Plan, k int, ex Extractor, opt Options) ([]int, Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if pl == nil || pl.P() == 0 {
+		return nil, Stats{}, errors.New("shard: nil or empty plan")
+	}
+	if k <= 0 {
+		return nil, Stats{}, fmt.Errorf("shard: k must be positive, got %d", k)
+	}
+	stats := Stats{Input: pl.N()}
+	perShard := make([][]int, pl.P())
+	draws := make([]int, pl.P())
+	errs := make([]error, pl.P())
+	// One shard failing dooms the whole phase, so cancel the siblings —
+	// otherwise a shard hitting its draw budget in milliseconds would
+	// still wait for every other shard to run its extraction to the end.
+	mapCtx, stop := context.WithCancel(ctx)
+	defer stop()
+	var (
+		mu   sync.Mutex
+		done int
+	)
+	FanOut(pl.P(), opt.Workers, func(i int) {
+		perShard[i], draws[i], errs[i] = extract(mapCtx, pl.Shard(i), k, i, ex, opt)
+		if errs[i] != nil {
+			stop()
+			return
+		}
+		// The callback runs under the counter's lock so successive
+		// invocations are serialized, as the Options contract promises.
+		mu.Lock()
+		done++
+		if opt.OnShardDone != nil {
+			opt.OnShardDone(done, pl.P())
+		}
+		mu.Unlock()
+	})
+	stats.ShardsDone = done
+	for _, d := range draws {
+		stats.Draws += d
+	}
+	// Error selection: a sibling canceled by our own stop() is a symptom,
+	// not the cause — prefer the error that triggered the stop over
+	// induced cancellations, unless the caller's own context died (then
+	// every cancellation is genuine and the first one serves).
+	var mapErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if mapErr == nil {
+			mapErr = err
+		}
+		if ctx.Err() == nil && !errors.Is(err, context.Canceled) {
+			mapErr = err
+			break
+		}
+	}
+	if mapErr != nil {
+		return nil, stats, mapErr
+	}
+	pool := make([]int, 0, pl.N())
+	for _, ids := range perShard {
+		pool = append(pool, ids...)
+	}
+	sort.Ints(pool)
+	stats.Candidates = len(pool)
+	return pool, stats, nil
+}
+
+// extract runs one shard's extractor, reporting any sampler draws it
+// spent. Shards no larger than k short-circuit to "everything": each of
+// their tuples is trivially in the shard's top-k under every function.
+func extract(ctx context.Context, sd *core.Dataset, k, shardIdx int, ex Extractor, opt Options) ([]int, int, error) {
+	if sd.N() <= k {
+		return allIDs(sd), 0, nil
+	}
+	switch ex {
+	case TopKRanges:
+		ranges, err := sweep.FindRanges(ctx, sd, k)
+		if err != nil {
+			return nil, 0, err
+		}
+		ids := make([]int, 0, len(ranges))
+		for id := range ranges {
+			ids = append(ids, id)
+		}
+		return ids, 0, nil
+	case KSetSample:
+		sampler := opt.Sampler
+		sampler.Seed = reseed(sampler.Seed, shardIdx)
+		sampler.OnProgress = nil // per-shard progress would interleave across workers
+		col, sstats, err := kset.Sample(ctx, sd, k, sampler)
+		if err != nil {
+			return nil, sstats.Draws, err
+		}
+		return col.Universe(), sstats.Draws, nil
+	case Dominance:
+		ids, err := dominanceCandidates(ctx, sd, k)
+		return ids, 0, err
+	}
+	return nil, 0, fmt.Errorf("shard: unknown extractor %d", ex)
+}
+
+// dominanceCandidates keeps every tuple outranked by fewer than k shard
+// tuples under all linear functions. alwaysOutranks is a sound and complete
+// test of "outranks for every f in the paper's L": componentwise u ≥ t
+// makes every score difference non-negative; the difference is strictly
+// positive for every admissible f only when u > t strictly everywhere
+// (weights may be zero on any proper attribute subset), and an exact score
+// tie goes to the smaller ID. A tuple with k such dominators ranks below k
+// everywhere, so dropping it cannot change any top-k — while every kept
+// tuple costs only conservatism, never correctness.
+//
+// The scan uses the sort-filter trick of the skyline literature: u ≥ t
+// componentwise implies Σu ≥ Σt, so with tuples sorted by attribute sum
+// descending only the prefix with sums at least Σt can dominate t. On the
+// paper's correlated workloads a dominated tuple meets its k dominators
+// within a few positions, making the filter near-linear in practice; the
+// worst case (anticorrelated data where nothing dominates anything) stays
+// O(n_s²·d) per shard — in parallel across shards.
+func dominanceCandidates(ctx context.Context, sd *core.Dataset, k int) ([]int, error) {
+	ts := sd.Tuples()
+	n := len(ts)
+	sums := make([]float64, n)
+	for i, t := range ts {
+		for _, v := range t.Attrs {
+			sums[i] += v
+		}
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if sums[order[a]] != sums[order[b]] {
+			return sums[order[a]] > sums[order[b]]
+		}
+		return ts[order[a]].ID < ts[order[b]].ID
+	})
+	ids := make([]int, 0, n)
+	for pos, i := range order {
+		if pos%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("shard: dominance extraction canceled: %w", err)
+			}
+		}
+		t := ts[i]
+		dominators := 0
+		// Only earlier positions can dominate: a dominator's sum is at
+		// least Σt, and among equal sums dominance requires winning the ID
+		// tie-break, which the sort places earlier too.
+		for _, j := range order[:pos] {
+			if alwaysOutranks(ts[j], t) {
+				dominators++
+				if dominators >= k {
+					break
+				}
+			}
+		}
+		if dominators < k {
+			ids = append(ids, t.ID)
+		}
+	}
+	return ids, nil
+}
+
+// alwaysOutranks reports whether u outranks t under every linear ranking
+// function with non-negative weights (at least one positive), per the
+// library's deterministic tie-break.
+func alwaysOutranks(u, t core.Tuple) bool {
+	strict := true
+	for j, v := range u.Attrs {
+		switch {
+		case v < t.Attrs[j]:
+			return false
+		case v == t.Attrs[j]:
+			strict = false
+		}
+	}
+	return strict || u.ID < t.ID
+}
+
+func allIDs(sd *core.Dataset) []int {
+	ids := make([]int, sd.N())
+	for i, t := range sd.Tuples() {
+		ids[i] = t.ID
+	}
+	return ids
+}
+
+// reseed derives a per-shard sampler seed: a splitmix64 mix of the base
+// seed and the shard index, so shards explore independent function streams
+// while any (seed, shard) pair stays deterministic.
+func reseed(seed int64, shardIdx int) int64 {
+	return int64(hashID(shardIdx) ^ uint64(seed)*0x9e3779b97f4a7c15)
+}
+
+// FanOut runs work(0..n-1) on a bounded worker pool (workers <= 0 means
+// GOMAXPROCS). The map phase fans shard extraction across it, and the
+// batch engine reuses it for per-query tails — one implementation of the
+// pool, living in the lowest package that needs it.
+func FanOut(n, workers int, work func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			work(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				work(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,188 @@
+package rrr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"rrr/internal/algo"
+	"rrr/internal/core"
+	"rrr/internal/kset"
+	"rrr/internal/shard"
+)
+
+// WithShards routes solves through the map-reduce engine (internal/shard):
+// the dataset is split into p contiguous shards, a parallel map phase
+// extracts the tuples that can ever enter their shard's top-k, and the
+// configured algorithm runs on that candidate pool as the reduce phase.
+// By the paper's top-k containment property the pool provably contains
+// every k-set member of the full dataset, so the 2-D and MDRC answers are
+// bit-for-bit identical to the unsharded solve — only cheaper: the
+// quadratic phases run on n/p-sized shards in parallel and the reduce runs
+// on the pruned pool. Solve, MinimalKForSize and SolveBatch all route
+// through the planner; the dual search and the batch engine build one
+// pool for the largest rank target in play and reuse it for every
+// smaller one. p <= 1 disables sharding (the default). Hard draw budgets
+// apply per K-SETr invocation — see WithDrawBudget for the sharded
+// accounting.
+func WithShards(p int) Option { return func(c *config) { c.shards = p } }
+
+// WithShardWorkers bounds the map-phase worker pool (how many shards are
+// extracted concurrently). Zero or negative means GOMAXPROCS. It shares
+// the spirit of WithBatchWorkers: one knob per fan-out stage, defaulting
+// to the machine width.
+func WithShardWorkers(n int) Option { return func(c *config) { c.shardWorkers = n } }
+
+// shardPool is one computed candidate pool: the reduced dataset the reduce
+// phase runs on, plus the provenance counters surfaced in Result and
+// PartialStats. A pool built for rank target k is valid for every target
+// k' <= k (the per-shard "ever in top-k" sets are monotone in k), which is
+// what lets the batch engine reuse one pool across a whole k-grid.
+type shardPool struct {
+	k          int
+	data       *Dataset
+	shards     int
+	candidates int
+	input      int
+	// draws is the map phase's sampling work (KSetSample extractor only),
+	// folded into Result.Draws / PartialStats.Draws so the reported count
+	// covers the whole solve, not just the reduce phase.
+	draws int
+}
+
+func (p *shardPool) pruneRatio() float64 {
+	if p == nil || p.input == 0 {
+		return 0
+	}
+	return 1 - float64(p.candidates)/float64(p.input)
+}
+
+// covers reports whether the pool can serve rank target k without a
+// rebuild: it must contain every candidate for k (pool.k >= k — candidate
+// sets are monotone in k) and not be too loose. A pool built for a much
+// larger target prunes much less (at k ≥ shard size it prunes nothing), so
+// reusing it forever would make a descending binary search pay unsharded
+// reduce costs; a pool within 4× of the target keeps most of the pruning
+// while a halving search rebuilds only every other probe — the map phase
+// costs ~1/P of an unsharded solve, so that trade is cheap.
+func (p *shardPool) covers(k int) bool {
+	return p != nil && p.k >= k && p.k < 4*k
+}
+
+// extractorFor maps an algorithm to its per-shard candidate rule.
+func extractorFor(algorithm Algorithm) shard.Extractor {
+	switch algorithm {
+	case Algo2DRRR:
+		return shard.TopKRanges
+	case AlgoMDRRR:
+		return shard.KSetSample
+	default:
+		return shard.Dominance
+	}
+}
+
+// buildPool runs the plan + map phases for the resolved algorithm at rank
+// target k and assembles the reduced dataset. start is the enclosing
+// solve's start time, so progress ticks report the solve-relative clock
+// Progress.Elapsed documents. When the map phase prunes nothing the
+// original dataset is returned unwrapped, so the reduce phase pays no
+// rebuild cost for it.
+func (s *Solver) buildPool(ctx context.Context, d *Dataset, k int, algorithm Algorithm, start time.Time) (*shardPool, shard.Stats, error) {
+	pl, err := shard.NewPlan(d, s.cfg.shards, shard.Contiguous)
+	if err != nil {
+		return nil, shard.Stats{}, err
+	}
+	opt := shard.Options{Workers: s.cfg.shardWorkers}
+	if algorithm == AlgoMDRRR {
+		opt.Sampler = s.samplerOptions()
+	}
+	if hook := s.cfg.progress; hook != nil {
+		opt.OnShardDone = func(done, total int) {
+			// Serialized by the map phase; reported like any other hot-loop
+			// progress tick.
+			hook(Progress{Algorithm: algorithm, ShardsDone: done, Elapsed: time.Since(start)})
+		}
+	}
+	candidates, stats, err := shard.Candidates(ctx, pl, k, extractorFor(algorithm), opt)
+	if err != nil {
+		return nil, stats, err
+	}
+	pool := &shardPool{k: k, data: d, shards: pl.P(), candidates: stats.Candidates,
+		input: stats.Input, draws: stats.Draws}
+	if len(candidates) < d.N() {
+		tuples, err := d.Subset(candidates)
+		if err != nil {
+			return nil, stats, err
+		}
+		reduced, err := core.FromTuples(tuples)
+		if err != nil {
+			return nil, stats, err
+		}
+		pool.data = reduced
+	}
+	return pool, stats, nil
+}
+
+// wrapShardError converts a failed map phase to the public typed error,
+// carrying how many shards completed before the stop.
+func (s *Solver) wrapShardError(algorithm Algorithm, start time.Time, stats shard.Stats, err error) error {
+	kind := error(nil)
+	switch {
+	case errors.Is(err, kset.ErrDrawBudget):
+		kind = ErrBudgetExhausted
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		kind = ErrCanceled
+	default:
+		return fmt.Errorf("rrr: shard map phase: %w", err)
+	}
+	return &Error{Kind: kind, Op: "solve", Algorithm: algorithm, Cause: err,
+		Partial: PartialStats{
+			Elapsed:    time.Since(start),
+			Draws:      stats.Draws,
+			ShardsDone: stats.ShardsDone,
+			Candidates: stats.Candidates,
+		}}
+}
+
+// applyTo stamps the pool's provenance counters onto a successful result.
+func (p *shardPool) applyTo(res *Result) {
+	if p == nil || res == nil {
+		return
+	}
+	res.Shards = p.shards
+	res.Candidates = p.candidates
+	res.PruneRatio = p.pruneRatio()
+	res.Draws += p.draws
+}
+
+// applyPartial stamps the pool's counters onto a typed error's partial
+// stats (the map phase succeeded; the reduce phase is what stopped).
+func (p *shardPool) applyPartial(err error) error {
+	if p == nil {
+		return err
+	}
+	var e *Error
+	if errors.As(err, &e) {
+		e.Partial.ShardsDone = p.shards
+		e.Partial.Candidates = p.candidates
+		e.Partial.PruneRatio = p.pruneRatio()
+		e.Partial.Draws += p.draws
+	}
+	return err
+}
+
+// runAlgorithm dispatches the resolved algorithm on a dataset — the reduce
+// phase of a sharded solve, the whole solve of an unsharded one. Solve and
+// the sharded driver share it so the two paths cannot drift.
+func (s *Solver) runAlgorithm(ctx context.Context, d *Dataset, k int, algorithm Algorithm, onProgress func(algo.Stats)) (*algo.Result, error) {
+	switch algorithm {
+	case Algo2DRRR:
+		return algo.TwoDRRR(ctx, d, k, s.twoDOptions(onProgress))
+	case AlgoMDRRR:
+		return algo.MDRRR(ctx, d, k, s.mdrrrOptions(onProgress))
+	case AlgoMDRC:
+		return algo.MDRC(ctx, d, k, s.mdrcOptions(onProgress))
+	}
+	return nil, fmt.Errorf("rrr: unknown algorithm %q", algorithm)
+}

@@ -8,6 +8,7 @@ import (
 
 	"rrr/internal/algo"
 	"rrr/internal/kset"
+	"rrr/internal/shard"
 )
 
 // Progress is a periodic snapshot of a running solve, delivered to the
@@ -23,6 +24,9 @@ type Progress struct {
 	KSets int
 	// Draws is the number of ranking functions sampled so far.
 	Draws int
+	// ShardsDone is the number of shards whose map-phase candidate
+	// extraction has completed (sharded solves only; see WithShards).
+	ShardsDone int
 	// Elapsed is the wall-clock time since the solve started.
 	Elapsed time.Duration
 }
@@ -39,6 +43,8 @@ type config struct {
 	drawBudget         int // hard: exceeding returns ErrBudgetExhausted
 	nodeBudget         int // hard: exceeding returns ErrBudgetExhausted
 	batchWorkers       int // SolveBatch fan-out pool size; <= 0 = GOMAXPROCS
+	shards             int // map-reduce shard count; <= 1 = unsharded
+	shardWorkers       int // map-phase pool size; <= 0 = GOMAXPROCS
 	progress           func(Progress)
 }
 
@@ -74,6 +80,13 @@ func WithSamplerTermination(c int) Option { return func(cfg *config) { cfg.sampl
 // partial stats report the draws and k-sets reached), unlike the legacy
 // Options.SamplerMaxDraws, which silently truncated the collection.
 // Zero or negative means no hard budget.
+//
+// Under WithShards(p) the budget applies to each K-SETr invocation
+// independently — every shard's map-phase sampler and the reduce solve —
+// so a sharded MDRRR solve may draw up to (p+1)× the budget in total
+// before any single invocation exhausts it (each map-phase draw scans
+// only an n/p-sized shard, so the per-draw cost shrinks accordingly).
+// Size the budget per sampling phase, not per solve, when sharding.
 func WithDrawBudget(n int) Option { return func(c *config) { c.drawBudget = n } }
 
 // WithNodeBudget puts a hard cap on the number of recursion nodes MDRC may
@@ -152,33 +165,44 @@ func (s *Solver) Solve(ctx context.Context, d *Dataset, k int) (*Result, error) 
 	if k > d.N() {
 		return nil, infeasibleK(algorithm, k, d.N())
 	}
+	if err := validateAlgorithm(algorithm); err != nil {
+		return nil, err
+	}
 
-	onProgress := s.progressHook(algorithm, start)
-	var (
-		res *algo.Result
-		err error
-	)
-	switch algorithm {
-	case Algo2DRRR:
-		res, err = algo.TwoDRRR(ctx, d, k, s.twoDOptions(onProgress))
-	case AlgoMDRRR:
-		res, err = algo.MDRRR(ctx, d, k, s.mdrrrOptions(onProgress))
-	case AlgoMDRC:
-		res, err = algo.MDRC(ctx, d, k, s.mdrcOptions(onProgress))
-	default:
-		return nil, fmt.Errorf("rrr: unknown algorithm %q", algorithm)
+	runData := d
+	var pool *shardPool
+	if s.cfg.shards > 1 {
+		var (
+			mstats shard.Stats
+			err    error
+		)
+		pool, mstats, err = s.buildPool(ctx, d, k, algorithm, start)
+		if err != nil {
+			return nil, s.wrapShardError(algorithm, start, mstats, err)
+		}
+		runData = pool.data
 	}
+	return s.solveOn(ctx, runData, k, algorithm, start, pool)
+}
+
+// solveOn runs the resolved algorithm on runData — the reduce phase of a
+// sharded solve (pool non-nil), the whole solve otherwise — and assembles
+// the public result. Solve and the dual search's probes share it.
+func (s *Solver) solveOn(ctx context.Context, runData *Dataset, k int, algorithm Algorithm, start time.Time, pool *shardPool) (*Result, error) {
+	res, err := s.runAlgorithm(ctx, runData, k, algorithm, s.progressHook(algorithm, start))
 	if err != nil {
-		return nil, s.wrapSolveError(algorithm, start, err)
+		return nil, pool.applyPartial(s.wrapSolveError(algorithm, start, err))
 	}
-	return &Result{
+	out := &Result{
 		IDs:       res.IDs,
 		Algorithm: algorithm,
 		KSets:     res.Stats.KSets,
 		Nodes:     res.Stats.Nodes,
 		Draws:     res.Stats.SamplerDraws,
 		Elapsed:   time.Since(start),
-	}, nil
+	}
+	pool.applyTo(out)
+	return out, nil
 }
 
 // twoDOptions assembles the 2DRRR configuration from the solver options.
@@ -252,10 +276,37 @@ func (s *Solver) MinimalKForSize(ctx context.Context, d *Dataset, size int) (int
 		return 0, nil, fmt.Errorf("rrr: size budget must be positive, got %d", size)
 	}
 	algorithm := s.cfg.algorithm.Resolve(d.Dims())
+	if err := validateAlgorithm(algorithm); err != nil {
+		return 0, nil, err
+	}
 	start := time.Now()
 	lo, hi := 1, d.N()
 	var best *Result
 	bestK := 0
+	// Sharded searches keep one candidate pool across probes: a pool built
+	// for rank target k is exact for every k' <= k, so a probe re-runs the
+	// map phase only when the pool doesn't cover it — too small, or loose
+	// enough (see shardPool.covers) that the reduce would lose its pruning.
+	// A halving search rebuilds every other probe instead of every probe.
+	var pool *shardPool
+	probe := func(mid int) (*Result, error) {
+		pstart := time.Now()
+		if err := validateDims(algorithm, d.Dims()); err != nil {
+			return nil, err
+		}
+		runData := d
+		if s.cfg.shards > 1 {
+			if !pool.covers(mid) {
+				p, mstats, err := s.buildPool(ctx, d, mid, algorithm, pstart)
+				if err != nil {
+					return nil, s.wrapShardError(algorithm, pstart, mstats, err)
+				}
+				pool = p
+			}
+			runData = pool.data
+		}
+		return s.solveOn(ctx, runData, mid, algorithm, pstart, pool)
+	}
 	for lo <= hi {
 		// Check between probes: a canceled search must not launch another
 		// solve just to have it fail.
@@ -264,7 +315,7 @@ func (s *Solver) MinimalKForSize(ctx context.Context, d *Dataset, size int) (int
 				Partial: PartialStats{Elapsed: time.Since(start), BestK: bestK, Best: best}}
 		}
 		mid := (lo + hi) / 2
-		res, err := s.Solve(ctx, d, mid)
+		res, err := probe(mid)
 		if err != nil {
 			var e *Error
 			if errors.As(err, &e) {
@@ -293,6 +344,18 @@ func (s *Solver) MinimalKForSize(ctx context.Context, d *Dataset, size int) (int
 			Partial: PartialStats{Elapsed: time.Since(start)}}
 	}
 	return bestK, best, nil
+}
+
+// validateAlgorithm rejects names outside the known algorithm set before
+// any work runs — in particular before a sharded solve's map phase, which
+// would otherwise burn a full candidate extraction only to fail at
+// dispatch. Solve, MinimalKForSize and SolveBatch share it.
+func validateAlgorithm(algorithm Algorithm) error {
+	switch algorithm {
+	case Algo2DRRR, AlgoMDRRR, AlgoMDRC:
+		return nil
+	}
+	return fmt.Errorf("rrr: unknown algorithm %q", algorithm)
 }
 
 // validateDims rejects algorithm/dimensionality mismatches with the typed
