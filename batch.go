@@ -190,6 +190,14 @@ func (s *Solver) SolveBatch(ctx context.Context, d *Dataset, reqs []Request) (*B
 	// probes share one mini-batch (and the memo from phase 1).
 	b.solveDuals(ctx, out.Items)
 
+	// Stamp each memoized result with its rank target (memo keys are the
+	// k-grid), so batch results report K like single solves do.
+	for k, entry := range b.memo {
+		if entry.res != nil {
+			entry.res.K = k
+		}
+	}
+
 	// Fill the primal items from the memo.
 	for i := range out.Items {
 		it := &out.Items[i]

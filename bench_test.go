@@ -276,6 +276,74 @@ func BenchmarkSequentialSolve(b *testing.B) {
 	}
 }
 
+// --- delta engine ----------------------------------------------------------
+
+// deltaBenchSetup builds the revalidation workload: a solved dataset plus
+// a mutation whose inserts are deeply dominated (the still-exact case —
+// the delta engine's steady state under churn that never touches the top
+// of the order). BenchmarkDeltaRevalidate pays only the containment tests
+// against the recorded pool; BenchmarkFullRecompute pays what the daemon
+// paid before the delta engine existed: a fresh solve of the mutated
+// table. Their ratio is the revalidation-vs-recompute number recorded in
+// EXPERIMENTS.md §6.
+func deltaBenchSetup(b *testing.B, kind string, n, dims, k int) (*rrr.Solver, rrr.Delta, *rrr.Result) {
+	b.Helper()
+	tb, err := rrr.GenerateTable(kind, n, dims, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mins, maxs, err := tb.Bounds()
+	if err != nil {
+		b.Fatal(err)
+	}
+	low := make([]float64, dims)
+	for j := range low {
+		low[j] = mins[j] + 0.05*(maxs[j]-mins[j])
+	}
+	next, _, err := tb.AppendRows([][]float64{low})
+	if err != nil {
+		b.Fatal(err)
+	}
+	before, err := tb.Normalize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	after, err := next.Normalize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	solver := rrr.New(rrr.WithDeltaMaintenance())
+	prev, err := solver.Solve(context.Background(), before, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return solver, rrr.DiffDatasets(before, after), prev
+}
+
+func BenchmarkDeltaRevalidate(b *testing.B) {
+	solver, d, prev := deltaBenchSetup(b, "dot", 2000, 2, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rev, err := solver.Revalidate(context.Background(), d, prev)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rev.Class != rrr.DeltaStillExact {
+			b.Fatalf("class = %v, want still-exact", rev.Class)
+		}
+	}
+}
+
+func BenchmarkFullRecompute(b *testing.B) {
+	solver, d, _ := deltaBenchSetup(b, "dot", 2000, 2, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.Solve(context.Background(), d.After, 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- ablation benches (DESIGN.md §7) ---------------------------------------
 
 // BenchmarkAblationIntervalCover compares the paper's max-gain greedy with

@@ -16,12 +16,22 @@
 // pool, and the algorithm runs on the pool (see DESIGN.md §7). Shard
 // counters appear in /v1/stats and, in Prometheus text format, /v1/metrics.
 //
+// -delta enables the mutation subsystem (DESIGN.md §8): datasets gain
+// append/delete endpoints with stable tuple IDs and monotonically
+// increasing generations, and each mutation batch classifies every cached
+// answer as still-exact (re-keyed, stays served from cache), repairable
+// (re-solved on the patched candidate pool only) or stale (recomputed
+// lazily). Delta counters appear in /v1/stats and /v1/metrics.
+//
 // Examples:
 //
 //	rrrd -addr :8080 -preload flights=dot:5000:3,diamonds=bn:5000 -request-timeout 30s
 //	rrrd -shards 8 -shard-workers 4 -preload flights=dot:100000:2
+//	rrrd -delta -preload flights=dot:5000:2
 //	curl localhost:8080/v1/healthz
 //	curl 'localhost:8080/v1/representative?dataset=flights&k=100'
+//	curl -X POST localhost:8080/v1/datasets/flights/append -d '{"rows":[[12,850],[3,2400]]}'
+//	curl -X POST localhost:8080/v1/datasets/flights/delete -d '{"ids":[17,42]}'
 //	curl -X POST localhost:8080/v1/batch -d '{"dataset":"flights","items":[{"k":10},{"k":50},{"k":100},{"size":5}]}'
 //	curl 'localhost:8080/v1/rank?dataset=flights&id=42&weights=0.5,0.3,0.2'
 //	curl -X POST localhost:8080/v1/datasets -d '{"name":"uni","kind":"independent","n":2000,"dims":4}'
@@ -66,6 +76,7 @@ func run() error {
 		batchWork  = flag.Int("batch-workers", runtime.GOMAXPROCS(0), "worker pool for /v1/batch per-query tail work (defaults to GOMAXPROCS)")
 		shards     = flag.Int("shards", 1, "map-reduce shard count for every solve (1 = unsharded)")
 		shardWork  = flag.Int("shard-workers", runtime.GOMAXPROCS(0), "worker pool for the shard map phase (defaults to GOMAXPROCS)")
+		deltaOn    = flag.Bool("delta", false, "enable the delta engine: POST /v1/datasets/{name}/append and .../delete mutate datasets in place, with cached answers revalidated, repaired or invalidated by containment tests instead of a cold cache")
 	)
 	flag.Parse()
 
@@ -80,10 +91,11 @@ func run() error {
 		solverOpts = append(solverOpts, rrr.WithDrawBudget(*drawBudget))
 	}
 	svc := service.New(service.Config{
-		Seed:          *seed,
-		SolverOptions: solverOpts,
-		Shards:        *shards,
-		ShardWorkers:  *shardWork,
+		Seed:             *seed,
+		SolverOptions:    solverOpts,
+		Shards:           *shards,
+		ShardWorkers:     *shardWork,
+		DeltaMaintenance: *deltaOn,
 	})
 	if err := preloadDatasets(svc, *preload); err != nil {
 		return err

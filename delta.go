@@ -1,0 +1,214 @@
+package rrr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"rrr/internal/core"
+	"rrr/internal/delta"
+	"rrr/internal/shard"
+)
+
+// WithDeltaMaintenance enables incremental revalidation of solve results
+// under dataset mutations. A Solver with the option on attaches a
+// containment pool — the tuples that can ever enter the top-k, computed by
+// the shard package's exact extractors — to every successful Solve result,
+// and accepts Revalidate calls that reuse it to classify the result under
+// a mutation as still-exact, repaired, or recomputed. Solve pays one extra
+// extraction pass for the pool; Revalidate amortizes it across every later
+// mutation.
+func WithDeltaMaintenance() Option { return func(c *config) { c.deltaMaintenance = true } }
+
+// DeltaClass is Revalidate's verdict on a prior result under a mutation.
+type DeltaClass int
+
+const (
+	// DeltaStillExact: the prior result is exactly what a fresh solve on
+	// the mutated dataset would produce; no solving work was done.
+	DeltaStillExact DeltaClass = iota
+	// DeltaRepaired: some inserted tuples could enter a top-k; the
+	// algorithm was re-run on the patched containment pool only, which
+	// reproduces a fresh solve on the deterministic paths.
+	DeltaRepaired
+	// DeltaRecomputed: a delete hit the containment pool or the dataset
+	// was rescaled; the result is a full fresh solve.
+	DeltaRecomputed
+)
+
+// String returns the lowercase verdict name.
+func (c DeltaClass) String() string {
+	switch c {
+	case DeltaStillExact:
+		return "still-exact"
+	case DeltaRepaired:
+		return "repaired"
+	case DeltaRecomputed:
+		return "recomputed"
+	}
+	return "unknown"
+}
+
+// Delta describes one mutation batch at the normalized-dataset level: the
+// snapshots around it, which tuple IDs appeared and disappeared, and
+// whether surviving tuples changed coordinates (a raw table whose
+// normalization bounds moved rescales every point). Build one by hand when
+// the caller tracks its own mutations, or with DiffDatasets from two
+// snapshots.
+type Delta struct {
+	// Before is the dataset the prior result was computed on; After the
+	// mutated dataset.
+	Before, After *Dataset
+	// Inserted lists IDs present in After but not Before; Deleted the
+	// reverse.
+	Inserted, Deleted []int
+	// Rescaled reports that tuples surviving the mutation changed
+	// normalized coordinates, which forecloses every containment argument
+	// and forces a recompute.
+	Rescaled bool
+}
+
+// DiffDatasets derives the Delta between two snapshots by comparing tuple
+// IDs and coordinates: O(n·d). Prefer constructing Delta directly when the
+// mutation's shape is already known (e.g. from a table-level append).
+func DiffDatasets(before, after *Dataset) Delta {
+	d := Delta{Before: before, After: after}
+	if before == nil || after == nil {
+		return d
+	}
+	for _, t := range before.Tuples() {
+		u, ok := after.ByID(t.ID)
+		if !ok {
+			d.Deleted = append(d.Deleted, t.ID)
+			continue
+		}
+		for j, v := range t.Attrs {
+			if j >= len(u.Attrs) || u.Attrs[j] != v {
+				d.Rescaled = true
+				break
+			}
+		}
+	}
+	for _, t := range after.Tuples() {
+		if _, ok := before.ByID(t.ID); !ok {
+			d.Inserted = append(d.Inserted, t.ID)
+		}
+	}
+	return d
+}
+
+// Revalidation is the outcome of Solver.Revalidate: the verdict and a
+// result valid for the mutated dataset. The result always carries the
+// advanced containment pool, so chaining Revalidate across a sequence of
+// mutations never rebuilds pools.
+type Revalidation struct {
+	// Class reports how the prior result fared.
+	Class DeltaClass
+	// Result is valid for d.After: the prior result itself (still-exact),
+	// the reduce-phase re-run on the patched pool (repaired), or a fresh
+	// solve (recomputed).
+	Result *Result
+	// PoolSize is the size of the containment pool consulted (the patched
+	// pool for repairs); zero on the recompute path, where no pool
+	// classification ran.
+	PoolSize int
+}
+
+// Revalidate classifies a prior Solve result under a dataset mutation and
+// returns a result valid for the mutated dataset, doing the least work the
+// containment tests allow: nothing when no inserted tuple can enter any
+// top-k and no deleted tuple was in the pool, a pool-sized reduce re-run
+// when only inserts crossed, and a full Solve otherwise. On the
+// deterministic paths (2DRRR, MDRC) the returned IDs are bit-for-bit what
+// a fresh solve on d.After produces; for sampled MDRRR the repaired result
+// carries the same probabilistic guarantee as a fresh solve.
+//
+// prev must come from Solve (it records the rank target in Result.K) on a
+// Solver built with WithDeltaMaintenance. The context is honored through
+// pool building and any solving work, with the usual typed errors.
+func (s *Solver) Revalidate(ctx context.Context, d Delta, prev *Result) (*Revalidation, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if !s.cfg.deltaMaintenance {
+		return nil, errors.New("rrr: Revalidate requires WithDeltaMaintenance")
+	}
+	if prev == nil || prev.K <= 0 {
+		return nil, errors.New("rrr: Revalidate needs a prior Solve result (with its rank target recorded)")
+	}
+	if d.Before == nil || d.After == nil {
+		return nil, errors.New("rrr: Revalidate needs both the before and after snapshots")
+	}
+	algorithm := prev.Algorithm.Resolve(d.After.Dims())
+	start := time.Now()
+
+	class, patched := delta.Stale, (*delta.Pool)(nil)
+	if !d.Rescaled {
+		pool := prev.revalPool
+		if pool == nil || pool.K != prev.K {
+			var err error
+			pool, err = delta.BuildPool(ctx, d.Before, prev.K)
+			if err != nil {
+				return nil, s.wrapShardError(algorithm, start, shard.Stats{}, err)
+			}
+		}
+		class, patched = pool.Classify(&delta.Change{
+			Before:   d.Before,
+			After:    d.After,
+			Inserted: d.Inserted,
+			Deleted:  d.Deleted,
+			Rescaled: d.Rescaled,
+		})
+	}
+
+	switch class {
+	case delta.StillExact:
+		res := *prev
+		res.Elapsed = time.Since(start)
+		res.revalPool = patched
+		return &Revalidation{Class: DeltaStillExact, Result: &res, PoolSize: patched.Len()}, nil
+	case delta.Repairable:
+		res, err := s.reduceOnPool(ctx, d.After, patched, prev.K, algorithm, start)
+		if err != nil {
+			return nil, err
+		}
+		return &Revalidation{Class: DeltaRepaired, Result: res, PoolSize: patched.Len()}, nil
+	default:
+		res, err := s.Solve(ctx, d.After, prev.K)
+		if err != nil {
+			return nil, err
+		}
+		return &Revalidation{Class: DeltaRecomputed, Result: res}, nil
+	}
+}
+
+// reduceOnPool re-runs only the reduce phase: the resolved algorithm on
+// the containment pool's tuples. Because the pool provably contains every
+// k-set member of the full dataset, the deterministic algorithms return
+// exactly the full-dataset answer.
+func (s *Solver) reduceOnPool(ctx context.Context, after *Dataset, pool *delta.Pool, k int, algorithm Algorithm, start time.Time) (*Result, error) {
+	if err := validateDims(algorithm, after.Dims()); err != nil {
+		return nil, err
+	}
+	runData := after
+	if pool.Len() < after.N() {
+		tuples, err := after.Subset(pool.IDs)
+		if err != nil {
+			return nil, fmt.Errorf("rrr: assembling repair pool: %w", err)
+		}
+		reduced, err := core.FromTuples(tuples)
+		if err != nil {
+			return nil, fmt.Errorf("rrr: assembling repair pool: %w", err)
+		}
+		runData = reduced
+	}
+	res, err := s.solveOn(ctx, runData, k, algorithm, start, nil)
+	if err != nil {
+		return nil, err
+	}
+	res.K = k
+	res.Candidates = pool.Len()
+	res.revalPool = pool
+	return res, nil
+}

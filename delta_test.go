@@ -1,0 +1,245 @@
+package rrr_test
+
+// The delta engine's equivalence suite: for random mutation sequences
+// across data shapes and algorithms, a revalidated or repaired answer must
+// be indistinguishable from a fresh solve on the mutated table — identical
+// IDs on the deterministic paths (2DRRR, MDRC), guarantee-checked
+// (rank-regret ≤ k) for sampled MDRRR.
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"rrr"
+)
+
+// mutator drives a deterministic pseudo-random mutation sequence over a
+// table, steering between batch shapes that exercise all three
+// classification outcomes.
+type mutator struct {
+	rng *rand.Rand
+	tb  *rrr.Table
+}
+
+// step applies one random batch and returns the new table. Shapes:
+// bottom-corner appends (dominated: still-exact), near-top appends
+// (crossing: repairable), and deletes of a served representative member
+// (pool hit: recompute).
+func (m *mutator) step(t *testing.T, servedIDs []int) *rrr.Table {
+	t.Helper()
+	mins, maxs, err := m.tb.Bounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	interior := func(lo, hi float64) []float64 {
+		row := make([]float64, m.tb.Dims())
+		for j := range row {
+			span := maxs[j] - mins[j]
+			row[j] = mins[j] + span*(lo+(hi-lo)*m.rng.Float64())
+		}
+		return row
+	}
+	var next *rrr.Table
+	switch m.rng.Intn(4) {
+	case 0, 1: // dominated interior appends
+		next, _, err = m.tb.AppendRows([][]float64{interior(0.02, 0.15), interior(0.05, 0.25)})
+	case 2: // an append crowding the top corner
+		next, _, err = m.tb.AppendRows([][]float64{interior(0.9, 0.99)})
+	default: // delete a tuple the current answer serves — a pool member
+		next, _, err = m.tb.DeleteRows([]int{servedIDs[m.rng.Intn(len(servedIDs))]})
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.tb = next
+	return next
+}
+
+func sameIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as, bs := append([]int(nil), a...), append([]int(nil), b...)
+	sort.Ints(as)
+	sort.Ints(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRevalidateEquivalence runs 10-step random mutation sequences across
+// {independent, correlated, anticorrelated} × {2drrr, mdrc} and asserts
+// the revalidated/repaired/recomputed answer is exactly the fresh solve on
+// the mutated table, with every class exercised somewhere in the grid.
+func TestRevalidateEquivalence(t *testing.T) {
+	ctx := context.Background()
+	const k = 8
+	cases := []struct {
+		algo rrr.Algorithm
+		dims int
+	}{
+		{rrr.Algo2DRRR, 2},
+		{rrr.AlgoMDRC, 3},
+	}
+	seen := map[rrr.DeltaClass]int{}
+	for _, kind := range []string{"independent", "correlated", "anticorrelated"} {
+		for _, tc := range cases {
+			tb, err := rrr.GenerateTable(kind, 220, tc.dims, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			solver := rrr.New(rrr.WithAlgorithm(tc.algo), rrr.WithDeltaMaintenance())
+			fresh := rrr.New(rrr.WithAlgorithm(tc.algo))
+			before, err := tb.Normalize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			prev, err := solver.Solve(ctx, before, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := &mutator{rng: rand.New(rand.NewSource(int64(len(kind)) + int64(tc.dims)*17)), tb: tb}
+			for step := 0; step < 10; step++ {
+				next := m.step(t, prev.IDs)
+				after, err := next.Normalize()
+				if err != nil {
+					t.Fatal(err)
+				}
+				rev, err := solver.Revalidate(ctx, rrr.DiffDatasets(before, after), prev)
+				if err != nil {
+					t.Fatalf("%s/%s step %d: revalidate: %v", kind, tc.algo, step, err)
+				}
+				want, err := fresh.Solve(ctx, after, k)
+				if err != nil {
+					t.Fatalf("%s/%s step %d: fresh solve: %v", kind, tc.algo, step, err)
+				}
+				if !sameIDs(rev.Result.IDs, want.IDs) {
+					t.Fatalf("%s/%s step %d (%v): revalidated IDs %v != fresh %v",
+						kind, tc.algo, step, rev.Class, rev.Result.IDs, want.IDs)
+				}
+				if rev.Result.K != k {
+					t.Fatalf("%s/%s step %d: result K = %d, want %d", kind, tc.algo, step, rev.Result.K, k)
+				}
+				seen[rev.Class]++
+				before, prev = after, rev.Result
+			}
+		}
+	}
+	for _, class := range []rrr.DeltaClass{rrr.DeltaStillExact, rrr.DeltaRepaired, rrr.DeltaRecomputed} {
+		if seen[class] == 0 {
+			t.Fatalf("mutation sequences never exercised class %v (distribution %v)", class, seen)
+		}
+	}
+}
+
+// TestRevalidateMDRRRGuarantee runs the same sequences under sampled MDRRR
+// and checks the guarantee a fresh solve offers. MDRRR's guarantee is
+// probabilistic (it hits the sampled k-set collection), so the bar is the
+// one a fresh solve meets: the maintained answer's estimated rank-regret
+// is within k, or at least no worse than a fresh solve's on the same
+// mutated table.
+func TestRevalidateMDRRRGuarantee(t *testing.T) {
+	ctx := context.Background()
+	const k = 10
+	for _, kind := range []string{"independent", "correlated", "anticorrelated"} {
+		tb, err := rrr.GenerateTable(kind, 150, 3, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := []rrr.Option{rrr.WithAlgorithm(rrr.AlgoMDRRR), rrr.WithSeed(3), rrr.WithSamplerTermination(60)}
+		solver := rrr.New(append(opts, rrr.WithDeltaMaintenance())...)
+		fresh := rrr.New(opts...)
+		before, err := tb.Normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev, err := solver.Solve(ctx, before, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := &mutator{rng: rand.New(rand.NewSource(23)), tb: tb}
+		for step := 0; step < 6; step++ {
+			next := m.step(t, prev.IDs)
+			after, err := next.Normalize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rev, err := solver.Revalidate(ctx, rrr.DiffDatasets(before, after), prev)
+			if err != nil {
+				t.Fatalf("%s step %d: %v", kind, step, err)
+			}
+			worst, _, err := rrr.EstimateRankRegret(after, rev.Result.IDs, rrr.EvalOptions{Samples: 3000, Seed: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if worst > k {
+				freshRes, err := fresh.Solve(ctx, after, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				freshWorst, _, err := rrr.EstimateRankRegret(after, freshRes.IDs, rrr.EvalOptions{Samples: 3000, Seed: 4})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if worst > freshWorst {
+					t.Fatalf("%s step %d (%v): maintained answer regret %d > k=%d and > fresh solve's %d",
+						kind, step, rev.Class, worst, k, freshWorst)
+				}
+			}
+			before, prev = after, rev.Result
+		}
+	}
+}
+
+// TestRevalidateRequirements pins the API preconditions and the cheap
+// still-exact path's behavior.
+func TestRevalidateRequirements(t *testing.T) {
+	ctx := context.Background()
+	tb, err := rrr.GenerateTable("independent", 100, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := tb.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := rrr.New()
+	res, err := plain.Solve(ctx, d, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 5 {
+		t.Fatalf("Result.K = %d, want 5", res.K)
+	}
+	if _, err := plain.Revalidate(ctx, rrr.DiffDatasets(d, d), res); err == nil {
+		t.Fatal("Revalidate without WithDeltaMaintenance succeeded")
+	}
+	solver := rrr.New(rrr.WithDeltaMaintenance())
+	if _, err := solver.Revalidate(ctx, rrr.DiffDatasets(d, d), nil); err == nil {
+		t.Fatal("Revalidate with nil prior succeeded")
+	}
+	if _, err := solver.Revalidate(ctx, rrr.Delta{}, res); err == nil {
+		t.Fatal("Revalidate without snapshots succeeded")
+	}
+	// A no-op delta against a result from a maintenance-enabled solver is
+	// still-exact and returns the same IDs.
+	res, err = solver.Solve(ctx, d, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := solver.Revalidate(ctx, rrr.DiffDatasets(d, d), res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev.Class != rrr.DeltaStillExact || !sameIDs(rev.Result.IDs, res.IDs) {
+		t.Fatalf("no-op delta: class %v IDs %v, want still-exact %v", rev.Class, rev.Result.IDs, res.IDs)
+	}
+	if rev.PoolSize == 0 {
+		t.Fatal("still-exact revalidation reported an empty pool")
+	}
+}

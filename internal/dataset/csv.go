@@ -8,29 +8,47 @@ import (
 	"strings"
 )
 
+// idHeader is the reserved header cell marking a leading tuple-ID column.
+// The match is case-insensitive and only applies to the first column; a
+// cell with a ":+"/":-" suffix is always an attribute.
+const idHeader = "id"
+
 // WriteCSV serializes the table with a header row encoding each attribute's
 // preference direction: "Name:+" for higher-is-better, "Name:-" for
-// lower-is-better.
+// lower-is-better. Tables with materialized IDs gain a leading "id" column,
+// so a mutated table's stable tuple IDs survive the round trip through
+// ReadCSV.
 func WriteCSV(w io.Writer, t *Table) error {
 	cw := csv.NewWriter(w)
-	header := make([]string, t.Dims())
-	for j, a := range t.Attrs {
+	withIDs := t.IDs != nil
+	if withIDs && len(t.IDs) != t.N() {
+		return fmt.Errorf("dataset: %d IDs for %d rows", len(t.IDs), t.N())
+	}
+	header := make([]string, 0, t.Dims()+1)
+	if withIDs {
+		header = append(header, idHeader)
+	}
+	for _, a := range t.Attrs {
 		dir := "+"
 		if !a.HigherBetter {
 			dir = "-"
 		}
-		header[j] = a.Name + ":" + dir
+		header = append(header, a.Name+":"+dir)
 	}
 	if err := cw.Write(header); err != nil {
 		return fmt.Errorf("dataset: writing header: %w", err)
 	}
-	record := make([]string, t.Dims())
+	record := make([]string, len(header))
 	for i, row := range t.Rows {
 		if len(row) != t.Dims() {
 			return fmt.Errorf("dataset: row %d has %d values, want %d", i, len(row), t.Dims())
 		}
-		for j, v := range row {
-			record[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		record = record[:0]
+		if withIDs {
+			record = append(record, strconv.Itoa(t.IDs[i]))
+		}
+		for _, v := range row {
+			record = append(record, strconv.FormatFloat(v, 'g', -1, 64))
 		}
 		if err := cw.Write(record); err != nil {
 			return fmt.Errorf("dataset: writing row %d: %w", i, err)
@@ -42,13 +60,25 @@ func WriteCSV(w io.Writer, t *Table) error {
 
 // ReadCSV parses a table written by WriteCSV (or hand-authored in the same
 // convention). Header cells without a ":+"/":-" suffix default to
-// higher-is-better.
+// higher-is-better. A first header cell of exactly "id" (case-insensitive)
+// marks a tuple-ID column: values must be unique integers and become the
+// table's stable IDs instead of an attribute. The NextID watermark is
+// reconstructed as max(ID)+1 — the CSV format does not carry it — so IDs
+// below the maximum are still never reused after a round trip, but an ID
+// deleted from above the maximum before export may be (see Table.NextID).
 func ReadCSV(r io.Reader, name string) (*Table, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = 0 // all records must match the header's width
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("dataset: reading header: %w", err)
+	}
+	withIDs := len(header) > 0 && strings.EqualFold(header[0], idHeader)
+	if withIDs {
+		header = header[1:]
+		if len(header) == 0 {
+			return nil, fmt.Errorf("dataset: %s has an id column but no attributes", name)
+		}
 	}
 	t := &Table{Name: name, Attrs: make([]Attr, len(header))}
 	for j, cell := range header {
@@ -63,6 +93,7 @@ func ReadCSV(r io.Reader, name string) (*Table, error) {
 		}
 		t.Attrs[j] = attr
 	}
+	seen := make(map[int]bool)
 	for i := 0; ; i++ {
 		record, err := cr.Read()
 		if err == io.EOF {
@@ -70,6 +101,21 @@ func ReadCSV(r io.Reader, name string) (*Table, error) {
 		}
 		if err != nil {
 			return nil, fmt.Errorf("dataset: reading row %d: %w", i, err)
+		}
+		if withIDs {
+			id, err := strconv.Atoi(strings.TrimSpace(record[0]))
+			if err != nil {
+				return nil, fmt.Errorf("dataset: row %d id %q is not an integer", i, record[0])
+			}
+			if seen[id] {
+				return nil, fmt.Errorf("dataset: duplicate tuple ID %d at row %d", id, i)
+			}
+			seen[id] = true
+			t.IDs = append(t.IDs, id)
+			if id >= t.NextID {
+				t.NextID = id + 1
+			}
+			record = record[1:]
 		}
 		row := make([]float64, len(record))
 		for j, cell := range record {

@@ -17,6 +17,7 @@
 package dataset
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -40,6 +41,21 @@ type Table struct {
 	Name  string
 	Attrs []Attr
 	Rows  [][]float64
+	// IDs optionally assigns a stable tuple ID to each row; nil means rows
+	// are identified by their index (0..n-1), the historical behavior.
+	// Mutation operations (AppendRows, DeleteRows) materialize IDs so that
+	// deleting rows never renumbers the survivors, and WriteCSV/ReadCSV
+	// round-trip them through a leading "id" column.
+	IDs []int
+	// NextID is the watermark of fresh tuple IDs: AppendRows assigns from
+	// max(NextID, max live ID + 1) and DeleteRows advances it past every
+	// ID it removes, so within a table lineage the ID of a deleted tuple
+	// is never reassigned to a later append — clients holding an ID can
+	// never silently see a different tuple behind it. Zero on tables that
+	// were never mutated. The CSV format does not carry the watermark:
+	// ReadCSV reconstructs it as max(ID)+1, which preserves the guarantee
+	// for every ID at or below the exported maximum.
+	NextID int
 }
 
 // N returns the number of rows.
@@ -47,6 +63,149 @@ func (t *Table) N() int { return len(t.Rows) }
 
 // Dims returns the number of attributes.
 func (t *Table) Dims() int { return len(t.Attrs) }
+
+// ID returns the stable tuple ID of row i: IDs[i] when IDs are
+// materialized, the row index otherwise.
+func (t *Table) ID(i int) int {
+	if t.IDs != nil {
+		return t.IDs[i]
+	}
+	return i
+}
+
+// materializeIDs returns the table's ID slice, building the identity
+// assignment 0..n-1 when IDs were never materialized.
+func (t *Table) materializeIDs() []int {
+	if t.IDs != nil {
+		return t.IDs
+	}
+	ids := make([]int, t.N())
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// validateRow rejects rows that cannot join the table: wrong arity or
+// non-finite values.
+func (t *Table) validateRow(row []float64) error {
+	if len(row) != t.Dims() {
+		return fmt.Errorf("dataset: row has %d values, want %d", len(row), t.Dims())
+	}
+	for j, v := range row {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("dataset: attribute %q is not finite", t.Attrs[j].Name)
+		}
+	}
+	return nil
+}
+
+// AppendRows returns a new table with the rows appended and fresh IDs
+// assigned past the current maximum, plus the assigned IDs in row order.
+// The receiver is unchanged (existing rows are shared, not copied), so
+// snapshots taken before the append stay valid — the copy-on-write
+// discipline the delta engine's generation log relies on.
+func (t *Table) AppendRows(rows [][]float64) (*Table, []int, error) {
+	if len(rows) == 0 {
+		return nil, nil, errors.New("dataset: no rows to append")
+	}
+	for i, row := range rows {
+		if err := t.validateRow(row); err != nil {
+			return nil, nil, fmt.Errorf("appended row %d: %w", i, err)
+		}
+	}
+	ids := t.materializeIDs()
+	nextID := t.NextID
+	for _, id := range ids {
+		if id >= nextID {
+			nextID = id + 1
+		}
+	}
+	out := &Table{
+		Name:  t.Name,
+		Attrs: t.Attrs,
+		Rows:  make([][]float64, 0, t.N()+len(rows)),
+		IDs:   make([]int, 0, t.N()+len(rows)),
+	}
+	out.Rows = append(out.Rows, t.Rows...)
+	out.IDs = append(out.IDs, ids...)
+	assigned := make([]int, len(rows))
+	for i, row := range rows {
+		cp := make([]float64, len(row))
+		copy(cp, row)
+		out.Rows = append(out.Rows, cp)
+		out.IDs = append(out.IDs, nextID)
+		assigned[i] = nextID
+		nextID++
+	}
+	out.NextID = nextID
+	return out, assigned, nil
+}
+
+// DeleteRows returns a new table without the tuples whose IDs are listed,
+// plus the IDs that were actually present. Survivors keep their IDs —
+// deletion never renumbers rows — so cached results, CSV exports and the
+// delta engine's candidate pools keep speaking the same ID language across
+// mutations. Unknown IDs are skipped (their absence from the returned
+// slice reports it). Deleting every row is an error: the repository has no
+// notion of an empty dataset.
+func (t *Table) DeleteRows(ids []int) (*Table, []int, error) {
+	if len(ids) == 0 {
+		return nil, nil, errors.New("dataset: no IDs to delete")
+	}
+	drop := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		drop[id] = true
+	}
+	cur := t.materializeIDs()
+	out := &Table{Name: t.Name, Attrs: t.Attrs, NextID: t.NextID}
+	removed := make([]int, 0, len(ids))
+	for i, row := range t.Rows {
+		if cur[i] >= out.NextID {
+			out.NextID = cur[i] + 1
+		}
+		if drop[cur[i]] {
+			removed = append(removed, cur[i])
+			continue
+		}
+		out.Rows = append(out.Rows, row)
+		out.IDs = append(out.IDs, cur[i])
+	}
+	if out.N() == 0 {
+		return nil, nil, errors.New("dataset: deletion would leave no rows")
+	}
+	return out, removed, nil
+}
+
+// Bounds returns the per-attribute raw minima and maxima — the quantities
+// the min-max normalization is defined by. The delta engine compares them
+// across a mutation batch: equal bounds mean every surviving tuple keeps
+// its normalized coordinates, the precondition of every containment-based
+// revalidation argument.
+func (t *Table) Bounds() (mins, maxs []float64, err error) {
+	if t.N() == 0 || t.Dims() == 0 {
+		return nil, nil, errors.New("dataset: empty table has no bounds")
+	}
+	d := t.Dims()
+	mins = make([]float64, d)
+	maxs = make([]float64, d)
+	copy(mins, t.Rows[0])
+	copy(maxs, t.Rows[0])
+	for i, row := range t.Rows {
+		if len(row) != d {
+			return nil, nil, fmt.Errorf("dataset: row %d has %d values, want %d", i, len(row), d)
+		}
+		for j, v := range row {
+			if v < mins[j] {
+				mins[j] = v
+			}
+			if v > maxs[j] {
+				maxs[j] = v
+			}
+		}
+	}
+	return mins, maxs, nil
+}
 
 // clamp bounds v into [lo, hi].
 func clamp(v, lo, hi float64) float64 {

@@ -1,0 +1,162 @@
+package dataset_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rrr/internal/dataset"
+)
+
+func twoColTable() *dataset.Table {
+	return &dataset.Table{
+		Name:  "mut",
+		Attrs: []dataset.Attr{{Name: "a", HigherBetter: true}, {Name: "b", HigherBetter: false}},
+		Rows:  [][]float64{{1, 10}, {2, 20}, {3, 30}, {4, 40}},
+	}
+}
+
+func TestAppendRowsAssignsFreshIDs(t *testing.T) {
+	tb := twoColTable()
+	next, ids, err := tb.AppendRows([][]float64{{5, 50}, {6, 60}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{4, 5}; len(ids) != 2 || ids[0] != want[0] || ids[1] != want[1] {
+		t.Fatalf("assigned IDs = %v, want %v", ids, want)
+	}
+	if next.N() != 6 || tb.N() != 4 {
+		t.Fatalf("append mutated shapes: next=%d orig=%d", next.N(), tb.N())
+	}
+	if tb.IDs != nil {
+		t.Fatalf("append mutated the receiver's IDs: %v", tb.IDs)
+	}
+	// Appending after a delete must not reuse a surviving (or deleted) ID
+	// range below the historical maximum.
+	next, _, err = next.DeleteRows([]int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, ids, err = next.AppendRows([][]float64{{7, 70}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids[0] != 6 {
+		t.Fatalf("post-delete append assigned ID %d, want 6", ids[0])
+	}
+}
+
+// TestDeleteRowsPreservesSurvivorIDs is the tuple-ID stability regression
+// test: deleting a row must not renumber the rows after it.
+func TestDeleteRowsPreservesSurvivorIDs(t *testing.T) {
+	tb := twoColTable()
+	next, removed, err := tb.DeleteRows([]int{1, 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0] != 1 {
+		t.Fatalf("removed = %v, want [1]", removed)
+	}
+	want := []int{0, 2, 3}
+	if len(next.IDs) != len(want) {
+		t.Fatalf("survivor IDs = %v, want %v", next.IDs, want)
+	}
+	for i, id := range want {
+		if next.IDs[i] != id {
+			t.Fatalf("survivor IDs = %v, want %v (renumbered)", next.IDs, want)
+		}
+	}
+	// The normalized dataset must address tuples by the same IDs.
+	d, err := next.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.ByID(1); ok {
+		t.Fatal("deleted tuple 1 still resolvable after normalization")
+	}
+	for _, id := range want {
+		if _, ok := d.ByID(id); !ok {
+			t.Fatalf("survivor %d not resolvable after normalization", id)
+		}
+	}
+}
+
+func TestDeleteRowsRefusesToEmptyTable(t *testing.T) {
+	tb := twoColTable()
+	if _, _, err := tb.DeleteRows([]int{0, 1, 2, 3}); err == nil {
+		t.Fatal("deleting every row succeeded, want error")
+	}
+}
+
+func TestAppendRowsValidation(t *testing.T) {
+	tb := twoColTable()
+	if _, _, err := tb.AppendRows(nil); err == nil {
+		t.Fatal("empty append succeeded, want error")
+	}
+	if _, _, err := tb.AppendRows([][]float64{{1}}); err == nil {
+		t.Fatal("wrong-arity append succeeded, want error")
+	}
+	nan := 0.0
+	nan /= nan
+	if _, _, err := tb.AppendRows([][]float64{{nan, 1}}); err == nil {
+		t.Fatal("NaN append succeeded, want error")
+	}
+}
+
+// TestCSVRoundTripPreservesIDs is the second half of the stability
+// regression: a table whose IDs have gaps (from deletes) must export and
+// re-import with the same IDs.
+func TestCSVRoundTripPreservesIDs(t *testing.T) {
+	tb := twoColTable()
+	tb, _, err := tb.DeleteRows([]int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, _, err = tb.AppendRows([][]float64{{9, 90}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := dataset.WriteCSV(&buf, tb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "id,") {
+		t.Fatalf("CSV header missing id column: %q", buf.String())
+	}
+	back, err := dataset.ReadCSV(&buf, "back")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.IDs) != len(tb.IDs) {
+		t.Fatalf("round trip IDs = %v, want %v", back.IDs, tb.IDs)
+	}
+	for i := range tb.IDs {
+		if back.IDs[i] != tb.IDs[i] {
+			t.Fatalf("round trip IDs = %v, want %v", back.IDs, tb.IDs)
+		}
+	}
+}
+
+func TestReadCSVIDColumnValidation(t *testing.T) {
+	cases := map[string]string{
+		"duplicate ids": "id,a:+\n1,0.5\n1,0.7\n",
+		"non-integer":   "id,a:+\nx,0.5\n",
+		"id only":       "id\n1\n",
+	}
+	for name, body := range cases {
+		if _, err := dataset.ReadCSV(strings.NewReader(body), name); err == nil {
+			t.Errorf("%s: accepted, want error", name)
+		}
+	}
+}
+
+func TestBounds(t *testing.T) {
+	tb := twoColTable()
+	mins, maxs, err := tb.Bounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mins[0] != 1 || maxs[0] != 4 || mins[1] != 10 || maxs[1] != 40 {
+		t.Fatalf("bounds = %v %v", mins, maxs)
+	}
+}

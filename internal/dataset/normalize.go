@@ -15,6 +15,10 @@ import (
 // uniform higher-is-better semantics. A constant column (max = min), for
 // which the paper's formula is undefined, maps to 0.5 everywhere — it
 // cannot discriminate tuples either way.
+//
+// Tables with materialized IDs normalize into a dataset carrying those IDs,
+// so a table mutated by AppendRows/DeleteRows keeps addressing the same
+// tuples before and after normalization.
 func (t *Table) Normalize() (*core.Dataset, error) {
 	if t.N() == 0 {
 		return nil, errors.New("dataset: empty table")
@@ -48,6 +52,9 @@ func (t *Table) Normalize() (*core.Dataset, error) {
 			}
 		}
 	}
+	if t.IDs != nil && len(t.IDs) != t.N() {
+		return nil, fmt.Errorf("dataset: %d IDs for %d rows", len(t.IDs), t.N())
+	}
 	points := make([][]float64, t.N())
 	for i, row := range t.Rows {
 		p := make([]float64, d)
@@ -64,7 +71,14 @@ func (t *Table) Normalize() (*core.Dataset, error) {
 		}
 		points[i] = p
 	}
-	return core.NewDataset(points)
+	if t.IDs == nil {
+		return core.NewDataset(points)
+	}
+	tuples := make([]core.Tuple, len(points))
+	for i, p := range points {
+		tuples[i] = core.Tuple{ID: t.IDs[i], Attrs: p}
+	}
+	return core.FromTuples(tuples)
 }
 
 // Project returns a new table with only the listed attribute columns, in
@@ -88,7 +102,7 @@ func (t *Table) Project(cols []int) (*Table, error) {
 		}
 		rows[i] = r
 	}
-	return &Table{Name: t.Name, Attrs: attrs, Rows: rows}, nil
+	return &Table{Name: t.Name, Attrs: attrs, Rows: rows, IDs: t.IDs}, nil
 }
 
 // FirstDims projects onto the first d attributes.
@@ -109,5 +123,9 @@ func (t *Table) Prefix(n int) (*Table, error) {
 	if n <= 0 || n > t.N() {
 		return nil, fmt.Errorf("dataset: prefix size %d out of range [1,%d]", n, t.N())
 	}
-	return &Table{Name: t.Name, Attrs: t.Attrs, Rows: t.Rows[:n]}, nil
+	out := &Table{Name: t.Name, Attrs: t.Attrs, Rows: t.Rows[:n]}
+	if t.IDs != nil {
+		out.IDs = t.IDs[:n]
+	}
+	return out, nil
 }

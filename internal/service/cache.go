@@ -523,6 +523,114 @@ func (c *Cache) fill(fl *flight, key Key, slot *computation, ids []int, stats Re
 	}
 }
 
+// CompletedKeys returns the keys of completed, successful computations
+// for the named dataset at the given generation — the cached answers the
+// delta maintainer classifies after a mutation. In-flight and failed
+// slots are excluded: the former will complete into an unreachable
+// generation, the latter have nothing worth carrying forward.
+func (c *Cache) CompletedKeys(name string, gen int64) []Key {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var keys []Key
+	for key, slot := range c.slots {
+		if key.Dataset != name || key.Gen != gen {
+			continue
+		}
+		select {
+		case <-slot.done:
+			if slot.err == nil {
+				keys = append(keys, key)
+			}
+		default:
+		}
+	}
+	return keys
+}
+
+// Rekey republishes the completed result at old under the new key — the
+// delta maintainer's still-exact path, which carries an answer across a
+// generation bump instead of letting the new generation miss. It reports
+// false without touching anything when old is missing, unfinished or
+// failed, or when new is already occupied (a request may have raced ahead
+// and started its own computation; that flight wins).
+func (c *Cache) Rekey(old, new Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	slot, ok := c.slots[old]
+	if !ok {
+		return false
+	}
+	select {
+	case <-slot.done:
+	default:
+		return false
+	}
+	if slot.err != nil {
+		return false
+	}
+	if _, occupied := c.slots[new]; occupied {
+		return false
+	}
+	c.slots[new] = slot
+	delete(c.slots, old)
+	return true
+}
+
+// Put seeds a completed result — the delta maintainer's repair path
+// publishing a reduce-phase re-run. It reports false when the key is
+// already occupied (an in-flight or completed computation wins).
+func (c *Cache) Put(key Key, ids []int, stats ResultStats, elapsed time.Duration) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, occupied := c.slots[key]; occupied {
+		return false
+	}
+	slot := &computation{done: make(chan struct{}), ids: ids, stats: stats, elapsed: elapsed, filled: true}
+	close(slot.done)
+	c.slots[key] = slot
+	return true
+}
+
+// Drop removes the completed slot at key (stale classification),
+// reporting whether anything was dropped. In-flight slots are left alone.
+func (c *Cache) Drop(key Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	slot, ok := c.slots[key]
+	if !ok {
+		return false
+	}
+	select {
+	case <-slot.done:
+		delete(c.slots, key)
+		return true
+	default:
+		return false
+	}
+}
+
+// InvalidateGeneration drops every completed result for the named dataset
+// at generations up to and including gen — the post-maintenance sweep
+// that clears slots no request can reach anymore. Like InvalidateDataset,
+// in-flight computations are left to finish into their unreachable keys.
+func (c *Cache) InvalidateGeneration(name string, gen int64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for key, slot := range c.slots {
+		if key.Dataset != name || key.Gen > gen {
+			continue
+		}
+		select {
+		case <-slot.done:
+			delete(c.slots, key)
+			dropped++
+		default:
+		}
+	}
+	return dropped
+}
+
 // evict removes the slot if it is still the one mapped at key.
 func (c *Cache) evict(key Key, slot *computation) {
 	c.mu.Lock()

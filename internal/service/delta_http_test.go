@@ -1,0 +1,211 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newDeltaTestServer(t *testing.T) (*Service, *httptest.Server) {
+	t.Helper()
+	svc := New(Config{Seed: 1, DeltaMaintenance: true})
+	if _, err := svc.Registry().RegisterCSV("anchored", strings.NewReader(anchoredCSV)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(svc))
+	t.Cleanup(ts.Close)
+	return svc, ts
+}
+
+func doJSON[T any](t *testing.T, method, url, body string, wantStatus int) T {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("%s %s: status %d, want %d", method, url, resp.StatusCode, wantStatus)
+	}
+	var out T
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("%s %s: decoding body: %v", method, url, err)
+	}
+	return out
+}
+
+type mutationBody struct {
+	Dataset    string `json:"dataset"`
+	Generation int64  `json:"generation"`
+	N          int    `json:"n"`
+	Tuples     []struct {
+		ID     int    `json:"id"`
+		Op     string `json:"op"`
+		Status string `json:"status"`
+	} `json:"tuples"`
+	Maintenance struct {
+		Revalidated int `json:"revalidated"`
+		Repaired    int `json:"repaired"`
+		Recomputed  int `json:"recomputed"`
+	} `json:"maintenance"`
+}
+
+func TestHTTPMutationEndpoints(t *testing.T) {
+	_, ts := newDeltaTestServer(t)
+
+	// Warm the cache so maintenance has something to classify.
+	resp, err := http.Get(ts.URL + "/v1/representative?dataset=anchored&k=2&algo=2drrr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("representative: %d", resp.StatusCode)
+	}
+
+	// Append a dominated interior row: still-exact maintenance.
+	mut := doJSON[mutationBody](t, "POST", ts.URL+"/v1/datasets/anchored/append",
+		`{"rows":[[0.05,0.05]]}`, http.StatusOK)
+	if mut.Generation != 2 || mut.N != 8 {
+		t.Fatalf("append: gen=%d n=%d", mut.Generation, mut.N)
+	}
+	if len(mut.Tuples) != 1 || mut.Tuples[0].Op != "append" || mut.Tuples[0].Status != "appended" || mut.Tuples[0].ID != 7 {
+		t.Fatalf("append tuples = %+v", mut.Tuples)
+	}
+	if mut.Maintenance.Revalidated != 1 || mut.Maintenance.Recomputed != 0 {
+		t.Fatalf("append maintenance = %+v", mut.Maintenance)
+	}
+
+	// Delete the appended row plus an unknown ID: per-tuple statuses.
+	mut = doJSON[mutationBody](t, "POST", ts.URL+"/v1/datasets/anchored/delete",
+		`{"ids":[7,99]}`, http.StatusOK)
+	if mut.Generation != 3 || mut.N != 7 {
+		t.Fatalf("delete: gen=%d n=%d", mut.Generation, mut.N)
+	}
+	if len(mut.Tuples) != 2 ||
+		mut.Tuples[0].ID != 7 || mut.Tuples[0].Status != "deleted" ||
+		mut.Tuples[1].ID != 99 || mut.Tuples[1].Status != "not_found" {
+		t.Fatalf("delete tuples = %+v", mut.Tuples)
+	}
+
+	// Delta counters surface in /v1/stats and /v1/metrics.
+	var stats Snapshot
+	statsResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(statsResp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	statsResp.Body.Close()
+	if stats.Delta.Mutations != 2 || stats.Delta.Revalidated < 1 {
+		t.Fatalf("stats delta = %+v", stats.Delta)
+	}
+	metricsResp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, metricsResp.Body); err != nil {
+		t.Fatal(err)
+	}
+	metricsResp.Body.Close()
+	for _, want := range []string{
+		"rrrd_delta_mutations_total 2",
+		"rrrd_delta_revalidated_total",
+		"rrrd_delta_repaired_total",
+		"rrrd_delta_recomputed_total",
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("/v1/metrics missing %q", want)
+		}
+	}
+}
+
+// TestHTTPMutationDecodingEdgeCases covers the request-shape rejections:
+// empty batches, duplicate IDs, and non-finite attribute values must all
+// be typed 4xx responses, never 500s.
+func TestHTTPMutationDecodingEdgeCases(t *testing.T) {
+	_, ts := newDeltaTestServer(t)
+	cases := []struct {
+		name, path, body string
+		wantStatus       int
+		wantKind         string
+	}{
+		{"empty append", "/v1/datasets/anchored/append", `{"rows":[]}`, http.StatusBadRequest, "bad_request"},
+		{"empty delete", "/v1/datasets/anchored/delete", `{"ids":[]}`, http.StatusBadRequest, "bad_request"},
+		{"empty object", "/v1/datasets/anchored/append", `{}`, http.StatusBadRequest, "bad_request"},
+		{"duplicate ids", "/v1/datasets/anchored/delete", `{"ids":[3,3]}`, http.StatusBadRequest, "bad_request"},
+		{"overflowing number", "/v1/datasets/anchored/append", `{"rows":[[1e999,0.5]]}`, http.StatusBadRequest, "bad_request"},
+		{"nan spelled out", "/v1/datasets/anchored/append", `{"rows":[[NaN,0.5]]}`, http.StatusBadRequest, "bad_request"},
+		{"wrong arity", "/v1/datasets/anchored/append", `{"rows":[[0.5]]}`, http.StatusBadRequest, "bad_request"},
+		{"unknown field", "/v1/datasets/anchored/append", `{"rowz":[[0.5,0.5]]}`, http.StatusBadRequest, "bad_request"},
+		{"malformed json", "/v1/datasets/anchored/delete", `{"ids":`, http.StatusBadRequest, "bad_request"},
+		{"unknown dataset", "/v1/datasets/ghost/delete", `{"ids":[1]}`, http.StatusNotFound, "not_found"},
+		{"delete everything", "/v1/datasets/anchored/delete", `{"ids":[0,1,2,3,4,5,6]}`, http.StatusBadRequest, "bad_request"},
+	}
+	for _, tc := range cases {
+		body := doJSON[errorBody](t, "POST", ts.URL+tc.path, tc.body, tc.wantStatus)
+		if body.Kind != tc.wantKind {
+			t.Errorf("%s: kind = %q, want %q", tc.name, body.Kind, tc.wantKind)
+		}
+	}
+
+	// The engine-off case is its own 4xx.
+	plain := New(Config{})
+	if _, err := plain.Registry().RegisterCSV("x", strings.NewReader(anchoredCSV)); err != nil {
+		t.Fatal(err)
+	}
+	tsOff := httptest.NewServer(NewServer(plain))
+	defer tsOff.Close()
+	body := doJSON[errorBody](t, "POST", tsOff.URL+"/v1/datasets/x/delete", `{"ids":[1]}`, http.StatusBadRequest)
+	if body.Kind != "bad_request" || !strings.Contains(body.Error, "-delta") {
+		t.Fatalf("engine off: %+v", body)
+	}
+}
+
+// TestHTTPDatasetListMetadata covers the GET /v1/datasets satellite:
+// per-dataset metadata (generation, n, dims, kind) instead of bare names.
+func TestHTTPDatasetListMetadata(t *testing.T) {
+	svc, ts := newDeltaTestServer(t)
+	if _, err := svc.Registry().Generate("uni", "independent", 50, 3, 7); err != nil {
+		t.Fatal(err)
+	}
+	type list struct {
+		Datasets []datasetInfo `json:"datasets"`
+	}
+	got := doJSON[list](t, "GET", ts.URL+"/v1/datasets", "", http.StatusOK)
+	if len(got.Datasets) != 2 {
+		t.Fatalf("datasets = %+v", got.Datasets)
+	}
+	byName := map[string]datasetInfo{}
+	for _, d := range got.Datasets {
+		byName[d.Name] = d
+	}
+	anch := byName["anchored"]
+	if anch.Kind != "csv" || anch.N != 7 || anch.Dims != 2 || anch.Generation != 1 || !anch.Mutable {
+		t.Fatalf("anchored metadata = %+v", anch)
+	}
+	uni := byName["uni"]
+	if uni.Kind != "independent" || uni.N != 50 || uni.Dims != 3 || uni.Generation == 0 {
+		t.Fatalf("uni metadata = %+v", uni)
+	}
+
+	// Mutations advance the reported generation.
+	doJSON[mutationBody](t, "POST", ts.URL+"/v1/datasets/anchored/append", `{"rows":[[0.5,0.5]]}`, http.StatusOK)
+	got = doJSON[list](t, "GET", ts.URL+"/v1/datasets", "", http.StatusOK)
+	for _, d := range got.Datasets {
+		if d.Name == "anchored" {
+			if d.Generation <= 1 || d.N != 8 {
+				t.Fatalf("post-mutation metadata = %+v", d)
+			}
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"rrr"
+	"rrr/internal/delta"
 )
 
 // maxUploadBytes bounds POST /datasets bodies (CSV uploads included).
@@ -30,8 +31,10 @@ const statusClientClosedRequest = 499
 // Endpoints (each also available without the /v1 prefix):
 //
 //	POST /v1/datasets        register a dataset (JSON spec: generator or CSV)
-//	GET  /v1/datasets        list registered datasets
+//	GET  /v1/datasets        list registered datasets with metadata
 //	DELETE /v1/datasets/{name}  unregister + invalidate cache
+//	POST /v1/datasets/{name}/append  append rows (delta engine; rrrd -delta)
+//	POST /v1/datasets/{name}/delete  delete tuples by ID (delta engine)
 //	GET  /v1/representative?dataset=&k=&algo=   cached representative
 //	POST /v1/batch           many queries, one shared computation
 //	GET  /v1/rank?dataset=&weights=&id=|ids=    rank / rank-regret probe
@@ -71,6 +74,8 @@ func NewServer(svc *Service, opts ...ServerOption) *Server {
 	s.route("POST /datasets", s.handleRegister)
 	s.route("GET /datasets", s.handleList)
 	s.route("DELETE /datasets/{name}", s.handleRemove)
+	s.route("POST /datasets/{name}/append", s.handleAppend)
+	s.route("POST /datasets/{name}/delete", s.handleDelete)
 	s.route("GET /representative", s.handleRepresentative)
 	s.route("POST /batch", s.handleBatch)
 	s.route("GET /rank", s.handleRank)
@@ -174,12 +179,17 @@ type registerRequest struct {
 	CSV  string `json:"csv,omitempty"`
 }
 
-// datasetInfo describes one registered dataset in responses.
+// datasetInfo describes one registered dataset in responses: identity,
+// shape, provenance (kind), and the mutation generation — everything a
+// client needs to decide whether its view of the dataset is current.
 type datasetInfo struct {
-	Name  string   `json:"name"`
-	N     int      `json:"n"`
-	Dims  int      `json:"dims"`
-	Attrs []string `json:"attrs"`
+	Name       string   `json:"name"`
+	N          int      `json:"n"`
+	Dims       int      `json:"dims"`
+	Kind       string   `json:"kind"`
+	Generation int64    `json:"generation"`
+	Mutable    bool     `json:"mutable"`
+	Attrs      []string `json:"attrs"`
 }
 
 func describe(e *Entry) datasetInfo {
@@ -191,15 +201,20 @@ func describe(e *Entry) datasetInfo {
 		}
 		attrs[i] = a.Name + dir
 	}
-	return datasetInfo{Name: e.Name, N: e.Data.N(), Dims: e.Data.Dims(), Attrs: attrs}
+	return datasetInfo{
+		Name:       e.Name,
+		N:          e.Data.N(),
+		Dims:       e.Data.Dims(),
+		Kind:       e.Kind,
+		Generation: e.Gen,
+		Mutable:    e.Log != nil,
+		Attrs:      attrs,
+	}
 }
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var req registerRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUploadBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, fmt.Errorf("service: invalid JSON body: %v: %w", err, ErrBadRequest))
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	var entry *Entry
@@ -239,6 +254,95 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"removed": name})
+}
+
+// appendRequest is the POST /datasets/{name}/append payload: raw attribute
+// rows in the dataset's schema (arity checked server-side). JSON cannot
+// carry NaN or infinities, and any that arrive spelled as numbers too
+// large to represent fail decoding as bad requests.
+type appendRequest struct {
+	Rows [][]float64 `json:"rows"`
+}
+
+// deleteRequest is the POST /datasets/{name}/delete payload: stable tuple
+// IDs. Duplicates are rejected; unknown IDs report per-tuple "not_found".
+type deleteRequest struct {
+	IDs []int `json:"ids"`
+}
+
+// tupleStatusBody is one tuple's outcome in a mutation response.
+type tupleStatusBody struct {
+	ID     int    `json:"id"`
+	Op     string `json:"op"`
+	Status string `json:"status"`
+}
+
+// maintenanceBody tallies what the batch did to cached answers.
+type maintenanceBody struct {
+	Revalidated int `json:"revalidated"`
+	Repaired    int `json:"repaired"`
+	Recomputed  int `json:"recomputed"`
+}
+
+// mutationResponse is the append/delete endpoints' payload.
+type mutationResponse struct {
+	Dataset     string            `json:"dataset"`
+	Generation  int64             `json:"generation"`
+	N           int               `json:"n"`
+	Tuples      []tupleStatusBody `json:"tuples"`
+	Maintenance maintenanceBody   `json:"maintenance"`
+}
+
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	var req appendRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	s.mutate(w, r, delta.Batch{Append: req.Rows})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	var req deleteRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	s.mutate(w, r, delta.Batch{Delete: req.IDs})
+}
+
+// mutate runs one batch through the service and renders the outcome.
+func (s *Server) mutate(w http.ResponseWriter, r *http.Request, b delta.Batch) {
+	mut, err := s.svc.Mutate(r.Context(), r.PathValue("name"), b)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := mutationResponse{
+		Dataset:    mut.Dataset,
+		Generation: mut.Gen,
+		N:          mut.N,
+		Tuples:     make([]tupleStatusBody, len(mut.Tuples)),
+		Maintenance: maintenanceBody{
+			Revalidated: mut.Stats.Revalidated,
+			Repaired:    mut.Stats.Repaired,
+			Recomputed:  mut.Stats.Recomputed,
+		},
+	}
+	for i, ts := range mut.Tuples {
+		resp.Tuples[i] = tupleStatusBody{ID: ts.ID, Op: ts.Op, Status: ts.Status}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// decodeBody decodes a JSON request body with the server's standard
+// limits and strictness, writing the 400 itself on failure.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUploadBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, fmt.Errorf("service: invalid JSON body: %v: %w", err, ErrBadRequest))
+		return false
+	}
+	return true
 }
 
 // representativeResponse is the GET /representative payload.
@@ -323,10 +427,7 @@ type batchResponse struct {
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req batchRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUploadBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, fmt.Errorf("service: invalid JSON body: %v: %w", err, ErrBadRequest))
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	if req.Dataset == "" {

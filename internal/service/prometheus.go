@@ -40,6 +40,11 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("rrrd_shards_done_total", "Shards whose map-phase extraction completed.", m.shardsDone.Load())
 	counter("rrrd_shard_candidates_total", "Candidate tuples the map phases kept.", m.shardCandidates.Load())
 	counter("rrrd_shard_input_tuples_total", "Tuples the map phases saw before pruning.", m.shardInput.Load())
+	counter("rrrd_delta_mutations_total", "Mutation batches applied to registered datasets.", m.mutations.Load())
+	counter("rrrd_delta_mutated_tuples_total", "Tuples appended or deleted by mutation batches.", m.mutatedTuples.Load())
+	counter("rrrd_delta_revalidated_total", "Cached answers proven still exact across a mutation and re-keyed.", m.deltaRevalidated.Load())
+	counter("rrrd_delta_repaired_total", "Cached answers repaired by a reduce-phase re-run on the patched pool.", m.deltaRepaired.Load())
+	counter("rrrd_delta_recomputed_total", "Cached answers invalidated by a mutation for lazy full recompute.", m.deltaRecomputed.Load())
 
 	// Latency histograms, one series set per algorithm, iterated in sorted
 	// order so the exposition is deterministic. The lock covers only the

@@ -9,22 +9,34 @@ import (
 
 	"rrr/internal/core"
 	"rrr/internal/dataset"
+	"rrr/internal/delta"
 )
 
-// Entry is one registered dataset: the raw table it was loaded from and the
-// normalized point cloud the algorithms run on. Entries are immutable once
-// registered; re-registering a name is an error (callers must Remove
-// first), which keeps cached representatives consistent with their data.
+// Entry is one registered dataset at one generation: the raw table it was
+// loaded from and the normalized point cloud the algorithms run on. An
+// Entry is an immutable snapshot; re-registering a name is an error
+// (callers must Remove first), and mutations do not touch the entry —
+// they append to its mutation log and swap in a successor entry at the
+// next generation, so requests holding an entry always see a consistent
+// (table, data, gen) triple.
 type Entry struct {
 	Name  string
 	Table *dataset.Table
 	Data  *core.Dataset
-	// Gen uniquely identifies this registration within the registry's
+	// Kind records how the dataset came to be: a generator kind (dot, bn,
+	// independent, correlated, anticorrelated), "csv" for uploads, or
+	// "table" for direct registration.
+	Kind string
+	// Gen uniquely identifies this snapshot within the registry's
 	// lifetime. Cache keys include it, so a dataset removed and
-	// re-registered under the same name can never be served results
-	// computed against the old data — even results whose computation was
-	// in flight across the removal.
+	// re-registered under the same name — or mutated to a new generation —
+	// can never be served results computed against other data, even
+	// results whose computation was in flight across the change.
 	Gen int64
+	// Log is the dataset's mutation log, shared by every generation of the
+	// same registration. Nil when the registry was built without delta
+	// maintenance; such datasets are immutable, the historical behavior.
+	Log *delta.Log
 }
 
 // Registry is the concurrency-safe name → dataset map behind the daemon.
@@ -34,6 +46,9 @@ type Registry struct {
 	mu      sync.RWMutex
 	entries map[string]*Entry
 	nextGen int64
+	// delta makes Register attach a mutation log to every entry, enabling
+	// Mutate. Set before any registration (the daemon's -delta flag).
+	delta bool
 }
 
 // NewRegistry returns an empty registry.
@@ -41,13 +56,39 @@ func NewRegistry() *Registry {
 	return &Registry{entries: make(map[string]*Entry)}
 }
 
-// Register normalizes the table and stores it under the given name.
+// EnableDeltaMaintenance makes every subsequently registered dataset carry
+// a mutation log, so Mutate can apply append/delete batches to it.
+func (r *Registry) EnableDeltaMaintenance() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.delta = true
+}
+
+// Register normalizes the table and stores it under the given name with
+// kind "table".
 func (r *Registry) Register(name string, t *dataset.Table) (*Entry, error) {
+	return r.register(name, t, "table")
+}
+
+func (r *Registry) register(name string, t *dataset.Table, kind string) (*Entry, error) {
 	if err := validateName(name); err != nil {
 		return nil, err
 	}
-	data, err := t.Normalize()
-	if err != nil {
+	// Normalization is the expensive part; do it outside the registry
+	// lock. The generation is reserved up front — a failed registration
+	// wastes one, which the monotone counter absorbs harmlessly.
+	gen := r.reserveGen()
+	var (
+		data *core.Dataset
+		log  *delta.Log
+		err  error
+	)
+	if r.deltaEnabled() {
+		if log, err = delta.NewLog(t, gen); err != nil {
+			return nil, fmt.Errorf("service: dataset %q: %w", name, err)
+		}
+		_, data, _ = log.Snapshot()
+	} else if data, err = t.Normalize(); err != nil {
 		return nil, fmt.Errorf("service: dataset %q: %w", name, err)
 	}
 	r.mu.Lock()
@@ -55,20 +96,74 @@ func (r *Registry) Register(name string, t *dataset.Table) (*Entry, error) {
 	if _, dup := r.entries[name]; dup {
 		return nil, fmt.Errorf("service: dataset %q already registered: %w", name, ErrConflict)
 	}
-	r.nextGen++
-	e := &Entry{Name: name, Table: t, Data: data, Gen: r.nextGen}
+	e := &Entry{Name: name, Table: t, Data: data, Kind: kind, Gen: gen, Log: log}
 	r.entries[name] = e
 	return e, nil
 }
 
+func (r *Registry) deltaEnabled() bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.delta
+}
+
 // RegisterCSV parses a CSV stream in the repository convention (header
-// "Name:+" / "Name:-") and registers it.
+// "Name:+" / "Name:-", optional leading "id" column) and registers it.
 func (r *Registry) RegisterCSV(name string, csv io.Reader) (*Entry, error) {
 	t, err := dataset.ReadCSV(csv, name)
 	if err != nil {
 		return nil, fmt.Errorf("service: dataset %q: %v: %w", name, err, ErrBadRequest)
 	}
-	return r.Register(name, t)
+	return r.register(name, t, "csv")
+}
+
+// reserveGen hands out the next registry-unique generation. It is
+// passed into Log.Apply, which invokes it under the log's lock so that
+// per-dataset generation order matches batch order.
+func (r *Registry) reserveGen() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextGen++
+	return r.nextGen
+}
+
+// Mutate applies one append/delete batch to the named dataset's mutation
+// log and swaps in the next-generation entry under the same name,
+// returning the new entry and the applied change (whose PrevGen keys the
+// cached answers the maintainer will classify). Mutations of one dataset
+// are serialized by its log; the registry lock is held only to reserve
+// the generation and swap the entry, so mutating one dataset never
+// blocks lookups of the others for the O(n·d) apply.
+func (r *Registry) Mutate(name string, b delta.Batch) (*Entry, *delta.Change, error) {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("service: dataset %q: %w", name, ErrNotFound)
+	}
+	if e.Log == nil {
+		return nil, nil, fmt.Errorf("service: dataset %q is immutable: delta maintenance is disabled (start rrrd with -delta): %w", name, ErrBadRequest)
+	}
+	ch, err := e.Log.Apply(b, r.reserveGen)
+	if err != nil {
+		return nil, nil, fmt.Errorf("service: dataset %q: %v: %w", name, err, ErrBadRequest)
+	}
+	next := &Entry{Name: e.Name, Table: ch.Table, Data: ch.After, Kind: e.Kind, Gen: ch.Gen, Log: e.Log}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur, ok := r.entries[name]
+	if !ok || cur.Log != e.Log {
+		// Removed or re-registered while the batch was applying: the log
+		// we mutated is orphaned and its snapshots unreachable. Report it
+		// rather than resurrect the old name.
+		return nil, nil, fmt.Errorf("service: dataset %q was removed during the mutation: %w", name, ErrConflict)
+	}
+	if cur.Gen < ch.Gen {
+		// A racing later batch may already have swapped in a newer
+		// snapshot (log order ⇒ generation order); never regress it.
+		r.entries[name] = next
+	}
+	return next, ch, nil
 }
 
 // Bounds on request-driven synthetic generation: a 60-byte POST must not
@@ -92,7 +187,7 @@ func (r *Registry) Generate(name, kind string, n, dims int, seed int64) (*Entry,
 	if err != nil {
 		return nil, err
 	}
-	return r.Register(name, t)
+	return r.register(name, t, strings.ToLower(kind))
 }
 
 // GenerateTable builds a synthetic table without registering it, enforcing

@@ -24,8 +24,12 @@ import (
 	"errors"
 	"fmt"
 	"slices"
+	"sync"
+	"time"
 
 	"rrr"
+	"rrr/internal/core"
+	"rrr/internal/delta"
 	"rrr/internal/shard"
 )
 
@@ -61,6 +65,14 @@ type Config struct {
 	Shards int
 	// ShardWorkers bounds the map phase's worker pool (<= 0 = GOMAXPROCS).
 	ShardWorkers int
+	// DeltaMaintenance attaches a mutation log to every registered
+	// dataset and enables Mutate (and the daemon's append/delete
+	// endpoints): mutation batches advance datasets generation by
+	// generation, and a per-dataset maintainer classifies every cached
+	// answer as still-exact (re-keyed to the new generation), cheaply
+	// repairable (reduce phase re-run on the patched candidate pool), or
+	// stale (invalidated; recomputed lazily on next request).
+	DeltaMaintenance bool
 }
 
 // Service glues registry, cache, metrics and the solver facade together.
@@ -74,6 +86,12 @@ type Service struct {
 	// shardKey is the fingerprint of the configured shard plan, empty when
 	// unsharded; every cache key carries it.
 	shardKey string
+
+	// maintainers holds one delta maintainer per mutable dataset, created
+	// on first mutation and dropped with the dataset. Nil map when delta
+	// maintenance is off.
+	maintMu     sync.Mutex
+	maintainers map[string]*delta.Maintainer
 }
 
 // New builds a Service with an empty registry and cache.
@@ -87,6 +105,10 @@ func New(cfg Config) *Service {
 	}
 	if cfg.Shards > 1 {
 		s.shardKey = shard.Fingerprint(shard.Contiguous, cfg.Shards)
+	}
+	if cfg.DeltaMaintenance {
+		s.registry.EnableDeltaMaintenance()
+		s.maintainers = make(map[string]*delta.Maintainer)
 	}
 	return s
 }
@@ -110,13 +132,178 @@ func (s *Service) Registry() *Registry { return s.registry }
 // Metrics exposes the operational counters.
 func (s *Service) Metrics() *Metrics { return s.metrics }
 
-// RemoveDataset unregisters a dataset and invalidates its cached results.
+// RemoveDataset unregisters a dataset and invalidates its cached results
+// and delta maintenance state.
 func (s *Service) RemoveDataset(name string) bool {
 	ok := s.registry.Remove(name)
 	if ok {
 		s.cache.InvalidateDataset(name)
+		if s.maintainers != nil {
+			s.maintMu.Lock()
+			delete(s.maintainers, name)
+			s.maintMu.Unlock()
+		}
 	}
 	return ok
+}
+
+// MutationStats tallies what one mutation batch did to the dataset's
+// cached answers.
+type MutationStats struct {
+	// Revalidated counts cached answers proven still exact and re-keyed
+	// to the new generation — the next request for them is a cache hit,
+	// never a recompute.
+	Revalidated int
+	// Repaired counts cached answers re-derived by running only the
+	// reduce phase on the patched candidate pool.
+	Repaired int
+	// Recomputed counts cached answers invalidated as stale; the full
+	// recompute happens lazily on the next request for them.
+	Recomputed int
+}
+
+// Mutation is the outcome of one applied batch.
+type Mutation struct {
+	Dataset string
+	// Gen is the dataset's generation after the batch.
+	Gen int64
+	// N and Dims describe the mutated dataset.
+	N, Dims int
+	// Tuples is the per-tuple status report, deletes first.
+	Tuples []delta.TupleStatus
+	// Stats tallies the cache maintenance the batch triggered.
+	Stats MutationStats
+}
+
+// Mutate applies one append/delete batch to the named dataset and runs
+// containment-based maintenance over its cached answers: entries proven
+// still exact are re-keyed to the new generation (so the cache revalidates
+// across generations instead of always missing), cheaply repairable
+// entries are re-solved on just the patched candidate pool, and stale
+// entries are dropped for lazy recompute. Requires Config.DeltaMaintenance.
+//
+// ctx bounds the maintenance work (pool building and repair solves), not
+// the mutation itself: by the time maintenance runs the batch is applied,
+// and a canceled context merely degrades classifications to stale.
+func (s *Service) Mutate(ctx context.Context, name string, b delta.Batch) (*Mutation, error) {
+	if !s.cfg.DeltaMaintenance {
+		return nil, fmt.Errorf("service: delta maintenance is disabled (start rrrd with -delta): %w", ErrBadRequest)
+	}
+	cur, ch, err := s.registry.Mutate(name, b)
+	if err != nil {
+		return nil, err
+	}
+	s.metrics.mutation(len(ch.Inserted) + len(ch.Deleted))
+	stats := s.maintain(ctx, cur, ch)
+	s.metrics.deltaOutcomes(stats.Revalidated, stats.Repaired, stats.Recomputed)
+	return &Mutation{
+		Dataset: name,
+		Gen:     ch.Gen,
+		N:       ch.After.N(),
+		Dims:    ch.After.Dims(),
+		Tuples:  ch.Statuses,
+		Stats:   stats,
+	}, nil
+}
+
+// maintainerFor returns (creating if needed) the named dataset's
+// maintainer.
+func (s *Service) maintainerFor(name string) *delta.Maintainer {
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
+	m, ok := s.maintainers[name]
+	if !ok {
+		m = delta.NewMaintainer()
+		s.maintainers[name] = m
+	}
+	return m
+}
+
+// maintain classifies every cached answer of the pre-batch generation
+// (ch.PrevGen) and carries the survivors into ch.Gen. Dual (negative-K)
+// entries are always invalidated: their answer is a search across many
+// rank targets and no single pool bounds it.
+func (s *Service) maintain(ctx context.Context, cur *Entry, ch *delta.Change) MutationStats {
+	var stats MutationStats
+	keys := s.cache.CompletedKeys(cur.Name, ch.PrevGen)
+	if len(keys) != 0 {
+		var ks []int
+		for _, key := range keys {
+			if key.K > 0 {
+				ks = append(ks, key.K)
+			}
+		}
+		outcomes, err := s.maintainerFor(cur.Name).Apply(ctx, ch, ks)
+		if err != nil {
+			// Maintenance interrupted: every cached answer degrades to
+			// stale; the mutation itself already succeeded.
+			outcomes = nil
+		}
+		for _, key := range keys {
+			outcome, classified := outcomes[key.K]
+			if key.K < 0 || !classified {
+				stats.Recomputed++
+				continue
+			}
+			newKey := key
+			newKey.Gen = ch.Gen
+			switch outcome.Class {
+			case delta.StillExact:
+				// Count the carry-over only if it actually lands: a
+				// request at the new generation may have raced ahead and
+				// claimed the key with its own computation, in which case
+				// that flight — a recompute — wins.
+				if s.cache.Rekey(key, newKey) {
+					stats.Revalidated++
+				} else {
+					stats.Recomputed++
+				}
+			case delta.Repairable:
+				if s.repair(ctx, cur, newKey, outcome.Pool) {
+					stats.Repaired++
+				} else {
+					stats.Recomputed++
+				}
+			default:
+				stats.Recomputed++
+			}
+		}
+	}
+	// Whatever remains at the old generation is unreachable; sweep it.
+	s.cache.InvalidateGeneration(cur.Name, ch.PrevGen)
+	return stats
+}
+
+// repair re-runs only the reduce phase — the cached entry's algorithm on
+// the patched candidate pool — and publishes the result under the
+// new-generation key. Because the pool provably contains every k-set
+// member of the mutated dataset, the deterministic algorithms reproduce a
+// fresh full solve bit for bit. Reports whether the repair was published.
+func (s *Service) repair(ctx context.Context, cur *Entry, key Key, pool *delta.Pool) bool {
+	runData := cur.Data
+	if pool.Len() < cur.Data.N() {
+		tuples, err := cur.Data.Subset(pool.IDs)
+		if err != nil {
+			return false
+		}
+		reduced, err := core.FromTuples(tuples)
+		if err != nil {
+			return false
+		}
+		runData = reduced
+	}
+	// The reduce runs unsharded regardless of the serving configuration:
+	// the pool is already the pruned input a sharded solve would reduce
+	// over.
+	opts := slices.Clone(s.cfg.SolverOptions)
+	opts = append(opts, rrr.WithSeed(s.cfg.Seed), rrr.WithAlgorithm(rrr.Algorithm(key.Algo)))
+	start := time.Now()
+	res, err := rrr.New(opts...).Solve(ctx, runData, key.K)
+	if err != nil {
+		return false
+	}
+	stats := ResultStats{KSets: res.KSets, Nodes: res.Nodes, Candidates: pool.Len()}
+	return s.cache.Put(key, res.IDs, stats, time.Since(start))
 }
 
 // resolveAlgo parses and resolves a request's algorithm name against the

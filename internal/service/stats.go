@@ -88,6 +88,12 @@ type Metrics struct {
 	shardCandidates atomic.Int64
 	shardInput      atomic.Int64
 
+	mutations        atomic.Int64
+	mutatedTuples    atomic.Int64
+	deltaRevalidated atomic.Int64
+	deltaRepaired    atomic.Int64
+	deltaRecomputed  atomic.Int64
+
 	mu        sync.Mutex
 	latencies map[string]*histogram
 
@@ -130,6 +136,25 @@ func (m *Metrics) shardSolve(shards, candidates, input int) {
 	m.shardsDone.Add(int64(shards))
 	m.shardCandidates.Add(int64(candidates))
 	m.shardInput.Add(int64(input))
+}
+
+// mutation records one applied mutation batch touching n tuples.
+func (m *Metrics) mutation(n int) {
+	if m != nil {
+		m.mutations.Add(1)
+		m.mutatedTuples.Add(int64(n))
+	}
+}
+
+// deltaOutcomes records one mutation batch's classification tally:
+// cached answers proven still exact and re-keyed, repaired by a
+// reduce-phase re-run, and invalidated for lazy full recompute.
+func (m *Metrics) deltaOutcomes(revalidated, repaired, recomputed int) {
+	if m != nil {
+		m.deltaRevalidated.Add(int64(revalidated))
+		m.deltaRepaired.Add(int64(repaired))
+		m.deltaRecomputed.Add(int64(recomputed))
+	}
 }
 
 // batchStarted records one batch computation claiming n keys.
@@ -210,6 +235,20 @@ type ShardSnapshot struct {
 	PruneRatio float64 `json:"prune_ratio"`
 }
 
+// DeltaSnapshot summarizes the delta engine's activity: mutation batches
+// applied, tuples they touched, and what happened to the cached answers
+// they crossed — revalidated (proven still exact, re-keyed to the new
+// generation), repaired (reduce-phase re-run on the patched pool), or
+// recomputed (invalidated; the full solve happens lazily on the next
+// request).
+type DeltaSnapshot struct {
+	Mutations     int64 `json:"mutations"`
+	MutatedTuples int64 `json:"mutated_tuples"`
+	Revalidated   int64 `json:"revalidated"`
+	Repaired      int64 `json:"repaired"`
+	Recomputed    int64 `json:"recomputed"`
+}
+
 // Snapshot is the /stats payload.
 type Snapshot struct {
 	UptimeSeconds  float64                      `json:"uptime_seconds"`
@@ -223,6 +262,7 @@ type Snapshot struct {
 	BatchItems     int64                        `json:"batch_items"`
 	CoalescedJoins int64                        `json:"coalesced_joins"`
 	Shard          ShardSnapshot                `json:"shard"`
+	Delta          DeltaSnapshot                `json:"delta"`
 	Latencies      map[string]HistogramSnapshot `json:"latency_by_algorithm"`
 }
 
@@ -248,6 +288,13 @@ func (m *Metrics) Snapshot() Snapshot {
 			ShardsDone:    m.shardsDone.Load(),
 			Candidates:    m.shardCandidates.Load(),
 			InputTuples:   m.shardInput.Load(),
+		},
+		Delta: DeltaSnapshot{
+			Mutations:     m.mutations.Load(),
+			MutatedTuples: m.mutatedTuples.Load(),
+			Revalidated:   m.deltaRevalidated.Load(),
+			Repaired:      m.deltaRepaired.Load(),
+			Recomputed:    m.deltaRecomputed.Load(),
 		},
 		Latencies: make(map[string]HistogramSnapshot),
 	}

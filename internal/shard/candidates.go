@@ -199,7 +199,7 @@ func extract(ctx context.Context, sd *core.Dataset, k, shardIdx int, ex Extracto
 }
 
 // dominanceCandidates keeps every tuple outranked by fewer than k shard
-// tuples under all linear functions. alwaysOutranks is a sound and complete
+// tuples under all linear functions. AlwaysOutranks is a sound and complete
 // test of "outranks for every f in the paper's L": componentwise u ≥ t
 // makes every score difference non-negative; the difference is strictly
 // positive for every admissible f only when u > t strictly everywhere
@@ -247,7 +247,7 @@ func dominanceCandidates(ctx context.Context, sd *core.Dataset, k int) ([]int, e
 		// least Σt, and among equal sums dominance requires winning the ID
 		// tie-break, which the sort places earlier too.
 		for _, j := range order[:pos] {
-			if alwaysOutranks(ts[j], t) {
+			if AlwaysOutranks(ts[j], t) {
 				dominators++
 				if dominators >= k {
 					break
@@ -261,10 +261,13 @@ func dominanceCandidates(ctx context.Context, sd *core.Dataset, k int) ([]int, e
 	return ids, nil
 }
 
-// alwaysOutranks reports whether u outranks t under every linear ranking
+// AlwaysOutranks reports whether u outranks t under every linear ranking
 // function with non-negative weights (at least one positive), per the
-// library's deterministic tie-break.
-func alwaysOutranks(u, t core.Tuple) bool {
+// library's deterministic tie-break: u ≥ t componentwise, and either
+// strictly everywhere or winning the equal-score ID tie-break. It is the
+// componentwise core of the Dominance extractor, exported for the delta
+// engine's insert-containment test.
+func AlwaysOutranks(u, t core.Tuple) bool {
 	strict := true
 	for j, v := range u.Attrs {
 		switch {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"rrr/internal/core"
+	"rrr/internal/delta"
 	"rrr/internal/skyline"
 	"rrr/internal/topk"
 )
@@ -148,6 +149,10 @@ func (o Options) SolverOptions() []Option {
 type Result struct {
 	IDs       []int
 	Algorithm Algorithm
+	// K is the rank target the result satisfies (set by Solve; the
+	// achieved k for results carried inside dual-search errors). Solver.
+	// Revalidate keys its containment tests on it.
+	K int
 	// KSets is the number of k-sets MDRRR hit (0 for other algorithms).
 	KSets int
 	// Nodes is the number of recursion nodes MDRC visited (0 otherwise).
@@ -166,6 +171,9 @@ type Result struct {
 	PruneRatio float64
 	// Elapsed is the wall-clock time of the solve.
 	Elapsed time.Duration
+	// revalPool is the containment pool recorded under
+	// WithDeltaMaintenance, consumed (and advanced) by Solver.Revalidate.
+	revalPool *delta.Pool
 }
 
 // Representative computes a rank-regret representative: a small subset of d

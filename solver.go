@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"rrr/internal/algo"
+	"rrr/internal/delta"
 	"rrr/internal/kset"
 	"rrr/internal/shard"
 )
@@ -39,12 +40,13 @@ type config struct {
 	epsilonNetHitting  bool
 	pickMinMaxRank     bool
 	samplerTermination int
-	softMaxDraws       int // legacy Options.SamplerMaxDraws: truncate, don't fail
-	drawBudget         int // hard: exceeding returns ErrBudgetExhausted
-	nodeBudget         int // hard: exceeding returns ErrBudgetExhausted
-	batchWorkers       int // SolveBatch fan-out pool size; <= 0 = GOMAXPROCS
-	shards             int // map-reduce shard count; <= 1 = unsharded
-	shardWorkers       int // map-phase pool size; <= 0 = GOMAXPROCS
+	softMaxDraws       int  // legacy Options.SamplerMaxDraws: truncate, don't fail
+	drawBudget         int  // hard: exceeding returns ErrBudgetExhausted
+	nodeBudget         int  // hard: exceeding returns ErrBudgetExhausted
+	batchWorkers       int  // SolveBatch fan-out pool size; <= 0 = GOMAXPROCS
+	shards             int  // map-reduce shard count; <= 1 = unsharded
+	shardWorkers       int  // map-phase pool size; <= 0 = GOMAXPROCS
+	deltaMaintenance   bool // record containment pools; enable Revalidate
 	progress           func(Progress)
 }
 
@@ -182,7 +184,22 @@ func (s *Solver) Solve(ctx context.Context, d *Dataset, k int) (*Result, error) 
 		}
 		runData = pool.data
 	}
-	return s.solveOn(ctx, runData, k, algorithm, start, pool)
+	res, err := s.solveOn(ctx, runData, k, algorithm, start, pool)
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.deltaMaintenance {
+		// Record the revalidation pool for Revalidate. Unlike the shard
+		// engine's per-algorithm pools it is always an exact containment
+		// pool of the *full* dataset, so it stays sound for any later
+		// mutation regardless of how this solve was executed.
+		rp, err := delta.BuildPool(ctx, d, k)
+		if err != nil {
+			return nil, s.wrapShardError(algorithm, start, shard.Stats{}, err)
+		}
+		res.revalPool = rp
+	}
+	return res, nil
 }
 
 // solveOn runs the resolved algorithm on runData — the reduce phase of a
@@ -196,6 +213,7 @@ func (s *Solver) solveOn(ctx context.Context, runData *Dataset, k int, algorithm
 	out := &Result{
 		IDs:       res.IDs,
 		Algorithm: algorithm,
+		K:         k,
 		KSets:     res.Stats.KSets,
 		Nodes:     res.Stats.Nodes,
 		Draws:     res.Stats.SamplerDraws,
