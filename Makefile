@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt fmt-check race bench bench-json bench-gate ci clean
+.PHONY: all build test vet fmt fmt-check race fuzz-smoke bench bench-json bench-gate ci clean
 
 all: build
 
@@ -13,13 +13,18 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/service/ ./internal/eval/ ./internal/shard/ ./internal/delta/
+	$(GO) test -race ./internal/service/ ./internal/eval/ ./internal/shard/ ./internal/delta/ ./internal/wal/
+
+# Fuzz smoke: a short budgeted run of each native fuzz target, catching
+# decoder panics and non-canonical encodings before they reach a corpus.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzWALDecode -fuzztime 10s ./internal/wal/
 
 # Tier-1 benchmarks, 5 repetitions for benchstat-able variance. CI uploads
 # bench.txt as an artifact so every PR leaves a perf data point to compare
 # against.
 bench:
-	$(GO) test -bench . -benchmem -count 5 -run '^$$' . | tee bench.txt
+	$(GO) test -bench . -benchmem -count 5 -run '^$$' . ./internal/wal/ | tee bench.txt
 
 # Machine-readable perf artifact: BENCH_<short-sha>.json with per-benchmark
 # ns/op, B/op, allocs/op means and the raw ns/op samples. Reuses bench.txt

@@ -122,6 +122,9 @@ func TestSolveBatchMatchesSequential(t *testing.T) {
 // values on a tier-1 2-D dataset run the angular sweep exactly once, with
 // per-item results identical to sequential solves.
 func TestSolveBatchSingleSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("the full-sweep batch grid is slow; run without -short")
+	}
 	ds, err := harness.MakeDataset("dot", 1000, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -157,6 +160,9 @@ func TestSolveBatchSingleSweep(t *testing.T) {
 // TestSolveBatchDualLockstep: many dual queries binary search in lockstep,
 // sharing one sweep per round — O(log n) sweeps total, not O(duals·log n).
 func TestSolveBatchDualLockstep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("the dual-lockstep batch grid is slow; run without -short")
+	}
 	ds, err := harness.MakeDataset("dot", 600, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -276,6 +282,9 @@ func TestSolveBatchPartialOnMidCancel(t *testing.T) {
 // with exactly one of Result and Err set, and converged duals keep their
 // answer.
 func TestSolveBatchCancelInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("the cancellation invariant sweep is slow; run without -short")
+	}
 	ds, err := harness.MakeDataset("dot", 500, 2)
 	if err != nil {
 		t.Fatal(err)

@@ -23,11 +23,22 @@
 // (re-solved on the patched candidate pool only) or stale (recomputed
 // lazily). Delta counters appear in /v1/stats and /v1/metrics.
 //
+// -data-dir makes the daemon durable (DESIGN.md §9): every mutation batch
+// is appended to a write-ahead log before it commits (-fsync picks the
+// sync policy), the registry is snapshotted on clean shutdown, and the
+// next boot restores the snapshot, replays the WAL's intact prefix —
+// cleanly truncating a torn tail left by a crash — and readmits cached
+// answers from the warm-cache file, so still-valid representatives are
+// served without recomputation. -no-persist ignores -data-dir for a
+// one-off memory-only run against the same configuration. Persistence
+// counters appear in /v1/stats (persist) and /v1/metrics.
+//
 // Examples:
 //
 //	rrrd -addr :8080 -preload flights=dot:5000:3,diamonds=bn:5000 -request-timeout 30s
 //	rrrd -shards 8 -shard-workers 4 -preload flights=dot:100000:2
 //	rrrd -delta -preload flights=dot:5000:2
+//	rrrd -delta -data-dir /var/lib/rrrd -fsync always -preload flights=dot:5000:2
 //	curl localhost:8080/v1/healthz
 //	curl 'localhost:8080/v1/representative?dataset=flights&k=100'
 //	curl -X POST localhost:8080/v1/datasets/flights/append -d '{"rows":[[12,850],[3,2400]]}'
@@ -56,6 +67,7 @@ import (
 
 	"rrr"
 	"rrr/internal/service"
+	"rrr/internal/wal"
 )
 
 func main() {
@@ -77,6 +89,9 @@ func run() error {
 		shards     = flag.Int("shards", 1, "map-reduce shard count for every solve (1 = unsharded)")
 		shardWork  = flag.Int("shard-workers", runtime.GOMAXPROCS(0), "worker pool for the shard map phase (defaults to GOMAXPROCS)")
 		deltaOn    = flag.Bool("delta", false, "enable the delta engine: POST /v1/datasets/{name}/append and .../delete mutate datasets in place, with cached answers revalidated, repaired or invalidated by containment tests instead of a cold cache")
+		dataDir    = flag.String("data-dir", "", "directory for durable state: write-ahead log of mutations, registry snapshot, warm answer cache (empty = memory only)")
+		fsyncPol   = flag.String("fsync", "always", "WAL durability policy: always (fsync every append), interval (background fsync every 100ms), never (leave flushing to the OS)")
+		noPersist  = flag.Bool("no-persist", false, "ignore -data-dir and run memory-only")
 	)
 	flag.Parse()
 
@@ -97,8 +112,29 @@ func run() error {
 		ShardWorkers:     *shardWork,
 		DeltaMaintenance: *deltaOn,
 	})
+	store, err := openStore(*dataDir, *fsyncPol, *noPersist)
+	if err != nil {
+		return err
+	}
+	if store != nil {
+		defer store.Close()
+		svc.AttachStore(store)
+		rec, err := svc.Recover(context.Background())
+		if err != nil {
+			return fmt.Errorf("recovering %s: %w", *dataDir, err)
+		}
+		log.Printf("recovered %s: %d datasets, %d batches replayed, %d answers warmed%s",
+			*dataDir, rec.SnapshotDatasets, rec.ReplayedBatches, rec.WarmedAnswers, tornNote(rec))
+	}
 	if err := preloadDatasets(svc, *preload); err != nil {
 		return err
+	}
+	if store != nil {
+		// Baseline snapshot: recovered + preloaded state becomes durable
+		// now, and the replayed WAL records are folded in and truncated.
+		if err := svc.Persist(); err != nil {
+			return fmt.Errorf("writing baseline snapshot: %w", err)
+		}
 	}
 
 	srv := &http.Server{
@@ -128,8 +164,41 @@ func run() error {
 		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}
+		if store != nil {
+			// The HTTP server is drained: mutations are quiesced, so the
+			// snapshot captures everything and the WAL restarts empty.
+			if err := svc.Persist(); err != nil {
+				return fmt.Errorf("writing shutdown snapshot: %w", err)
+			}
+			log.Printf("persisted %d datasets to %s", svc.Registry().Len(), *dataDir)
+		}
 		return nil
 	}
+}
+
+// openStore opens the durability layer per the -data-dir, -fsync and
+// -no-persist flags; nil when the daemon should run memory-only.
+func openStore(dataDir, fsyncPolicy string, noPersist bool) (*wal.Store, error) {
+	if dataDir == "" || noPersist {
+		return nil, nil
+	}
+	policy, err := wal.ParseSyncPolicy(fsyncPolicy)
+	if err != nil {
+		return nil, fmt.Errorf("-fsync: %w", err)
+	}
+	store, err := wal.Open(dataDir, wal.Options{Sync: policy})
+	if err != nil {
+		return nil, fmt.Errorf("opening -data-dir %s: %w", dataDir, err)
+	}
+	return store, nil
+}
+
+// tornNote renders the torn-tail suffix of the recovery log line.
+func tornNote(rec *service.Recovery) string {
+	if !rec.TornTail {
+		return ""
+	}
+	return fmt.Sprintf(" (torn WAL tail: %d bytes discarded)", rec.DroppedBytes)
 }
 
 // validateWorkerFlags rejects nonsensical parallelism settings up front
@@ -180,6 +249,12 @@ func preloadDatasets(svc *service.Service, spec string) error {
 		}
 		if len(parts) > 4 {
 			return fmt.Errorf("preload item %q: too many fields", item)
+		}
+		if _, err := svc.Registry().Get(name); err == nil {
+			// Restored from -data-dir, possibly with mutations the generator
+			// would silently discard; the recovered state wins.
+			log.Printf("preload %q: already restored from the data directory, skipping", name)
+			continue
 		}
 		entry, err := svc.Registry().Generate(name, kind, n, d, genSeed)
 		if err != nil {

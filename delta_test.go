@@ -13,6 +13,9 @@ import (
 	"testing"
 
 	"rrr"
+	"rrr/internal/delta"
+	"rrr/internal/service"
+	"rrr/internal/wal"
 )
 
 // mutator drives a deterministic pseudo-random mutation sequence over a
@@ -241,5 +244,141 @@ func TestRevalidateRequirements(t *testing.T) {
 	}
 	if rev.PoolSize == 0 {
 		t.Fatal("still-exact revalidation reported an empty pool")
+	}
+}
+
+// serviceBatch mirrors mutator.step at the service layer: it derives one
+// random mutation batch (dominated interior appends, top-corner appends,
+// or a delete of a served representative member) from the entry's current
+// raw bounds, without applying it — the same batch is fed to several
+// services, which must stay indistinguishable.
+func serviceBatch(t *testing.T, rng *rand.Rand, e *service.Entry, servedIDs []int) delta.Batch {
+	t.Helper()
+	mins, maxs, err := e.Table.Bounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	interior := func(lo, hi float64) []float64 {
+		row := make([]float64, e.Table.Dims())
+		for j := range row {
+			span := maxs[j] - mins[j]
+			row[j] = mins[j] + span*(lo+(hi-lo)*rng.Float64())
+		}
+		return row
+	}
+	switch rng.Intn(4) {
+	case 0, 1:
+		return delta.Batch{Append: [][]float64{interior(0.02, 0.15), interior(0.05, 0.25)}}
+	case 2:
+		return delta.Batch{Append: [][]float64{interior(0.9, 0.99)}}
+	default:
+		return delta.Batch{Delete: []int{servedIDs[rng.Intn(len(servedIDs))]}}
+	}
+}
+
+// TestPersistedMutationEquivalence extends the equivalence suite across
+// the durability boundary: a service that snapshots mid-sequence, keeps a
+// WAL, crashes (no final snapshot) and recovers must answer every
+// representative query exactly like the uninterrupted in-memory service
+// that applied the same mutation sequence — same grid of data shapes and
+// deterministic algorithms as TestRevalidateEquivalence.
+func TestPersistedMutationEquivalence(t *testing.T) {
+	ctx := context.Background()
+	const steps, k = 8, 8
+	cases := []struct {
+		algo string
+		dims int
+	}{
+		{"2drrr", 2},
+		{"mdrc", 3},
+	}
+	for _, kind := range []string{"independent", "correlated", "anticorrelated"} {
+		for _, tc := range cases {
+			name := kind + "/" + tc.algo
+			cfg := service.Config{Seed: 7, DeltaMaintenance: true}
+			live := service.New(cfg)
+			persisted := service.New(cfg)
+			dir := t.TempDir()
+			st, err := wal.Open(dir, wal.Options{Sync: wal.SyncAlways})
+			if err != nil {
+				t.Fatal(err)
+			}
+			persisted.AttachStore(st)
+			for _, svc := range []*service.Service{live, persisted} {
+				if _, err := svc.Registry().Generate("d", kind, 220, tc.dims, 5); err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+			}
+			rng := rand.New(rand.NewSource(int64(len(kind)) + int64(tc.dims)*17))
+			rep, err := live.Representative(ctx, "d", k, tc.algo)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			for step := 0; step < steps; step++ {
+				e, err := live.Registry().Get("d")
+				if err != nil {
+					t.Fatal(err)
+				}
+				b := serviceBatch(t, rng, e, rep.IDs)
+				for _, svc := range []*service.Service{live, persisted} {
+					if _, _, err := svc.Registry().Mutate("d", b); err != nil {
+						t.Fatalf("%s step %d: %v", name, step, err)
+					}
+				}
+				if rep, err = live.Representative(ctx, "d", k, tc.algo); err != nil {
+					t.Fatalf("%s step %d: %v", name, step, err)
+				}
+				if step == steps/2 {
+					// Mid-sequence snapshot: recovery below must stitch the
+					// snapshot and the WAL records behind it back together.
+					if err := persisted.Persist(); err != nil {
+						t.Fatalf("%s step %d: %v", name, step, err)
+					}
+				}
+			}
+			// Crash: close without a final snapshot — the second half of
+			// the sequence exists only as WAL records.
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			recovered := service.New(cfg)
+			st2, err := wal.Open(dir, wal.Options{Sync: wal.SyncAlways})
+			if err != nil {
+				t.Fatal(err)
+			}
+			recovered.AttachStore(st2)
+			if _, err := recovered.Recover(ctx); err != nil {
+				st2.Close()
+				t.Fatalf("%s: recover: %v", name, err)
+			}
+			le, _ := live.Registry().Get("d")
+			re, err := recovered.Registry().Get("d")
+			if err != nil {
+				st2.Close()
+				t.Fatalf("%s: %v", name, err)
+			}
+			if re.Gen != le.Gen || !re.Table.Equal(le.Table) {
+				st2.Close()
+				t.Fatalf("%s: recovered table diverges (gen %d vs %d)", name, re.Gen, le.Gen)
+			}
+			for _, kq := range []int{k, k + 3} {
+				want, err := live.Representative(ctx, "d", kq, tc.algo)
+				if err != nil {
+					st2.Close()
+					t.Fatalf("%s k=%d: %v", name, kq, err)
+				}
+				got, err := recovered.Representative(ctx, "d", kq, tc.algo)
+				if err != nil {
+					st2.Close()
+					t.Fatalf("%s k=%d: %v", name, kq, err)
+				}
+				if !sameIDs(got.IDs, want.IDs) {
+					st2.Close()
+					t.Fatalf("%s k=%d: recovered answer %v != live answer %v", name, kq, got.IDs, want.IDs)
+				}
+			}
+			st2.Close()
+		}
 	}
 }

@@ -177,6 +177,44 @@ func (t *Table) DeleteRows(ids []int) (*Table, []int, error) {
 	return out, removed, nil
 }
 
+// Equal reports whether two tables are bit-for-bit identical: same name,
+// attributes, rows (compared by IEEE-754 bits, so NaNs compare equal and
+// -0 differs from +0), ID materialization state, and NextID watermark.
+// This is deliberately stricter than semantic equality — the durability
+// layer's recovery contract is that a replayed table is *the* table, not
+// an equivalent one, and the crash-injection harness asserts exactly that.
+func (t *Table) Equal(o *Table) bool {
+	if t == nil || o == nil {
+		return t == o
+	}
+	if t.Name != o.Name || t.NextID != o.NextID ||
+		len(t.Attrs) != len(o.Attrs) || len(t.Rows) != len(o.Rows) ||
+		(t.IDs == nil) != (o.IDs == nil) || len(t.IDs) != len(o.IDs) {
+		return false
+	}
+	for i, a := range t.Attrs {
+		if a != o.Attrs[i] {
+			return false
+		}
+	}
+	for i, id := range t.IDs {
+		if id != o.IDs[i] {
+			return false
+		}
+	}
+	for i, row := range t.Rows {
+		if len(row) != len(o.Rows[i]) {
+			return false
+		}
+		for j, v := range row {
+			if math.Float64bits(v) != math.Float64bits(o.Rows[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // Bounds returns the per-attribute raw minima and maxima — the quantities
 // the min-max normalization is defined by. The delta engine compares them
 // across a mutation batch: equal bounds mean every surviving tuple keeps

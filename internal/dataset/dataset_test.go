@@ -312,3 +312,52 @@ func TestNormalizedRealLikeTablesFeedAlgorithms(t *testing.T) {
 		}
 	}
 }
+
+func TestTableEqual(t *testing.T) {
+	base := func() *dataset.Table {
+		return &dataset.Table{
+			Name:   "t",
+			Attrs:  []dataset.Attr{{Name: "a", HigherBetter: true}, {Name: "b"}},
+			Rows:   [][]float64{{1, 2}, {3, math.NaN()}},
+			IDs:    []int{0, 5},
+			NextID: 6,
+		}
+	}
+	if a, b := base(), base(); !a.Equal(b) {
+		t.Fatal("identical tables (with NaN cells) compare unequal")
+	}
+	mutations := map[string]func(*dataset.Table){
+		"name":     func(x *dataset.Table) { x.Name = "u" },
+		"attr-dir": func(x *dataset.Table) { x.Attrs[1].HigherBetter = true },
+		"cell-bits": func(x *dataset.Table) {
+			x.Rows[0][1] = math.Copysign(x.Rows[0][1], -1) * -1
+			x.Rows[0][0] = math.Copysign(0, -1)
+		},
+		"id":        func(x *dataset.Table) { x.IDs[1] = 4 },
+		"nil-ids":   func(x *dataset.Table) { x.IDs = nil },
+		"watermark": func(x *dataset.Table) { x.NextID = 7 },
+		"row-count": func(x *dataset.Table) { x.Rows = x.Rows[:1]; x.IDs = x.IDs[:1] },
+	}
+	for name, mutate := range mutations {
+		a, b := base(), base()
+		mutate(b)
+		if a.Equal(b) || b.Equal(a) {
+			t.Errorf("%s: mutated table compares equal", name)
+		}
+	}
+	// Identity IDs materialized vs nil is a representational difference
+	// Equal must see: recovery promises bit-for-bit state, not just
+	// equivalent state.
+	a, b := base(), base()
+	a.IDs, b.IDs = nil, []int{0, 1}
+	if a.Equal(b) {
+		t.Error("nil IDs compare equal to materialized identity IDs")
+	}
+	var nilT *dataset.Table
+	if nilT.Equal(base()) || base().Equal(nilT) {
+		t.Error("nil table compares equal to a real one")
+	}
+	if !nilT.Equal(nil) {
+		t.Error("nil tables compare unequal")
+	}
+}

@@ -2,6 +2,7 @@ package delta_test
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -71,7 +72,7 @@ func TestLogApplyStatusesAndGenerations(t *testing.T) {
 	if l.Gen() != 1 {
 		t.Fatalf("gen = %d, want 1", l.Gen())
 	}
-	ch, err := l.Apply(delta.Batch{Append: [][]float64{{0.4, 0.4}}, Delete: []int{6, 99}}, genAt(2))
+	ch, err := l.Apply(delta.Batch{Append: [][]float64{{0.4, 0.4}}, Delete: []int{6, 99}}, genAt(2), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestLogApplyStatusesAndGenerations(t *testing.T) {
 		t.Fatal("interior mutation reported a rescale")
 	}
 	// Non-advancing generations are rejected.
-	if _, err := l.Apply(delta.Batch{Delete: []int{0}}, genAt(2)); err == nil {
+	if _, err := l.Apply(delta.Batch{Delete: []int{0}}, genAt(2), nil); err == nil {
 		t.Fatal("non-advancing generation accepted")
 	}
 	// Snapshots around the batch are distinct immutable generations.
@@ -115,7 +116,7 @@ func TestLogApplyStatusesAndGenerations(t *testing.T) {
 
 func TestLogApplyRescaleDetection(t *testing.T) {
 	l := mustLog(t, anchored2D())
-	ch, err := l.Apply(delta.Batch{Append: [][]float64{{2, 0.5}}}, genAt(2))
+	ch, err := l.Apply(delta.Batch{Append: [][]float64{{2, 0.5}}}, genAt(2), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestLogApplyRescaleDetection(t *testing.T) {
 		t.Fatal("out-of-bounds append did not report a rescale")
 	}
 	// Deleting a bound anchor rescales too.
-	ch, err = l.Apply(delta.Batch{Delete: []int{7}}, genAt(3)) // remove the (2,0.5) outlier: max shrinks back
+	ch, err = l.Apply(delta.Batch{Delete: []int{7}}, genAt(3), nil) // remove the (2,0.5) outlier: max shrinks back
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func poolAndChange(t *testing.T, b delta.Batch, k int) (*delta.Pool, *delta.Chan
 	if err != nil {
 		t.Fatal(err)
 	}
-	ch, err := l.Apply(b, genAt(2))
+	ch, err := l.Apply(b, genAt(2), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +232,7 @@ func TestClassifyStale(t *testing.T) {
 	if victim < 0 {
 		t.Fatal("no non-anchor pool member to delete")
 	}
-	ch, err := l.Apply(delta.Batch{Delete: []int{victim}}, genAt(2))
+	ch, err := l.Apply(delta.Batch{Delete: []int{victim}}, genAt(2), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +250,7 @@ func TestClassifyStale(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ch2, err := l2.Apply(delta.Batch{Append: [][]float64{{3, 3}}}, genAt(2))
+	ch2, err := l2.Apply(delta.Batch{Append: [][]float64{{3, 3}}}, genAt(2), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +262,7 @@ func TestClassifyStale(t *testing.T) {
 func TestMaintainerApply(t *testing.T) {
 	l := mustLog(t, anchored2D())
 	m := delta.NewMaintainer()
-	ch, err := l.Apply(delta.Batch{Append: [][]float64{{0.05, 0.05}}}, genAt(2))
+	ch, err := l.Apply(delta.Batch{Append: [][]float64{{0.05, 0.05}}}, genAt(2), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +276,7 @@ func TestMaintainerApply(t *testing.T) {
 		}
 	}
 	// Second batch: pool for k=2 carried forward, k=3 dropped (not listed).
-	ch, err = l.Apply(delta.Batch{Append: [][]float64{{0.96, 0.98}}}, genAt(3))
+	ch, err = l.Apply(delta.Batch{Append: [][]float64{{0.96, 0.98}}}, genAt(3), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +307,7 @@ func TestMaintainerGenerationGap(t *testing.T) {
 	l := mustLog(t, anchored2D())
 	m := delta.NewMaintainer()
 	// Batch 1: maintained; pools now stamped for gen 2.
-	ch, err := l.Apply(delta.Batch{Append: [][]float64{{0.1, 0.1}}}, genAt(2))
+	ch, err := l.Apply(delta.Batch{Append: [][]float64{{0.1, 0.1}}}, genAt(2), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,7 +316,7 @@ func TestMaintainerGenerationGap(t *testing.T) {
 	}
 	// Batch 2: NOT maintained (imagine no cached answers at that moment).
 	// Its insert (0.96,0.98) crosses into the top-2 pool.
-	ch2, err := l.Apply(delta.Batch{Append: [][]float64{{0.96, 0.98}}}, genAt(3))
+	ch2, err := l.Apply(delta.Batch{Append: [][]float64{{0.96, 0.98}}}, genAt(3), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -323,7 +324,7 @@ func TestMaintainerGenerationGap(t *testing.T) {
 	// Batch 3: maintained again — deletes the crossing insert. A lagging
 	// gen-2 pool would not contain it and would misclassify this as
 	// still-exact; the continuity check must rebuild and report stale.
-	ch3, err := l.Apply(delta.Batch{Delete: []int{crossing}}, genAt(4))
+	ch3, err := l.Apply(delta.Batch{Delete: []int{crossing}}, genAt(4), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,5 +341,40 @@ func TestClassString(t *testing.T) {
 	if delta.StillExact.String() != "still-exact" || delta.Repairable.String() != "repairable" ||
 		delta.Stale.String() != "stale" || delta.Class(42).String() != "unknown" {
 		t.Fatal("Class.String mismatch")
+	}
+}
+
+func TestLogApplyCommitHook(t *testing.T) {
+	l := mustLog(t, anchored2D())
+	// A rejecting commit hook leaves the log unchanged: write-ahead
+	// semantics mean a batch whose record never became durable never
+	// happened.
+	_, err := l.Apply(delta.Batch{Append: [][]float64{{0.4, 0.4}}}, genAt(2), func(*delta.Change) error {
+		return errors.New("disk full")
+	})
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("err = %v, want the commit error", err)
+	}
+	if l.Gen() != 1 || l.Batches() != 0 {
+		t.Fatalf("rejected commit advanced the log: gen=%d batches=%d", l.Gen(), l.Batches())
+	}
+	if tb, _, _ := l.Snapshot(); tb.N() != 7 {
+		t.Fatalf("rejected commit mutated the table: n=%d", tb.N())
+	}
+	// An accepting hook sees the fully built change — assigned generation
+	// included — exactly once, before the state advances.
+	calls := 0
+	ch, err := l.Apply(delta.Batch{Append: [][]float64{{0.4, 0.4}}}, genAt(2), func(c *delta.Change) error {
+		calls++
+		if c.Gen != 2 || c.PrevGen != 1 {
+			t.Errorf("commit saw gens %d->%d, want 1->2", c.PrevGen, c.Gen)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 || ch.Gen != 2 || l.Gen() != 2 {
+		t.Fatalf("calls=%d gen=%d logGen=%d", calls, ch.Gen, l.Gen())
 	}
 }

@@ -172,9 +172,16 @@ func (l *Log) Snapshot() (*dataset.Table, *core.Dataset, int64) {
 // — under the log's lock, after validation succeeds — so a caller-owned
 // counter (the registry's cache-key-unique one) hands out generations in
 // the same order batches apply, even under concurrent mutations. The
-// assigned generation must exceed the current one. On any error the log
-// is unchanged.
-func (l *Log) Apply(b Batch, assignGen func() int64) (*Change, error) {
+// assigned generation must exceed the current one.
+//
+// commit, when non-nil, is the durability hook: it runs under the log's
+// lock after the change is fully built but before the log's state
+// advances, and a commit error rejects the batch with the log unchanged.
+// That placement gives write-ahead semantics for free — per-dataset WAL
+// records land in generation order because the lock serializes them, and
+// a batch whose record never reached the log is a batch that never
+// happened. On any error the log is unchanged.
+func (l *Log) Apply(b Batch, assignGen func() int64, commit func(*Change) error) (*Change, error) {
 	if err := b.Validate(); err != nil {
 		return nil, err
 	}
@@ -228,6 +235,11 @@ func (l *Log) Apply(b Batch, assignGen func() int64) (*Change, error) {
 	}
 	ch.Gen = newGen
 	ch.Table, ch.After = table, data
+	if commit != nil {
+		if err := commit(ch); err != nil {
+			return nil, err
+		}
+	}
 	l.table, l.data, l.gen = table, data, newGen
 	l.batches++
 	return ch, nil

@@ -97,6 +97,9 @@ func TestExtensionsResolvable(t *testing.T) {
 // TestSmokeRunExtensions executes the extension/ablation experiments at
 // smoke scale and checks their specific claims.
 func TestSmokeRunExtensions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension experiments are slow; run without -short")
+	}
 	for _, f := range harness.Extensions() {
 		f := f
 		t.Run(f.ID, func(t *testing.T) {
@@ -162,6 +165,9 @@ func TestSmokeRunExtensions(t *testing.T) {
 // structural invariants plus the paper's qualitative claims that survive
 // even tiny inputs.
 func TestSmokeRunAllFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure experiments are slow; run without -short")
+	}
 	for _, f := range harness.Figures() {
 		f := f
 		t.Run(f.ID, func(t *testing.T) {

@@ -67,6 +67,9 @@ func TestSeriesSkipsMissingMetrics(t *testing.T) {
 }
 
 func TestPlotRendersPanels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("plot rendering runs full experiments; run without -short")
+	}
 	res := smokeResult(t, "fig18")
 	out, err := res.Plot()
 	if err != nil {

@@ -523,6 +523,39 @@ func (c *Cache) fill(fl *flight, key Key, slot *computation, ids []int, stats Re
 	}
 }
 
+// CachedEntry pairs a key with its completed result — the unit the warm
+// cache persists and restores.
+type CachedEntry struct {
+	Key    Key
+	Result CachedResult
+}
+
+// CompletedEntries returns every completed successful computation with
+// its key — the warm-cache export. In-flight slots are excluded (their
+// results don't exist yet) and so are cached errors: budget-exhausted
+// slots are deliberately kept in memory (see run), but persisting them
+// would make a doomed key survive restarts of a possibly re-tuned daemon.
+func (c *Cache) CompletedEntries() []CachedEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []CachedEntry
+	for key, slot := range c.slots {
+		select {
+		case <-slot.done:
+		default:
+			continue
+		}
+		if slot.err != nil {
+			continue
+		}
+		out = append(out, CachedEntry{
+			Key:    key,
+			Result: CachedResult{IDs: slot.ids, Stats: slot.stats, Elapsed: slot.elapsed, Cached: true},
+		})
+	}
+	return out
+}
+
 // CompletedKeys returns the keys of completed, successful computations
 // for the named dataset at the given generation — the cached answers the
 // delta maintainer classifies after a mutation. In-flight and failed

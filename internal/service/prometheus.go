@@ -45,6 +45,13 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("rrrd_delta_revalidated_total", "Cached answers proven still exact across a mutation and re-keyed.", m.deltaRevalidated.Load())
 	counter("rrrd_delta_repaired_total", "Cached answers repaired by a reduce-phase re-run on the patched pool.", m.deltaRepaired.Load())
 	counter("rrrd_delta_recomputed_total", "Cached answers invalidated by a mutation for lazy full recompute.", m.deltaRecomputed.Load())
+	counter("rrrd_wal_appends_total", "Mutation batches made durable in the write-ahead log.", m.walAppends.Load())
+	counter("rrrd_wal_bytes_total", "Bytes appended to the write-ahead log.", m.walBytes.Load())
+	counter("rrrd_replayed_batches_total", "WAL batches re-applied during boot recovery.", m.replayedBatches.Load())
+	counter("rrrd_warmed_answers_total", "Cached answers readmitted from the warm-cache file at boot.", m.warmedAnswers.Load())
+	if age := m.snapshotAge(); age >= 0 {
+		gauge("rrrd_snapshot_age_seconds", "Seconds since the registry snapshot was last written.", age)
+	}
 
 	// Latency histograms, one series set per algorithm, iterated in sorted
 	// order so the exposition is deterministic. The lock covers only the

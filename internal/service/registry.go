@@ -1,6 +1,7 @@
 package service
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -10,6 +11,7 @@ import (
 	"rrr/internal/core"
 	"rrr/internal/dataset"
 	"rrr/internal/delta"
+	"rrr/internal/wal"
 )
 
 // Entry is one registered dataset at one generation: the raw table it was
@@ -49,6 +51,10 @@ type Registry struct {
 	// delta makes Register attach a mutation log to every entry, enabling
 	// Mutate. Set before any registration (the daemon's -delta flag).
 	delta bool
+	// wal, when attached, receives every mutation batch before it commits
+	// (write-ahead); metrics counts the appends. Set once at boot.
+	wal     *wal.Store
+	metrics *Metrics
 }
 
 // NewRegistry returns an empty registry.
@@ -144,8 +150,38 @@ func (r *Registry) Mutate(name string, b delta.Batch) (*Entry, *delta.Change, er
 	if e.Log == nil {
 		return nil, nil, fmt.Errorf("service: dataset %q is immutable: delta maintenance is disabled (start rrrd with -delta): %w", name, ErrBadRequest)
 	}
-	ch, err := e.Log.Apply(b, r.reserveGen)
+	// The commit hook runs under the log's lock after the change is built
+	// but before it takes effect: the WAL record is durable before any
+	// observer can see the new generation, and per-dataset records land in
+	// generation order because the lock serializes them. A failed append
+	// rejects the batch with the log unchanged — write-ahead, strictly.
+	var commit func(*delta.Change) error
+	r.mu.RLock()
+	st, metrics := r.wal, r.metrics
+	r.mu.RUnlock()
+	if st != nil {
+		commit = func(ch *delta.Change) error {
+			n, err := st.Append(wal.Record{
+				Dataset: name,
+				PrevGen: ch.PrevGen,
+				Gen:     ch.Gen,
+				Append:  b.Append,
+				Delete:  b.Delete,
+			})
+			if err != nil {
+				return fmt.Errorf("%w: %v", errPersist, err)
+			}
+			metrics.walAppend(n)
+			return nil
+		}
+	}
+	ch, err := e.Log.Apply(b, r.reserveGen, commit)
 	if err != nil {
+		if errors.Is(err, errPersist) {
+			// A durability failure is the server's problem, not the
+			// client's: surface it as an internal error, never a 400.
+			return nil, nil, fmt.Errorf("service: dataset %q: %v", name, err)
+		}
 		return nil, nil, fmt.Errorf("service: dataset %q: %v: %w", name, err, ErrBadRequest)
 	}
 	next := &Entry{Name: e.Name, Table: ch.Table, Data: ch.After, Kind: e.Kind, Gen: ch.Gen, Log: e.Log}

@@ -31,6 +31,7 @@ import (
 	"rrr/internal/core"
 	"rrr/internal/delta"
 	"rrr/internal/shard"
+	"rrr/internal/wal"
 )
 
 // Sentinel error kinds the HTTP layer maps to status codes. Errors wrap
@@ -86,6 +87,9 @@ type Service struct {
 	// shardKey is the fingerprint of the configured shard plan, empty when
 	// unsharded; every cache key carries it.
 	shardKey string
+	// store is the durability layer (persist.go); nil for a memory-only
+	// service, the historical behavior.
+	store *wal.Store
 
 	// maintainers holds one delta maintainer per mutable dataset, created
 	// on first mutation and dropped with the dataset. Nil map when delta

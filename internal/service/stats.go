@@ -94,6 +94,14 @@ type Metrics struct {
 	deltaRepaired    atomic.Int64
 	deltaRecomputed  atomic.Int64
 
+	walAppends      atomic.Int64
+	walBytes        atomic.Int64
+	replayedBatches atomic.Int64
+	warmedAnswers   atomic.Int64
+	// snapshotUnixNano is when the last snapshot was written (or, right
+	// after boot, the mtime of the one that was read); 0 = none yet.
+	snapshotUnixNano atomic.Int64
+
 	mu        sync.Mutex
 	latencies map[string]*histogram
 
@@ -155,6 +163,47 @@ func (m *Metrics) deltaOutcomes(revalidated, repaired, recomputed int) {
 		m.deltaRepaired.Add(int64(repaired))
 		m.deltaRecomputed.Add(int64(recomputed))
 	}
+}
+
+// walAppend records one durable WAL append of n bytes.
+func (m *Metrics) walAppend(n int) {
+	if m != nil {
+		m.walAppends.Add(1)
+		m.walBytes.Add(int64(n))
+	}
+}
+
+// replayed records n WAL batches re-applied during boot recovery.
+func (m *Metrics) replayed(n int) {
+	if m != nil {
+		m.replayedBatches.Add(int64(n))
+	}
+}
+
+// warmed records n cached answers readmitted from the warm-cache file.
+func (m *Metrics) warmed(n int) {
+	if m != nil {
+		m.warmedAnswers.Add(int64(n))
+	}
+}
+
+// snapshotAt records when the registry snapshot was last written or read.
+func (m *Metrics) snapshotAt(t time.Time) {
+	if m != nil {
+		m.snapshotUnixNano.Store(t.UnixNano())
+	}
+}
+
+// snapshotAge returns seconds since the last snapshot, -1 when none.
+func (m *Metrics) snapshotAge() float64 {
+	if m == nil {
+		return -1
+	}
+	ns := m.snapshotUnixNano.Load()
+	if ns == 0 {
+		return -1
+	}
+	return time.Since(time.Unix(0, ns)).Seconds()
 }
 
 // batchStarted records one batch computation claiming n keys.
@@ -249,6 +298,18 @@ type DeltaSnapshot struct {
 	Recomputed    int64 `json:"recomputed"`
 }
 
+// PersistSnapshot summarizes the durability layer: WAL appends and bytes
+// since boot, batches replayed and answers warmed during the last
+// recovery, and how stale the on-disk snapshot is (-1 when the daemon
+// runs memory-only or has not snapshotted yet).
+type PersistSnapshot struct {
+	WALAppends         int64   `json:"wal_appends"`
+	WALBytes           int64   `json:"wal_bytes"`
+	ReplayedBatches    int64   `json:"replayed_batches"`
+	WarmedAnswers      int64   `json:"warmed_answers"`
+	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds"`
+}
+
 // Snapshot is the /stats payload.
 type Snapshot struct {
 	UptimeSeconds  float64                      `json:"uptime_seconds"`
@@ -263,6 +324,7 @@ type Snapshot struct {
 	CoalescedJoins int64                        `json:"coalesced_joins"`
 	Shard          ShardSnapshot                `json:"shard"`
 	Delta          DeltaSnapshot                `json:"delta"`
+	Persist        PersistSnapshot              `json:"persist"`
 	Latencies      map[string]HistogramSnapshot `json:"latency_by_algorithm"`
 }
 
@@ -295,6 +357,13 @@ func (m *Metrics) Snapshot() Snapshot {
 			Revalidated:   m.deltaRevalidated.Load(),
 			Repaired:      m.deltaRepaired.Load(),
 			Recomputed:    m.deltaRecomputed.Load(),
+		},
+		Persist: PersistSnapshot{
+			WALAppends:         m.walAppends.Load(),
+			WALBytes:           m.walBytes.Load(),
+			ReplayedBatches:    m.replayedBatches.Load(),
+			WarmedAnswers:      m.warmedAnswers.Load(),
+			SnapshotAgeSeconds: m.snapshotAge(),
 		},
 		Latencies: make(map[string]HistogramSnapshot),
 	}

@@ -1,0 +1,172 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// The on-disk encodings are deliberately fixed-width little-endian rather
+// than varint: fixed-width encodings are canonical by construction, which
+// is what makes the decoder's contract — every successful decode
+// re-encodes to the identical bytes — hold without a non-minimal-varint
+// rejection pass. Record payloads are small (a mutation batch, a dataset
+// snapshot) so the few bytes varints would save do not matter.
+
+// maxStringLen bounds every encoded string (dataset names, attribute
+// names, algorithm labels). It is the u16 length prefix's ceiling.
+const maxStringLen = 1<<16 - 1
+
+// enc builds a payload. Errors (oversized strings) stick: the first one
+// wins and every later append is a no-op, so codec code reads straight
+// through and checks once at the end.
+type enc struct {
+	b   []byte
+	err error
+}
+
+func (e *enc) u8(v byte) {
+	if e.err == nil {
+		e.b = append(e.b, v)
+	}
+}
+
+func (e *enc) u32(v uint32) {
+	if e.err == nil {
+		e.b = binary.LittleEndian.AppendUint32(e.b, v)
+	}
+}
+
+func (e *enc) i64(v int64) {
+	if e.err == nil {
+		e.b = binary.LittleEndian.AppendUint64(e.b, uint64(v))
+	}
+}
+
+func (e *enc) f64(v float64) {
+	if e.err == nil {
+		e.b = binary.LittleEndian.AppendUint64(e.b, math.Float64bits(v))
+	}
+}
+
+func (e *enc) str(s string) {
+	if e.err != nil {
+		return
+	}
+	if len(s) > maxStringLen {
+		e.err = fmt.Errorf("wal: string of %d bytes exceeds the %d-byte limit", len(s), maxStringLen)
+		return
+	}
+	e.b = binary.LittleEndian.AppendUint16(e.b, uint16(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// dec consumes a payload. Every read is bounds-checked; the first failure
+// sticks and later reads return zero values, so decoders never panic on
+// arbitrary bytes (the FuzzWALDecode contract) and report one error.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wal: "+format, args...)
+	}
+}
+
+// need reports whether n more bytes are available, failing the decoder if
+// not. n is int64 so callers can pass count*width products without
+// overflow checks of their own.
+func (d *dec) need(n int64) bool {
+	if d.err != nil {
+		return false
+	}
+	if n < 0 || n > int64(len(d.b)-d.off) {
+		d.fail("truncated payload: need %d bytes at offset %d of %d", n, d.off, len(d.b))
+		return false
+	}
+	return true
+}
+
+// remaining returns the unread byte count — the bound every element count
+// is validated against before allocation.
+func (d *dec) remaining() int64 { return int64(len(d.b) - d.off) }
+
+func (d *dec) u8() byte {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *dec) i64() int64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := int64(binary.LittleEndian.Uint64(d.b[d.off:]))
+	d.off += 8
+	return v
+}
+
+func (d *dec) f64() float64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b[d.off:]))
+	d.off += 8
+	return v
+}
+
+func (d *dec) str() string {
+	if !d.need(2) {
+		return ""
+	}
+	n := int64(binary.LittleEndian.Uint16(d.b[d.off:]))
+	d.off += 2
+	if !d.need(n) {
+		return ""
+	}
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+// count reads a u32 element count and validates it against the remaining
+// bytes at the given per-element width, so corrupt counts can never drive
+// a huge allocation.
+func (d *dec) count(width int64, what string) int {
+	n := int64(d.u32())
+	if d.err != nil {
+		return 0
+	}
+	if n*width > d.remaining() {
+		d.fail("%s count %d exceeds the %d remaining payload bytes", what, n, d.remaining())
+		return 0
+	}
+	return int(n)
+}
+
+// done asserts the payload was consumed exactly: trailing bytes would
+// break the canonical re-encode property.
+func (d *dec) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("wal: %d trailing bytes after a complete payload", len(d.b)-d.off)
+	}
+	return nil
+}

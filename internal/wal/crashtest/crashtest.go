@@ -1,0 +1,289 @@
+// Package crashtest is the crash-injection harness behind the durability
+// layer's recovery guarantee. It builds a real persisted deployment — a
+// baseline snapshot plus a long WAL of recorded mutation batches — while
+// capturing, after every batch, both the exact registry state and the WAL
+// file size. The tests then simulate every crash the frame format can
+// produce: truncating the WAL at *every byte offset* (torn writes land
+// mid-record, not politely at frame boundaries) and flipping individual
+// bits (latent media corruption). For each injected failure, recovery must
+// reproduce exactly the state after the longest intact prefix of records —
+// never panic, never serve a state that no uninterrupted run ever passed
+// through.
+//
+// The harness lives in its own package so it can drive internal/service
+// (which imports internal/wal) without an import cycle, and so the solver
+// round-trip check — post-recovery mutate+solve equals a fresh in-memory
+// run — exercises the full stack, not a re-implementation of replay.
+package crashtest
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"rrr/internal/dataset"
+	"rrr/internal/delta"
+	"rrr/internal/service"
+	"rrr/internal/wal"
+)
+
+// DatasetName is the single dataset every scenario mutates.
+const DatasetName = "crash"
+
+// State is a comparable capture of a registry: the generation watermark
+// and, per dataset, the raw table recovery promises to restore
+// bit-for-bit. Equality is deliberately exact (dataset.Table.Equal), so a
+// replay that produces merely equivalent data — renumbered IDs, a drifted
+// watermark, re-normalized floats — fails the harness.
+type State struct {
+	GenWatermark int64
+	Datasets     []DatasetState
+}
+
+// DatasetState is one dataset's captured identity.
+type DatasetState struct {
+	Name  string
+	Kind  string
+	Gen   int64
+	Table *dataset.Table
+}
+
+// Capture snapshots the service's registry into a State, datasets sorted
+// by name.
+func Capture(svc *service.Service) State {
+	st := State{GenWatermark: svc.Registry().GenWatermark()}
+	for _, e := range svc.Registry().Entries() {
+		st.Datasets = append(st.Datasets, DatasetState{Name: e.Name, Kind: e.Kind, Gen: e.Gen, Table: e.Table})
+	}
+	sort.Slice(st.Datasets, func(i, j int) bool { return st.Datasets[i].Name < st.Datasets[j].Name })
+	return st
+}
+
+// Diff explains the first difference between two states, "" when equal.
+func (s State) Diff(o State) string {
+	if s.GenWatermark != o.GenWatermark {
+		return fmt.Sprintf("gen watermark %d != %d", s.GenWatermark, o.GenWatermark)
+	}
+	if len(s.Datasets) != len(o.Datasets) {
+		return fmt.Sprintf("%d datasets != %d", len(s.Datasets), len(o.Datasets))
+	}
+	for i, d := range s.Datasets {
+		e := o.Datasets[i]
+		if d.Name != e.Name || d.Kind != e.Kind {
+			return fmt.Sprintf("dataset %d is %s/%s != %s/%s", i, d.Name, d.Kind, e.Name, e.Kind)
+		}
+		if d.Gen != e.Gen {
+			return fmt.Sprintf("dataset %s at generation %d != %d", d.Name, d.Gen, e.Gen)
+		}
+		if !d.Table.Equal(e.Table) {
+			return fmt.Sprintf("dataset %s tables differ at generation %d", d.Name, d.Gen)
+		}
+	}
+	return ""
+}
+
+// Scenario is one recorded deployment: a data directory holding a baseline
+// snapshot and a WAL of len(Batches) records, plus the reference trace an
+// uninterrupted run produced while writing it.
+type Scenario struct {
+	// Dir is the source data directory. Tests copy it (see CopyTruncated)
+	// rather than recover in place, so one scenario serves every injection.
+	Dir string
+	// Cfg built the scenario and must build every recovered service.
+	Cfg service.Config
+	// Batches are the mutation batches as requested, in WAL order —
+	// including deletes of IDs that were never live, which the WAL records
+	// verbatim and replay must tolerate identically.
+	Batches []delta.Batch
+	// Boundaries[i] is the WAL file size after i records (Boundaries[0] is
+	// the bare magic). A truncation at offset off leaves the longest
+	// intact prefix Prefix(off); a bit flip at off corrupts the record
+	// whose frame spans off, stopping replay at the same prefix.
+	Boundaries []int64
+	// Refs[i] is the registry state the uninterrupted run had after i
+	// records — what recovery from a WAL cut anywhere inside record i+1
+	// must reproduce.
+	Refs []State
+}
+
+// WALSize is the full WAL length in bytes.
+func (sc *Scenario) WALSize() int64 { return sc.Boundaries[len(sc.Boundaries)-1] }
+
+// Prefix maps a WAL byte offset to the number of records that survive a
+// cut (or a corruption) at that offset: the largest i with
+// Boundaries[i] <= off. Offsets inside the magic floor to 0 — the store
+// re-initializes a sub-magic file and recovers the snapshot alone.
+func (sc *Scenario) Prefix(off int64) int {
+	p := 0
+	for i, b := range sc.Boundaries {
+		if b <= off {
+			p = i
+		}
+	}
+	return p
+}
+
+// Build records a scenario: register a small anticorrelated 2-D dataset,
+// snapshot it as the baseline, then apply nBatches random mutation batches
+// (appends, deletes of live IDs, and the occasional delete of a bogus ID)
+// with an always-fsync WAL, capturing the reference state and WAL size
+// after every batch. The WAL is left holding all nBatches records — the
+// store is closed without a final snapshot, exactly the state a crash
+// leaves behind.
+func Build(dir string, nBatches int, seed int64) (*Scenario, error) {
+	cfg := service.Config{Seed: seed, DeltaMaintenance: true}
+	svc := service.New(cfg)
+	st, err := wal.Open(dir, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	svc.AttachStore(st)
+	if _, err := svc.Registry().Generate(DatasetName, "anticorrelated", 24, 2, seed); err != nil {
+		return nil, err
+	}
+	if err := svc.Persist(); err != nil {
+		return nil, err
+	}
+
+	sc := &Scenario{Dir: dir, Cfg: cfg}
+	walPath := filepath.Join(dir, "wal.log")
+	size := func() (int64, error) {
+		info, err := os.Stat(walPath)
+		if err != nil {
+			return 0, err
+		}
+		return info.Size(), nil
+	}
+	s0, err := size()
+	if err != nil {
+		return nil, err
+	}
+	sc.Boundaries = append(sc.Boundaries, s0)
+	sc.Refs = append(sc.Refs, Capture(svc))
+
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < nBatches; i++ {
+		b, err := randomBatch(rng, svc, i)
+		if err != nil {
+			return nil, err
+		}
+		if _, _, err := svc.Registry().Mutate(DatasetName, b); err != nil {
+			return nil, fmt.Errorf("crashtest: batch %d: %w", i, err)
+		}
+		sc.Batches = append(sc.Batches, b)
+		sz, err := size()
+		if err != nil {
+			return nil, err
+		}
+		sc.Boundaries = append(sc.Boundaries, sz)
+		sc.Refs = append(sc.Refs, Capture(svc))
+	}
+	return sc, nil
+}
+
+// randomBatch builds the i-th mutation batch against the dataset's current
+// shape: usually appends, frequently deletes of live IDs (floored so the
+// table never empties), and every seventh batch a delete of an ID that was
+// never assigned — the WAL stores batches as requested, and replaying a
+// not-found delete must be as deterministic as replaying a real one.
+func randomBatch(rng *rand.Rand, svc *service.Service, i int) (delta.Batch, error) {
+	e, err := svc.Registry().Get(DatasetName)
+	if err != nil {
+		return delta.Batch{}, err
+	}
+	var b delta.Batch
+	if i%7 == 6 {
+		b.Delete = append(b.Delete, 1<<30+i) // never a live ID
+	}
+	if rng.Float64() < 0.45 && e.Table.N() > 6 {
+		live := make([]int, e.Table.N())
+		for r := range live {
+			live[r] = e.Table.ID(r)
+		}
+		rng.Shuffle(len(live), func(a, c int) { live[a], live[c] = live[c], live[a] })
+		b.Delete = append(b.Delete, live[:1+rng.Intn(2)]...)
+	}
+	if len(b.Delete) == 0 || rng.Float64() < 0.7 {
+		rows := 1 + rng.Intn(3)
+		for r := 0; r < rows; r++ {
+			b.Append = append(b.Append, []float64{rng.Float64() * 100, rng.Float64() * 100})
+		}
+	}
+	return b, nil
+}
+
+// CopyTruncated materializes a crashed copy of the scenario in dst: the
+// snapshot file verbatim and the WAL cut to walBytes bytes.
+func (sc *Scenario) CopyTruncated(dst string, walBytes int64) error {
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	snap, err := os.ReadFile(filepath.Join(sc.Dir, "snapshot.bin"))
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dst, "snapshot.bin"), snap, 0o644); err != nil {
+		return err
+	}
+	log, err := os.ReadFile(filepath.Join(sc.Dir, "wal.log"))
+	if err != nil {
+		return err
+	}
+	if walBytes > int64(len(log)) {
+		return fmt.Errorf("crashtest: truncation point %d beyond the %d-byte WAL", walBytes, len(log))
+	}
+	return os.WriteFile(filepath.Join(dst, "wal.log"), log[:walBytes], 0o644)
+}
+
+// CopyFlipped materializes a corrupted copy of the scenario in dst: the
+// full WAL with one bit flipped at the given offset.
+func (sc *Scenario) CopyFlipped(dst string, off int64) error {
+	if err := sc.CopyTruncated(dst, sc.WALSize()); err != nil {
+		return err
+	}
+	path := filepath.Join(dst, "wal.log")
+	log, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	log[off] ^= 1 << uint(off%8)
+	return os.WriteFile(path, log, 0o644)
+}
+
+// Recover boots a fresh service from a (possibly damaged) data directory,
+// exactly as rrrd does. The caller owns closing the returned store.
+func Recover(dir string, cfg service.Config) (*service.Service, *wal.Store, *service.Recovery, error) {
+	svc := service.New(cfg)
+	st, err := wal.Open(dir, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	svc.AttachStore(st)
+	rec, err := svc.Recover(context.Background())
+	if err != nil {
+		st.Close()
+		return nil, nil, nil, err
+	}
+	return svc, st, rec, nil
+}
+
+// FreshRun rebuilds, purely in memory, the state an uninterrupted run
+// reaches after the scenario's first n batches: same generator, same
+// batches, no persistence anywhere. It is the harness's independent
+// oracle — recovery is compared against re-execution, not against replay.
+func (sc *Scenario) FreshRun(n int) (*service.Service, error) {
+	svc := service.New(sc.Cfg)
+	if _, err := svc.Registry().Generate(DatasetName, "anticorrelated", 24, 2, sc.Cfg.Seed); err != nil {
+		return nil, err
+	}
+	for i, b := range sc.Batches[:n] {
+		if _, _, err := svc.Registry().Mutate(DatasetName, b); err != nil {
+			return nil, fmt.Errorf("crashtest: fresh run batch %d: %w", i, err)
+		}
+	}
+	return svc, nil
+}

@@ -1,0 +1,119 @@
+package wal
+
+import "fmt"
+
+// recordVersion tags the record payload encoding. Bump it when the layout
+// changes; the decoder rejects versions it does not know.
+const recordVersion = 1
+
+// Record is one durably logged mutation batch: the dataset it applies to,
+// the generation chain link (PrevGen → Gen, matching delta.Change), and
+// the batch exactly as the client requested it — the rows to append and
+// the tuple IDs to delete, including deletes of IDs that turn out not to
+// exist. Replay re-applies the requested batch, and because ID assignment
+// and not-found handling are deterministic functions of the table state,
+// replaying the request reproduces the original outcome bit for bit.
+type Record struct {
+	Dataset string
+	// PrevGen and Gen are the dataset generations before and after the
+	// batch. Replay uses them to resume mid-chain: records at or below the
+	// snapshot's generation are skipped as already applied, and a record
+	// whose PrevGen does not match the current generation is a gap — a
+	// corruption the CRC cannot see.
+	PrevGen, Gen int64
+	// Append rows (uniform arity) and Delete IDs, as in delta.Batch.
+	// Within a batch, deletes apply first.
+	Append [][]float64
+	Delete []int
+}
+
+// EncodeRecord renders r as a canonical payload (framing — length and
+// CRC — is the Store's job). The encoding is fixed-width little-endian:
+//
+//	u8  version (1)
+//	u16 len(dataset) | dataset bytes
+//	i64 prevGen | i64 gen
+//	u32 nDelete | nDelete × i64 tuple ID
+//	u32 nAppend | u32 dims | nAppend × dims × f64 raw bits
+//
+// Floats travel as raw IEEE-754 bits, so every value — including payloads
+// that would not survive a decimal round-trip — is restored exactly.
+// Canonical means decode(encode(r)) = r and encode(decode(p)) = p for
+// every accepted p; the fuzz target enforces the second equality.
+func EncodeRecord(r Record) ([]byte, error) {
+	dims := 0
+	if len(r.Append) > 0 {
+		dims = len(r.Append[0])
+	}
+	for i, row := range r.Append {
+		if len(row) != dims {
+			return nil, fmt.Errorf("wal: append row %d has %d values, want %d", i, len(row), dims)
+		}
+	}
+	e := &enc{}
+	e.u8(recordVersion)
+	e.str(r.Dataset)
+	e.i64(r.PrevGen)
+	e.i64(r.Gen)
+	e.u32(uint32(len(r.Delete)))
+	for _, id := range r.Delete {
+		e.i64(int64(id))
+	}
+	e.u32(uint32(len(r.Append)))
+	e.u32(uint32(dims))
+	for _, row := range r.Append {
+		for _, v := range row {
+			e.f64(v)
+		}
+	}
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.b, nil
+}
+
+// DecodeRecord parses a payload produced by EncodeRecord. It is strict:
+// unknown versions, truncated fields, counts that overrun the payload,
+// trailing bytes, and the non-canonical nAppend == 0 with dims != 0 are
+// all rejected. It never panics on arbitrary input, and allocations are
+// bounded by the payload length.
+func DecodeRecord(p []byte) (Record, error) {
+	d := &dec{b: p}
+	if v := d.u8(); d.err == nil && v != recordVersion {
+		return Record{}, fmt.Errorf("wal: unknown record version %d", v)
+	}
+	var r Record
+	r.Dataset = d.str()
+	r.PrevGen = d.i64()
+	r.Gen = d.i64()
+	if n := d.count(8, "delete"); n > 0 {
+		r.Delete = make([]int, n)
+		for i := range r.Delete {
+			r.Delete[i] = int(d.i64())
+		}
+	}
+	nApp := d.count(1, "append")
+	dims := int(d.u32())
+	if d.err == nil {
+		switch {
+		case nApp == 0 && dims != 0:
+			d.fail("non-canonical arity %d on an empty append set", dims)
+		case nApp > 0 && int64(nApp)*int64(dims)*8 > d.remaining():
+			d.fail("append set %d×%d exceeds the %d remaining payload bytes", nApp, dims, d.remaining())
+		}
+	}
+	if d.err == nil && nApp > 0 {
+		r.Append = make([][]float64, nApp)
+		for i := range r.Append {
+			row := make([]float64, dims)
+			for j := range row {
+				row[j] = d.f64()
+			}
+			r.Append[i] = row
+		}
+	}
+	if err := d.done(); err != nil {
+		return Record{}, err
+	}
+	return r, nil
+}

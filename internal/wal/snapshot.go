@@ -1,0 +1,213 @@
+package wal
+
+import (
+	"fmt"
+	"time"
+
+	"rrr/internal/dataset"
+)
+
+const (
+	snapMagic       = "RRRSNAP\n"
+	snapshotVersion = 1
+)
+
+// Snapshot is a full registry capture: every dataset with its raw table,
+// stable tuple IDs and NextID watermark, plus the registry's generation
+// watermark so generations handed out after a restart never collide with
+// ones burned before it (cache keys depend on that uniqueness).
+type Snapshot struct {
+	// GenWatermark is the highest generation the registry has handed out.
+	GenWatermark int64
+	Datasets     []DatasetSnapshot
+}
+
+// DatasetSnapshot captures one registry entry. Name is the registry key;
+// the table carries its own display name.
+type DatasetSnapshot struct {
+	Name  string
+	Kind  string
+	Gen   int64
+	Table *dataset.Table
+}
+
+// encodeDataset renders one dataset payload:
+//
+//	u8 version | u16 name | u16 kind | i64 gen
+//	u16 tableName | u8 hasIDs | i64 nextID
+//	u32 nAttrs | per attr: u16 name, u8 higherBetter
+//	u32 n | u32 dims | [n × i64 ID when hasIDs] | n × dims × f64 raw bits
+//
+// hasIDs preserves whether the table had materialized IDs: a restored
+// never-mutated table stays bit-for-bit identical to the original,
+// including its CSV export (which only emits an id column when IDs are
+// materialized).
+func encodeDataset(ds DatasetSnapshot) ([]byte, error) {
+	t := ds.Table
+	if t == nil {
+		return nil, fmt.Errorf("wal: dataset %q has no table", ds.Name)
+	}
+	if t.IDs != nil && len(t.IDs) != t.N() {
+		return nil, fmt.Errorf("wal: dataset %q has %d IDs for %d rows", ds.Name, len(t.IDs), t.N())
+	}
+	e := &enc{}
+	e.u8(snapshotVersion)
+	e.str(ds.Name)
+	e.str(ds.Kind)
+	e.i64(ds.Gen)
+	e.str(t.Name)
+	if t.IDs != nil {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+	e.i64(int64(t.NextID))
+	e.u32(uint32(len(t.Attrs)))
+	for _, a := range t.Attrs {
+		e.str(a.Name)
+		if a.HigherBetter {
+			e.u8(1)
+		} else {
+			e.u8(0)
+		}
+	}
+	e.u32(uint32(t.N()))
+	e.u32(uint32(t.Dims()))
+	for _, id := range t.IDs {
+		e.i64(int64(id))
+	}
+	for i, row := range t.Rows {
+		if len(row) != t.Dims() {
+			return nil, fmt.Errorf("wal: dataset %q row %d has %d values, want %d", ds.Name, i, len(row), t.Dims())
+		}
+		for _, v := range row {
+			e.f64(v)
+		}
+	}
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.b, nil
+}
+
+func decodeDataset(p []byte) (DatasetSnapshot, error) {
+	d := &dec{b: p}
+	if v := d.u8(); d.err == nil && v != snapshotVersion {
+		return DatasetSnapshot{}, fmt.Errorf("wal: unknown snapshot version %d", v)
+	}
+	var ds DatasetSnapshot
+	ds.Name = d.str()
+	ds.Kind = d.str()
+	ds.Gen = d.i64()
+	t := &dataset.Table{}
+	t.Name = d.str()
+	hasIDs := d.u8()
+	if d.err == nil && hasIDs > 1 {
+		d.fail("invalid hasIDs flag %d", hasIDs)
+	}
+	t.NextID = int(d.i64())
+	if n := d.count(3, "attribute"); n > 0 { // ≥3 bytes each: u16 name + u8
+		t.Attrs = make([]dataset.Attr, n)
+		for i := range t.Attrs {
+			t.Attrs[i].Name = d.str()
+			t.Attrs[i].HigherBetter = d.u8() == 1
+		}
+	}
+	n := int64(d.u32())
+	dims := int64(d.u32())
+	if d.err == nil {
+		rowWidth := dims * 8
+		idWidth := int64(0)
+		if hasIDs == 1 {
+			idWidth = 8
+		}
+		switch {
+		case n > 0 && dims == 0:
+			d.fail("dataset claims %d rows of zero attributes", n)
+		case n*(rowWidth+idWidth) > d.remaining():
+			d.fail("dataset body %d×%d exceeds the %d remaining payload bytes", n, dims, d.remaining())
+		}
+	}
+	if d.err == nil && hasIDs == 1 {
+		t.IDs = make([]int, n)
+		for i := range t.IDs {
+			t.IDs[i] = int(d.i64())
+		}
+	}
+	if d.err == nil {
+		t.Rows = make([][]float64, n)
+		for i := range t.Rows {
+			row := make([]float64, dims)
+			for j := range row {
+				row[j] = d.f64()
+			}
+			t.Rows[i] = row
+		}
+	}
+	if err := d.done(); err != nil {
+		return DatasetSnapshot{}, err
+	}
+	ds.Table = t
+	return ds, nil
+}
+
+// WriteSnapshot atomically replaces the snapshot file with the given
+// capture. The first frame is a manifest (generation watermark + dataset
+// count); one frame per dataset follows.
+func (s *Store) WriteSnapshot(snap *Snapshot) error {
+	e := &enc{}
+	e.u8(snapshotVersion)
+	e.i64(snap.GenWatermark)
+	e.u32(uint32(len(snap.Datasets)))
+	if e.err != nil {
+		return e.err
+	}
+	buf := append([]byte(nil), snapMagic...)
+	buf = appendFrame(buf, e.b)
+	for _, ds := range snap.Datasets {
+		payload, err := encodeDataset(ds)
+		if err != nil {
+			return err
+		}
+		buf = appendFrame(buf, payload)
+	}
+	if err := s.writeFileAtomic(snapFile, buf); err != nil {
+		return err
+	}
+	s.snapUnix.Store(time.Now().UnixNano())
+	return nil
+}
+
+// ReadSnapshot loads the snapshot file; (nil, nil) when none exists. A
+// present-but-corrupt snapshot is a hard error — the WAL only holds
+// batches since the last snapshot, so there is no safe way to boot past
+// a damaged one, and failing loudly beats silently serving stale data.
+func (s *Store) ReadSnapshot() (*Snapshot, error) {
+	payloads, ok, err := s.readFramedFile(snapFile, snapMagic)
+	if err != nil || !ok {
+		return nil, err
+	}
+	if len(payloads) == 0 {
+		return nil, fmt.Errorf("wal: %s has no manifest", snapFile)
+	}
+	d := &dec{b: payloads[0]}
+	if v := d.u8(); d.err == nil && v != snapshotVersion {
+		return nil, fmt.Errorf("wal: unknown snapshot version %d", v)
+	}
+	snap := &Snapshot{GenWatermark: d.i64()}
+	count := d.u32()
+	if err := d.done(); err != nil {
+		return nil, fmt.Errorf("wal: %s manifest: %w", snapFile, err)
+	}
+	if int(count) != len(payloads)-1 {
+		return nil, fmt.Errorf("wal: %s manifest promises %d datasets, file holds %d", snapFile, count, len(payloads)-1)
+	}
+	for i, p := range payloads[1:] {
+		ds, err := decodeDataset(p)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %s dataset %d: %w", snapFile, i, err)
+		}
+		snap.Datasets = append(snap.Datasets, ds)
+	}
+	return snap, nil
+}

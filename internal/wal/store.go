@@ -1,0 +1,464 @@
+// Package wal is rrrd's durability layer: a write-ahead log of mutation
+// batches, an atomically replaced registry snapshot, and a warm-cache
+// file of completed answers. The contract with the service layer is
+// write-ahead in the strict sense — a batch's record reaches the log
+// (and, under the "always" fsync policy, the disk) before the batch
+// commits to the in-memory registry — so after a crash the log is always
+// ahead of or equal to any state an observer saw, never behind it.
+//
+// On-disk layout inside the data directory:
+//
+//	wal.log      8-byte magic, then frames: u32 payload len | u32 CRC-32C | payload
+//	snapshot.bin same framing over snapshot payloads, replaced atomically
+//	cache.bin    same framing over warm-cache payloads, replaced atomically
+//
+// Torn writes are the expected failure mode, not an exception: a crash
+// can stop the kernel mid-frame. Replay accepts the longest prefix of
+// intact frames — intact meaning the length field fits the file, the
+// CRC-32C matches, and the payload decodes — and truncates whatever
+// follows. Anything a torn tail could hold is by construction a batch
+// that was never acknowledged as committed, so dropping it is correct.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	walMagic  = "RRRWAL1\n"
+	walFile   = "wal.log"
+	snapFile  = "snapshot.bin"
+	cacheFile = "cache.bin"
+
+	// maxFramePayload is a sanity bound on the length field: a frame
+	// claiming more is treated as corruption rather than a reason to
+	// allocate gigabytes. It comfortably exceeds the largest snapshot the
+	// service can produce (maxGenerateRows × maxGenerateDims × 8 bytes).
+	maxFramePayload = 1 << 30
+)
+
+// crcTable is the Castagnoli polynomial — hardware-accelerated on the
+// platforms this repository targets.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed reports an operation on a closed store.
+var ErrClosed = errors.New("wal: store is closed")
+
+// SyncPolicy picks when WAL appends reach the disk.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: a batch acknowledged to the
+	// client survives an immediate power loss. The default.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs from a background loop (Options.SyncEvery): a
+	// crash can lose the last interval's batches, but replay still
+	// recovers an exact prefix.
+	SyncInterval
+	// SyncNever leaves flushing to the operating system.
+	SyncNever
+)
+
+// ParseSyncPolicy maps the -fsync flag values to policies.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or never)", s)
+}
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// Options configure a store.
+type Options struct {
+	Sync SyncPolicy
+	// SyncEvery is the background flush period under SyncInterval;
+	// defaults to 100ms.
+	SyncEvery time.Duration
+}
+
+// Store owns one data directory: the WAL file handle, the snapshot and
+// warm-cache files beside it, and the fsync machinery.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	wal     *os.File
+	walSize int64
+	dirty   bool
+
+	appends  atomic.Int64
+	bytes    atomic.Int64
+	snapUnix atomic.Int64 // last snapshot write/read time, UnixNano; 0 = none
+
+	stop     chan struct{}
+	flushers sync.WaitGroup
+}
+
+// Open creates or reopens the data directory. A fresh (or torn-at-birth,
+// shorter than the magic) WAL file is initialized; an existing file with
+// the wrong magic is refused rather than overwritten.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = 100 * time.Millisecond
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	size := info.Size()
+	if size < int64(len(walMagic)) {
+		// Empty, or a creation torn before the magic landed: start clean.
+		if err := f.Truncate(0); err == nil {
+			_, err = f.WriteAt([]byte(walMagic), 0)
+		}
+		if err == nil {
+			err = f.Sync()
+		}
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: initializing %s: %w", walFile, err)
+		}
+		size = int64(len(walMagic))
+	} else {
+		var magic [len(walMagic)]byte
+		if _, err := f.ReadAt(magic[:], 0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		if string(magic[:]) != walMagic {
+			f.Close()
+			return nil, fmt.Errorf("wal: %s is not a WAL file (bad magic)", walFile)
+		}
+	}
+	s := &Store{dir: dir, opts: opts, wal: f, walSize: size, stop: make(chan struct{})}
+	if info, err := os.Stat(filepath.Join(dir, snapFile)); err == nil {
+		s.snapUnix.Store(info.ModTime().UnixNano())
+	}
+	if opts.Sync == SyncInterval {
+		s.flushers.Add(1)
+		go s.flushLoop()
+	}
+	return s, nil
+}
+
+// Dir returns the data directory the store was opened on.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) flushLoop() {
+	defer s.flushers.Done()
+	tick := time.NewTicker(s.opts.SyncEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			s.mu.Lock()
+			if s.wal != nil && s.dirty {
+				s.wal.Sync()
+				s.dirty = false
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// appendFrame appends the length-CRC framing and payload to buf.
+func appendFrame(buf, payload []byte) []byte {
+	var hdr [8]byte
+	putU32 := func(b []byte, v uint32) {
+		b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	}
+	putU32(hdr[0:4], uint32(len(payload)))
+	putU32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	return append(append(buf, hdr[:]...), payload...)
+}
+
+// Append encodes the record, frames it, and writes it at the end of the
+// WAL, returning the number of bytes written. Under SyncAlways the bytes
+// are fsynced before Append returns. A failed write leaves the logical
+// size unchanged, so the next append overwrites the garbage; if the
+// process dies instead, the torn frame fails its CRC and replay discards
+// it — either way no corrupt record is ever replayed.
+func (s *Store) Append(r Record) (int, error) {
+	payload, err := EncodeRecord(r)
+	if err != nil {
+		return 0, err
+	}
+	frame := appendFrame(nil, payload)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return 0, ErrClosed
+	}
+	if _, err := s.wal.WriteAt(frame, s.walSize); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	if s.opts.Sync == SyncAlways {
+		if err := s.wal.Sync(); err != nil {
+			return 0, fmt.Errorf("wal: append sync: %w", err)
+		}
+	} else {
+		s.dirty = true
+	}
+	s.walSize += int64(len(frame))
+	s.appends.Add(1)
+	s.bytes.Add(int64(len(frame)))
+	return len(frame), nil
+}
+
+// ReplayResult summarizes one Replay pass.
+type ReplayResult struct {
+	// Records is how many intact records were handed to the callback.
+	Records int
+	// TornTail reports that the file ended in bytes that are not a
+	// complete intact record; DroppedBytes is how many were discarded.
+	TornTail     bool
+	DroppedBytes int64
+}
+
+// Replay reads the WAL from the start and hands every intact record to
+// apply, in order. The first torn or corrupt frame — truncated header,
+// oversized or short length, CRC mismatch, or undecodable payload — ends
+// the scan; the file is truncated back to the last intact record so the
+// next Append continues from recovered state. An error from apply aborts
+// the replay (without truncating) and is returned: it means the records
+// contradict the restored snapshot, which no prefix rule can repair.
+func (s *Store) Replay(apply func(Record) error) (ReplayResult, error) {
+	s.mu.Lock()
+	f := s.wal
+	s.mu.Unlock()
+	var res ReplayResult
+	if f == nil {
+		return res, ErrClosed
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, walFile))
+	if err != nil {
+		return res, fmt.Errorf("wal: replay: %w", err)
+	}
+	off := len(walMagic)
+	lastGood := off
+	if len(data) < off {
+		// Open initializes the magic; a shorter file here means the file
+		// changed behind our back. Treat everything as torn.
+		off = len(data)
+		lastGood = 0
+	}
+	u32 := func(b []byte) uint32 {
+		return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	}
+	for off < len(data) {
+		if off+8 > len(data) {
+			break // torn header
+		}
+		length := int64(u32(data[off : off+4]))
+		crc := u32(data[off+4 : off+8])
+		if length > maxFramePayload || int64(off)+8+length > int64(len(data)) {
+			break // torn or corrupt length
+		}
+		payload := data[off+8 : int64(off)+8+length]
+		if crc32.Checksum(payload, crcTable) != crc {
+			break // corrupt payload
+		}
+		rec, err := DecodeRecord(payload)
+		if err != nil {
+			break // CRC-intact but undecodable: treat as corruption
+		}
+		if err := apply(rec); err != nil {
+			return res, err
+		}
+		off += 8 + int(length)
+		lastGood = off
+		res.Records++
+	}
+	if lastGood < len(data) {
+		res.TornTail = true
+		res.DroppedBytes = int64(len(data) - lastGood)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.wal == nil {
+			return res, ErrClosed
+		}
+		if lastGood < len(walMagic) {
+			// The magic itself was lost: rewrite it.
+			if err := s.wal.Truncate(0); err != nil {
+				return res, fmt.Errorf("wal: truncating torn tail: %w", err)
+			}
+			if _, err := s.wal.WriteAt([]byte(walMagic), 0); err != nil {
+				return res, fmt.Errorf("wal: truncating torn tail: %w", err)
+			}
+			lastGood = len(walMagic)
+		} else if err := s.wal.Truncate(int64(lastGood)); err != nil {
+			return res, fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+		if err := s.wal.Sync(); err != nil {
+			return res, fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+		s.walSize = int64(lastGood)
+	}
+	return res, nil
+}
+
+// TruncateWAL drops every record, keeping the magic — called after a
+// successful snapshot has captured the state the records rebuilt.
+func (s *Store) TruncateWAL() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return ErrClosed
+	}
+	if err := s.wal.Truncate(int64(len(walMagic))); err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("wal: truncate sync: %w", err)
+	}
+	s.walSize = int64(len(walMagic))
+	s.dirty = false
+	return nil
+}
+
+// StoreStats reports the store's lifetime persistence counters.
+type StoreStats struct {
+	Appends int64
+	Bytes   int64
+}
+
+// Stats returns append counters since Open.
+func (s *Store) Stats() StoreStats {
+	return StoreStats{Appends: s.appends.Load(), Bytes: s.bytes.Load()}
+}
+
+// SnapshotTime returns when the snapshot file was last written (or its
+// mtime at Open), and whether one exists.
+func (s *Store) SnapshotTime() (time.Time, bool) {
+	ns := s.snapUnix.Load()
+	if ns == 0 {
+		return time.Time{}, false
+	}
+	return time.Unix(0, ns), true
+}
+
+// Close flushes and closes the WAL. Further operations return ErrClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.wal == nil {
+		s.mu.Unlock()
+		return nil
+	}
+	f := s.wal
+	s.wal = nil
+	err := f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	s.mu.Unlock()
+	close(s.stop)
+	s.flushers.Wait()
+	if err != nil {
+		return fmt.Errorf("wal: close: %w", err)
+	}
+	return nil
+}
+
+// writeFileAtomic writes data to name inside the store's directory via a
+// temp file, fsync, rename, and directory fsync — a reader never sees a
+// half-written file, and after a crash either the old or the new version
+// is intact.
+func (s *Store) writeFileAtomic(name string, data []byte) error {
+	tmp := filepath.Join(s.dir, name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := f.Write(data); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: writing %s: %w", name, err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, name)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: %w", err)
+	}
+	if d, err := os.Open(s.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// readFramedFile reads an atomically written file and splits it into
+// frame payloads, verifying the magic and every CRC. A missing file
+// returns (nil, false, nil). Unlike the WAL, these files are written in
+// one atomic rename, so any corruption is an error, not a torn tail.
+func (s *Store) readFramedFile(name, magic string) ([][]byte, bool, error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, name))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("wal: %w", err)
+	}
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		return nil, false, fmt.Errorf("wal: %s is not a %q file (bad magic)", name, magic[:len(magic)-1])
+	}
+	u32 := func(b []byte) uint32 {
+		return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	}
+	var payloads [][]byte
+	off := len(magic)
+	for off < len(data) {
+		if off+8 > len(data) {
+			return nil, false, fmt.Errorf("wal: %s: truncated frame header at offset %d", name, off)
+		}
+		length := int64(u32(data[off : off+4]))
+		crc := u32(data[off+4 : off+8])
+		if length > maxFramePayload || int64(off)+8+length > int64(len(data)) {
+			return nil, false, fmt.Errorf("wal: %s: frame at offset %d overruns the file", name, off)
+		}
+		payload := data[off+8 : int64(off)+8+length]
+		if crc32.Checksum(payload, crcTable) != crc {
+			return nil, false, fmt.Errorf("wal: %s: CRC mismatch at offset %d", name, off)
+		}
+		payloads = append(payloads, payload)
+		off += 8 + int(length)
+	}
+	return payloads, true, nil
+}
