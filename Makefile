@@ -13,7 +13,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/service/ ./internal/eval/ ./internal/shard/ ./internal/delta/ ./internal/wal/
+	$(GO) test -race ./internal/service/ ./internal/eval/ ./internal/shard/ ./internal/delta/ ./internal/wal/ ./internal/watch/
 
 # Fuzz smoke: a short budgeted run of each native fuzz target, catching
 # decoder panics and non-canonical encodings before they reach a corpus.
@@ -24,7 +24,7 @@ fuzz-smoke:
 # bench.txt as an artifact so every PR leaves a perf data point to compare
 # against.
 bench:
-	$(GO) test -bench . -benchmem -count 5 -run '^$$' . ./internal/wal/ | tee bench.txt
+	$(GO) test -bench . -benchmem -count 5 -run '^$$' . ./internal/wal/ ./internal/watch/ | tee bench.txt
 
 # Machine-readable perf artifact: BENCH_<short-sha>.json with per-benchmark
 # ns/op, B/op, allocs/op means and the raw ns/op samples. Reuses bench.txt

@@ -12,6 +12,11 @@
 //	rrr -dataset dot -n 5000 -d 2 -k 50 -algo 2drrr
 //	rrr -dataset dot -n 5000 -d 2 -ks 10,50,100   # one sweep, three answers
 //	rrr -dataset dot -n 50000 -d 2 -k 50 -shards 8   # map-reduce, same answer
+//
+// The watch subcommand tails a running rrrd's live-update stream instead
+// of solving locally (one line per event, auto-reconnect with resume):
+//
+//	rrr watch -server http://localhost:8080 -dataset flights -k 100
 package main
 
 import (
@@ -32,6 +37,15 @@ import (
 )
 
 func main() {
+	// Subcommand dispatch precedes flag.Parse: the watch client has its
+	// own flag set (server/dataset/k/algo), disjoint from the solver's.
+	if len(os.Args) > 1 && os.Args[1] == "watch" {
+		if err := runWatch(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "rrr watch:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "rrr:", err)
 		// A typed solver error carries the work done before the stop —

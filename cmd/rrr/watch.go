@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// Reconnect backoff bounds: start at half a second, double per failed
+// attempt, cap at 30s, reset as soon as a stream delivers an event.
+const (
+	watchBackoffMin = 500 * time.Millisecond
+	watchBackoffMax = 30 * time.Second
+)
+
+// runWatch implements `rrr watch`: tail a running rrrd's /v1/watch SSE
+// stream, printing one line per event. Disconnects (including deliberate
+// server closes and overflow drops) reconnect with exponential backoff,
+// resuming via Last-Event-ID so a brief outage replays the missed
+// generations instead of restarting from a snapshot. Ctrl-C exits
+// cleanly.
+func runWatch(args []string) error {
+	fs := flag.NewFlagSet("rrr watch", flag.ContinueOnError)
+	var (
+		server  = fs.String("server", "http://localhost:8080", "rrrd base URL")
+		dataset = fs.String("dataset", "", "dataset to watch (required)")
+		k       = fs.Int("k", 100, "rank-regret target k")
+		algo    = fs.String("algo", "auto", "algorithm: auto, 2drrr, mdrrr, mdrc")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataset == "" {
+		return errors.New("-dataset is required")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	url := fmt.Sprintf("%s/v1/watch?dataset=%s&k=%d&algo=%s", strings.TrimSuffix(*server, "/"), *dataset, *k, *algo)
+	var lastGen int64
+	backoff := watchBackoffMin
+	for {
+		delivered, err := streamOnce(ctx, url, &lastGen)
+		if ctx.Err() != nil {
+			fmt.Println("watch: interrupted, exiting")
+			return nil
+		}
+		if delivered > 0 {
+			backoff = watchBackoffMin
+		}
+		what := "stream ended"
+		if err != nil {
+			what = err.Error()
+		}
+		fmt.Fprintf(os.Stderr, "rrr watch: %s; reconnecting in %v\n", what, backoff)
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			fmt.Println("watch: interrupted, exiting")
+			return nil
+		}
+		if backoff *= 2; backoff > watchBackoffMax {
+			backoff = watchBackoffMax
+		}
+	}
+}
+
+// streamOnce opens one connection and consumes it until it ends,
+// returning how many events it delivered. *lastGen tracks the newest SSE
+// event id seen across connections; when set, it rides the reconnect as
+// Last-Event-ID.
+func streamOnce(ctx context.Context, url string, lastGen *int64) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if *lastGen > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatInt(*lastGen, 10))
+	}
+	// The default client, not a timeout-bearing one: the whole point is a
+	// response body that stays open forever; ctx handles interruption.
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return 0, fmt.Errorf("server returned %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+
+	delivered := 0
+	var id, event, data string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			// Blank line terminates one SSE frame.
+			if event != "" {
+				printEvent(id, event, data)
+				delivered++
+				if gen, err := strconv.ParseInt(id, 10, 64); err == nil && gen > *lastGen {
+					*lastGen = gen
+				}
+			}
+			id, event, data = "", "", ""
+		case strings.HasPrefix(line, "id: "):
+			id = line[len("id: "):]
+		case strings.HasPrefix(line, "event: "):
+			event = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			data = line[len("data: "):]
+		}
+	}
+	return delivered, sc.Err()
+}
+
+func printEvent(id, event, data string) {
+	ts := time.Now().Format("15:04:05.000")
+	if id == "" {
+		fmt.Printf("%s %-14s %s\n", ts, event, data)
+		return
+	}
+	fmt.Printf("%s %-14s gen=%-6s %s\n", ts, event, id, data)
+}

@@ -23,6 +23,16 @@
 // (re-solved on the patched candidate pool only) or stale (recomputed
 // lazily). Delta counters appear in /v1/stats and /v1/metrics.
 //
+// -watch (with -delta) turns the daemon into a live data product
+// (DESIGN.md §10): GET /v1/watch?dataset=D&k=K&algo=A is a Server-Sent
+// Events stream that opens with a snapshot of the current representative
+// and then pushes one event per mutation batch — a cheap generation
+// heartbeat when the answer was proven still exact, the new
+// representative IDs when it was repaired or recomputed. Slow consumers
+// are dropped after -watch-buffer undelivered events instead of
+// backpressuring mutations; reconnects resume via Last-Event-ID. The
+// companion client is `rrr watch`.
+//
 // -data-dir makes the daemon durable (DESIGN.md §9): every mutation batch
 // is appended to a write-ahead log before it commits (-fsync picks the
 // sync policy), the registry is snapshotted on clean shutdown, and the
@@ -38,6 +48,7 @@
 //	rrrd -addr :8080 -preload flights=dot:5000:3,diamonds=bn:5000 -request-timeout 30s
 //	rrrd -shards 8 -shard-workers 4 -preload flights=dot:100000:2
 //	rrrd -delta -preload flights=dot:5000:2
+//	rrrd -delta -watch -preload flights=dot:5000:2
 //	rrrd -delta -data-dir /var/lib/rrrd -fsync always -preload flights=dot:5000:2
 //	curl localhost:8080/v1/healthz
 //	curl 'localhost:8080/v1/representative?dataset=flights&k=100'
@@ -89,6 +100,9 @@ func run() error {
 		shards     = flag.Int("shards", 1, "map-reduce shard count for every solve (1 = unsharded)")
 		shardWork  = flag.Int("shard-workers", runtime.GOMAXPROCS(0), "worker pool for the shard map phase (defaults to GOMAXPROCS)")
 		deltaOn    = flag.Bool("delta", false, "enable the delta engine: POST /v1/datasets/{name}/append and .../delete mutate datasets in place, with cached answers revalidated, repaired or invalidated by containment tests instead of a cold cache")
+		watchOn    = flag.Bool("watch", false, "enable the live-update push subsystem: GET /v1/watch streams snapshot/heartbeat/representative events per (dataset,k,algo) over SSE as mutations commit (requires -delta)")
+		watchBuf   = flag.Int("watch-buffer", 64, "per-subscriber watch event ring capacity; a subscriber falling further behind is dropped with a terminal overflow event")
+		watchSubs  = flag.Int("watch-max-subscribers", 1024, "concurrent watch stream limit across all topics (0 = unlimited)")
 		dataDir    = flag.String("data-dir", "", "directory for durable state: write-ahead log of mutations, registry snapshot, warm answer cache (empty = memory only)")
 		fsyncPol   = flag.String("fsync", "always", "WAL durability policy: always (fsync every append), interval (background fsync every 100ms), never (leave flushing to the OS)")
 		noPersist  = flag.Bool("no-persist", false, "ignore -data-dir and run memory-only")
@@ -98,6 +112,9 @@ func run() error {
 	if err := validateWorkerFlags(*shards, *shardWork, *batchWork); err != nil {
 		return err
 	}
+	if *watchOn && !*deltaOn {
+		return errors.New("-watch requires -delta: without mutations there is nothing to push")
+	}
 	solverOpts := []rrr.Option{rrr.WithBatchWorkers(*batchWork)}
 	if *nodeBudget > 0 {
 		solverOpts = append(solverOpts, rrr.WithNodeBudget(*nodeBudget))
@@ -106,11 +123,14 @@ func run() error {
 		solverOpts = append(solverOpts, rrr.WithDrawBudget(*drawBudget))
 	}
 	svc := service.New(service.Config{
-		Seed:             *seed,
-		SolverOptions:    solverOpts,
-		Shards:           *shards,
-		ShardWorkers:     *shardWork,
-		DeltaMaintenance: *deltaOn,
+		Seed:                *seed,
+		SolverOptions:       solverOpts,
+		Shards:              *shards,
+		ShardWorkers:        *shardWork,
+		DeltaMaintenance:    *deltaOn,
+		Watch:               *watchOn,
+		WatchBuffer:         *watchBuf,
+		WatchMaxSubscribers: *watchSubs,
 	})
 	store, err := openStore(*dataDir, *fsyncPol, *noPersist)
 	if err != nil {
@@ -158,6 +178,11 @@ func run() error {
 		log.Printf("rrrd shutting down on %v", sig)
 		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
+		// End the long-lived watch streams first: each gets a terminal
+		// closing event and its handler returns, so Shutdown below only
+		// waits on ordinary request/response handlers instead of hanging
+		// until every SSE client disconnects on its own.
+		svc.CloseWatchers("server shutting down")
 		if err := srv.Shutdown(ctx); err != nil {
 			return err
 		}
@@ -283,4 +308,13 @@ type statusRecorder struct {
 func (r *statusRecorder) WriteHeader(status int) {
 	r.status = status
 	r.ResponseWriter.WriteHeader(status)
+}
+
+// Flush forwards http.Flusher so the SSE watch endpoint still streams
+// through the logging middleware (a plain embed would hide the interface
+// from type assertions).
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }

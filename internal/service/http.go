@@ -12,6 +12,7 @@ import (
 
 	"rrr"
 	"rrr/internal/delta"
+	"rrr/internal/watch"
 )
 
 // maxUploadBytes bounds POST /datasets bodies (CSV uploads included).
@@ -39,13 +40,14 @@ const statusClientClosedRequest = 499
 //	POST /v1/batch           many queries, one shared computation
 //	GET  /v1/rank?dataset=&weights=&id=|ids=    rank / rank-regret probe
 //	GET  /v1/regret?dataset=&ids=&samples=      sampled worst-case rank-regret
+//	GET  /v1/watch?dataset=&k=&algo=            SSE live-update stream (rrrd -watch)
 //	GET  /v1/healthz         liveness
 //	GET  /v1/stats           cache + latency + shard counters (JSON)
 //	GET  /v1/metrics         the same counters in Prometheus text format
 //
 // Errors are JSON envelopes {"error": ..., "kind": ...} where kind is one
 // of "bad_request", "not_found", "conflict", "canceled",
-// "budget_exhausted", "infeasible", or "internal".
+// "budget_exhausted", "infeasible", "unavailable", or "internal".
 type Server struct {
 	svc     *Service
 	mux     *http.ServeMux
@@ -80,6 +82,7 @@ func NewServer(svc *Service, opts ...ServerOption) *Server {
 	s.route("POST /batch", s.handleBatch)
 	s.route("GET /rank", s.handleRank)
 	s.route("GET /regret", s.handleRegret)
+	s.route("GET /watch", s.handleWatch)
 	s.route("GET /healthz", s.handleHealthz)
 	s.route("GET /stats", s.handleStats)
 	s.route("GET /metrics", s.handleMetrics)
@@ -99,15 +102,19 @@ func (s *Server) route(pattern string, h http.HandlerFunc) {
 
 // ServeHTTP implements http.Handler, applying the per-request deadline
 // before dispatch so every handler (and the solves behind them) inherits
-// it.
+// it. Streaming paths are exempt: a watch connection is *supposed* to
+// outlive any per-request budget.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if s.timeout > 0 {
+	if s.timeout > 0 && !isStreamPath(r.URL.Path) {
 		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 		defer cancel()
 		r = r.WithContext(ctx)
 	}
 	s.mux.ServeHTTP(w, r)
 }
+
+// isStreamPath reports paths that hold the connection open indefinitely.
+func isStreamPath(p string) bool { return p == "/v1/watch" || p == "/watch" }
 
 // Handler returns the server as an http.Handler (for wrapping in
 // middleware). The returned handler applies the request timeout.
@@ -144,6 +151,10 @@ func classifyError(err error) (status int, kind string) {
 		return http.StatusBadRequest, "bad_request"
 	case errors.Is(err, ErrConflict):
 		return http.StatusConflict, "conflict"
+	case errors.Is(err, watch.ErrMaxSubscribers), errors.Is(err, watch.ErrClosed):
+		// Both are load/lifecycle conditions, not client mistakes: retry
+		// later (or elsewhere).
+		return http.StatusServiceUnavailable, "unavailable"
 	case errors.As(err, &solveErr):
 		switch solveErr.KindName() {
 		case "canceled":
@@ -537,6 +548,70 @@ func (s *Server) handleRegret(w http.ResponseWriter, r *http.Request) {
 		"witness":    est.Witness,
 		"samples":    est.Samples,
 	})
+}
+
+// handleWatch serves GET /v1/watch: a Server-Sent Events stream of the
+// watched representative's evolution (see DESIGN.md §10 for the event
+// grammar). Validation errors are ordinary JSON errors — the response
+// only commits to text/event-stream once the subscription is live and
+// the preamble (snapshot or replayed suffix) is ready.
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, fmt.Errorf("service: watch needs a flushable connection (no HTTP/1.0 proxies): %w", ErrBadRequest))
+		return
+	}
+	q := r.URL.Query()
+	name := q.Get("dataset")
+	if name == "" {
+		writeError(w, fmt.Errorf("service: missing dataset parameter: %w", ErrBadRequest))
+		return
+	}
+	k, err := intParam(q.Get("k"), "k")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var lastGen int64
+	if raw := r.Header.Get("Last-Event-ID"); raw != "" {
+		lastGen, err = strconv.ParseInt(raw, 10, 64)
+		if err != nil || lastGen <= 0 {
+			writeError(w, fmt.Errorf("service: Last-Event-ID %q is not a generation: %w", raw, ErrBadRequest))
+			return
+		}
+	}
+	// The sink runs on the subscription's drain goroutine only (never
+	// before Start, never after Done), so the scratch buffer and the
+	// ResponseWriter need no further synchronization.
+	var buf []byte
+	sink := func(ev watch.Event) error {
+		buf = watch.AppendSSE(buf[:0], ev)
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+		flusher.Flush()
+		return nil
+	}
+	sub, preamble, err := s.svc.Watch(r.Context(), WatchRequest{Dataset: name, K: k, Algo: q.Get("algo"), LastGen: lastGen}, sink)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // nginx: do not buffer the stream
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	sub.Start(preamble)
+	select {
+	case <-sub.Done():
+	case <-r.Context().Done():
+		sub.Cancel()
+		// The drainer may be mid-write; it owns the ResponseWriter until
+		// Done, and a write on the dead connection errors out promptly.
+		<-sub.Done()
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

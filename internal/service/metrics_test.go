@@ -170,3 +170,40 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Fatalf("legacy /metrics: status %d", resp2.StatusCode)
 	}
 }
+
+// TestWatchCountersBothSurfaces pins the contract that every watch
+// counter is visible in both observability surfaces: the JSON /v1/stats
+// snapshot and the Prometheus /v1/metrics exposition. A counter added to
+// one but not the other fails here.
+func TestWatchCountersBothSurfaces(t *testing.T) {
+	svc := New(Config{Seed: 1})
+	m := svc.Metrics()
+	m.WatchSubscribers(2)
+	m.WatchSubscribers(-1)
+	m.WatchEvents(3)
+	m.WatchDropped()
+	m.WatchResumed()
+
+	snap := m.Snapshot()
+	if snap.Watch.Subscribers != 1 || snap.Watch.Events != 3 || snap.Watch.Dropped != 1 || snap.Watch.Resumes != 1 {
+		t.Fatalf("stats watch section = %+v, want {1 3 1 1}", snap.Watch)
+	}
+
+	var sb strings.Builder
+	m.WritePrometheus(&sb)
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE rrrd_watch_subscribers gauge",
+		"rrrd_watch_subscribers 1",
+		"# TYPE rrrd_watch_events_total counter",
+		"rrrd_watch_events_total 3",
+		"# TYPE rrrd_watch_dropped_total counter",
+		"rrrd_watch_dropped_total 1",
+		"# TYPE rrrd_watch_resumes_total counter",
+		"rrrd_watch_resumes_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, text)
+		}
+	}
+}

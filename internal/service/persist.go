@@ -278,6 +278,12 @@ func (s *Service) Persist() error {
 	if err := s.store.TruncateWAL(); err != nil {
 		return err
 	}
+	if s.hub != nil {
+		// The WAL no longer holds the generations behind the snapshot, so
+		// the watch journals must not promise to replay across them: a
+		// Last-Event-ID from before this point now gets a fresh snapshot.
+		s.hub.ResetJournals()
+	}
 	s.metrics.snapshotAt(time.Now())
 	return nil
 }

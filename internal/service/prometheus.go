@@ -49,6 +49,10 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("rrrd_wal_bytes_total", "Bytes appended to the write-ahead log.", m.walBytes.Load())
 	counter("rrrd_replayed_batches_total", "WAL batches re-applied during boot recovery.", m.replayedBatches.Load())
 	counter("rrrd_warmed_answers_total", "Cached answers readmitted from the warm-cache file at boot.", m.warmedAnswers.Load())
+	gauge("rrrd_watch_subscribers", "Watch streams currently open.", float64(m.watchSubscribers.Load()))
+	counter("rrrd_watch_events_total", "Events enqueued to watch subscribers (one publish to N subscribers counts N).", m.watchEvents.Load())
+	counter("rrrd_watch_dropped_total", "Watch subscribers dropped after overflowing their event ring.", m.watchDropped.Load())
+	counter("rrrd_watch_resumes_total", "Watch reconnects resumed by journal replay instead of a fresh snapshot.", m.watchResumes.Load())
 	if age := m.snapshotAge(); age >= 0 {
 		gauge("rrrd_snapshot_age_seconds", "Seconds since the registry snapshot was last written.", age)
 	}

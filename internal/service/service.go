@@ -32,6 +32,7 @@ import (
 	"rrr/internal/delta"
 	"rrr/internal/shard"
 	"rrr/internal/wal"
+	"rrr/internal/watch"
 )
 
 // Sentinel error kinds the HTTP layer maps to status codes. Errors wrap
@@ -74,6 +75,20 @@ type Config struct {
 	// repairable (reduce phase re-run on the patched candidate pool), or
 	// stale (invalidated; recomputed lazily on next request).
 	DeltaMaintenance bool
+	// Watch enables the live-update push subsystem (DESIGN.md §10):
+	// Service.Watch (and the daemon's GET /v1/watch SSE endpoint) streams
+	// a snapshot and then per-batch events — generation heartbeats for
+	// still-exact answers, representative pushes for repaired or
+	// recomputed ones — per watched (dataset, k, algo) topic. Pointless
+	// without DeltaMaintenance: nothing else produces events.
+	Watch bool
+	// WatchBuffer is the per-subscriber event ring capacity (<= 0 = 64).
+	// A subscriber falling more than this many events behind is dropped
+	// with a terminal overflow event rather than slowing anything down.
+	WatchBuffer int
+	// WatchMaxSubscribers caps concurrently open watch streams across all
+	// topics (0 = unlimited); excess subscriptions are refused.
+	WatchMaxSubscribers int
 }
 
 // Service glues registry, cache, metrics and the solver facade together.
@@ -96,6 +111,13 @@ type Service struct {
 	// maintenance is off.
 	maintMu     sync.Mutex
 	maintainers map[string]*delta.Maintainer
+
+	// hub is the live-update event hub (nil when Config.Watch is off).
+	// watchCtx governs watch-triggered recompute solves; CloseWatchers
+	// cancels it, so shutdown doesn't wait on pushes nobody will receive.
+	hub         *watch.Hub
+	watchCtx    context.Context
+	watchCancel context.CancelFunc
 }
 
 // New builds a Service with an empty registry and cache.
@@ -113,6 +135,14 @@ func New(cfg Config) *Service {
 	if cfg.DeltaMaintenance {
 		s.registry.EnableDeltaMaintenance()
 		s.maintainers = make(map[string]*delta.Maintainer)
+	}
+	if cfg.Watch {
+		s.hub = watch.NewHub(watch.Options{
+			Buffer:         cfg.WatchBuffer,
+			MaxSubscribers: cfg.WatchMaxSubscribers,
+			Counters:       m,
+		})
+		s.watchCtx, s.watchCancel = context.WithCancel(context.Background())
 	}
 	return s
 }
@@ -146,6 +176,9 @@ func (s *Service) RemoveDataset(name string) bool {
 			s.maintMu.Lock()
 			delete(s.maintainers, name)
 			s.maintMu.Unlock()
+		}
+		if s.hub != nil {
+			s.hub.CloseDataset(name, closingEvent("dataset removed"))
 		}
 	}
 	return ok
@@ -198,8 +231,9 @@ func (s *Service) Mutate(ctx context.Context, name string, b delta.Batch) (*Muta
 		return nil, err
 	}
 	s.metrics.mutation(len(ch.Inserted) + len(ch.Deleted))
-	stats := s.maintain(ctx, cur, ch)
+	stats, classes := s.maintain(ctx, cur, ch)
 	s.metrics.deltaOutcomes(stats.Revalidated, stats.Repaired, stats.Recomputed)
+	s.publishWatch(cur, ch, classes)
 	return &Mutation{
 		Dataset: name,
 		Gen:     ch.Gen,
@@ -227,10 +261,18 @@ func (s *Service) maintainerFor(name string) *delta.Maintainer {
 // (ch.PrevGen) and carries the survivors into ch.Gen. Dual (negative-K)
 // entries are always invalidated: their answer is a search across many
 // rank targets and no single pool bounds it.
-func (s *Service) maintain(ctx context.Context, cur *Entry, ch *delta.Change) MutationStats {
+//
+// The returned map records, per new-generation key, the classification
+// that actually *took effect* — a still-exact answer whose re-key lost a
+// race, or a repair that failed, degrades to stale — which is exactly the
+// signal the watch hub needs to choose between a heartbeat, a push of the
+// repaired answer, and a recompute.
+func (s *Service) maintain(ctx context.Context, cur *Entry, ch *delta.Change) (MutationStats, map[Key]delta.Class) {
 	var stats MutationStats
+	var classes map[Key]delta.Class
 	keys := s.cache.CompletedKeys(cur.Name, ch.PrevGen)
 	if len(keys) != 0 {
+		classes = make(map[Key]delta.Class, len(keys))
 		var ks []int
 		for _, key := range keys {
 			if key.K > 0 {
@@ -244,13 +286,14 @@ func (s *Service) maintain(ctx context.Context, cur *Entry, ch *delta.Change) Mu
 			outcomes = nil
 		}
 		for _, key := range keys {
+			newKey := key
+			newKey.Gen = ch.Gen
 			outcome, classified := outcomes[key.K]
 			if key.K < 0 || !classified {
 				stats.Recomputed++
+				classes[newKey] = delta.Stale
 				continue
 			}
-			newKey := key
-			newKey.Gen = ch.Gen
 			switch outcome.Class {
 			case delta.StillExact:
 				// Count the carry-over only if it actually lands: a
@@ -259,23 +302,28 @@ func (s *Service) maintain(ctx context.Context, cur *Entry, ch *delta.Change) Mu
 				// that flight — a recompute — wins.
 				if s.cache.Rekey(key, newKey) {
 					stats.Revalidated++
+					classes[newKey] = delta.StillExact
 				} else {
 					stats.Recomputed++
+					classes[newKey] = delta.Stale
 				}
 			case delta.Repairable:
 				if s.repair(ctx, cur, newKey, outcome.Pool) {
 					stats.Repaired++
+					classes[newKey] = delta.Repairable
 				} else {
 					stats.Recomputed++
+					classes[newKey] = delta.Stale
 				}
 			default:
 				stats.Recomputed++
+				classes[newKey] = delta.Stale
 			}
 		}
 	}
 	// Whatever remains at the old generation is unreachable; sweep it.
 	s.cache.InvalidateGeneration(cur.Name, ch.PrevGen)
-	return stats
+	return stats, classes
 }
 
 // repair re-runs only the reduce phase — the cached entry's algorithm on
@@ -359,20 +407,29 @@ func (s *Service) Representative(ctx context.Context, name string, k int, algoNa
 	if err != nil {
 		return nil, err
 	}
-	key := Key{Dataset: name, Gen: entry.Gen, K: k, Algo: string(algo), Shards: s.shardKey}
-	solver := s.solver(algo)
-	cached, err := s.cache.Do(ctx, key, func(runCtx context.Context) ([]int, ResultStats, error) {
-		res, err := solver.Solve(runCtx, entry.Data, k)
-		if err != nil {
-			return nil, ResultStats{}, fmt.Errorf("service: %s on %q (k=%d): %w", algo, name, k, err)
-		}
-		s.metrics.shardSolve(res.Shards, res.Candidates, entry.Data.N())
-		return res.IDs, ResultStats{KSets: res.KSets, Nodes: res.Nodes, Shards: res.Shards, Candidates: res.Candidates}, nil
-	})
+	cached, err := s.solveEntry(ctx, entry, k, algo)
 	if err != nil {
 		return nil, err
 	}
 	return &Representative{Dataset: name, K: k, Algorithm: algo, CachedResult: cached}, nil
+}
+
+// solveEntry serves (computing on first demand) the representative of the
+// entry's generation at (k, algo) through the singleflight cache — the
+// shared solve path of Representative, watch snapshots, and
+// watch-triggered recomputes. ctx bounds this caller's wait, not the
+// computation (Cache.Do detaches it).
+func (s *Service) solveEntry(ctx context.Context, entry *Entry, k int, algo rrr.Algorithm) (CachedResult, error) {
+	key := Key{Dataset: entry.Name, Gen: entry.Gen, K: k, Algo: string(algo), Shards: s.shardKey}
+	solver := s.solver(algo)
+	return s.cache.Do(ctx, key, func(runCtx context.Context) ([]int, ResultStats, error) {
+		res, err := solver.Solve(runCtx, entry.Data, k)
+		if err != nil {
+			return nil, ResultStats{}, fmt.Errorf("service: %s on %q (k=%d): %w", algo, entry.Name, k, err)
+		}
+		s.metrics.shardSolve(res.Shards, res.Candidates, entry.Data.N())
+		return res.IDs, ResultStats{KSets: res.KSets, Nodes: res.Nodes, Shards: res.Shards, Candidates: res.Candidates}, nil
+	})
 }
 
 // maxBatchQueries bounds one /v1/batch request: enough for any realistic

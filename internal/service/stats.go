@@ -98,6 +98,11 @@ type Metrics struct {
 	walBytes        atomic.Int64
 	replayedBatches atomic.Int64
 	warmedAnswers   atomic.Int64
+
+	watchSubscribers atomic.Int64 // gauge: live watch streams
+	watchEvents      atomic.Int64
+	watchDropped     atomic.Int64
+	watchResumes     atomic.Int64
 	// snapshotUnixNano is when the last snapshot was written (or, right
 	// after boot, the mtime of the one that was read); 0 = none yet.
 	snapshotUnixNano atomic.Int64
@@ -162,6 +167,39 @@ func (m *Metrics) deltaOutcomes(revalidated, repaired, recomputed int) {
 		m.deltaRevalidated.Add(int64(revalidated))
 		m.deltaRepaired.Add(int64(repaired))
 		m.deltaRecomputed.Add(int64(recomputed))
+	}
+}
+
+// The four methods below implement watch.Counters, making *Metrics the
+// hub's telemetry sink directly — no adapter layer to drift out of sync.
+
+// WatchSubscribers moves the live watch-stream gauge by delta.
+func (m *Metrics) WatchSubscribers(delta int) {
+	if m != nil {
+		m.watchSubscribers.Add(int64(delta))
+	}
+}
+
+// WatchEvents records n events enqueued to watch subscribers (fan-out
+// volume: one publish to N subscribers counts N).
+func (m *Metrics) WatchEvents(n int) {
+	if m != nil {
+		m.watchEvents.Add(int64(n))
+	}
+}
+
+// WatchDropped records one subscriber dropped by ring overflow.
+func (m *Metrics) WatchDropped() {
+	if m != nil {
+		m.watchDropped.Add(1)
+	}
+}
+
+// WatchResumed records one reconnect served by journal replay instead of
+// a fresh snapshot.
+func (m *Metrics) WatchResumed() {
+	if m != nil {
+		m.watchResumes.Add(1)
 	}
 }
 
@@ -310,6 +348,16 @@ type PersistSnapshot struct {
 	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds"`
 }
 
+// WatchSnapshot summarizes the live-update push subsystem: streams open
+// right now, events fanned out to subscribers, subscribers dropped for
+// falling behind their ring, and reconnects resumed by journal replay.
+type WatchSnapshot struct {
+	Subscribers int64 `json:"subscribers"`
+	Events      int64 `json:"events"`
+	Dropped     int64 `json:"dropped"`
+	Resumes     int64 `json:"resumes"`
+}
+
 // Snapshot is the /stats payload.
 type Snapshot struct {
 	UptimeSeconds  float64                      `json:"uptime_seconds"`
@@ -325,6 +373,7 @@ type Snapshot struct {
 	Shard          ShardSnapshot                `json:"shard"`
 	Delta          DeltaSnapshot                `json:"delta"`
 	Persist        PersistSnapshot              `json:"persist"`
+	Watch          WatchSnapshot                `json:"watch"`
 	Latencies      map[string]HistogramSnapshot `json:"latency_by_algorithm"`
 }
 
@@ -364,6 +413,12 @@ func (m *Metrics) Snapshot() Snapshot {
 			ReplayedBatches:    m.replayedBatches.Load(),
 			WarmedAnswers:      m.warmedAnswers.Load(),
 			SnapshotAgeSeconds: m.snapshotAge(),
+		},
+		Watch: WatchSnapshot{
+			Subscribers: m.watchSubscribers.Load(),
+			Events:      m.watchEvents.Load(),
+			Dropped:     m.watchDropped.Load(),
+			Resumes:     m.watchResumes.Load(),
 		},
 		Latencies: make(map[string]HistogramSnapshot),
 	}

@@ -1,0 +1,612 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rrr/internal/delta"
+	"rrr/internal/wal"
+	"rrr/internal/watch"
+)
+
+// newWatchService builds a watch-enabled delta service over the anchored
+// fixture (see delta_test.go), applying any extra knobs from cfg.
+func newWatchService(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	cfg.Seed = 1
+	cfg.DeltaMaintenance = true
+	cfg.Watch = true
+	svc := New(cfg)
+	if _, err := svc.Registry().RegisterCSV("anchored", strings.NewReader(anchoredCSV)); err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+// newWatchServer serves svc over httptest. Shutdown registers via
+// t.Cleanup, not defer: the LIFO cleanup order then closes the SSE
+// client streams (whose cleanups register later, in dialWatch) before
+// the server waits for its connections to finish.
+func newWatchServer(t *testing.T, svc *Service) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(NewServer(svc))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// sseEvent is one parsed Server-Sent Events frame.
+type sseEvent struct {
+	ID   int64
+	Type string
+	Data string
+}
+
+func (ev sseEvent) body(t *testing.T) watchEventBody {
+	t.Helper()
+	var body watchEventBody
+	if err := json.Unmarshal([]byte(ev.Data), &body); err != nil {
+		t.Fatalf("event data %q: %v", ev.Data, err)
+	}
+	return body
+}
+
+// sseStream is a test SSE client: a reader goroutine parses frames off
+// the response body into a channel, which closes when the stream ends.
+type sseStream struct {
+	resp   *http.Response
+	events chan sseEvent
+}
+
+// dialWatch opens GET /v1/watch with the given query (and Last-Event-ID
+// when lastGen > 0), requiring a committed 200 text/event-stream.
+func dialWatch(t *testing.T, ts *httptest.Server, query string, lastGen int64) *sseStream {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/watch?"+query, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastGen > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatInt(lastGen, 10))
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("watch: status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("watch: content type %q", ct)
+	}
+	s := &sseStream{resp: resp, events: make(chan sseEvent, 64)}
+	go s.read()
+	t.Cleanup(s.close)
+	return s
+}
+
+func (s *sseStream) read() {
+	defer close(s.events)
+	sc := bufio.NewScanner(s.resp.Body)
+	var ev sseEvent
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if ev.Type != "" {
+				s.events <- ev
+			}
+			ev = sseEvent{}
+		case strings.HasPrefix(line, "id: "):
+			ev.ID, _ = strconv.ParseInt(line[len("id: "):], 10, 64)
+		case strings.HasPrefix(line, "event: "):
+			ev.Type = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			ev.Data = line[len("data: "):]
+		}
+	}
+}
+
+// next returns the next pushed event; no polling anywhere — the test
+// blocks on the stream exactly as a real subscriber would.
+func (s *sseStream) next(t *testing.T) sseEvent {
+	t.Helper()
+	select {
+	case ev, ok := <-s.events:
+		if !ok {
+			t.Fatal("stream ended before the expected event")
+		}
+		return ev
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for a pushed event")
+	}
+	return sseEvent{}
+}
+
+// expectEnd asserts the stream terminates (EOF) with no further events.
+func (s *sseStream) expectEnd(t *testing.T) {
+	t.Helper()
+	select {
+	case ev, ok := <-s.events:
+		if ok {
+			t.Fatalf("event %q after the terminal event", ev.Type)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream did not end after the terminal event")
+	}
+}
+
+func (s *sseStream) close() { s.resp.Body.Close() }
+
+// appendHTTP pushes rows through POST /v1/datasets/{name}/append, so the
+// lifecycle test exercises the full mutation → hub → SSE path over HTTP.
+func appendHTTP(t *testing.T, ts *httptest.Server, name string, rows [][]float64) {
+	t.Helper()
+	payload, err := json.Marshal(appendRequest{Rows: rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/v1/datasets/"+name+"/append", "application/json", strings.NewReader(string(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("append: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// oracleIDs solves the dataset's current state on a fresh service — the
+// bit-for-bit reference for pushed representatives.
+func oracleIDs(t *testing.T, svc *Service, name string, k int) []int {
+	t.Helper()
+	entry, err := svc.Registry().Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := New(Config{Seed: 1})
+	if _, err := oracle.Registry().Register(name, entry.Table); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := oracle.Representative(context.Background(), name, k, "2drrr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.IDs
+}
+
+func sameIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWatchLifecycle is the subsystem's acceptance test, entirely over
+// httptest with zero polling: the watcher observes a snapshot, then a
+// still-exact batch arrives as a generation heartbeat with no recompute
+// (cache-miss and delta counters prove it), then a repairable batch
+// pushes a new representative bit-for-bit equal to a fresh solve.
+func TestWatchLifecycle(t *testing.T) {
+	svc := newWatchService(t, Config{})
+	ts := newWatchServer(t, svc)
+
+	st := dialWatch(t, ts, "dataset=anchored&k=2&algo=2drrr", 0)
+	snap := st.next(t)
+	if snap.Type != watch.TypeSnapshot || snap.ID != 1 {
+		t.Fatalf("first event = %s id=%d, want snapshot id=1", snap.Type, snap.ID)
+	}
+	snapBody := snap.body(t)
+	if snapBody.Dataset != "anchored" || snapBody.K != 2 || len(snapBody.IDs) == 0 {
+		t.Fatalf("snapshot body %+v", snapBody)
+	}
+
+	misses := svc.Metrics().Snapshot().CacheMisses
+	appendHTTP(t, ts, "anchored", [][]float64{{0.05, 0.05}}) // still-exact
+	hb := st.next(t)
+	if hb.Type != watch.TypeGeneration || hb.ID != 2 {
+		t.Fatalf("second event = %s id=%d, want generation id=2", hb.Type, hb.ID)
+	}
+	hbBody := hb.body(t)
+	if hbBody.Class != delta.StillExact.String() || hbBody.PrevGeneration != 1 {
+		t.Fatalf("heartbeat body %+v", hbBody)
+	}
+	after := svc.Metrics().Snapshot()
+	if after.CacheMisses != misses {
+		t.Fatalf("heartbeat recomputed: cache misses %d -> %d", misses, after.CacheMisses)
+	}
+	if after.Delta.Revalidated != 1 || after.Delta.Recomputed != 0 {
+		t.Fatalf("delta counters %+v, want one revalidation and no recomputes", after.Delta)
+	}
+	if after.Watch.Subscribers != 1 || after.Watch.Events < 1 {
+		t.Fatalf("watch counters %+v", after.Watch)
+	}
+
+	appendHTTP(t, ts, "anchored", [][]float64{{0.95, 0.97}}) // repairable
+	push := st.next(t)
+	if push.Type != watch.TypeRepresentative || push.ID != 3 {
+		t.Fatalf("third event = %s id=%d, want representative id=3", push.Type, push.ID)
+	}
+	pushBody := push.body(t)
+	if pushBody.Class != "repaired" || pushBody.PrevGeneration != 2 {
+		t.Fatalf("push body %+v", pushBody)
+	}
+	if want := oracleIDs(t, svc, "anchored", 2); !sameIDs(pushBody.IDs, want) {
+		t.Fatalf("pushed IDs %v != fresh solve %v", pushBody.IDs, want)
+	}
+}
+
+// TestWatchStaleRecomputePush: a batch that invalidates the cached answer
+// while someone is watching triggers one detached recompute, pushed as a
+// representative event of class "recomputed" — and it matches a fresh
+// solve of the mutated dataset.
+func TestWatchStaleRecomputePush(t *testing.T) {
+	svc := newWatchService(t, Config{})
+	ts := newWatchServer(t, svc)
+
+	st := dialWatch(t, ts, "dataset=anchored&k=2&algo=2drrr", 0)
+	snapBody := st.next(t).body(t)
+
+	victim := 2 // (0.9,0.2): in every top-2 candidate pool
+	for _, id := range snapBody.IDs {
+		if id != 0 && id != 1 {
+			victim = id
+		}
+	}
+	mut, err := svc.Mutate(context.Background(), "anchored", delta.Batch{Delete: []int{victim}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mut.Stats.Recomputed != 1 {
+		t.Fatalf("stats %+v, want the delete to invalidate", mut.Stats)
+	}
+	push := st.next(t)
+	if push.Type != watch.TypeRepresentative || push.ID != 2 {
+		t.Fatalf("event = %s id=%d, want representative id=2", push.Type, push.ID)
+	}
+	body := push.body(t)
+	if body.Class != "recomputed" {
+		t.Fatalf("class %q, want recomputed", body.Class)
+	}
+	for _, id := range body.IDs {
+		if id == victim {
+			t.Fatalf("pushed representative still serves deleted tuple %d", victim)
+		}
+	}
+	if want := oracleIDs(t, svc, "anchored", 2); !sameIDs(body.IDs, want) {
+		t.Fatalf("pushed IDs %v != fresh solve %v", body.IDs, want)
+	}
+}
+
+// TestWatchNeverSolvedPrecomputesOnce: watching a key nobody has queried
+// triggers exactly one snapshot solve, shared through the singleflight
+// cache — a second watcher's snapshot is served cached.
+func TestWatchNeverSolvedPrecomputesOnce(t *testing.T) {
+	svc := newWatchService(t, Config{})
+	ts := newWatchServer(t, svc)
+
+	first := dialWatch(t, ts, "dataset=anchored&k=3&algo=2drrr", 0)
+	if body := first.next(t).body(t); body.Cached {
+		t.Fatalf("first watcher's snapshot claims cached: %+v", body)
+	}
+	if misses := svc.Metrics().Snapshot().CacheMisses; misses != 1 {
+		t.Fatalf("cache misses = %d after first watch, want 1", misses)
+	}
+	second := dialWatch(t, ts, "dataset=anchored&k=3&algo=2drrr", 0)
+	if body := second.next(t).body(t); !body.Cached {
+		t.Fatalf("second watcher's snapshot recomputed: %+v", body)
+	}
+	if misses := svc.Metrics().Snapshot().CacheMisses; misses != 1 {
+		t.Fatalf("cache misses = %d after second watch, want 1", misses)
+	}
+}
+
+// TestWatchOverflowDoesNotBlockMutations is the isolation acceptance
+// test: a subscriber whose sink is fully wedged never backpressures the
+// mutation path — its ring overflows, it alone is dropped (with a
+// terminal overflow event), and every Mutate stays prompt.
+func TestWatchOverflowDoesNotBlockMutations(t *testing.T) {
+	svc := newWatchService(t, Config{WatchBuffer: 1})
+	ctx := context.Background()
+	if _, err := svc.Representative(ctx, "anchored", 2, "2drrr"); err != nil {
+		t.Fatal(err)
+	}
+
+	gate := make(chan struct{})
+	var mu sync.Mutex
+	var got []watch.Event
+	sink := func(ev watch.Event) error {
+		<-gate // wedge every delivery until the test releases the stream
+		mu.Lock()
+		got = append(got, ev)
+		mu.Unlock()
+		return nil
+	}
+	sub, preamble, err := svc.Watch(ctx, WatchRequest{Dataset: "anchored", K: 2, Algo: "2drrr"}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub.Start(preamble)
+
+	// The drainer is wedged delivering the snapshot; the ring (capacity 1)
+	// holds the first batch's event and the second overflows. All three
+	// mutations must commit promptly regardless.
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		if _, err := svc.Mutate(ctx, "anchored", delta.Batch{Append: [][]float64{{0.05, 0.05}}}); err != nil {
+			t.Fatal(err)
+		}
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Fatalf("mutation %d took %v behind a wedged subscriber", i, elapsed)
+		}
+	}
+	if dropped := svc.Metrics().Snapshot().Watch.Dropped; dropped != 1 {
+		t.Fatalf("watch dropped = %d, want 1", dropped)
+	}
+
+	close(gate)
+	select {
+	case <-sub.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("overflowed subscription did not end")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 3 || got[0].Type != watch.TypeSnapshot || got[1].Type != watch.TypeGeneration || got[2].Type != watch.TypeOverflow {
+		types := make([]string, len(got))
+		for i, ev := range got {
+			types[i] = ev.Type
+		}
+		t.Fatalf("delivered %v, want [snapshot generation overflow]", types)
+	}
+	if subs := svc.Metrics().Snapshot().Watch.Subscribers; subs != 0 {
+		t.Fatalf("subscriber gauge = %d after drop, want 0", subs)
+	}
+}
+
+// TestWatchResumeReplaysMissedGenerations: a reconnect presenting
+// Last-Event-ID gets the journaled suffix it missed — no snapshot, no
+// resolve — and the resume counter records it.
+func TestWatchResumeReplaysMissedGenerations(t *testing.T) {
+	svc := newWatchService(t, Config{})
+	ts := newWatchServer(t, svc)
+	ctx := context.Background()
+
+	first := dialWatch(t, ts, "dataset=anchored&k=2&algo=2drrr", 0)
+	first.next(t) // snapshot, gen 1
+	if _, err := svc.Mutate(ctx, "anchored", delta.Batch{Append: [][]float64{{0.05, 0.05}}}); err != nil {
+		t.Fatal(err)
+	}
+	if ev := first.next(t); ev.ID != 2 {
+		t.Fatalf("heartbeat id = %d, want 2", ev.ID)
+	}
+	first.close() // client vanishes having seen generation 2
+
+	// A batch committing while nobody is connected still extends the
+	// journal (the chain stays provable).
+	if _, err := svc.Mutate(ctx, "anchored", delta.Batch{Append: [][]float64{{0.05, 0.05}}}); err != nil {
+		t.Fatal(err)
+	}
+
+	second := dialWatch(t, ts, "dataset=anchored&k=2&algo=2drrr", 2)
+	ev := second.next(t)
+	if ev.Type != watch.TypeGeneration || ev.ID != 3 {
+		t.Fatalf("resumed stream starts with %s id=%d, want the replayed generation 3", ev.Type, ev.ID)
+	}
+	if resumes := svc.Metrics().Snapshot().Watch.Resumes; resumes != 1 {
+		t.Fatalf("watch resumes = %d, want 1", resumes)
+	}
+}
+
+// TestWatchResumeFallsBackAfterTruncation: Persist snapshots the state
+// and truncates the WAL, so the journals reset; a resume from a
+// pre-truncation generation must get a fresh snapshot, never a replay.
+func TestWatchResumeFallsBackAfterTruncation(t *testing.T) {
+	store, err := wal.Open(t.TempDir(), wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	svc := newWatchService(t, Config{})
+	svc.AttachStore(store)
+	ts := newWatchServer(t, svc)
+	ctx := context.Background()
+
+	first := dialWatch(t, ts, "dataset=anchored&k=2&algo=2drrr", 0)
+	first.next(t) // snapshot, gen 1
+	if _, err := svc.Mutate(ctx, "anchored", delta.Batch{Append: [][]float64{{0.05, 0.05}}}); err != nil {
+		t.Fatal(err)
+	}
+	if ev := first.next(t); ev.ID != 2 {
+		t.Fatalf("heartbeat id = %d, want 2", ev.ID)
+	}
+	first.close()
+
+	if err := svc.Persist(); err != nil {
+		t.Fatal(err)
+	}
+
+	second := dialWatch(t, ts, "dataset=anchored&k=2&algo=2drrr", 2)
+	ev := second.next(t)
+	if ev.Type != watch.TypeSnapshot {
+		t.Fatalf("post-truncation resume got %s, want a fresh snapshot", ev.Type)
+	}
+	if resumes := svc.Metrics().Snapshot().Watch.Resumes; resumes != 0 {
+		t.Fatalf("watch resumes = %d after truncation, want 0", resumes)
+	}
+}
+
+// TestWatchShutdownDrainsStreams is the graceful-shutdown regression
+// test: with a watcher connected, CloseWatchers ends the stream with a
+// terminal closing event, refuses new subscriptions, and the HTTP server
+// then shuts down promptly instead of pinning on the open connection.
+func TestWatchShutdownDrainsStreams(t *testing.T) {
+	svc := newWatchService(t, Config{})
+	ts := httptest.NewServer(NewServer(svc))
+
+	st := dialWatch(t, ts, "dataset=anchored&k=2&algo=2drrr", 0)
+	st.next(t) // snapshot
+
+	svc.CloseWatchers("server shutting down")
+	ev := st.next(t)
+	if ev.Type != watch.TypeClosing || !strings.Contains(ev.Data, "shutting down") {
+		t.Fatalf("terminal event = %s %q, want closing with the reason", ev.Type, ev.Data)
+	}
+	st.expectEnd(t)
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/watch?dataset=anchored&k=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "unavailable") {
+		t.Fatalf("watch after close: status %d body %s, want 503 unavailable", resp.StatusCode, body)
+	}
+
+	// ts.Close waits for outstanding requests — before CloseWatchers
+	// existed this would hang forever on the open SSE connection.
+	done := make(chan struct{})
+	go func() { ts.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server shutdown did not complete with a connected watcher")
+	}
+}
+
+// TestWatchHTTPValidation covers the request-rejection surface: watch
+// disabled, unknown dataset, bad parameters, bad Last-Event-ID, and the
+// subscriber limit.
+func TestWatchHTTPValidation(t *testing.T) {
+	status := func(t *testing.T, ts *httptest.Server, query, lastEventID string) (int, string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/watch?"+query, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lastEventID != "" {
+			req.Header.Set("Last-Event-ID", lastEventID)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+
+	t.Run("disabled", func(t *testing.T) {
+		plain := New(Config{Seed: 1, DeltaMaintenance: true})
+		if _, err := plain.Registry().RegisterCSV("anchored", strings.NewReader(anchoredCSV)); err != nil {
+			t.Fatal(err)
+		}
+		ts := newWatchServer(t, plain)
+		code, body := status(t, ts, "dataset=anchored&k=2", "")
+		if code != http.StatusBadRequest || !strings.Contains(body, "disabled") {
+			t.Fatalf("status %d body %s, want 400 mentioning disabled", code, body)
+		}
+	})
+
+	svc := newWatchService(t, Config{WatchMaxSubscribers: 1})
+	ts := newWatchServer(t, svc)
+	cases := []struct {
+		name, query, lastID string
+		want                int
+		mention             string
+	}{
+		{"unknown dataset", "dataset=ghost&k=2", "", http.StatusNotFound, "not_found"},
+		{"missing k", "dataset=anchored", "", http.StatusBadRequest, "missing k"},
+		{"bad k", "dataset=anchored&k=0", "", http.StatusBadRequest, "positive"},
+		{"bad algo", "dataset=anchored&k=2&algo=nope", "", http.StatusBadRequest, "unknown algorithm"},
+		{"garbled last-event-id", "dataset=anchored&k=2", "abc", http.StatusBadRequest, "Last-Event-ID"},
+		{"negative last-event-id", "dataset=anchored&k=2", "-3", http.StatusBadRequest, "Last-Event-ID"},
+	}
+	for _, tc := range cases {
+		code, body := status(t, ts, tc.query, tc.lastID)
+		if code != tc.want || !strings.Contains(body, tc.mention) {
+			t.Errorf("%s: status %d body %s, want %d mentioning %q", tc.name, code, body, tc.want, tc.mention)
+		}
+	}
+
+	st := dialWatch(t, ts, "dataset=anchored&k=2&algo=2drrr", 0)
+	st.next(t) // occupy the single subscriber slot
+	code, body := status(t, ts, "dataset=anchored&k=2", "")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "unavailable") {
+		t.Errorf("over limit: status %d body %s, want 503 unavailable", code, body)
+	}
+}
+
+// BenchmarkWatchPushLatency measures commit-to-delivery latency of a
+// still-exact heartbeat across fan-out widths — the push half of the
+// push-vs-poll comparison in EXPERIMENTS.md §8.
+func BenchmarkWatchPushLatency(b *testing.B) {
+	for _, subscribers := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("%dsubs", subscribers), func(b *testing.B) {
+			svc := New(Config{Seed: 1, DeltaMaintenance: true, Watch: true, WatchBuffer: 4096})
+			if _, err := svc.Registry().RegisterCSV("anchored", strings.NewReader(anchoredCSV)); err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			if _, err := svc.Representative(ctx, "anchored", 2, "2drrr"); err != nil {
+				b.Fatal(err)
+			}
+			// One observed subscriber measures latency; the rest are load.
+			seen := make(chan int64, 4096)
+			subs := make([]*watch.Subscription, 0, subscribers)
+			for i := 0; i < subscribers; i++ {
+				sink := func(watch.Event) error { return nil }
+				if i == 0 {
+					sink = func(ev watch.Event) error {
+						if ev.Type == watch.TypeGeneration {
+							seen <- ev.Gen
+						}
+						return nil
+					}
+				}
+				sub, preamble, err := svc.Watch(ctx, WatchRequest{Dataset: "anchored", K: 2, Algo: "2drrr"}, sink)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sub.Start(preamble)
+				subs = append(subs, sub)
+			}
+			batch := delta.Batch{Append: [][]float64{{0.05, 0.05}}}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mut, err := svc.Mutate(ctx, "anchored", batch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for gen := range seen {
+					if gen == mut.Gen {
+						break
+					}
+				}
+			}
+			b.StopTimer()
+			svc.CloseWatchers("bench done")
+			for _, sub := range subs {
+				<-sub.Done()
+			}
+		})
+	}
+}

@@ -1,0 +1,38 @@
+package watch
+
+import "testing"
+
+func TestAppendSSEWireFormat(t *testing.T) {
+	got := string(AppendSSE(nil, Event{Type: TypeSnapshot, Gen: 7, Data: []byte(`{"ids":[1,2]}`)}))
+	want := "id: 7\nevent: snapshot\ndata: {\"ids\":[1,2]}\n\n"
+	if got != want {
+		t.Fatalf("AppendSSE = %q, want %q", got, want)
+	}
+}
+
+func TestAppendSSEOmitsIDForTerminalEvents(t *testing.T) {
+	got := string(AppendSSE(nil, Event{Type: TypeClosing, Data: []byte(`{"reason":"shutdown"}`)}))
+	want := "event: closing\ndata: {\"reason\":\"shutdown\"}\n\n"
+	if got != want {
+		t.Fatalf("AppendSSE = %q, want %q", got, want)
+	}
+	// A client resuming after this terminal event presents the last
+	// data-bearing generation, not a bogus 0.
+}
+
+func TestAppendSSEOmitsEmptyData(t *testing.T) {
+	got := string(AppendSSE(nil, Event{Type: TypeGeneration, Gen: 3}))
+	want := "id: 3\nevent: generation\n\n"
+	if got != want {
+		t.Fatalf("AppendSSE = %q, want %q", got, want)
+	}
+}
+
+func TestAppendSSEReusesScratch(t *testing.T) {
+	buf := make([]byte, 0, 256)
+	first := AppendSSE(buf, Event{Type: TypeGeneration, Gen: 1})
+	second := AppendSSE(first[:0], Event{Type: TypeGeneration, Gen: 2})
+	if &first[0] != &second[0] {
+		t.Fatal("AppendSSE reallocated despite sufficient capacity")
+	}
+}

@@ -1,0 +1,275 @@
+package watch
+
+import (
+	"errors"
+	"sync"
+)
+
+var (
+	// ErrClosed is returned by Subscribe after the hub shut down.
+	ErrClosed = errors.New("watch: hub closed")
+	// ErrMaxSubscribers is returned by Subscribe when the configured
+	// subscriber limit is reached.
+	ErrMaxSubscribers = errors.New("watch: subscriber limit reached")
+)
+
+// Options configures a Hub. Zero values select the defaults.
+type Options struct {
+	// Buffer is the per-subscriber ring capacity (default 64). A
+	// subscriber falling more than Buffer events behind is dropped.
+	Buffer int
+	// MaxSubscribers caps concurrent subscriptions across all topics;
+	// 0 means unlimited.
+	MaxSubscribers int
+	// History is the per-topic journal capacity (default 64): how many
+	// generations back a Last-Event-ID resume can replay.
+	History int
+	// Counters receives hub telemetry; nil installs a no-op.
+	Counters Counters
+}
+
+const (
+	defaultBuffer  = 64
+	defaultHistory = 64
+)
+
+// Hub is the fan-out core: it routes published events to every
+// subscription of the topic and records them in the topic's journal for
+// resume. Publish is non-blocking by construction — each subscriber gets
+// a bounded ring offer and nothing more — so the mutation path that feeds
+// the hub pays O(subscribers) cheap copies regardless of consumer speed.
+type Hub struct {
+	opt Options
+
+	mu     sync.Mutex
+	subs   map[Topic]map[*Subscription]struct{}
+	hist   map[Topic]*journal
+	count  int
+	closed bool
+}
+
+// NewHub creates a hub with the given options.
+func NewHub(opt Options) *Hub {
+	if opt.Buffer <= 0 {
+		opt.Buffer = defaultBuffer
+	}
+	if opt.History <= 0 {
+		opt.History = defaultHistory
+	}
+	if opt.Counters == nil {
+		opt.Counters = nopCounters{}
+	}
+	return &Hub{
+		opt:  opt,
+		subs: make(map[Topic]map[*Subscription]struct{}),
+		hist: make(map[Topic]*journal),
+	}
+}
+
+// Subscribe registers a new consumer of t and starts its drain goroutine
+// parked (see Subscription.Start). The subscription is live immediately:
+// events published from now on land in its ring, which is what makes the
+// subscribe-then-snapshot sequence race-free.
+func (h *Hub) Subscribe(t Topic, sink func(Event) error) (*Subscription, error) {
+	sub := &Subscription{
+		topic: t,
+		hub:   h,
+		sink:  sink,
+		ring:  newRing(h.opt.Buffer),
+		wake:  make(chan struct{}, 1),
+		done:  make(chan struct{}),
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if h.opt.MaxSubscribers > 0 && h.count >= h.opt.MaxSubscribers {
+		h.mu.Unlock()
+		return nil, ErrMaxSubscribers
+	}
+	set := h.subs[t]
+	if set == nil {
+		set = make(map[*Subscription]struct{})
+		h.subs[t] = set
+	}
+	set[sub] = struct{}{}
+	h.count++
+	h.mu.Unlock()
+	h.opt.Counters.WatchSubscribers(1)
+	go sub.run()
+	return sub, nil
+}
+
+// remove unregisters a subscription whose drainer has exited.
+func (h *Hub) remove(sub *Subscription) {
+	h.mu.Lock()
+	set := h.subs[sub.topic]
+	_, present := set[sub]
+	if present {
+		delete(set, sub)
+		if len(set) == 0 {
+			delete(h.subs, sub.topic)
+		}
+		h.count--
+	}
+	h.mu.Unlock()
+	if present {
+		h.opt.Counters.WatchSubscribers(-1)
+	}
+}
+
+// Publish records ev in t's journal and offers it to every subscriber of
+// t. Offers are non-blocking; a subscriber whose ring is full is marked
+// overflowed (counted as dropped) and will be terminated by its own
+// drainer. Publish allocates nothing on the steady-state path.
+func (h *Hub) Publish(t Topic, ev Event) {
+	delivered := 0
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	j := h.hist[t]
+	if j == nil {
+		j = newJournal(h.opt.History)
+		h.hist[t] = j
+	}
+	j.append(ev)
+	for sub := range h.subs[t] {
+		accepted, justOverflowed := sub.offer(ev)
+		if accepted {
+			delivered++
+		}
+		if justOverflowed {
+			h.opt.Counters.WatchDropped()
+		}
+	}
+	h.mu.Unlock()
+	if delivered > 0 {
+		h.opt.Counters.WatchEvents(delivered)
+	}
+}
+
+// Replay returns the events a subscriber that last saw generation `from`
+// on topic t has missed, when the journal still proves continuity from
+// that generation; ok=false demands a fresh snapshot instead. A
+// successful replay is counted as a resume.
+func (h *Hub) Replay(t Topic, from int64) ([]Event, bool) {
+	h.mu.Lock()
+	evs, ok := h.hist[t].replay(from)
+	h.mu.Unlock()
+	if ok {
+		h.opt.Counters.WatchResumed()
+	}
+	return evs, ok
+}
+
+// Break discards topic t's journal: called when an event for t was
+// skipped (a stale batch nobody was watching), so later resumes cannot
+// pretend the chain is unbroken.
+func (h *Hub) Break(t Topic) {
+	h.mu.Lock()
+	delete(h.hist, t)
+	h.mu.Unlock()
+}
+
+// ResetJournals discards every topic's journal. The serving layer calls
+// this when the WAL is snapshotted and truncated: generations before the
+// snapshot are no longer replayable anywhere, so resumes from them must
+// fall back to a fresh snapshot.
+func (h *Hub) ResetJournals() {
+	h.mu.Lock()
+	h.hist = make(map[Topic]*journal)
+	h.mu.Unlock()
+}
+
+// HasSubscribers reports whether topic t has at least one live
+// subscription.
+func (h *Hub) HasSubscribers(t Topic) bool {
+	h.mu.Lock()
+	n := len(h.subs[t])
+	h.mu.Unlock()
+	return n > 0
+}
+
+// Subscribers returns the number of live subscriptions across all topics.
+func (h *Hub) Subscribers() int {
+	h.mu.Lock()
+	n := h.count
+	h.mu.Unlock()
+	return n
+}
+
+// Topics returns every topic of the dataset the hub still tracks: topics
+// with live subscribers (which need events) plus journaled topics (whose
+// chains must either extend or break so resume stays truthful).
+func (h *Hub) Topics(dataset string) []Topic {
+	h.mu.Lock()
+	seen := make(map[Topic]struct{})
+	for t := range h.subs {
+		if t.Dataset == dataset {
+			seen[t] = struct{}{}
+		}
+	}
+	for t := range h.hist {
+		if t.Dataset == dataset {
+			seen[t] = struct{}{}
+		}
+	}
+	h.mu.Unlock()
+	out := make([]Topic, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	return out
+}
+
+// CloseDataset ends every stream of the dataset with the terminal event
+// and forgets its journals — for dataset removal.
+func (h *Hub) CloseDataset(dataset string, terminal Event) {
+	h.mu.Lock()
+	var victims []*Subscription
+	for t, set := range h.subs {
+		if t.Dataset != dataset {
+			continue
+		}
+		for sub := range set {
+			victims = append(victims, sub)
+		}
+	}
+	for t := range h.hist {
+		if t.Dataset == dataset {
+			delete(h.hist, t)
+		}
+	}
+	h.mu.Unlock()
+	for _, sub := range victims {
+		sub.close(terminal)
+	}
+}
+
+// Close shuts the hub down: no new subscriptions, no new events, and
+// every live stream ends with the terminal event (buffered events drain
+// first). It returns after signaling, not after the drains complete —
+// callers that need the streams fully gone wait on each Subscription.Done
+// (the serving layer gets this for free: every SSE handler blocks on its
+// own subscription's Done).
+func (h *Hub) Close(terminal Event) {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	var victims []*Subscription
+	for _, set := range h.subs {
+		for sub := range set {
+			victims = append(victims, sub)
+		}
+	}
+	h.mu.Unlock()
+	for _, sub := range victims {
+		sub.close(terminal)
+	}
+}

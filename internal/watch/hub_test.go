@@ -1,0 +1,393 @@
+package watch
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countingSink collects delivered events behind a channel, so tests wait
+// for delivery instead of sleeping.
+type countingSink struct {
+	ch chan Event
+}
+
+func newCountingSink() *countingSink {
+	return &countingSink{ch: make(chan Event, 256)}
+}
+
+func (s *countingSink) sink(ev Event) error {
+	s.ch <- ev
+	return nil
+}
+
+func (s *countingSink) next(t *testing.T) Event {
+	t.Helper()
+	select {
+	case ev := <-s.ch:
+		return ev
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for an event")
+		return Event{}
+	}
+}
+
+// testCounters implements Counters on atomics for assertions.
+type testCounters struct {
+	subscribers atomic.Int64
+	events      atomic.Int64
+	dropped     atomic.Int64
+	resumes     atomic.Int64
+}
+
+func (c *testCounters) WatchSubscribers(d int) { c.subscribers.Add(int64(d)) }
+func (c *testCounters) WatchEvents(n int)      { c.events.Add(int64(n)) }
+func (c *testCounters) WatchDropped()          { c.dropped.Add(1) }
+func (c *testCounters) WatchResumed()          { c.resumes.Add(1) }
+
+var testTopic = Topic{Dataset: "flights", K: 10, Algo: "2drrr"}
+
+func waitDone(t *testing.T, sub *Subscription) {
+	t.Helper()
+	select {
+	case <-sub.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("subscription did not finish")
+	}
+}
+
+func TestHubFanoutOrderAndPreamble(t *testing.T) {
+	ctr := &testCounters{}
+	h := NewHub(Options{Counters: ctr})
+	sinks := make([]*countingSink, 3)
+	subs := make([]*Subscription, 3)
+	for i := range sinks {
+		sinks[i] = newCountingSink()
+		sub, err := h.Subscribe(testTopic, sinks[i].sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs[i] = sub
+	}
+	if got := h.Subscribers(); got != 3 {
+		t.Fatalf("Subscribers() = %d, want 3", got)
+	}
+	if ctr.subscribers.Load() != 3 {
+		t.Fatalf("subscriber gauge = %d, want 3", ctr.subscribers.Load())
+	}
+
+	// Events published before Start are buffered; the preamble snapshot
+	// at gen 2 must then suppress the buffered gen-2 duplicate but not
+	// the gen-3 event.
+	h.Publish(testTopic, chainEvent(2))
+	h.Publish(testTopic, chainEvent(3))
+	snapshot := Event{Type: TypeSnapshot, Gen: 2, Data: []byte(`{"ids":[1]}`)}
+	for _, sub := range subs {
+		sub.Start([]Event{snapshot})
+	}
+	for _, s := range sinks {
+		if ev := s.next(t); ev.Type != TypeSnapshot || ev.Gen != 2 {
+			t.Fatalf("first event = %s gen %d, want snapshot gen 2", ev.Type, ev.Gen)
+		}
+		if ev := s.next(t); ev.Type != TypeGeneration || ev.Gen != 3 {
+			t.Fatalf("second event = %s gen %d, want generation 3 (gen-2 duplicate filtered)", ev.Type, ev.Gen)
+		}
+	}
+
+	// Topics tracks the dataset; other datasets see nothing.
+	if topics := h.Topics("flights"); len(topics) != 1 || topics[0] != testTopic {
+		t.Fatalf("Topics(flights) = %v", topics)
+	}
+	if topics := h.Topics("diamonds"); len(topics) != 0 {
+		t.Fatalf("Topics(diamonds) = %v, want none", topics)
+	}
+
+	for _, sub := range subs {
+		sub.Cancel()
+		waitDone(t, sub)
+	}
+	if got := h.Subscribers(); got != 0 {
+		t.Fatalf("Subscribers() after cancel = %d, want 0", got)
+	}
+	if ctr.subscribers.Load() != 0 {
+		t.Fatalf("subscriber gauge after cancel = %d, want 0", ctr.subscribers.Load())
+	}
+	// 2 ring events × 3 subscribers were enqueued (the preamble is the
+	// caller's, not the hub's).
+	if ctr.events.Load() != 6 {
+		t.Fatalf("events counter = %d, want 6", ctr.events.Load())
+	}
+}
+
+func TestHubOverflowDropsOnlySlowSubscriber(t *testing.T) {
+	ctr := &testCounters{}
+	h := NewHub(Options{Buffer: 2, Counters: ctr})
+
+	release := make(chan struct{})
+	var blockedGot []Event
+	var mu sync.Mutex
+	blocked, err := h.Subscribe(testTopic, func(ev Event) error {
+		<-release
+		mu.Lock()
+		blockedGot = append(blockedGot, ev)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := newCountingSink()
+	fastSub, err := h.Subscribe(testTopic, fast.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked.Start(nil)
+	fastSub.Start(nil)
+
+	// The blocked drainer takes one event off the ring and wedges in its
+	// sink; the ring (capacity 2) then absorbs two more; the next publish
+	// overflows. Publish must stay prompt throughout — it's the mutation
+	// path — and the fast sibling must receive everything. Publishing in
+	// lockstep with the fast subscriber's receipt keeps *its* ring from
+	// ever overflowing, so only the blocked one is dropped.
+	var publishElapsed time.Duration
+	for gen := int64(2); gen <= 7; gen++ {
+		start := time.Now()
+		h.Publish(testTopic, chainEvent(gen))
+		publishElapsed += time.Since(start)
+		if ev := fast.next(t); ev.Gen != gen {
+			t.Fatalf("fast subscriber got gen %d, want %d", ev.Gen, gen)
+		}
+	}
+	if ctr.dropped.Load() != 1 {
+		t.Fatalf("dropped counter = %d, want 1", ctr.dropped.Load())
+	}
+	// Generous bound: six non-blocking offers must not take anywhere near
+	// a second even on a loaded CI machine.
+	if publishElapsed > time.Second {
+		t.Fatalf("publishing past a blocked subscriber took %v", publishElapsed)
+	}
+
+	// Unblock: the slow drainer delivers what its ring buffered, then the
+	// terminal overflow event, then ends.
+	close(release)
+	waitDone(t, blocked)
+	mu.Lock()
+	defer mu.Unlock()
+	last := blockedGot[len(blockedGot)-1]
+	if last.Type != TypeOverflow {
+		t.Fatalf("blocked subscriber's last event = %s, want overflow", last.Type)
+	}
+	for _, ev := range blockedGot[:len(blockedGot)-1] {
+		if ev.Type != TypeGeneration {
+			t.Fatalf("unexpected %s event before the overflow terminal", ev.Type)
+		}
+	}
+	if h.Subscribers() != 1 {
+		t.Fatalf("Subscribers() = %d, want 1 (only the fast one)", h.Subscribers())
+	}
+	fastSub.Cancel()
+	waitDone(t, fastSub)
+}
+
+func TestHubCloseDeliversTerminalAfterDraining(t *testing.T) {
+	h := NewHub(Options{})
+	s := newCountingSink()
+	sub, err := h.Subscribe(testTopic, s.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub.Start(nil)
+	h.Publish(testTopic, chainEvent(2))
+	h.Close(Event{Type: TypeClosing, Data: []byte(`{"reason":"shutdown"}`)})
+	if ev := s.next(t); ev.Type != TypeGeneration {
+		t.Fatalf("first event = %s, want the buffered generation event", ev.Type)
+	}
+	if ev := s.next(t); ev.Type != TypeClosing {
+		t.Fatalf("second event = %s, want closing", ev.Type)
+	}
+	waitDone(t, sub)
+	if _, err := h.Subscribe(testTopic, s.sink); err != ErrClosed {
+		t.Fatalf("Subscribe after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestHubCloseBeforeStartEndsWithoutSink(t *testing.T) {
+	h := NewHub(Options{})
+	sub, err := h.Subscribe(testTopic, func(Event) error {
+		t.Error("sink called before Start")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Close(Event{Type: TypeClosing})
+	waitDone(t, sub)
+}
+
+func TestHubMaxSubscribers(t *testing.T) {
+	h := NewHub(Options{MaxSubscribers: 1})
+	s := newCountingSink()
+	sub, err := h.Subscribe(testTopic, s.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Subscribe(testTopic, s.sink); err != ErrMaxSubscribers {
+		t.Fatalf("second Subscribe = %v, want ErrMaxSubscribers", err)
+	}
+	// A finished subscription frees its slot.
+	sub.Cancel()
+	waitDone(t, sub)
+	if _, err := h.Subscribe(testTopic, s.sink); err != nil {
+		t.Fatalf("Subscribe after slot freed: %v", err)
+	}
+}
+
+func TestHubSinkErrorEndsSubscription(t *testing.T) {
+	h := NewHub(Options{})
+	calls := 0
+	sub, err := h.Subscribe(testTopic, func(Event) error {
+		calls++
+		return errClientGone
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub.Start([]Event{{Type: TypeSnapshot, Gen: 1}})
+	waitDone(t, sub)
+	if calls != 1 {
+		t.Fatalf("sink called %d times after erroring, want 1", calls)
+	}
+	if h.Subscribers() != 0 {
+		t.Fatal("errored subscription still registered")
+	}
+}
+
+var errClientGone = errors.New("client gone")
+
+func TestHubReplayAndBreak(t *testing.T) {
+	ctr := &testCounters{}
+	h := NewHub(Options{Counters: ctr})
+	for gen := int64(2); gen <= 4; gen++ {
+		h.Publish(testTopic, chainEvent(gen))
+	}
+	evs, ok := h.Replay(testTopic, 2)
+	if !ok || len(evs) != 2 {
+		t.Fatalf("Replay(2) = (%d events, %v), want (2, true)", len(evs), ok)
+	}
+	if ctr.resumes.Load() != 1 {
+		t.Fatalf("resumes counter = %d, want 1", ctr.resumes.Load())
+	}
+	// A journaled topic without subscribers is still tracked — its chain
+	// must extend or break on every batch.
+	if topics := h.Topics("flights"); len(topics) != 1 {
+		t.Fatalf("Topics = %v, want the journaled topic", topics)
+	}
+	h.Break(testTopic)
+	if _, ok := h.Replay(testTopic, 4); ok {
+		t.Fatal("Replay after Break claimed success")
+	}
+	if ctr.resumes.Load() != 1 {
+		t.Fatal("failed replay bumped the resume counter")
+	}
+	if topics := h.Topics("flights"); len(topics) != 0 {
+		t.Fatalf("Topics after Break = %v, want none", topics)
+	}
+}
+
+func TestHubResetJournals(t *testing.T) {
+	h := NewHub(Options{})
+	h.Publish(testTopic, chainEvent(2))
+	h.ResetJournals()
+	if _, ok := h.Replay(testTopic, 1); ok {
+		t.Fatal("Replay after ResetJournals claimed success")
+	}
+}
+
+func TestHubCloseDataset(t *testing.T) {
+	h := NewHub(Options{})
+	s := newCountingSink()
+	sub, err := h.Subscribe(testTopic, s.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub.Start(nil)
+	other := Topic{Dataset: "diamonds", K: 5, Algo: "mdrc"}
+	s2 := newCountingSink()
+	sub2, err := h.Subscribe(other, s2.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub2.Start(nil)
+
+	h.CloseDataset("flights", Event{Type: TypeClosing, Data: []byte(`{"reason":"dataset removed"}`)})
+	if ev := s.next(t); ev.Type != TypeClosing {
+		t.Fatalf("flights watcher got %s, want closing", ev.Type)
+	}
+	waitDone(t, sub)
+	// The sibling dataset's stream is untouched.
+	h.Publish(other, chainEvent(2))
+	if ev := s2.next(t); ev.Type != TypeGeneration {
+		t.Fatalf("diamonds watcher got %s, want its generation event", ev.Type)
+	}
+	sub2.Cancel()
+	waitDone(t, sub2)
+}
+
+// TestHubConcurrentFanout races N publishers against M subscribers with
+// churn (subscribe/cancel while publishing) — the -race suite's main
+// target. Every subscriber must observe generations in increasing order.
+func TestHubConcurrentFanout(t *testing.T) {
+	writers, subscribers, perWriter := 4, 8, 200
+	if testing.Short() {
+		writers, subscribers, perWriter = 2, 3, 25
+	}
+	h := NewHub(Options{Buffer: writers*perWriter + 16, Counters: &testCounters{}})
+
+	var wg sync.WaitGroup
+	for i := 0; i < subscribers; i++ {
+		var last int64
+		sub, err := h.Subscribe(testTopic, func(ev Event) error {
+			if ev.Type == TypeClosing {
+				return nil // terminal events carry no generation
+			}
+			if ev.Gen <= last {
+				t.Errorf("subscriber saw gen %d after %d", ev.Gen, last)
+			}
+			last = ev.Gen
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub.Start(nil)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			waitDone(t, sub)
+		}()
+	}
+
+	// Generations are globally unique but arrive unordered across
+	// writers; ordering per subscriber still holds because Publish offers
+	// under the hub lock. PrevGen is deliberately chained loosely — this
+	// test targets the fan-out machinery, not the journal.
+	var gen atomic.Int64
+	gen.Store(1)
+	var pubs sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		pubs.Add(1)
+		go func() {
+			defer pubs.Done()
+			for i := 0; i < perWriter; i++ {
+				g := gen.Add(1)
+				h.Publish(testTopic, Event{Type: TypeGeneration, Gen: g, PrevGen: g - 1})
+			}
+		}()
+	}
+	pubs.Wait()
+	h.Close(Event{Type: TypeClosing})
+	wg.Wait()
+}

@@ -1,0 +1,70 @@
+package watch
+
+// journal is the per-topic bounded history of published events, used to
+// serve Last-Event-ID resumes without recomputing a snapshot. Events are
+// kept only while they form an unbroken (PrevGen, Gen) chain: appending
+// an event that does not continue the newest recorded generation discards
+// the history first, because a chain with a gap can never be replayed
+// truthfully. Eviction at capacity drops the oldest event, which merely
+// shortens how far back a resume can reach.
+type journal struct {
+	buf  []Event
+	head int
+	n    int
+}
+
+func newJournal(capacity int) *journal {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &journal{buf: make([]Event, capacity)}
+}
+
+func (j *journal) at(i int) Event { return j.buf[(j.head+i)%len(j.buf)] }
+
+func (j *journal) append(ev Event) {
+	if j.n > 0 {
+		newest := j.at(j.n - 1)
+		if ev.PrevGen != newest.Gen || ev.Gen <= newest.Gen {
+			j.reset()
+		}
+	}
+	if j.n == len(j.buf) {
+		j.buf[j.head] = Event{}
+		j.head = (j.head + 1) % len(j.buf)
+		j.n--
+	}
+	j.buf[(j.head+j.n)%len(j.buf)] = ev
+	j.n++
+}
+
+// replay returns the events a subscriber last synced at generation `from`
+// has missed. ok=false means the history cannot prove continuity from
+// that generation (empty journal, evicted or broken chain) and the caller
+// must fall back to a fresh snapshot. ok=true with an empty slice means
+// the subscriber is already current.
+func (j *journal) replay(from int64) ([]Event, bool) {
+	if j == nil || j.n == 0 {
+		return nil, false
+	}
+	if from == j.at(j.n-1).Gen {
+		return nil, true
+	}
+	for i := 0; i < j.n; i++ {
+		if j.at(i).PrevGen == from {
+			out := make([]Event, 0, j.n-i)
+			for ; i < j.n; i++ {
+				out = append(out, j.at(i))
+			}
+			return out, true
+		}
+	}
+	return nil, false
+}
+
+func (j *journal) reset() {
+	for i := range j.buf {
+		j.buf[i] = Event{}
+	}
+	j.head, j.n = 0, 0
+}

@@ -1,0 +1,94 @@
+package watch
+
+import "testing"
+
+// chainEvent builds a generation-chained event gen-1 → gen.
+func chainEvent(gen int64) Event {
+	return Event{Type: TypeGeneration, Gen: gen, PrevGen: gen - 1}
+}
+
+func TestJournalReplaySuffix(t *testing.T) {
+	j := newJournal(8)
+	for gen := int64(2); gen <= 5; gen++ {
+		j.append(chainEvent(gen))
+	}
+	evs, ok := j.replay(3)
+	if !ok {
+		t.Fatal("replay from a covered generation failed")
+	}
+	if len(evs) != 2 || evs[0].Gen != 4 || evs[1].Gen != 5 {
+		t.Fatalf("replay(3) = %+v, want gens [4 5]", evs)
+	}
+	// Already current: ok with nothing to send.
+	evs, ok = j.replay(5)
+	if !ok || len(evs) != 0 {
+		t.Fatalf("replay(newest) = (%v, %v), want ([], true)", evs, ok)
+	}
+	// From the oldest event's own PrevGen: the full history.
+	evs, ok = j.replay(1)
+	if !ok || len(evs) != 4 {
+		t.Fatalf("replay(1) returned %d events, want 4", len(evs))
+	}
+}
+
+func TestJournalRefusesUnprovableResume(t *testing.T) {
+	var nilJournal *journal
+	if _, ok := nilJournal.replay(1); ok {
+		t.Fatal("nil journal claimed it could replay")
+	}
+	j := newJournal(8)
+	if _, ok := j.replay(1); ok {
+		t.Fatal("empty journal claimed it could replay")
+	}
+	j.append(chainEvent(5))
+	if _, ok := j.replay(2); ok {
+		t.Fatal("replay from a generation before the history claimed success")
+	}
+	if _, ok := j.replay(99); ok {
+		t.Fatal("replay from a future generation claimed success")
+	}
+}
+
+func TestJournalGapResetsHistory(t *testing.T) {
+	j := newJournal(8)
+	j.append(chainEvent(2))
+	j.append(chainEvent(3))
+	// Gen 4 was never journaled (say, a stale batch nobody watched was
+	// skipped upstream); appending gen 5 must discard the stale chain.
+	j.append(chainEvent(5))
+	if j.n != 1 {
+		t.Fatalf("journal holds %d events after a gap, want 1", j.n)
+	}
+	if _, ok := j.replay(2); ok {
+		t.Fatal("replay across a gap claimed success")
+	}
+	if evs, ok := j.replay(4); !ok || len(evs) != 1 {
+		t.Fatalf("replay(4) after gap = (%v, %v), want the single gen-5 event", evs, ok)
+	}
+}
+
+func TestJournalEvictionShortensReach(t *testing.T) {
+	j := newJournal(3)
+	for gen := int64(2); gen <= 7; gen++ {
+		j.append(chainEvent(gen))
+	}
+	// Capacity 3 keeps gens 5..7; a resume from gen 4 still works (the
+	// gen-5 event's PrevGen is 4), one from gen 3 does not.
+	if evs, ok := j.replay(4); !ok || len(evs) != 3 {
+		t.Fatalf("replay(4) = (%d events, %v), want (3, true)", len(evs), ok)
+	}
+	if _, ok := j.replay(3); ok {
+		t.Fatal("replay from an evicted generation claimed success")
+	}
+}
+
+func TestJournalRegressionResets(t *testing.T) {
+	j := newJournal(8)
+	j.append(chainEvent(5))
+	// An equal-or-older generation contradicts monotonicity (e.g. after a
+	// registry-level reset); the journal must not pretend continuity.
+	j.append(Event{Type: TypeGeneration, Gen: 5, PrevGen: 4})
+	if j.n != 1 {
+		t.Fatalf("journal holds %d events after a regression, want 1", j.n)
+	}
+}

@@ -1,0 +1,44 @@
+package watch
+
+// ring is a fixed-capacity FIFO of events with all slots allocated up
+// front: pushing copies into an existing slot, so the steady-state fan-out
+// path allocates nothing. It is not self-synchronizing — the owning
+// Subscription guards it with its mutex.
+type ring struct {
+	buf  []Event
+	head int // index of the oldest event
+	n    int // number of buffered events
+}
+
+func newRing(capacity int) *ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ring{buf: make([]Event, capacity)}
+}
+
+// push appends ev; it reports false (and buffers nothing) when the ring
+// is full — the caller decides what a full ring means.
+func (r *ring) push(ev Event) bool {
+	if r.n == len(r.buf) {
+		return false
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = ev
+	r.n++
+	return true
+}
+
+// pop removes and returns the oldest event. The vacated slot is zeroed so
+// the ring does not pin the event's payload bytes past delivery.
+func (r *ring) pop() (Event, bool) {
+	if r.n == 0 {
+		return Event{}, false
+	}
+	ev := r.buf[r.head]
+	r.buf[r.head] = Event{}
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return ev, true
+}
+
+func (r *ring) len() int { return r.n }

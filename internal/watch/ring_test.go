@@ -1,0 +1,63 @@
+package watch
+
+import "testing"
+
+func TestRingFIFOAndWraparound(t *testing.T) {
+	r := newRing(3)
+	if _, ok := r.pop(); ok {
+		t.Fatal("pop on empty ring succeeded")
+	}
+	// Cycle more events than the capacity so head wraps several times.
+	next := int64(1)
+	want := int64(1)
+	for i := 0; i < 10; i++ {
+		for r.push(Event{Gen: next}) {
+			next++
+		}
+		if r.len() > 3 {
+			t.Fatalf("ring holds %d events, capacity 3", r.len())
+		}
+		ev, ok := r.pop()
+		if !ok {
+			t.Fatal("pop on full ring failed")
+		}
+		if ev.Gen != want {
+			t.Fatalf("pop returned gen %d, want %d (FIFO order)", ev.Gen, want)
+		}
+		want++
+	}
+}
+
+func TestRingRejectsWhenFull(t *testing.T) {
+	r := newRing(2)
+	if !r.push(Event{Gen: 1}) || !r.push(Event{Gen: 2}) {
+		t.Fatal("push within capacity failed")
+	}
+	if r.push(Event{Gen: 3}) {
+		t.Fatal("push beyond capacity succeeded")
+	}
+	// The rejected event must not have clobbered anything.
+	ev, _ := r.pop()
+	if ev.Gen != 1 {
+		t.Fatalf("oldest event is gen %d, want 1", ev.Gen)
+	}
+}
+
+func TestRingMinimumCapacity(t *testing.T) {
+	r := newRing(0)
+	if !r.push(Event{Gen: 1}) {
+		t.Fatal("zero-capacity request must clamp to 1 slot")
+	}
+	if r.push(Event{Gen: 2}) {
+		t.Fatal("clamped ring accepted a second event")
+	}
+}
+
+func TestRingPopReleasesPayload(t *testing.T) {
+	r := newRing(2)
+	r.push(Event{Gen: 1, Data: []byte("payload")})
+	r.pop()
+	if r.buf[0].Data != nil {
+		t.Fatal("popped slot still pins the payload bytes")
+	}
+}

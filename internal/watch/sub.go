@@ -1,0 +1,190 @@
+package watch
+
+import "sync"
+
+// Subscription is one consumer of a topic: a fixed-size event ring filled
+// by the hub's non-blocking offers, drained by a dedicated goroutine that
+// writes to the subscriber's sink. The sink (an SSE connection, in the
+// serving layer) may block arbitrarily long — only this subscription's
+// drainer blocks with it; publishers never do.
+//
+// Lifecycle: Subscribe starts the drain goroutine parked; Start hands it
+// the preamble (snapshot or replayed suffix) and opens the ring. The
+// stream ends when (a) the sink errors — client gone, (b) Cancel — caller
+// abandons the stream, no terminal event, (c) the hub closes it with a
+// terminal event, or (d) the ring overflows — buffered events are drained,
+// then a terminal overflow event is written. Done is closed last, after
+// the subscription has unregistered from the hub.
+type Subscription struct {
+	topic Topic
+	hub   *Hub
+	sink  func(Event) error
+
+	mu         sync.Mutex
+	ring       *ring
+	overflowed bool
+	closed     bool
+	terminal   *Event // delivered after the ring drains, then the stream ends
+	started    bool
+	preamble   []Event
+
+	wake chan struct{} // capacity 1: coalesced wakeup signal for the drainer
+	done chan struct{}
+
+	lastGen int64 // drainer-only: newest generation delivered, for dedupe
+}
+
+// Topic returns the topic this subscription follows.
+func (s *Subscription) Topic() Topic { return s.topic }
+
+// Done is closed when the stream has fully ended: the drainer has exited
+// and the subscription no longer counts against the hub's limit. After
+// Done, the sink will never be called again.
+func (s *Subscription) Done() <-chan struct{} { return s.done }
+
+// Start provides the preamble events (a snapshot, or the suffix replayed
+// from the journal) and releases the drainer. The ring buffers events
+// published between Subscribe and Start; the drainer's generation filter
+// discards the ones the preamble already covers. Start is idempotent; the
+// sink is never called before it.
+func (s *Subscription) Start(preamble []Event) {
+	s.mu.Lock()
+	if !s.started {
+		s.started = true
+		s.preamble = preamble
+	}
+	s.mu.Unlock()
+	s.signal()
+}
+
+// Cancel ends the stream without a terminal event — for when the client
+// is already gone and writing to the sink is pointless. Safe to call at
+// any time, including before Start and after the stream ended.
+func (s *Subscription) Cancel() {
+	s.mu.Lock()
+	s.closed = true
+	s.terminal = nil
+	s.mu.Unlock()
+	s.signal()
+}
+
+// offer is the hub-side enqueue: never blocks. The first offer that finds
+// the ring full marks the subscription overflowed (reported via the
+// second return) — from then on events are discarded and the drainer will
+// terminate the stream with an overflow event once it catches up.
+func (s *Subscription) offer(ev Event) (accepted, justOverflowed bool) {
+	s.mu.Lock()
+	if s.closed || s.overflowed {
+		s.mu.Unlock()
+		return false, false
+	}
+	accepted = s.ring.push(ev)
+	if !accepted {
+		s.overflowed = true
+		justOverflowed = true
+	}
+	s.mu.Unlock()
+	s.signal()
+	return accepted, justOverflowed
+}
+
+// close ends the stream deliberately: buffered events still drain, then
+// the terminal event (closing) is written. Hub-side; no-op if the stream
+// is already ending.
+func (s *Subscription) close(terminal Event) {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		s.terminal = &terminal
+	}
+	s.mu.Unlock()
+	s.signal()
+}
+
+func (s *Subscription) signal() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// run is the drain loop. Every park point re-checks state under the lock
+// before blocking on wake, and wake holds one buffered token, so a signal
+// racing the re-check is never lost.
+func (s *Subscription) run() {
+	defer close(s.done)
+	defer s.hub.remove(s)
+
+	// Park until Start or until the stream is abandoned before it began.
+	// A pre-Start close cannot deliver its terminal event: the sink is
+	// not safe to call until the caller has Start-ed the stream.
+	for {
+		s.mu.Lock()
+		started, closed := s.started, s.closed
+		s.mu.Unlock()
+		if started {
+			break
+		}
+		if closed {
+			return
+		}
+		<-s.wake
+	}
+
+	for _, ev := range s.preamble {
+		if s.deliver(ev) != nil {
+			return
+		}
+	}
+	s.preamble = nil
+
+	for {
+		s.mu.Lock()
+		ev, ok := s.ring.pop()
+		if !ok {
+			if s.overflowed {
+				s.mu.Unlock()
+				s.deliver(Event{Type: TypeOverflow, Data: overflowPayload})
+				return
+			}
+			if s.closed {
+				terminal := s.terminal
+				s.mu.Unlock()
+				if terminal != nil {
+					s.deliver(*terminal)
+				}
+				return
+			}
+			s.mu.Unlock()
+			<-s.wake
+			continue
+		}
+		s.mu.Unlock()
+		// Events buffered while the preamble was being computed can
+		// predate it; the generation filter drops them.
+		if ev.Gen > 0 && ev.Gen <= s.lastGen {
+			continue
+		}
+		if s.deliver(ev) != nil {
+			return
+		}
+	}
+}
+
+var overflowPayload = []byte(`{"reason":"subscriber too slow: event ring overflowed, stream dropped"}`)
+
+// deliver writes one event to the sink. A sink error means the client is
+// gone: the subscription closes so publishers stop offering.
+func (s *Subscription) deliver(ev Event) error {
+	if err := s.sink(ev); err != nil {
+		s.mu.Lock()
+		s.closed = true
+		s.terminal = nil
+		s.mu.Unlock()
+		return err
+	}
+	if ev.Gen > s.lastGen {
+		s.lastGen = ev.Gen
+	}
+	return nil
+}
