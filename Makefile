@@ -22,9 +22,11 @@ fuzz-smoke:
 
 # Tier-1 benchmarks, 5 repetitions for benchstat-able variance. CI uploads
 # bench.txt as an artifact so every PR leaves a perf data point to compare
-# against.
+# against. -benchmem feeds the exact allocs/op gate: BenchmarkSolveInto and
+# BenchmarkCachedRepresentativeHTTP (./internal/service/) must stay at
+# 0 allocs/op.
 bench:
-	$(GO) test -bench . -benchmem -count 5 -run '^$$' . ./internal/wal/ ./internal/watch/ | tee bench.txt
+	$(GO) test -bench . -benchmem -count 5 -run '^$$' . ./internal/service/ ./internal/wal/ ./internal/watch/ | tee bench.txt
 
 # Machine-readable perf artifact: BENCH_<short-sha>.json with per-benchmark
 # ns/op, B/op, allocs/op means and the raw ns/op samples. Reuses bench.txt
@@ -35,8 +37,11 @@ bench-json:
 
 # Perf-regression gate: compare bench.txt against the baseline (CI restores
 # the latest main-branch run into bench-baseline/). Fails on a >25%
-# significant ns/op regression; passes with a notice when no baseline
-# exists yet. BASELINE can be overridden for local what-if comparisons:
+# significant ns/op regression OR any mean allocs/op increase (the alloc
+# gate is exact: allocation counts are deterministic, so one extra
+# allocation on a zero-alloc hot path fails CI). Passes with a notice when
+# no baseline exists yet. BASELINE can be overridden for local what-if
+# comparisons:
 #   make bench-gate BASELINE=some/old/bench.txt
 BASELINE ?= bench-baseline/bench.txt
 bench-gate:

@@ -1,0 +1,124 @@
+package rrr_test
+
+import (
+	"context"
+	"testing"
+
+	"rrr"
+)
+
+// The allocation contracts of the reuse API, pinned with AllocsPerRun so a
+// regression is a test failure, not a benchmark drift someone has to
+// notice. Each test warms the path once first: the first solve grows the
+// arena free list and the Result's slices, which is the one-time cost the
+// API is designed to amortize.
+
+// TestSolveIntoAllocFree2D: steady-state SolveInto on the 2-D path with a
+// recycled Result allocates nothing — the sweep's event list, the per-k
+// state, the cover scratch and the output slice all live in reused memory.
+func TestSolveIntoAllocFree2D(t *testing.T) {
+	d, err := rrr.Independent(2000, 2, 7).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver := rrr.New()
+	ctx := context.Background()
+	var res rrr.Result
+	if err := solver.SolveInto(ctx, d, 10, &res); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]int(nil), res.IDs...)
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := solver.SolveInto(ctx, d, 10, &res); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm SolveInto allocates %.1f times per run, want 0", allocs)
+	}
+	for i, id := range want {
+		if res.IDs[i] != id {
+			t.Fatalf("warm runs changed the answer: %v vs %v", res.IDs, want)
+		}
+	}
+}
+
+// TestRevalidateIntoStillExactAllocFree: classifying a mutation that
+// provably cannot change the answer — the steady state of delta
+// maintenance — costs zero allocations with a warm Revalidation.
+func TestRevalidateIntoStillExactAllocFree(t *testing.T) {
+	d, err := rrr.Independent(800, 2, 7).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver := rrr.New(rrr.WithDeltaMaintenance())
+	ctx := context.Background()
+	prev, err := solver.Solve(ctx, d, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An insert far inside the dominated region: every containment test
+	// rejects it, so the verdict is still-exact.
+	tuples := append(d.Tuples(), rrr.Tuple{ID: 1 << 20, Attrs: []float64{0.0001, 0.0001}})
+	after, err := rrr.FromTuples(tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := rrr.Delta{Before: d, After: after, Inserted: []int{1 << 20}}
+	var out rrr.Revalidation
+	if err := solver.RevalidateInto(ctx, delta, prev, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Class != rrr.DeltaStillExact {
+		t.Fatalf("setup: verdict %v, want still-exact", out.Class)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := solver.RevalidateInto(ctx, delta, prev, &out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm still-exact RevalidateInto allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// BenchmarkSolveInto is the tier-1 allocation benchmark: the steady-state
+// reuse API on the 2-D path. Run with -benchmem; cmd/benchgate gates
+// allocs/op exactly, so any new allocation on this path fails CI.
+func BenchmarkSolveInto(b *testing.B) {
+	d, err := rrr.Independent(1000, 2, 7).Normalize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	solver := rrr.New()
+	ctx := context.Background()
+	var res rrr.Result
+	if err := solver.SolveInto(ctx, d, 20, &res); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := solver.SolveInto(ctx, d, 20, &res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolve is the same workload through the allocating entry point,
+// so the b/op column shows what SolveInto saves.
+func BenchmarkSolve(b *testing.B) {
+	d, err := rrr.Independent(1000, 2, 7).Normalize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	solver := rrr.New()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.Solve(ctx, d, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package rrr
+
+import (
+	"sync"
+
+	"rrr/internal/algo"
+	"rrr/internal/kset"
+)
+
+// solveArena bundles the per-solve scratch of every algorithm path: the
+// 2-D sweep/cover arena and the K-SETr draw buffers. One arena is owned by
+// exactly one solve at a time; the Solver hands them out through an
+// explicit free-list so concurrent Solve/SolveInto calls — and the batch
+// engine's shared phases — each work on their own.
+type solveArena struct {
+	twod    algo.TwoDScratch
+	sampler kset.SampleScratch
+}
+
+// arenaPool is an explicit mutex-guarded free-list of solve arenas.
+//
+// Deliberately not a sync.Pool: the GC may empty a sync.Pool at any
+// collection, which would make a solve's allocs/op nondeterministic and
+// flake both the testing.AllocsPerRun contracts and the exact allocs/op CI
+// gate. The free-list keeps warm arenas alive for the Solver's lifetime,
+// so the steady state is deterministic: after the first solve of each
+// concurrency level, checkout and return never allocate.
+type arenaPool struct {
+	mu   sync.Mutex
+	free []*solveArena
+}
+
+// get checks an arena out of the free-list, allocating a fresh one only
+// when the list is empty (first use, or more concurrent solves than ever
+// before).
+func (p *arenaPool) get() *solveArena {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		a := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return a
+	}
+	p.mu.Unlock()
+	return new(solveArena)
+}
+
+// put returns an arena to the free-list.
+func (p *arenaPool) put(a *solveArena) {
+	if a == nil {
+		return
+	}
+	p.mu.Lock()
+	p.free = append(p.free, a)
+	p.mu.Unlock()
+}

@@ -349,7 +349,12 @@ func (b *batchRun) gridMDRRR(ctx context.Context, ks []int) {
 			b.progress(algo.Stats{SamplerDraws: ss.Draws, KSets: ss.Distinct})
 		}
 	}
+	// The shared sampling phase is single-goroutine, so it can borrow one
+	// solve arena for its draw buffers; it is returned before the fan-out.
+	arena := s.arenas.get()
+	sampler.Scratch = &arena.sampler
 	cols, sstats, serrs := kset.SampleMulti(ctx, b.data, ks, sampler)
+	s.arenas.put(arena)
 	// Within one shared stream, the per-k draw counter of the
 	// longest-running k is the stream's total; across solveGrid calls
 	// (dual rounds each open a fresh stream) the totals accumulate.

@@ -7,11 +7,21 @@
 //
 // A missing baseline file is not an error: the first run of a fresh
 // repository (or a wiped cache) prints a notice and passes, seeding the
-// baseline for the next run. A regression must clear two bars to fail the
-// gate: the mean ns/op grew by more than -threshold percent, AND the
+// baseline for the next run. A ns/op regression must clear two bars to
+// fail the gate: the mean grew by more than -threshold percent, AND the
 // Mann–Whitney U test (the test benchstat uses) rejects "same
 // distribution" at -alpha — so a noisy single rep can't fail CI, and a
 // real slowdown can't hide behind an insignificant-looking mean.
+//
+// allocs/op is gated exactly, with no threshold and no significance test:
+// the allocator either runs on the measured path or it does not, so the
+// count is deterministic and ANY mean increase (beyond float epsilon) is a
+// regression. This is what enforces the zero-alloc contracts of
+// BenchmarkSolveInto and BenchmarkCachedRepresentativeHTTP — a change that
+// adds a single allocation to a hot path fails CI even if it is faster.
+// B/op is reported alongside for context but does not gate on its own
+// (any B/op growth implies an allocs/op or per-alloc-size change the
+// allocs and ns columns already expose).
 package main
 
 import (
@@ -71,16 +81,22 @@ func run(args []string, out io.Writer) int {
 	}
 	regressions := Compare(base, cur, *threshold, *alpha, out)
 	if len(regressions) > 0 {
-		fmt.Fprintf(out, "\nbenchgate: FAIL — %d benchmark(s) regressed > %.0f%% (alpha %.2f): %v\n",
+		fmt.Fprintf(out, "\nbenchgate: FAIL — %d benchmark(s) regressed (ns/op > %.0f%% at alpha %.2f, or any allocs/op increase): %v\n",
 			len(regressions), *threshold, *alpha, regressions)
 		return 1
 	}
-	fmt.Fprintf(out, "\nbenchgate: ok — no benchmark regressed > %.0f%% at alpha %.2f\n", *threshold, *alpha)
+	fmt.Fprintf(out, "\nbenchgate: ok — no benchmark regressed > %.0f%% at alpha %.2f, allocs/op flat\n", *threshold, *alpha)
 	return 0
 }
 
+// allocEpsilon absorbs float accumulation error in allocs/op means; any
+// real extra allocation shifts the mean by at least 1/count, far above it.
+const allocEpsilon = 1e-9
+
 // Compare prints a per-benchmark delta table and returns the names that
-// regressed beyond threshold percent with p < alpha.
+// regressed: ns/op beyond threshold percent with p < alpha, or mean
+// allocs/op increased at all (exact gate — allocation counts are
+// deterministic, so there is no noise to tolerate).
 func Compare(base, cur map[string]*benchparse.Benchmark, threshold, alpha float64, out io.Writer) []string {
 	names := make([]string, 0, len(cur))
 	for name := range cur {
@@ -88,14 +104,31 @@ func Compare(base, cur map[string]*benchparse.Benchmark, threshold, alpha float6
 	}
 	sort.Strings(names)
 	var regressions []string
-	fmt.Fprintf(out, "%-40s %14s %14s %8s %7s\n", "benchmark", "old ns/op", "new ns/op", "delta", "p")
+	fmt.Fprintf(out, "%-40s %14s %14s %8s %7s %12s %12s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "p", "allocs/op", "B/op")
 	for _, name := range names {
+		c := cur[name]
+		allocCol := func(bm *benchparse.Benchmark) string {
+			a, ok := bm.Metrics["allocs/op"]
+			if !ok {
+				return "-"
+			}
+			return fmt.Sprintf("%.0f", benchparse.Mean(a))
+		}
+		bytesCol := func(bm *benchparse.Benchmark) string {
+			v, ok := bm.Metrics["B/op"]
+			if !ok {
+				return "-"
+			}
+			return fmt.Sprintf("%.0f", benchparse.Mean(v))
+		}
 		b, ok := base[name]
 		if !ok {
-			fmt.Fprintf(out, "%-40s %14s %14.0f %8s %7s\n", name, "(new)", benchparse.Mean(cur[name].NsPerOp()), "-", "-")
+			fmt.Fprintf(out, "%-40s %14s %14.0f %8s %7s %12s %12s\n",
+				name, "(new)", benchparse.Mean(c.NsPerOp()), "-", "-", allocCol(c), bytesCol(c))
 			continue
 		}
-		oldNs, newNs := b.NsPerOp(), cur[name].NsPerOp()
+		oldNs, newNs := b.NsPerOp(), c.NsPerOp()
 		if len(oldNs) == 0 || len(newNs) == 0 {
 			continue
 		}
@@ -111,7 +144,19 @@ func Compare(base, cur map[string]*benchparse.Benchmark, threshold, alpha float6
 			verdict = "  REGRESSION"
 			regressions = append(regressions, name)
 		}
-		fmt.Fprintf(out, "%-40s %14.0f %14.0f %+7.1f%% %7.3f%s\n", name, oldMean, newMean, delta, p, verdict)
+		// The exact allocation gate: gated only when both sides measured
+		// allocs/op (-benchmem), so turning the flag on for the first time
+		// reports without failing.
+		oldAllocs, newAllocs := b.Metrics["allocs/op"], c.Metrics["allocs/op"]
+		if len(oldAllocs) > 0 && len(newAllocs) > 0 &&
+			benchparse.Mean(newAllocs) > benchparse.Mean(oldAllocs)+allocEpsilon {
+			verdict += "  ALLOC REGRESSION"
+			if len(regressions) == 0 || regressions[len(regressions)-1] != name {
+				regressions = append(regressions, name)
+			}
+		}
+		fmt.Fprintf(out, "%-40s %14.0f %14.0f %+7.1f%% %7.3f %12s %12s%s\n",
+			name, oldMean, newMean, delta, p, allocCol(c), bytesCol(c), verdict)
 	}
 	for name := range base {
 		if _, ok := cur[name]; !ok {

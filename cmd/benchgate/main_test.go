@@ -92,6 +92,59 @@ func TestGatePassesOnImprovement(t *testing.T) {
 	}
 }
 
+// benchMemLines renders repetitions of one benchmark with -benchmem
+// columns at fixed ns/op and the given allocs/op value.
+func benchMemLines(name string, ns, bytesPerOp, allocs int, reps int) string {
+	var sb strings.Builder
+	sb.WriteString("goos: linux\npkg: rrr\n")
+	for i := 0; i < reps; i++ {
+		fmt.Fprintf(&sb, "%s-8\t5\t%d ns/op\t%d B/op\t%d allocs/op\n", name, ns, bytesPerOp, allocs)
+	}
+	sb.WriteString("PASS\n")
+	return sb.String()
+}
+
+// TestGateFlagsSingleAllocRegression is the gate's own acceptance proof:
+// one extra allocation per op — with ns/op identical, far below any
+// percentage threshold — fails the gate. This is what makes the zero-alloc
+// benchmarks contracts rather than observations.
+func TestGateFlagsSingleAllocRegression(t *testing.T) {
+	baseline := writeTemp(t, "base.txt", benchMemLines("BenchmarkSolveInto", 70000, 1, 0, 5))
+	current := writeTemp(t, "cur.txt", benchMemLines("BenchmarkSolveInto", 70000, 65, 1, 5)) // injected +1 alloc/op
+	code, out := gate(t, baseline, current)
+	if code != 1 {
+		t.Fatalf("+1 alloc/op passed the gate (exit %d):\n%s", code, out)
+	}
+	if !strings.Contains(out, "ALLOC REGRESSION") || !strings.Contains(out, "SolveInto") {
+		t.Fatalf("alloc regression not named:\n%s", out)
+	}
+}
+
+// TestGateAllocsFlatPasses: equal allocs/op (and equal ns/op) is clean,
+// and allocs/op decreases are improvements, never regressions.
+func TestGateAllocsFlatPasses(t *testing.T) {
+	baseline := writeTemp(t, "base.txt",
+		benchMemLines("BenchmarkSolveInto", 70000, 1, 0, 5)+
+			benchMemLines("BenchmarkSolve", 71000, 6344, 4, 5))
+	current := writeTemp(t, "cur.txt",
+		benchMemLines("BenchmarkSolveInto", 70000, 1, 0, 5)+
+			benchMemLines("BenchmarkSolve", 71000, 5000, 2, 5)) // fewer allocs: improvement
+	if code, out := gate(t, baseline, current); code != 0 {
+		t.Fatalf("flat/improved allocs failed the gate (exit %d):\n%s", code, out)
+	}
+}
+
+// TestGateAllocsNotGatedWithoutBaselineColumn: a baseline recorded before
+// -benchmem has no allocs/op samples; the new column reports but does not
+// gate, so turning on -benchmem can't retroactively fail CI.
+func TestGateAllocsNotGatedWithoutBaselineColumn(t *testing.T) {
+	baseline := writeTemp(t, "base.txt", benchLines("BenchmarkSolveInto", 70000, 70000, 70000))
+	current := writeTemp(t, "cur.txt", benchMemLines("BenchmarkSolveInto", 70000, 500, 7, 3))
+	if code, out := gate(t, baseline, current); code != 0 {
+		t.Fatalf("first -benchmem run failed the gate (exit %d):\n%s", code, out)
+	}
+}
+
 // TestGateNoBaselinePasses: the first run has nothing to compare against
 // and must pass with a notice.
 func TestGateNoBaselinePasses(t *testing.T) {

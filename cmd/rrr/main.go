@@ -82,11 +82,10 @@ func run() error {
 		shardW   = flag.Int("shard-workers", runtime.GOMAXPROCS(0), "worker pool for the shard map phase (defaults to GOMAXPROCS)")
 	)
 	flag.Parse()
-	if *shards <= 0 {
-		return fmt.Errorf("-shards must be at least 1 (1 = unsharded), got %d", *shards)
-	}
-	if *shardW <= 0 {
-		return fmt.Errorf("-shard-workers must be at least 1, got %d", *shardW)
+	// One shared rule with rrrd and the service layer: negatives fail, 0
+	// means "auto" (unsharded / GOMAXPROCS). This CLI has no batch flag.
+	if err := rrr.ValidateWorkers(*shards, *shardW, 0); err != nil {
+		return err
 	}
 
 	table, err := loadTable(*input, *dsKind, *n, *seed)

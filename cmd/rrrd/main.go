@@ -6,8 +6,10 @@
 // duplicates share that computation, and every later request is a cache
 // hit.
 //
-// The HTTP API lives under /v1 (unversioned paths remain as legacy
-// aliases). -request-timeout bounds each request's deadline end to end:
+// The HTTP API lives under /v1. The old unversioned paths are retired:
+// they answer 410 Gone pointing at their /v1 replacement, unless
+// -legacy-routes restores them as live aliases for clients that cannot
+// migrate yet. -request-timeout bounds each request's deadline end to end:
 // the context reaches the solver's hot loops, so an over-budget solve is
 // actually interrupted, not merely abandoned.
 //
@@ -106,6 +108,7 @@ func run() error {
 		dataDir    = flag.String("data-dir", "", "directory for durable state: write-ahead log of mutations, registry snapshot, warm answer cache (empty = memory only)")
 		fsyncPol   = flag.String("fsync", "always", "WAL durability policy: always (fsync every append), interval (background fsync every 100ms), never (leave flushing to the OS)")
 		noPersist  = flag.Bool("no-persist", false, "ignore -data-dir and run memory-only")
+		legacyOn   = flag.Bool("legacy-routes", false, "restore the retired unversioned route aliases (/representative, /stats, ...) as live handlers instead of 410 Gone tombstones")
 	)
 	flag.Parse()
 
@@ -122,7 +125,7 @@ func run() error {
 	if *drawBudget > 0 {
 		solverOpts = append(solverOpts, rrr.WithDrawBudget(*drawBudget))
 	}
-	svc := service.New(service.Config{
+	cfg := service.Config{
 		Seed:                *seed,
 		SolverOptions:       solverOpts,
 		Shards:              *shards,
@@ -131,7 +134,11 @@ func run() error {
 		Watch:               *watchOn,
 		WatchBuffer:         *watchBuf,
 		WatchMaxSubscribers: *watchSubs,
-	})
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	svc := service.New(cfg)
 	store, err := openStore(*dataDir, *fsyncPol, *noPersist)
 	if err != nil {
 		return err
@@ -157,9 +164,13 @@ func run() error {
 		}
 	}
 
+	serverOpts := []service.ServerOption{service.WithRequestTimeout(*reqTimeout)}
+	if *legacyOn {
+		serverOpts = append(serverOpts, service.WithLegacyRoutes())
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           logRequests(service.NewServer(svc, service.WithRequestTimeout(*reqTimeout))),
+		Handler:           logRequests(service.NewServer(svc, serverOpts...)),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -226,21 +237,13 @@ func tornNote(rec *service.Recovery) string {
 	return fmt.Sprintf(" (torn WAL tail: %d bytes discarded)", rec.DroppedBytes)
 }
 
-// validateWorkerFlags rejects nonsensical parallelism settings up front
-// with a clear message, instead of letting a zero or negative value
-// silently fall back to some library default the operator didn't choose.
-// All three flags must be at least 1: -shards 1 means "unsharded", and
-// both worker pools default to GOMAXPROCS.
+// validateWorkerFlags rejects nonsensical parallelism settings up front by
+// delegating to the library's single rule (rrr.ValidateWorkers), so the
+// daemon's flags, the rrr CLI and service.Config all accept and reject
+// exactly the same values: negatives fail, 0 means "auto" (unsharded for
+// -shards, GOMAXPROCS for the worker pools).
 func validateWorkerFlags(shards, shardWorkers, batchWorkers int) error {
-	switch {
-	case shards <= 0:
-		return fmt.Errorf("-shards must be at least 1 (1 = unsharded), got %d", shards)
-	case shardWorkers <= 0:
-		return fmt.Errorf("-shard-workers must be at least 1, got %d", shardWorkers)
-	case batchWorkers <= 0:
-		return fmt.Errorf("-batch-workers must be at least 1, got %d", batchWorkers)
-	}
-	return nil
+	return rrr.ValidateWorkers(shards, shardWorkers, batchWorkers)
 }
 
 // preloadDatasets parses and registers the -preload specs.

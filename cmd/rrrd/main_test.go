@@ -12,12 +12,11 @@ func TestValidateWorkerFlags(t *testing.T) {
 	}{
 		{1, 1, 1, ""},
 		{8, 4, 4, ""},
-		{0, 4, 4, "-shards"},
-		{-2, 4, 4, "-shards"},
-		{2, 0, 4, "-shard-workers"},
-		{2, -1, 4, "-shard-workers"},
-		{2, 4, 0, "-batch-workers"},
-		{2, 4, -7, "-batch-workers"},
+		// Zeros mean "auto" under the shared rule (unsharded / GOMAXPROCS).
+		{0, 0, 0, ""},
+		{-2, 4, 4, "shards"},
+		{2, -1, 4, "shard-workers"},
+		{2, 4, -7, "batch-workers"},
 	}
 	for _, tc := range cases {
 		err := validateWorkerFlags(tc.shards, tc.shardWorkers, tc.batchWorkers)

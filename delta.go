@@ -128,17 +128,35 @@ type Revalidation struct {
 // Solver built with WithDeltaMaintenance. The context is honored through
 // pool building and any solving work, with the usual typed errors.
 func (s *Solver) Revalidate(ctx context.Context, d Delta, prev *Result) (*Revalidation, error) {
+	out := new(Revalidation)
+	if err := s.RevalidateInto(ctx, d, prev, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RevalidateInto is Revalidate writing into a caller-owned Revalidation:
+// when the verdict is still-exact — the steady state of a workload whose
+// mutations rarely touch the top-k — a warm out is filled without
+// allocating, so a serving loop can revalidate on every batch for free.
+// out.Result is reused when non-nil (and distinct from prev) and
+// overwritten; the repaired and recomputed paths store a fresh Result.
+// out must be non-nil. Semantics are otherwise identical to Revalidate.
+func (s *Solver) RevalidateInto(ctx context.Context, d Delta, prev *Result, out *Revalidation) error {
+	if out == nil {
+		return errors.New("rrr: nil revalidation")
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if !s.cfg.deltaMaintenance {
-		return nil, errors.New("rrr: Revalidate requires WithDeltaMaintenance")
+		return errors.New("rrr: Revalidate requires WithDeltaMaintenance")
 	}
 	if prev == nil || prev.K <= 0 {
-		return nil, errors.New("rrr: Revalidate needs a prior Solve result (with its rank target recorded)")
+		return errors.New("rrr: Revalidate needs a prior Solve result (with its rank target recorded)")
 	}
 	if d.Before == nil || d.After == nil {
-		return nil, errors.New("rrr: Revalidate needs both the before and after snapshots")
+		return errors.New("rrr: Revalidate needs both the before and after snapshots")
 	}
 	algorithm := prev.Algorithm.Resolve(d.After.Dims())
 	start := time.Now()
@@ -150,7 +168,7 @@ func (s *Solver) Revalidate(ctx context.Context, d Delta, prev *Result) (*Revali
 			var err error
 			pool, err = delta.BuildPool(ctx, d.Before, prev.K)
 			if err != nil {
-				return nil, s.wrapShardError(algorithm, start, shard.Stats{}, err)
+				return s.wrapShardError(algorithm, start, shard.Stats{}, err)
 			}
 		}
 		class, patched = pool.Classify(&delta.Change{
@@ -164,22 +182,29 @@ func (s *Solver) Revalidate(ctx context.Context, d Delta, prev *Result) (*Revali
 
 	switch class {
 	case delta.StillExact:
-		res := *prev
+		res := out.Result
+		if res == nil || res == prev {
+			res = new(Result)
+		}
+		*res = *prev // the IDs slice is shared with prev, exactly as Revalidate always has
 		res.Elapsed = time.Since(start)
 		res.revalPool = patched
-		return &Revalidation{Class: DeltaStillExact, Result: &res, PoolSize: patched.Len()}, nil
+		out.Class, out.Result, out.PoolSize = DeltaStillExact, res, patched.Len()
+		return nil
 	case delta.Repairable:
 		res, err := s.reduceOnPool(ctx, d.After, patched, prev.K, algorithm, start)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		return &Revalidation{Class: DeltaRepaired, Result: res, PoolSize: patched.Len()}, nil
+		out.Class, out.Result, out.PoolSize = DeltaRepaired, res, patched.Len()
+		return nil
 	default:
 		res, err := s.Solve(ctx, d.After, prev.K)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		return &Revalidation{Class: DeltaRecomputed, Result: res}, nil
+		out.Class, out.Result, out.PoolSize = DeltaRecomputed, res, 0
+		return nil
 	}
 }
 
@@ -203,8 +228,10 @@ func (s *Solver) reduceOnPool(ctx context.Context, after *Dataset, pool *delta.P
 		}
 		runData = reduced
 	}
-	res, err := s.solveOn(ctx, runData, k, algorithm, start, nil)
-	if err != nil {
+	arena := s.arenas.get()
+	defer s.arenas.put(arena)
+	res := new(Result)
+	if err := s.solveOnInto(ctx, runData, k, algorithm, start, nil, arena, res); err != nil {
 		return nil, err
 	}
 	res.K = k

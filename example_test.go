@@ -1,6 +1,7 @@
 package rrr_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -9,7 +10,7 @@ import (
 
 // The worked example of the paper: seven tuples, and the two of them that
 // guarantee every linear preference a top-2 hit.
-func ExampleRepresentative_paperExample() {
+func ExampleSolver_Solve() {
 	d, _ := rrr.FromTuples([]rrr.Tuple{
 		{ID: 1, Attrs: []float64{0.80, 0.28}},
 		{ID: 2, Attrs: []float64{0.54, 0.45}},
@@ -19,13 +20,13 @@ func ExampleRepresentative_paperExample() {
 		{ID: 6, Attrs: []float64{0.23, 0.52}},
 		{ID: 7, Attrs: []float64{0.91, 0.43}},
 	})
-	res, _ := rrr.Representative(d, 2, rrr.Options{})
+	res, _ := rrr.New().Solve(context.Background(), d, 2)
 	worst, _ := rrr.ExactRankRegret2D(d, res.IDs)
 	fmt.Println(res.IDs, "rank-regret:", worst)
 	// Output: [1 3] rank-regret: 2
 }
 
-func ExampleMinimalKForSize() {
+func ExampleSolver_MinimalKForSize() {
 	d, _ := rrr.FromTuples([]rrr.Tuple{
 		{ID: 1, Attrs: []float64{0.80, 0.28}},
 		{ID: 3, Attrs: []float64{0.67, 0.60}},
@@ -34,7 +35,7 @@ func ExampleMinimalKForSize() {
 	})
 	// "I can show one item — how good can the guarantee be?" The best
 	// singleton is t3, ranked 3rd under f = x1 and 2nd under f = x2.
-	k, res, _ := rrr.MinimalKForSize(d, 1, rrr.Options{})
+	k, res, _ := rrr.New().MinimalKForSize(context.Background(), d, 1)
 	fmt.Printf("k=%d with %d tuple(s)\n", k, len(res.IDs))
 	// Output: k=3 with 1 tuple(s)
 }
@@ -84,7 +85,7 @@ func ExampleTable_Normalize() {
 func ExampleEstimateRankRegret() {
 	table := rrr.BNLike(500, 1)
 	d, _ := table.Normalize()
-	res, _ := rrr.Representative(d, 25, rrr.Options{})
+	res, _ := rrr.New().Solve(context.Background(), d, 25)
 	worst, _, _ := rrr.EstimateRankRegret(d, res.IDs, rrr.EvalOptions{Samples: 2000, Seed: 1})
 	fmt.Println(worst <= 25)
 	// Output: true

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,7 +27,7 @@ func main() {
 	fmt.Printf("diamonds: %d, attributes: carat(+), price(-), depth(+)\n\n", d.N())
 
 	// Rank-regret representative via MDRRR (hitting the sampled k-sets).
-	res, err := rrr.Representative(d, k, rrr.Options{Algorithm: rrr.AlgoMDRRR, Seed: 3})
+	res, err := rrr.New(rrr.WithAlgorithm(rrr.AlgoMDRRR), rrr.WithSeed(3)).Solve(context.Background(), d, k)
 	if err != nil {
 		log.Fatal(err)
 	}

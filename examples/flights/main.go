@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -36,7 +37,7 @@ func main() {
 	fmt.Printf("skyline (top-1 guarantee for monotone preferences): %d flights — too many to show a user\n", len(sky))
 
 	// The rank-regret representative: tiny, with a top-k guarantee.
-	res, err := rrr.Representative(d, k, rrr.Options{Algorithm: rrr.AlgoMDRC})
+	res, err := rrr.New(rrr.WithAlgorithm(rrr.AlgoMDRC)).Solve(context.Background(), d, k)
 	if err != nil {
 		log.Fatal(err)
 	}

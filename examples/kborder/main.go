@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -61,7 +62,7 @@ func main() {
 	fmt.Println()
 	fmt.Print(chart)
 
-	res, err := rrr.Representative(d, k, rrr.Options{})
+	res, err := rrr.New().Solve(context.Background(), d, k)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,7 +31,7 @@ func main() {
 	fmt.Println("k      |RRR|   exact rank-regret")
 
 	for _, k := range []int{2, 5, 10, 20, 50, 100, 200} {
-		res, err := rrr.Representative(d, k, rrr.Options{})
+		res, err := rrr.New().Solve(context.Background(), d, k)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package rrr_test
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -44,7 +45,7 @@ func TestOptimalRRR2DMatchesPaper(t *testing.T) {
 		t.Fatalf("optimum = %v, want size 2", opt)
 	}
 	// And the approximation achieves the optimum here.
-	res, err := rrr.Representative(d, 2, rrr.Options{})
+	res, err := rrr.New().Solve(context.Background(), d, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestRegretBaselinesExposed(t *testing.T) {
 	// The paper's comparison in one assertion: on banded BN data the
 	// rank-regret representative respects k while the score optimizer
 	// with the same budget does not.
-	rres, err := rrr.Representative(d, 10, rrr.Options{Algorithm: rrr.AlgoMDRRR, Seed: 2})
+	rres, err := rrr.New(rrr.WithAlgorithm(rrr.AlgoMDRRR), rrr.WithSeed(2)).Solve(context.Background(), d, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestProfile2DMatchesIndividualSolves(t *testing.T) {
 			t.Fatalf("point %d inconsistent: %+v", i, p)
 		}
 		// Each point must match a standalone optimal-cover solve.
-		res, err := rrr.Representative(d, p.K, rrr.Options{OptimalCover: true})
+		res, err := rrr.New(rrr.WithOptimalCover(true)).Solve(context.Background(), d, p.K)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -174,7 +175,7 @@ func TestRankRegretDistributionExposed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := rrr.Representative(d, 15, rrr.Options{})
+	res, err := rrr.New().Solve(context.Background(), d, 15)
 	if err != nil {
 		t.Fatal(err)
 	}

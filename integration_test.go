@@ -5,6 +5,7 @@ package rrr_test
 // paper's guarantees and cross-algorithm consistency on each.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -48,7 +49,7 @@ func TestPipeline2DAllDistributions(t *testing.T) {
 				t.Fatal(err)
 			}
 			for _, a := range []rrr.Algorithm{rrr.Algo2DRRR, rrr.AlgoMDRRR, rrr.AlgoMDRC} {
-				res, err := rrr.Representative(d, k, rrr.Options{Algorithm: a, Seed: 3})
+				res, err := rrr.New(rrr.WithAlgorithm(a), rrr.WithSeed(3)).Solve(context.Background(), d, k)
 				if err != nil {
 					t.Fatalf("%s: %v", a, err)
 				}
@@ -83,7 +84,7 @@ func TestPipelineMDAllDistributions(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := rrr.Representative(d, k, rrr.Options{})
+			res, err := rrr.New().Solve(context.Background(), d, k)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -117,7 +118,7 @@ func TestSizeMonotonicityInK(t *testing.T) {
 	}
 	prev := 1 << 30
 	for _, k := range []int{4, 16, 64} {
-		res, err := rrr.Representative(ds, k, rrr.Options{})
+		res, err := rrr.New().Solve(context.Background(), ds, k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -142,11 +143,11 @@ func TestDualAndPrimalConsistency(t *testing.T) {
 		t.Fatal(err)
 	}
 	const k = 25
-	primal, err := rrr.Representative(ds, k, rrr.Options{})
+	primal, err := rrr.New().Solve(context.Background(), ds, k)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dualK, dualRes, err := rrr.MinimalKForSize(ds, len(primal.IDs), rrr.Options{})
+	dualK, dualRes, err := rrr.New().MinimalKForSize(context.Background(), ds, len(primal.IDs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func TestExampleScenarioShapes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := rrr.Representative(ds, 20, rrr.Options{Algorithm: rrr.AlgoMDRRR, Seed: 3})
+	res, err := rrr.New(rrr.WithAlgorithm(rrr.AlgoMDRRR), rrr.WithSeed(3)).Solve(context.Background(), ds, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func ExampleRepresentative() {
 		{0.80, 0.28}, {0.54, 0.45}, {0.67, 0.60}, {0.32, 0.42},
 		{0.46, 0.72}, {0.23, 0.52}, {0.91, 0.43},
 	})
-	res, _ := rrr.Representative(d, 2, rrr.Options{})
+	res, _ := rrr.New().Solve(context.Background(), d, 2)
 	fmt.Println(res.IDs)
 	// Output: [0 2]
 }

@@ -100,6 +100,12 @@ func validate(d *core.Dataset, k int) error {
 
 // finish sorts and dedupes the selected IDs.
 func finish(ids []int, stats Stats) *Result {
+	return &Result{IDs: finishInPlace(ids), Stats: stats}
+}
+
+// finishInPlace sorts and dedupes ids in place — the allocation-free core
+// of finish, shared with the arena-backed solve paths.
+func finishInPlace(ids []int) []int {
 	sort.Ints(ids)
 	out := ids[:0]
 	for i, id := range ids {
@@ -107,5 +113,5 @@ func finish(ids []int, stats Stats) *Result {
 			out = append(out, id)
 		}
 	}
-	return &Result{IDs: out, Stats: stats}
+	return out
 }

@@ -62,6 +62,64 @@ func TwoDRRR(ctx context.Context, d *core.Dataset, k int, opt TwoDOptions) (*Res
 	return TwoDRRRFromRanges(ranges, opt)
 }
 
+// TwoDScratch is the reusable arena of the allocation-free 2-D solve path:
+// the sweep's event/state arena, the cover's segment buffers, and the
+// interval and output slices gluing them together. One TwoDScratch serves
+// one TwoDRRRScratch call at a time; rrr.Solver keeps a pool of them so
+// concurrent solves each check out their own.
+type TwoDScratch struct {
+	Sweep     sweep.Scratch
+	Cover     cover.Scratch
+	intervals []cover.Interval
+	ids       []int
+}
+
+// TwoDRRRScratch is TwoDRRR on a caller-owned arena: the same sweep, the
+// same cover selection, the same sorted/deduped output — but every
+// per-solve structure lives in sc, so a warm arena solves with zero
+// allocations. The returned IDs alias sc and are valid only until the
+// arena's next use; callers that keep the result must copy.
+func TwoDRRRScratch(ctx context.Context, d *core.Dataset, k int, opt TwoDOptions, sc *TwoDScratch) ([]int, Stats, error) {
+	if sc == nil {
+		sc = new(TwoDScratch)
+	}
+	if err := validate(d, k); err != nil {
+		return nil, Stats{}, err
+	}
+	if d.Dims() != 2 {
+		return nil, Stats{}, errors.New("algo: TwoDRRR requires a 2-D dataset; use MDRRR or MDRC otherwise")
+	}
+	ranges, err := sweep.FindRangesScratch(ctx, d, k, &sc.Sweep)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, Stats{}, &Interrupted{Err: err}
+		}
+		return nil, Stats{}, err
+	}
+	sc.intervals = sc.intervals[:0]
+	for _, r := range ranges {
+		sc.intervals = append(sc.intervals, cover.Interval{ID: r.ID, Lo: r.Lo, Hi: r.Hi})
+	}
+	stats := Stats{Ranges: len(sc.intervals)}
+	if opt.OnProgress != nil {
+		opt.OnProgress(stats)
+	}
+	var ids []int
+	switch opt.Cover {
+	case CoverMaxGain:
+		ids, err = cover.CoverMaxGainScratch(sc.intervals, 0, geom.HalfPi, &sc.Cover)
+	case CoverOptimalSweep:
+		ids, err = cover.CoverOptimalScratch(sc.intervals, 0, geom.HalfPi, &sc.Cover)
+	default:
+		return nil, Stats{}, errors.New("algo: unknown cover strategy")
+	}
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	sc.ids = append(sc.ids[:0], ids...)
+	return finishInPlace(sc.ids), stats, nil
+}
+
 // TwoDRRRFromRanges runs the cover phase of the 2-D algorithm on
 // precomputed Algorithm 1 ranges. It is the tail TwoDRRR fans into after
 // its own sweep; the batch engine calls it directly so that one

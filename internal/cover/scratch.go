@@ -1,0 +1,192 @@
+package cover
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Scratch is a reusable arena for the interval-cover algorithms: the
+// max-gain greedy's used-flags, the uncovered-space segment list (double
+// buffered so subtraction swaps buffers instead of reallocating), and the
+// optimal sweep's sorted working copy. A warm Scratch makes repeated covers
+// allocation-free on the success path.
+//
+// A Scratch serves one cover at a time; the []int returned by the *Scratch
+// functions aliases the arena and is valid only until its next use. The
+// zero value is ready to use.
+type Scratch struct {
+	used   []bool
+	out    []int
+	segs   [][2]float64
+	spare  [][2]float64
+	sorted []Interval
+	sorter intervalSorter
+}
+
+// intervalSorter orders intervals by (Lo, ID) through a pointer receiver —
+// the same order CoverOptimal's sort.Slice call uses, minus the closure
+// allocation.
+type intervalSorter struct{ iv []Interval }
+
+func (s *intervalSorter) Len() int      { return len(s.iv) }
+func (s *intervalSorter) Swap(i, j int) { s.iv[i], s.iv[j] = s.iv[j], s.iv[i] }
+func (s *intervalSorter) Less(i, j int) bool {
+	if s.iv[i].Lo != s.iv[j].Lo {
+		return s.iv[i].Lo < s.iv[j].Lo
+	}
+	return s.iv[i].ID < s.iv[j].ID
+}
+
+// resetUncovered initializes the uncovered space to the single segment
+// [lo, hi], reusing the arena's buffers.
+func (sc *Scratch) resetUncovered(lo, hi float64) {
+	sc.segs = append(sc.segs[:0], [2]float64{lo, hi})
+	sc.spare = sc.spare[:0]
+}
+
+// uncoveredGain returns the length of [lo,hi] ∩ uncovered — Algorithm 2
+// line 8, with the binary search hand-rolled so no closure reaches the
+// hot loop.
+func (sc *Scratch) uncoveredGain(lo, hi float64) float64 {
+	// First segment whose end is beyond lo.
+	i, j := 0, len(sc.segs)
+	for i < j {
+		h := (i + j) / 2
+		if sc.segs[h][1] > lo {
+			j = h
+		} else {
+			i = h + 1
+		}
+	}
+	total := 0.0
+	for ; i < len(sc.segs) && sc.segs[i][0] < hi; i++ {
+		a := math.Max(lo, sc.segs[i][0])
+		b := math.Min(hi, sc.segs[i][1])
+		if b > a {
+			total += b - a
+		}
+	}
+	return total
+}
+
+// uncoveredSubtract removes [lo,hi] from the uncovered space by rebuilding
+// the segment list into the spare buffer and swapping — the allocation-free
+// twin of uncovered.subtract.
+func (sc *Scratch) uncoveredSubtract(lo, hi float64) {
+	out := sc.spare[:0]
+	for _, s := range sc.segs {
+		if s[1] <= lo || s[0] >= hi {
+			out = append(out, s)
+			continue
+		}
+		if s[0] < lo-contactTol {
+			out = append(out, [2]float64{s[0], lo})
+		}
+		if s[1] > hi+contactTol {
+			out = append(out, [2]float64{hi, s[1]})
+		}
+	}
+	sc.segs, sc.spare = out, sc.segs[:0]
+}
+
+// CoverMaxGainScratch is CoverMaxGain on a caller-owned arena. The returned
+// IDs alias sc and are valid only until the Scratch's next use; a nil sc
+// uses a temporary arena. The selection logic is identical to CoverMaxGain,
+// so the two return the same cover for the same input.
+func CoverMaxGainScratch(intervals []Interval, lo, hi float64, sc *Scratch) ([]int, error) {
+	if hi < lo {
+		return nil, fmt.Errorf("cover: empty target [%g, %g]", lo, hi)
+	}
+	if sc == nil {
+		sc = new(Scratch)
+	}
+	sc.resetUncovered(lo, hi)
+	if cap(sc.used) < len(intervals) {
+		sc.used = make([]bool, len(intervals))
+	} else {
+		sc.used = sc.used[:len(intervals)]
+		for i := range sc.used {
+			sc.used[i] = false
+		}
+	}
+	out := sc.out[:0]
+	for len(sc.segs) > 0 {
+		bestGain := 0.0
+		best := -1
+		for idx, iv := range intervals {
+			if sc.used[idx] {
+				continue
+			}
+			g := sc.uncoveredGain(iv.Lo, iv.Hi)
+			if g > bestGain+contactTol ||
+				(g > 0 && math.Abs(g-bestGain) <= contactTol && best >= 0 && iv.ID < intervals[best].ID) {
+				bestGain = g
+				best = idx
+			}
+		}
+		if best == -1 || bestGain <= contactTol {
+			// Residual slivers below tolerance are numerical dust from
+			// exact-contact endpoints; treat them as covered.
+			residual := 0.0
+			for _, s := range sc.segs {
+				residual += s[1] - s[0]
+			}
+			if residual <= 16*contactTol {
+				sc.out = out
+				return out, nil
+			}
+			return nil, fmt.Errorf("cover: %g of the target remains uncoverable", residual)
+		}
+		sc.used[best] = true
+		out = append(out, intervals[best].ID)
+		sc.uncoveredSubtract(intervals[best].Lo, intervals[best].Hi)
+	}
+	sc.out = out
+	return out, nil
+}
+
+// CoverOptimalScratch is CoverOptimal on a caller-owned arena: the sorted
+// working copy, the sorter, and the output all live in sc. The returned IDs
+// alias sc and are valid only until the Scratch's next use; a nil sc uses a
+// temporary arena.
+func CoverOptimalScratch(intervals []Interval, lo, hi float64, sc *Scratch) ([]int, error) {
+	if hi < lo {
+		return nil, fmt.Errorf("cover: empty target [%g, %g]", lo, hi)
+	}
+	if sc == nil {
+		sc = new(Scratch)
+	}
+	sc.sorted = append(sc.sorted[:0], intervals...)
+	sc.sorter.iv = sc.sorted
+	sort.Sort(&sc.sorter)
+	sc.sorter.iv = nil
+	sorted := sc.sorted
+	out := sc.out[:0]
+	cur := lo
+	i := 0
+	for {
+		bestHi := math.Inf(-1)
+		bestID := -1
+		for i < len(sorted) && sorted[i].Lo <= cur+contactTol {
+			if sorted[i].Hi > bestHi || (sorted[i].Hi == bestHi && sorted[i].ID < bestID) {
+				bestHi = sorted[i].Hi
+				bestID = sorted[i].ID
+			}
+			i++
+		}
+		if bestID == -1 || bestHi <= cur+contactTol {
+			if cur >= hi-contactTol {
+				sc.out = out
+				return out, nil
+			}
+			return nil, fmt.Errorf("cover: gap at %g, cannot reach %g", cur, hi)
+		}
+		out = append(out, bestID)
+		cur = bestHi
+		if cur >= hi-contactTol {
+			sc.out = out
+			return out, nil
+		}
+	}
+}

@@ -115,6 +115,29 @@ func RandomFunc(d int, rng *rand.Rand) core.LinearFunc {
 	return core.LinearFunc{W: RandomWeight(d, rng)}
 }
 
+// RandomWeightInto draws like RandomWeight but writes into the caller's
+// length-d buffer instead of allocating, so sampling loops can reuse one
+// weight vector across thousands of draws. The RNG consumption is identical
+// to RandomWeight, keeping seeded streams bit-for-bit reproducible across
+// the two entry points.
+func RandomWeightInto(w []float64, rng *rand.Rand) {
+	for {
+		var norm2 float64
+		for i := range w {
+			w[i] = math.Abs(rng.NormFloat64())
+			norm2 += w[i] * w[i]
+		}
+		if norm2 == 0 {
+			continue // astronomically unlikely; redraw
+		}
+		norm := math.Sqrt(norm2)
+		for i := range w {
+			w[i] /= norm
+		}
+		return
+	}
+}
+
 // Dot computes the inner product of two equal-length vectors.
 func Dot(a, b []float64) float64 {
 	var s float64

@@ -39,6 +39,11 @@ import (
 type Collection struct {
 	sets  [][]int
 	index map[string]int
+	// keyBuf is the reusable encoding buffer of Add: the duplicate-probe
+	// path — the steady state of a converging K-SETr run — encodes into it
+	// and looks the map up with string(keyBuf), which the compiler compiles
+	// to a zero-copy probe. Only genuinely new sets allocate.
+	keyBuf []byte
 }
 
 // NewCollection returns an empty collection.
@@ -54,14 +59,14 @@ func Canon(ids []int) []int {
 }
 
 // Add inserts a k-set (must already be sorted ascending) and reports
-// whether it was new.
+// whether it was new. Probing an already-present set allocates nothing.
 func (c *Collection) Add(sorted []int) bool {
-	k := key(sorted)
-	if _, ok := c.index[k]; ok {
+	c.keyBuf = appendKey(c.keyBuf[:0], sorted)
+	if _, ok := c.index[string(c.keyBuf)]; ok {
 		return false
 	}
 	cp := append([]int(nil), sorted...)
-	c.index[k] = len(c.sets)
+	c.index[string(c.keyBuf)] = len(c.sets)
 	c.sets = append(c.sets, cp)
 	return true
 }
@@ -97,7 +102,11 @@ func (c *Collection) Universe() []int {
 }
 
 func key(ids []int) string {
-	buf := make([]byte, 0, len(ids)*3)
+	return string(appendKey(make([]byte, 0, len(ids)*3), ids))
+}
+
+// appendKey appends the varint encoding of ids to buf and returns it.
+func appendKey(buf []byte, ids []int) []byte {
 	for _, v := range ids {
 		u := uint(v)
 		for u >= 0x80 {
@@ -106,7 +115,7 @@ func key(ids []int) string {
 		}
 		buf = append(buf, byte(u))
 	}
-	return string(buf)
+	return buf
 }
 
 // SampleOptions configures Algorithm 4 (K-SETr).
@@ -126,6 +135,28 @@ type SampleOptions struct {
 	// OnProgress, if non-nil, receives the running stats periodically
 	// during the draw loop.
 	OnProgress func(SampleStats)
+	// Scratch, if non-nil, supplies the reusable draw buffers (weight
+	// vector, top-k heap, canonicalization prefix) so the draw loop's
+	// steady state — duplicate draws against a converged collection —
+	// allocates nothing. Owned by one Sample/SampleMulti call at a time.
+	Scratch *SampleScratch
+}
+
+// SampleScratch is the reusable arena of the K-SETr draw loop. The zero
+// value is ready to use; see SampleOptions.Scratch.
+type SampleScratch struct {
+	w      []float64
+	topk   topk.Scratch
+	prefix []int
+}
+
+// weight returns the arena's weight vector resized to dims.
+func (sc *SampleScratch) weight(dims int) []float64 {
+	if cap(sc.w) < dims {
+		sc.w = make([]float64, dims)
+	}
+	sc.w = sc.w[:dims]
+	return sc.w
 }
 
 // ErrDrawBudget is returned (wrapped) by Sample when HardMaxDraws is set
@@ -183,6 +214,11 @@ func Sample(ctx context.Context, d *core.Dataset, k int, opt SampleOptions) (*Co
 	}
 	rng := rand.New(rand.NewSource(opt.Seed))
 	col := NewCollection()
+	sc := opt.Scratch
+	if sc == nil {
+		sc = new(SampleScratch)
+	}
+	w := sc.weight(d.Dims())
 	stats := SampleStats{}
 	counter := 0
 	for counter <= term {
@@ -206,9 +242,9 @@ func Sample(ctx context.Context, d *core.Dataset, k int, opt SampleOptions) (*Co
 				opt.OnProgress(stats)
 			}
 		}
-		f := geom.RandomFunc(d.Dims(), rng)
+		geom.RandomWeightInto(w, rng)
 		stats.Draws++
-		s := topk.TopKSet(d, f, k)
+		s := topk.TopKSetScratch(d, core.LinearFunc{W: w}, k, &sc.topk)
 		if col.Add(s) {
 			counter = 0
 		} else {
@@ -272,6 +308,11 @@ func SampleMulti(ctx context.Context, d *core.Dataset, ks []int, opt SampleOptio
 		states[i] = &state{k: k, active: true}
 	}
 	rng := rand.New(rand.NewSource(opt.Seed))
+	sc := opt.Scratch
+	if sc == nil {
+		sc = new(SampleScratch)
+	}
+	w := sc.weight(d.Dims())
 	draws := 0
 	for {
 		// Per-k stopping rules, checked before each draw exactly as Sample
@@ -320,15 +361,19 @@ func SampleMulti(ctx context.Context, d *core.Dataset, ks []int, opt SampleOptio
 				opt.OnProgress(agg)
 			}
 		}
-		f := geom.RandomFunc(d.Dims(), rng)
+		geom.RandomWeightInto(w, rng)
 		draws++
-		ordered := topk.TopK(d, f, maxActive)
+		ordered := topk.TopKScratch(d, core.LinearFunc{W: w}, maxActive, &sc.topk)
 		for i, st := range states {
 			if st == nil || !st.active {
 				continue
 			}
 			stats[i].Draws++
-			if cols[i].Add(Canon(ordered[:st.k])) {
+			// Canonicalize the length-k prefix in the arena; Add copies it
+			// only when the set is genuinely new.
+			sc.prefix = append(sc.prefix[:0], ordered[:st.k]...)
+			sort.Ints(sc.prefix)
+			if cols[i].Add(sc.prefix) {
 				st.counter = 0
 			} else {
 				st.counter++

@@ -1,0 +1,125 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"rrr/internal/dataset"
+)
+
+// The serving layer's allocation contracts: once a representative is
+// computed and its response body attached to the cache slot, serving it —
+// through the Service API or the full HTTP handler — allocates nothing.
+// Pinned with AllocsPerRun so a regression fails tests, not just drifts a
+// benchmark.
+
+// TestRepresentativeIntoCachedHitAllocFree: a warm cache hit through the
+// reuse API costs zero allocations.
+func TestRepresentativeIntoCachedHitAllocFree(t *testing.T) {
+	svc := New(Config{Seed: 1})
+	registerGenerated(t, svc, "uni", "independent", 500, 2)
+	ctx := context.Background()
+	var out Representative
+	if err := svc.RepresentativeInto(ctx, "uni", 10, "", &out); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := svc.RepresentativeInto(ctx, "uni", 10, "", &out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cached-hit RepresentativeInto allocates %.1f times per run, want 0", allocs)
+	}
+	if !out.Cached || len(out.IDs) == 0 {
+		t.Fatalf("warm runs served a bad result: %+v", out)
+	}
+}
+
+// nullResponseWriter is a zero-alloc ResponseWriter: the header map is
+// allocated once and reused, the body is discarded. httptest.NewRecorder
+// allocates per request, which would drown the measurement.
+type nullResponseWriter struct {
+	header http.Header
+	status int
+	bytes  int
+}
+
+func (w *nullResponseWriter) Header() http.Header    { return w.header }
+func (w *nullResponseWriter) WriteHeader(status int) { w.status = status }
+func (w *nullResponseWriter) Write(b []byte) (int, error) {
+	w.bytes += len(b)
+	return len(b), nil
+}
+
+// TestServeCachedRepresentativeAllocFree: the whole HTTP path — mux
+// dispatch, query parsing, cache lookup, pre-marshaled body write — is
+// allocation-free on a warm hit. The server is built without a request
+// timeout (wrapping the context would allocate per request by design).
+func TestServeCachedRepresentativeAllocFree(t *testing.T) {
+	svc := New(Config{Seed: 1})
+	registerGenerated(t, svc, "uni", "independent", 500, 2)
+	srv := NewServer(svc)
+	req := httptest.NewRequest("GET", "/v1/representative?dataset=uni&k=10", nil)
+	w := &nullResponseWriter{header: make(http.Header)}
+	srv.ServeHTTP(w, req)
+	if w.status != http.StatusOK || w.bytes == 0 {
+		t.Fatalf("warm-up request failed: status %d, %d bytes", w.status, w.bytes)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		w.status, w.bytes = 0, 0
+		srv.ServeHTTP(w, req)
+		if w.status != http.StatusOK || w.bytes == 0 {
+			t.Fatalf("hit failed: status %d, %d bytes", w.status, w.bytes)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cached-hit HTTP serving allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestEscapedQueryParams: the zero-copy query scanner
+// falls back to QueryUnescape for escaped parameters and still answers
+// correctly (allocation-freedom is only promised for unescaped queries,
+// correctness for both).
+func TestEscapedQueryParams(t *testing.T) {
+	svc := New(Config{Seed: 1})
+	registerGenerated(t, svc, "uni", "independent", 200, 2)
+	srv := NewServer(svc)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, httptest.NewRequest("GET", "/v1/representative?%64ataset=uni&k=%31%30", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("escaped query: status %d: %s", w.Code, w.Body.String())
+	}
+}
+
+// BenchmarkCachedRepresentativeHTTP is the serving hot path's tier-1
+// benchmark: cached hit end to end through ServeHTTP. cmd/benchgate gates
+// its allocs/op exactly; the expected steady state is 0.
+func BenchmarkCachedRepresentativeHTTP(b *testing.B) {
+	svc := New(Config{Seed: 1})
+	table, err := dataset.ByKind("independent", 2000, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := svc.Registry().Register("uni", table); err != nil {
+		b.Fatal(err)
+	}
+	srv := NewServer(svc)
+	req := httptest.NewRequest("GET", "/v1/representative?dataset=uni&k=10", nil)
+	w := &nullResponseWriter{header: make(http.Header)}
+	srv.ServeHTTP(w, req)
+	if w.status != http.StatusOK {
+		b.Fatalf("warm-up failed: status %d", w.status)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.ServeHTTP(w, req)
+	}
+	if w.status != http.StatusOK {
+		b.Fatalf("hit failed: status %d", w.status)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rrr"
@@ -80,6 +81,13 @@ type computation struct {
 	stats   ResultStats
 	elapsed time.Duration
 	err     error
+
+	// encoded is the pre-marshaled HTTP response body for this result,
+	// attached lazily by the serving layer on the first cache hit so every
+	// later hit writes bytes without re-encoding. It travels with the slot
+	// through Rekey — the body carries no generation, so a still-exact
+	// carry-over keeps it valid.
+	encoded atomic.Pointer[[]byte]
 }
 
 // ResultStats carries the solver's work counters through the cache.
@@ -297,6 +305,79 @@ func (c *Cache) run(key Key, slot *computation, ctx context.Context, compute fun
 		c.evict(key, slot)
 	}
 	close(slot.done)
+}
+
+// Hit returns the completed successful result at key without waiting or
+// computing — the allocation-free fast path a request tries before paying
+// for a solver clone and a compute closure. A hit here is counted exactly
+// as Do would count it; misses (absent, in-flight, or failed slots) are
+// not counted because the caller falls through to Do, which does the
+// accounting for whatever it finds.
+func (c *Cache) Hit(key Key) (CachedResult, bool) {
+	c.mu.Lock()
+	slot, ok := c.slots[key]
+	c.mu.Unlock()
+	if !ok {
+		return CachedResult{}, false
+	}
+	select {
+	case <-slot.done:
+	default:
+		return CachedResult{}, false
+	}
+	if slot.err != nil {
+		return CachedResult{}, false
+	}
+	c.metrics.hit()
+	return CachedResult{IDs: slot.ids, Stats: slot.stats, Elapsed: slot.elapsed, Cached: true}, true
+}
+
+// EncodedBody returns the pre-marshaled response body attached to the
+// key's completed successful slot, counting a cache hit when present. The
+// returned bytes are shared — callers must write, never mutate, them.
+func (c *Cache) EncodedBody(key Key) ([]byte, bool) {
+	c.mu.Lock()
+	slot, ok := c.slots[key]
+	c.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	select {
+	case <-slot.done:
+	default:
+		return nil, false
+	}
+	if slot.err != nil {
+		return nil, false
+	}
+	body := slot.encoded.Load()
+	if body == nil {
+		return nil, false
+	}
+	c.metrics.hit()
+	return *body, true
+}
+
+// SetEncodedBody attaches a pre-marshaled response body to the key's
+// completed successful slot so later hits serve bytes without
+// re-encoding. The caller must not mutate body afterwards. No-op when the
+// slot is absent, in flight, or failed — the body would describe nothing.
+func (c *Cache) SetEncodedBody(key Key, body []byte) {
+	c.mu.Lock()
+	slot, ok := c.slots[key]
+	c.mu.Unlock()
+	if !ok {
+		return
+	}
+	select {
+	case <-slot.done:
+	default:
+		return
+	}
+	if slot.err != nil {
+		return
+	}
+	slot.encoded.Store(&body)
 }
 
 // BatchFill publishes one key's outcome from inside a DoBatch compute

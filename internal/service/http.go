@@ -1,13 +1,16 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"rrr"
@@ -26,10 +29,11 @@ const statusClientClosedRequest = 499
 // Server adapts a Service to JSON-over-HTTP. Mount it directly or via
 // Handler().
 //
-// The API is versioned under /v1; the unversioned paths remain as aliases
-// for pre-v1 clients and may be removed in a future major version.
+// The API is versioned under /v1. The pre-v1 unversioned aliases are
+// retired: they answer 410 Gone with a body pointing at the /v1 path,
+// unless WithLegacyRoutes (rrrd -legacy-routes) restores them.
 //
-// Endpoints (each also available without the /v1 prefix):
+// Endpoints:
 //
 //	POST /v1/datasets        register a dataset (JSON spec: generator or CSV)
 //	GET  /v1/datasets        list registered datasets with metadata
@@ -52,6 +56,7 @@ type Server struct {
 	svc     *Service
 	mux     *http.ServeMux
 	timeout time.Duration
+	legacy  bool
 }
 
 // ServerOption configures a Server.
@@ -63,6 +68,15 @@ type ServerOption func(*Server)
 // This is the HTTP face of the daemon's -request-timeout flag.
 func WithRequestTimeout(d time.Duration) ServerOption {
 	return func(s *Server) { s.timeout = d }
+}
+
+// WithLegacyRoutes restores the retired pre-/v1 unversioned route aliases
+// for clients that cannot move yet. Without it, unversioned paths answer
+// 410 Gone with kind "gone" and the /v1 path to use instead. This is the
+// HTTP face of the daemon's -legacy-routes escape hatch; the aliases (and
+// this option) will be removed in a future major version.
+func WithLegacyRoutes() ServerOption {
+	return func(s *Server) { s.legacy = true }
 }
 
 // NewServer builds the HTTP adapter over svc.
@@ -89,15 +103,31 @@ func NewServer(svc *Service, opts ...ServerOption) *Server {
 	return s
 }
 
-// route registers a handler at its /v1 path and at the legacy unversioned
-// alias.
+// route registers a handler at its /v1 path. The unversioned alias either
+// serves the same handler (legacy mode) or a 410 Gone tombstone telling
+// the client where the endpoint moved.
 func (s *Server) route(pattern string, h http.HandlerFunc) {
 	method, path, ok := strings.Cut(pattern, " ")
 	if !ok {
 		panic("service: route pattern must be \"METHOD /path\": " + pattern)
 	}
 	s.mux.HandleFunc(method+" /v1"+path, h)
-	s.mux.HandleFunc(pattern, h)
+	if s.legacy {
+		s.mux.HandleFunc(pattern, h)
+		return
+	}
+	s.mux.HandleFunc(pattern, goneHandler(method, path))
+}
+
+// goneHandler answers a retired unversioned path: 410 Gone with a
+// machine-readable kind and the /v1 path that replaced it.
+func goneHandler(method, path string) http.HandlerFunc {
+	msg := fmt.Sprintf("service: %s %s was retired; use %s /v1%s (start rrrd with -legacy-routes to restore the alias)",
+		method, path, method, path)
+	body := errorBody{Error: msg, Kind: "gone"}
+	return func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusGone, body)
+	}
 }
 
 // ServeHTTP implements http.Handler, applying the per-request deadline
@@ -127,12 +157,88 @@ type errorBody struct {
 	Kind  string `json:"kind"`
 }
 
+// headerJSON is the Content-Type value slice shared by every JSON
+// response: assigning it into the header map directly avoids the
+// per-request slice http.Header.Set allocates. Never mutated.
+var headerJSON = []string{"application/json"}
+
+// encodeBuf pairs a reusable buffer with a json.Encoder bound to it once,
+// so rendering a response allocates neither an encoder nor (steady-state)
+// buffer space.
+type encodeBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+// encodeBufs is an explicit free-list rather than a sync.Pool: the GC may
+// empty a sync.Pool at any collection, which would make serving's
+// allocs/op nondeterministic and flake the exact CI gate.
+var encodeBufs struct {
+	mu   sync.Mutex
+	free []*encodeBuf
+}
+
+// encodeBufMaxRetained bounds the buffer capacity kept on the free-list;
+// a one-off giant response (a huge dataset listing) must not pin its
+// buffer forever.
+const encodeBufMaxRetained = 1 << 20
+
+func getEncodeBuf() *encodeBuf {
+	encodeBufs.mu.Lock()
+	if n := len(encodeBufs.free); n > 0 {
+		b := encodeBufs.free[n-1]
+		encodeBufs.free[n-1] = nil
+		encodeBufs.free = encodeBufs.free[:n-1]
+		encodeBufs.mu.Unlock()
+		return b
+	}
+	encodeBufs.mu.Unlock()
+	b := &encodeBuf{}
+	b.enc = json.NewEncoder(&b.buf)
+	b.enc.SetIndent("", "  ")
+	return b
+}
+
+func putEncodeBuf(b *encodeBuf) {
+	if b.buf.Cap() > encodeBufMaxRetained {
+		return
+	}
+	b.buf.Reset()
+	encodeBufs.mu.Lock()
+	encodeBufs.free = append(encodeBufs.free, b)
+	encodeBufs.mu.Unlock()
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	b := getEncodeBuf()
+	if err := b.enc.Encode(v); err != nil {
+		// Our response types cannot fail to marshal; defend anyway.
+		putEncodeBuf(b)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeBody(w, status, b.buf.Bytes())
+	putEncodeBuf(b)
+}
+
+// writeBody writes a pre-rendered JSON body.
+func writeBody(w http.ResponseWriter, status int, body []byte) {
+	w.Header()["Content-Type"] = headerJSON
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	_, _ = w.Write(body)
+}
+
+// encodeJSON renders v exactly as writeJSON writes it, returning a fresh
+// slice the caller may retain (the pre-marshaled cache bodies).
+func encodeJSON(v any) ([]byte, error) {
+	b := getEncodeBuf()
+	if err := b.enc.Encode(v); err != nil {
+		putEncodeBuf(b)
+		return nil, err
+	}
+	out := append([]byte(nil), b.buf.Bytes()...)
+	putEncodeBuf(b)
+	return out, nil
 }
 
 // writeError maps the service's sentinel error kinds — and the solver's
@@ -370,33 +476,110 @@ type representativeResponse struct {
 }
 
 func (s *Server) handleRepresentative(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	name := q.Get("dataset")
+	// Parameters come off RawQuery without materializing a url.Values map:
+	// this handler is the daemon's hottest path, and a warm cache hit
+	// serves pre-marshaled bytes without allocating at all.
+	raw := r.URL.RawQuery
+	name := queryParam(raw, "dataset")
 	if name == "" {
 		writeError(w, fmt.Errorf("service: missing dataset parameter: %w", ErrBadRequest))
 		return
 	}
-	k, err := intParam(q.Get("k"), "k")
+	k, err := intParam(queryParam(raw, "k"), "k")
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	rep, err := s.svc.Representative(r.Context(), name, k, q.Get("algo"))
+	algoName := queryParam(raw, "algo")
+
+	svc := s.svc
+	entry, err := svc.registry.Get(name)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, representativeResponse{
-		Dataset:   rep.Dataset,
-		K:         rep.K,
-		Algorithm: rep.Algorithm.String(),
-		Size:      len(rep.IDs),
-		IDs:       rep.IDs,
-		Cached:    rep.Cached,
-		ElapsedMS: float64(rep.Elapsed) / 1e6,
-		KSets:     rep.Stats.KSets,
-		Nodes:     rep.Stats.Nodes,
-	})
+	if k <= 0 {
+		writeError(w, fmt.Errorf("service: k must be positive, got %d: %w", k, ErrBadRequest))
+		return
+	}
+	algo, err := resolveAlgo(entry, algoName)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	// Key and solve share one entry snapshot, so the body attached below
+	// can never describe a different generation than the slot it lands on.
+	key := svc.key(entry, k, algo)
+	if body, ok := svc.cache.EncodedBody(key); ok {
+		writeBody(w, http.StatusOK, body)
+		return
+	}
+	cached, err := svc.solveEntry(r.Context(), entry, k, algo)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := representativeResponse{
+		Dataset:   name,
+		K:         k,
+		Algorithm: algo.String(),
+		Size:      len(cached.IDs),
+		IDs:       cached.IDs,
+		Cached:    true, // the body every later hit serves
+		ElapsedMS: float64(cached.Elapsed) / 1e6,
+		KSets:     cached.Stats.KSets,
+		Nodes:     cached.Stats.Nodes,
+	}
+	body, err := encodeJSON(resp)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	svc.cache.SetEncodedBody(key, body)
+	if cached.Cached {
+		writeBody(w, http.StatusOK, body)
+		return
+	}
+	// The computing request itself reports cached:false; only the
+	// attached body — served exclusively on hits — says true.
+	resp.Cached = false
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// queryParam returns the named parameter's first value from a raw query
+// string. Unescaped values — the hot GET paths' common case — are
+// returned as zero-copy substrings; values (or keys) containing %XX or +
+// escapes fall back to url.QueryUnescape, matching url.Values exactly.
+func queryParam(rawQuery, name string) string {
+	for q := rawQuery; q != ""; {
+		var pair string
+		if i := strings.IndexByte(q, '&'); i >= 0 {
+			pair, q = q[:i], q[i+1:]
+		} else {
+			pair, q = q, ""
+		}
+		k, v, _ := strings.Cut(pair, "=")
+		if k != name {
+			if strings.IndexByte(k, '%') < 0 && strings.IndexByte(k, '+') < 0 {
+				continue
+			}
+			dk, err := url.QueryUnescape(k)
+			if err != nil || dk != name {
+				continue
+			}
+		}
+		if strings.IndexByte(v, '%') < 0 && strings.IndexByte(v, '+') < 0 {
+			return v
+		}
+		dv, err := url.QueryUnescape(v)
+		if err != nil {
+			// url.Values drops malformed pairs; an empty value makes the
+			// handler report the parameter missing, the closest message.
+			return ""
+		}
+		return dv
+	}
+	return ""
 }
 
 // batchRequest is the POST /batch payload: one dataset, one algorithm,

@@ -45,7 +45,7 @@ func TestHealthz(t *testing.T) {
 		Status   string `json:"status"`
 		Datasets int    `json:"datasets"`
 	}
-	if code := getJSON(t, ts.URL+"/healthz", &body); code != http.StatusOK {
+	if code := getJSON(t, ts.URL+"/v1/healthz", &body); code != http.StatusOK {
 		t.Fatalf("status = %d", code)
 	}
 	if body.Status != "ok" || body.Datasets != 1 {
@@ -56,7 +56,7 @@ func TestHealthz(t *testing.T) {
 func TestRepresentativeEndpoint(t *testing.T) {
 	ts, _ := newTestServer(t)
 	var body representativeResponse
-	if code := getJSON(t, ts.URL+"/representative?dataset=flights&k=20", &body); code != http.StatusOK {
+	if code := getJSON(t, ts.URL+"/v1/representative?dataset=flights&k=20", &body); code != http.StatusOK {
 		t.Fatalf("status = %d", code)
 	}
 	if body.Algorithm != "2drrr" {
@@ -70,13 +70,13 @@ func TestRepresentativeEndpoint(t *testing.T) {
 	}
 
 	var second representativeResponse
-	getJSON(t, ts.URL+"/representative?dataset=flights&k=20", &second)
+	getJSON(t, ts.URL+"/v1/representative?dataset=flights&k=20", &second)
 	if !second.Cached {
 		t.Fatal("second request not served from cache")
 	}
 	// "auto" and the resolved name share one cache slot.
 	var explicit representativeResponse
-	getJSON(t, ts.URL+"/representative?dataset=flights&k=20&algo=2drrr", &explicit)
+	getJSON(t, ts.URL+"/v1/representative?dataset=flights&k=20&algo=2drrr", &explicit)
 	if !explicit.Cached {
 		t.Fatal("explicit algorithm missed the auto-resolved cache slot")
 	}
@@ -88,7 +88,7 @@ func TestRepresentativeEndpoint(t *testing.T) {
 func TestRepresentativeConcurrentSingleflight(t *testing.T) {
 	ts, svc := newTestServer(t)
 	const clients = 16
-	url := ts.URL + "/representative?dataset=flights&k=50&algo=mdrrr"
+	url := ts.URL + "/v1/representative?dataset=flights&k=50&algo=mdrrr"
 
 	var wg sync.WaitGroup
 	bodies := make([]representativeResponse, clients)
@@ -133,7 +133,7 @@ func TestRankEndpoint(t *testing.T) {
 	var single struct {
 		Rank int `json:"rank"`
 	}
-	if code := getJSON(t, ts.URL+"/rank?dataset=flights&id=0&weights=0.5,0.5", &single); code != http.StatusOK {
+	if code := getJSON(t, ts.URL+"/v1/rank?dataset=flights&id=0&weights=0.5,0.5", &single); code != http.StatusOK {
 		t.Fatalf("status = %d", code)
 	}
 	if single.Rank < 1 || single.Rank > 300 {
@@ -144,7 +144,7 @@ func TestRankEndpoint(t *testing.T) {
 	var set struct {
 		RankRegret int `json:"rank_regret"`
 	}
-	if code := getJSON(t, ts.URL+"/rank?dataset=flights&ids=0,1,2&weights=0.5,0.5", &set); code != http.StatusOK {
+	if code := getJSON(t, ts.URL+"/v1/rank?dataset=flights&ids=0,1,2&weights=0.5,0.5", &set); code != http.StatusOK {
 		t.Fatalf("status = %d", code)
 	}
 	if set.RankRegret > single.Rank {
@@ -157,14 +157,14 @@ func TestRegretEndpoint(t *testing.T) {
 	// The representative's sampled regret must respect the 2k bound of
 	// Theorem 4 (observed ≤ k in practice; assert the guarantee).
 	var rep representativeResponse
-	getJSON(t, ts.URL+"/representative?dataset=flights&k=30", &rep)
+	getJSON(t, ts.URL+"/v1/representative?dataset=flights&k=30", &rep)
 	ids := strings.Trim(strings.Join(strings.Fields(fmt.Sprint(rep.IDs)), ","), "[]")
 	var reg struct {
 		WorstRank int       `json:"worst_rank"`
 		Witness   []float64 `json:"witness"`
 		Samples   int       `json:"samples"`
 	}
-	if code := getJSON(t, ts.URL+"/regret?dataset=flights&ids="+ids+"&samples=500", &reg); code != http.StatusOK {
+	if code := getJSON(t, ts.URL+"/v1/regret?dataset=flights&ids="+ids+"&samples=500", &reg); code != http.StatusOK {
 		t.Fatalf("status = %d", code)
 	}
 	if reg.WorstRank > 60 {
@@ -178,7 +178,7 @@ func TestRegretEndpoint(t *testing.T) {
 func TestRegisterListRemove(t *testing.T) {
 	ts, _ := newTestServer(t)
 	body := `{"name":"uni","kind":"independent","n":100,"dims":3,"seed":7}`
-	resp, err := http.Post(ts.URL+"/datasets", "application/json", strings.NewReader(body))
+	resp, err := http.Post(ts.URL+"/v1/datasets", "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +196,7 @@ func TestRegisterListRemove(t *testing.T) {
 
 	// Inline CSV upload.
 	csvBody := `{"name":"shop","csv":"Price:-,Quality:+\n10,0.5\n20,0.9\n"}`
-	resp, err = http.Post(ts.URL+"/datasets", "application/json", strings.NewReader(csvBody))
+	resp, err = http.Post(ts.URL+"/v1/datasets", "application/json", strings.NewReader(csvBody))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,12 +208,12 @@ func TestRegisterListRemove(t *testing.T) {
 	var list struct {
 		Datasets []datasetInfo `json:"datasets"`
 	}
-	getJSON(t, ts.URL+"/datasets", &list)
+	getJSON(t, ts.URL+"/v1/datasets", &list)
 	if len(list.Datasets) != 3 {
 		t.Fatalf("listed %d datasets, want 3", len(list.Datasets))
 	}
 
-	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/datasets/uni", nil)
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/datasets/uni", nil)
 	resp, err = http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
@@ -222,7 +222,7 @@ func TestRegisterListRemove(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("delete status = %d", resp.StatusCode)
 	}
-	if code := getJSON(t, ts.URL+"/representative?dataset=uni&k=5", nil); code != http.StatusNotFound {
+	if code := getJSON(t, ts.URL+"/v1/representative?dataset=uni&k=5", nil); code != http.StatusNotFound {
 		t.Fatalf("representative of removed dataset: status = %d, want 404", code)
 	}
 }
@@ -235,22 +235,22 @@ func TestErrorPaths(t *testing.T) {
 		url  string
 		want int
 	}{
-		{"unknown dataset", "/representative?dataset=nope&k=10", http.StatusNotFound},
-		{"missing k", "/representative?dataset=flights", http.StatusBadRequest},
-		{"non-integer k", "/representative?dataset=flights&k=ten", http.StatusBadRequest},
-		{"non-positive k", "/representative?dataset=flights&k=0", http.StatusBadRequest},
-		{"unknown algorithm", "/representative?dataset=flights&k=10&algo=quantum", http.StatusBadRequest},
-		{"missing dataset", "/representative?k=10", http.StatusBadRequest},
-		{"malformed weights", "/rank?dataset=flights&id=0&weights=0.5;0.5", http.StatusBadRequest},
-		{"negative weights", "/rank?dataset=flights&id=0&weights=-1,2", http.StatusBadRequest},
-		{"zero weights", "/rank?dataset=flights&id=0&weights=0,0", http.StatusBadRequest},
-		{"wrong arity weights", "/rank?dataset=flights&id=0&weights=0.2,0.3,0.5", http.StatusBadRequest},
-		{"unknown tuple", "/rank?dataset=flights&id=99999&weights=0.5,0.5", http.StatusNotFound},
-		{"missing id and ids", "/rank?dataset=flights&weights=0.5,0.5", http.StatusBadRequest},
-		{"rank on unknown dataset", "/rank?dataset=nope&id=0&weights=0.5,0.5", http.StatusNotFound},
-		{"regret with unknown ids", "/regret?dataset=flights&ids=99999", http.StatusNotFound},
-		{"regret missing ids", "/regret?dataset=flights", http.StatusBadRequest},
-		{"regret samples over limit", "/regret?dataset=flights&ids=0&samples=2000000000", http.StatusBadRequest},
+		{"unknown dataset", "/v1/representative?dataset=nope&k=10", http.StatusNotFound},
+		{"missing k", "/v1/representative?dataset=flights", http.StatusBadRequest},
+		{"non-integer k", "/v1/representative?dataset=flights&k=ten", http.StatusBadRequest},
+		{"non-positive k", "/v1/representative?dataset=flights&k=0", http.StatusBadRequest},
+		{"unknown algorithm", "/v1/representative?dataset=flights&k=10&algo=quantum", http.StatusBadRequest},
+		{"missing dataset", "/v1/representative?k=10", http.StatusBadRequest},
+		{"malformed weights", "/v1/rank?dataset=flights&id=0&weights=0.5;0.5", http.StatusBadRequest},
+		{"negative weights", "/v1/rank?dataset=flights&id=0&weights=-1,2", http.StatusBadRequest},
+		{"zero weights", "/v1/rank?dataset=flights&id=0&weights=0,0", http.StatusBadRequest},
+		{"wrong arity weights", "/v1/rank?dataset=flights&id=0&weights=0.2,0.3,0.5", http.StatusBadRequest},
+		{"unknown tuple", "/v1/rank?dataset=flights&id=99999&weights=0.5,0.5", http.StatusNotFound},
+		{"missing id and ids", "/v1/rank?dataset=flights&weights=0.5,0.5", http.StatusBadRequest},
+		{"rank on unknown dataset", "/v1/rank?dataset=nope&id=0&weights=0.5,0.5", http.StatusNotFound},
+		{"regret with unknown ids", "/v1/regret?dataset=flights&ids=99999", http.StatusNotFound},
+		{"regret missing ids", "/v1/regret?dataset=flights", http.StatusBadRequest},
+		{"regret samples over limit", "/v1/regret?dataset=flights&ids=0&samples=2000000000", http.StatusBadRequest},
 	}
 	for _, tc := range cases {
 		var body errorBody
@@ -276,7 +276,7 @@ func TestErrorPaths(t *testing.T) {
 		{"bad csv", `{"name":"x","csv":"A:+\nnope\n"}`, http.StatusBadRequest},
 	}
 	for _, tc := range posts {
-		resp, err := http.Post(ts.URL+"/datasets", "application/json", strings.NewReader(tc.body))
+		resp, err := http.Post(ts.URL+"/v1/datasets", "application/json", strings.NewReader(tc.body))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -295,7 +295,7 @@ func TestAlgorithmDimensionMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	var body errorBody
-	if code := getJSON(t, ts.URL+"/representative?dataset=cube&k=5&algo=2drrr", &body); code != http.StatusBadRequest {
+	if code := getJSON(t, ts.URL+"/v1/representative?dataset=cube&k=5&algo=2drrr", &body); code != http.StatusBadRequest {
 		t.Fatalf("2drrr on 3-D data: status = %d, want 400 (error: %s)", code, body.Error)
 	}
 	if snap := svc.Metrics().Snapshot(); snap.Failures != 0 || snap.CacheMisses != 0 {
@@ -312,7 +312,7 @@ func TestReregisterServesFreshResults(t *testing.T) {
 		t.Fatal(err)
 	}
 	var first representativeResponse
-	getJSON(t, ts.URL+"/representative?dataset=d&k=8", &first)
+	getJSON(t, ts.URL+"/v1/representative?dataset=d&k=8", &first)
 
 	if !svc.RemoveDataset("d") {
 		t.Fatal("remove failed")
@@ -321,7 +321,7 @@ func TestReregisterServesFreshResults(t *testing.T) {
 		t.Fatal(err)
 	}
 	var second representativeResponse
-	getJSON(t, ts.URL+"/representative?dataset=d&k=8", &second)
+	getJSON(t, ts.URL+"/v1/representative?dataset=d&k=8", &second)
 	if second.Cached {
 		t.Fatal("re-registered dataset served a cached result from the removed one")
 	}
@@ -332,10 +332,10 @@ func TestReregisterServesFreshResults(t *testing.T) {
 
 func TestStatsEndpoint(t *testing.T) {
 	ts, _ := newTestServer(t)
-	getJSON(t, ts.URL+"/representative?dataset=flights&k=10", nil)
-	getJSON(t, ts.URL+"/representative?dataset=flights&k=10", nil)
+	getJSON(t, ts.URL+"/v1/representative?dataset=flights&k=10", nil)
+	getJSON(t, ts.URL+"/v1/representative?dataset=flights&k=10", nil)
 	var snap Snapshot
-	if code := getJSON(t, ts.URL+"/stats", &snap); code != http.StatusOK {
+	if code := getJSON(t, ts.URL+"/v1/stats", &snap); code != http.StatusOK {
 		t.Fatalf("status = %d", code)
 	}
 	if snap.CacheMisses != 1 || snap.CacheHits != 1 {

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"io"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -160,14 +161,14 @@ func TestMetricsEndpoint(t *testing.T) {
 			t.Fatalf("metrics output missing %q:\n%s", want, text)
 		}
 	}
-	// The legacy alias serves the same exposition.
+	// The retired legacy alias answers 410 Gone, not the exposition.
 	resp2, err := srv.Client().Get(srv.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp2.Body.Close()
-	if resp2.StatusCode != 200 {
-		t.Fatalf("legacy /metrics: status %d", resp2.StatusCode)
+	if resp2.StatusCode != http.StatusGone {
+		t.Fatalf("legacy /metrics: status %d, want %d", resp2.StatusCode, http.StatusGone)
 	}
 }
 

@@ -247,13 +247,21 @@ func GenerateTable(kind string, n, dims int, seed int64) (*dataset.Table, error)
 
 // Get returns the entry registered under name.
 func (r *Registry) Get(name string) (*Entry, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	e, ok := r.entries[name]
+	e, ok := r.Lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("service: dataset %q: %w", name, ErrNotFound)
 	}
 	return e, nil
+}
+
+// Lookup returns the entry registered under name without constructing a
+// not-found error — the serving fast path's allocation-free variant of
+// Get.
+func (r *Registry) Lookup(name string) (*Entry, bool) {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	return e, ok
 }
 
 // Remove drops the entry registered under name, reporting whether it

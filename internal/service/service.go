@@ -91,6 +91,23 @@ type Config struct {
 	WatchMaxSubscribers int
 }
 
+// Validate checks the parallelism knobs against the library's shared rule
+// (rrr.ValidateWorkers): zero stays "auto" (unsharded / GOMAXPROCS),
+// negatives are configuration errors. The daemon calls it before New so a
+// bad flag fails startup with the knob named; embedders that construct a
+// Config by hand get the same single source of truth.
+func (c Config) Validate() error {
+	// Batch workers reach the service through SolverOptions, not a Config
+	// field, so only the two knobs the Config owns are checked here.
+	if err := rrr.ValidateWorkers(c.Shards, c.ShardWorkers, 0); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	if c.MaxConcurrentSolves < 0 {
+		return fmt.Errorf("service: max concurrent solves must be positive or 0 (auto: GOMAXPROCS), got %d", c.MaxConcurrentSolves)
+	}
+	return nil
+}
+
 // Service glues registry, cache, metrics and the solver facade together.
 // It is the transport-independent core of the daemon; Server adapts it to
 // HTTP, and tests drive it directly.
@@ -396,31 +413,59 @@ type Representative struct {
 // any single request and is canceled only when every request waiting on
 // it has gone (see Cache.Do).
 func (s *Service) Representative(ctx context.Context, name string, k int, algoName string) (*Representative, error) {
-	entry, err := s.registry.Get(name)
-	if err != nil {
+	out := new(Representative)
+	if err := s.RepresentativeInto(ctx, name, k, algoName, out); err != nil {
 		return nil, err
 	}
+	return out, nil
+}
+
+// RepresentativeInto is Representative writing into a caller-owned struct:
+// a cache hit fills out without allocating, so a steady-state caller
+// recycling one Representative serves warm keys allocation-free. Same
+// semantics otherwise; out must be non-nil.
+func (s *Service) RepresentativeInto(ctx context.Context, name string, k int, algoName string, out *Representative) error {
+	if out == nil {
+		return fmt.Errorf("service: nil representative: %w", ErrBadRequest)
+	}
+	entry, err := s.registry.Get(name)
+	if err != nil {
+		return err
+	}
 	if k <= 0 {
-		return nil, fmt.Errorf("service: k must be positive, got %d: %w", k, ErrBadRequest)
+		return fmt.Errorf("service: k must be positive, got %d: %w", k, ErrBadRequest)
 	}
 	algo, err := resolveAlgo(entry, algoName)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	cached, err := s.solveEntry(ctx, entry, k, algo)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	return &Representative{Dataset: name, K: k, Algorithm: algo, CachedResult: cached}, nil
+	out.Dataset = name
+	out.K = k
+	out.Algorithm = algo
+	out.CachedResult = cached
+	return nil
+}
+
+// key maps a representative query onto the cache's key space.
+func (s *Service) key(entry *Entry, k int, algo rrr.Algorithm) Key {
+	return Key{Dataset: entry.Name, Gen: entry.Gen, K: k, Algo: string(algo), Shards: s.shardKey}
 }
 
 // solveEntry serves (computing on first demand) the representative of the
 // entry's generation at (k, algo) through the singleflight cache — the
 // shared solve path of Representative, watch snapshots, and
 // watch-triggered recomputes. ctx bounds this caller's wait, not the
-// computation (Cache.Do detaches it).
+// computation (Cache.Do detaches it). Completed keys are answered by the
+// cache's fast path before any per-request solver or closure is built.
 func (s *Service) solveEntry(ctx context.Context, entry *Entry, k int, algo rrr.Algorithm) (CachedResult, error) {
-	key := Key{Dataset: entry.Name, Gen: entry.Gen, K: k, Algo: string(algo), Shards: s.shardKey}
+	key := s.key(entry, k, algo)
+	if res, ok := s.cache.Hit(key); ok {
+		return res, nil
+	}
 	solver := s.solver(algo)
 	return s.cache.Do(ctx, key, func(runCtx context.Context) ([]int, ResultStats, error) {
 		res, err := solver.Solve(runCtx, entry.Data, k)

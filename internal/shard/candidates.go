@@ -171,28 +171,31 @@ func extract(ctx context.Context, sd *core.Dataset, k, shardIdx int, ex Extracto
 	if sd.N() <= k {
 		return allIDs(sd), 0, nil
 	}
+	sc := getMapScratch()
+	defer putMapScratch(sc)
 	switch ex {
 	case TopKRanges:
-		ranges, err := sweep.FindRanges(ctx, sd, k)
+		ranges, err := sweep.FindRangesScratch(ctx, sd, k, &sc.sweep)
 		if err != nil {
 			return nil, 0, err
 		}
 		ids := make([]int, 0, len(ranges))
-		for id := range ranges {
-			ids = append(ids, id)
+		for _, r := range ranges {
+			ids = append(ids, r.ID)
 		}
 		return ids, 0, nil
 	case KSetSample:
 		sampler := opt.Sampler
 		sampler.Seed = reseed(sampler.Seed, shardIdx)
 		sampler.OnProgress = nil // per-shard progress would interleave across workers
+		sampler.Scratch = &sc.sampler
 		col, sstats, err := kset.Sample(ctx, sd, k, sampler)
 		if err != nil {
 			return nil, sstats.Draws, err
 		}
 		return col.Universe(), sstats.Draws, nil
 	case Dominance:
-		ids, err := dominanceCandidates(ctx, sd, k)
+		ids, err := dominanceCandidates(ctx, sd, k, sc)
 		return ids, 0, err
 	}
 	return nil, 0, fmt.Errorf("shard: unknown extractor %d", ex)
@@ -215,25 +218,24 @@ func extract(ctx context.Context, sd *core.Dataset, k, shardIdx int, ex Extracto
 // within a few positions, making the filter near-linear in practice; the
 // worst case (anticorrelated data where nothing dominates anything) stays
 // O(n_s²·d) per shard — in parallel across shards.
-func dominanceCandidates(ctx context.Context, sd *core.Dataset, k int) ([]int, error) {
+func dominanceCandidates(ctx context.Context, sd *core.Dataset, k int, sc *mapScratch) ([]int, error) {
 	ts := sd.Tuples()
 	n := len(ts)
-	sums := make([]float64, n)
+	sc.sums = growFloats(sc.sums, n)
+	sums := sc.sums
 	for i, t := range ts {
 		for _, v := range t.Attrs {
 			sums[i] += v
 		}
 	}
-	order := make([]int, n)
+	sc.order = growInts(sc.order, n)
+	order := sc.order
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool {
-		if sums[order[a]] != sums[order[b]] {
-			return sums[order[a]] > sums[order[b]]
-		}
-		return ts[order[a]].ID < ts[order[b]].ID
-	})
+	sc.sorter = dominanceSorter{sums: sums, order: order, ts: ts}
+	sort.Sort(&sc.sorter)
+	sc.sorter.ts = nil // don't retain the dataset past this call
 	ids := make([]int, 0, n)
 	for pos, i := range order {
 		if pos%cancelCheckInterval == 0 {

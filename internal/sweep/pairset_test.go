@@ -1,0 +1,84 @@
+package sweep
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPairSetAgainstMap drives the open-addressing set through long
+// insert/remove cycles — the sweep's workload — and checks every answer
+// against a reference map. Backward-shift deletion bugs (breaking a probe
+// chain so a key becomes unreachable) show up as divergent insert results.
+func TestPairSetAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var s pairSet
+	s.reset()
+	ref := map[int64]bool{}
+	var live []int64
+	for op := 0; op < 200000; op++ {
+		if rng.Intn(2) == 0 || len(live) == 0 {
+			// Small key space forces collisions and long probe chains.
+			k := int64(rng.Intn(300))
+			fresh := s.insert(k)
+			if fresh == ref[k] {
+				t.Fatalf("op %d: insert(%d) fresh=%v, reference says present=%v", op, k, fresh, ref[k])
+			}
+			if fresh {
+				ref[k] = true
+				live = append(live, k)
+			}
+		} else {
+			i := rng.Intn(len(live))
+			k := live[i]
+			s.remove(k)
+			delete(ref, k)
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if s.n != len(ref) {
+			t.Fatalf("op %d: size %d, reference %d", op, s.n, len(ref))
+		}
+	}
+	// Every surviving key must still be findable (insert reports present).
+	for k := range ref {
+		if s.insert(k) {
+			t.Fatalf("key %d lost from the set", k)
+		}
+	}
+	// remove of an absent key is a no-op.
+	before := s.n
+	s.remove(1 << 40)
+	if s.n != before {
+		t.Fatal("removing an absent key changed the size")
+	}
+}
+
+// TestPairSetResetKeepsStorage: reset wipes contents without shrinking,
+// and a warm set re-runs the same population without allocating.
+func TestPairSetResetKeepsStorage(t *testing.T) {
+	var s pairSet
+	s.reset()
+	for i := int64(0); i < 1000; i++ {
+		s.insert(i)
+	}
+	grown := len(s.slots)
+	s.reset()
+	if len(s.slots) != grown {
+		t.Fatalf("reset shrank the table: %d -> %d", grown, len(s.slots))
+	}
+	if s.n != 0 {
+		t.Fatalf("reset left %d keys", s.n)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		s.reset()
+		for i := int64(0); i < 1000; i++ {
+			s.insert(i)
+			if i%3 == 0 {
+				s.remove(i / 2)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm pairSet allocates %.1f times per run, want 0", allocs)
+	}
+}

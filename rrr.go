@@ -1,7 +1,6 @@
 package rrr
 
 import (
-	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -34,8 +33,8 @@ func NewLinearFunc(w ...float64) LinearFunc { return core.NewLinearFunc(w...) }
 
 // Algorithm names an RRR algorithm. The zero value is not a valid
 // algorithm — ParseAlgorithm returns it alongside an error — but it
-// resolves like AlgoAuto wherever it reaches a solve, so zero-valued
-// legacy Options keep their meaning.
+// resolves like AlgoAuto wherever it reaches a solve, so an unset
+// WithAlgorithm keeps its meaning.
 type Algorithm string
 
 const (
@@ -94,55 +93,11 @@ func ParseAlgorithm(name string) (Algorithm, error) {
 	return "", fmt.Errorf("rrr: unknown algorithm %q (want auto, 2drrr, mdrrr or mdrc)", name)
 }
 
-// Options tunes Representative. The zero value reproduces the paper's
-// defaults.
-//
-// Deprecated: configure a Solver with functional options instead —
-// rrr.New(rrr.WithAlgorithm(...), rrr.WithSeed(...)) — which adds
-// context cancellation, hard budgets and progress reporting. Options
-// remains as the configuration of the legacy wrappers; SolverOptions
-// converts it.
-type Options struct {
-	// Algorithm selects the solver; AlgoAuto dispatches on dimension.
-	Algorithm Algorithm
-
-	// OptimalCover makes 2DRRR use the provably minimal interval cover
-	// instead of the paper's max-gain greedy (which can exceed the
-	// optimum by a seat or two in rare configurations — see package docs).
-	OptimalCover bool
-
-	// SamplerTermination is K-SETr's consecutive-miss stop rule for
-	// MDRRR (default 100, the paper's setting).
-	SamplerTermination int
-	// SamplerMaxDraws caps K-SETr's total draws (default 2,000,000).
-	// This is a soft cap: reaching it truncates the collection rather
-	// than failing the solve (contrast WithDrawBudget).
-	SamplerMaxDraws int
-	// Seed drives MDRRR's randomized k-set sampling.
-	Seed int64
-	// EpsilonNetHitting switches MDRRR from greedy to the
-	// Brönnimann–Goodrich ε-net hitting set the paper cites.
-	EpsilonNetHitting bool
-
-	// PickMinMaxRank switches MDRC from the paper's first-common-item
-	// rule to picking the common tuple with the best worst-corner rank.
-	PickMinMaxRank bool
-}
-
-// SolverOptions converts the legacy Options struct to the functional
-// options accepted by New, preserving its semantics (in particular,
-// SamplerMaxDraws stays a soft truncation cap, not a hard budget).
-func (o Options) SolverOptions() []Option {
-	return []Option{
-		WithAlgorithm(o.Algorithm),
-		WithSeed(o.Seed),
-		WithOptimalCover(o.OptimalCover),
-		WithEpsilonNetHitting(o.EpsilonNetHitting),
-		WithPickMinMaxRank(o.PickMinMaxRank),
-		WithSamplerTermination(o.SamplerTermination),
-		func(c *config) { c.softMaxDraws = o.SamplerMaxDraws },
-	}
-}
+// WithSamplerMaxDraws caps K-SETr's total draws (default 2,000,000) as a
+// soft cap: reaching it truncates the k-set collection rather than failing
+// the solve (contrast WithDrawBudget, the hard budget). Zero or negative
+// restores the default.
+func WithSamplerMaxDraws(n int) Option { return func(c *config) { c.softMaxDraws = n } }
 
 // Result is the output of a solve: the chosen tuple IDs (ascending), the
 // algorithm that produced them, and its work counters.
@@ -174,31 +129,6 @@ type Result struct {
 	// revalPool is the containment pool recorded under
 	// WithDeltaMaintenance, consumed (and advanced) by Solver.Revalidate.
 	revalPool *delta.Pool
-}
-
-// Representative computes a rank-regret representative: a small subset of d
-// containing at least one top-k tuple of every linear ranking function
-// (Definition 3 of the paper).
-//
-// Deprecated: use New(opts...).Solve(ctx, d, k), which supports
-// cancellation, deadlines, hard budgets and progress reporting. This
-// wrapper runs with context.Background() and is kept so existing callers
-// compile unchanged.
-func Representative(d *Dataset, k int, opt Options) (*Result, error) {
-	return New(opt.SolverOptions()...).Solve(context.Background(), d, k)
-}
-
-// MinimalKForSize solves the paper's dual formulation (Section 2): given a
-// budget on the output size, find the smallest k for which a representative
-// of at most that size exists. It returns the achieved k and the
-// representative.
-//
-// Deprecated: use New(opts...).MinimalKForSize(ctx, d, size), which checks
-// the context between binary-search probes and reports the best result
-// found so far on interruption. This wrapper runs with
-// context.Background() and is kept so existing callers compile unchanged.
-func MinimalKForSize(d *Dataset, size int, opt Options) (int, *Result, error) {
-	return New(opt.SolverOptions()...).MinimalKForSize(context.Background(), d, size)
 }
 
 // TopK returns the IDs of the k best tuples under f, best first.

@@ -2,6 +2,7 @@ package rrr_test
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"testing"
 
@@ -16,7 +17,7 @@ func paperDataset(t *testing.T) *rrr.Dataset {
 
 func TestRepresentativeAutoDispatch2D(t *testing.T) {
 	d := paperDataset(t)
-	res, err := rrr.Representative(d, 2, rrr.Options{})
+	res, err := rrr.New().Solve(context.Background(), d, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +35,7 @@ func TestRepresentativeAutoDispatchMD(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := rrr.Representative(d, 10, rrr.Options{})
+	res, err := rrr.New().Solve(context.Background(), d, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestRepresentativeAutoDispatchMD(t *testing.T) {
 func TestRepresentativeExplicitAlgorithms(t *testing.T) {
 	d := paperDataset(t)
 	for _, a := range []rrr.Algorithm{rrr.Algo2DRRR, rrr.AlgoMDRRR, rrr.AlgoMDRC} {
-		res, err := rrr.Representative(d, 2, rrr.Options{Algorithm: a, Seed: 1})
+		res, err := rrr.New(rrr.WithAlgorithm(a), rrr.WithSeed(1)).Solve(context.Background(), d, 2)
 		if err != nil {
 			t.Fatalf("%s: %v", a, err)
 		}
@@ -71,26 +72,26 @@ func TestRepresentativeExplicitAlgorithms(t *testing.T) {
 			t.Fatalf("%s: rank-regret %d", a, got)
 		}
 	}
-	if res, err := rrr.Representative(d, 2, rrr.Options{Algorithm: rrr.AlgoMDRRR, EpsilonNetHitting: true}); err != nil || len(res.IDs) == 0 {
+	if res, err := rrr.New(rrr.WithAlgorithm(rrr.AlgoMDRRR), rrr.WithEpsilonNetHitting(true)).Solve(context.Background(), d, 2); err != nil || len(res.IDs) == 0 {
 		t.Fatalf("epsilon-net variant: %v %v", res, err)
 	}
-	if res, err := rrr.Representative(d, 2, rrr.Options{OptimalCover: true}); err != nil || len(res.IDs) != 2 {
+	if res, err := rrr.New(rrr.WithOptimalCover(true)).Solve(context.Background(), d, 2); err != nil || len(res.IDs) != 2 {
 		t.Fatalf("optimal cover variant: %v %v", res, err)
 	}
-	if res, err := rrr.Representative(d, 2, rrr.Options{Algorithm: rrr.AlgoMDRC, PickMinMaxRank: true}); err != nil || len(res.IDs) == 0 {
+	if res, err := rrr.New(rrr.WithAlgorithm(rrr.AlgoMDRC), rrr.WithPickMinMaxRank(true)).Solve(context.Background(), d, 2); err != nil || len(res.IDs) == 0 {
 		t.Fatalf("min-max-rank variant: %v %v", res, err)
 	}
 }
 
 func TestRepresentativeErrors(t *testing.T) {
-	if _, err := rrr.Representative(nil, 2, rrr.Options{}); err == nil {
+	if _, err := rrr.New().Solve(context.Background(), nil, 2); err == nil {
 		t.Error("nil dataset must error")
 	}
 	d := paperDataset(t)
-	if _, err := rrr.Representative(d, 0, rrr.Options{}); err == nil {
+	if _, err := rrr.New().Solve(context.Background(), d, 0); err == nil {
 		t.Error("k=0 must error")
 	}
-	if _, err := rrr.Representative(d, 2, rrr.Options{Algorithm: "bogus"}); err == nil {
+	if _, err := rrr.New(rrr.WithAlgorithm("bogus")).Solve(context.Background(), d, 2); err == nil {
 		t.Error("unknown algorithm must error")
 	}
 }
@@ -98,7 +99,7 @@ func TestRepresentativeErrors(t *testing.T) {
 func TestMinimalKForSizeDualProblem(t *testing.T) {
 	d := paperDataset(t)
 	// Size budget 1: the smallest k admitting a singleton representative.
-	k, res, err := rrr.MinimalKForSize(d, 1, rrr.Options{})
+	k, res, err := rrr.New().MinimalKForSize(context.Background(), d, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,17 +114,17 @@ func TestMinimalKForSizeDualProblem(t *testing.T) {
 		t.Fatalf("returned k=%d not honored: exact rank-regret %d", k, got)
 	}
 	// Monotonicity: a larger budget can only lower the achievable k.
-	k2, _, err := rrr.MinimalKForSize(d, 3, rrr.Options{})
+	k2, _, err := rrr.New().MinimalKForSize(context.Background(), d, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if k2 > k {
 		t.Fatalf("k for size 3 (%d) exceeds k for size 1 (%d)", k2, k)
 	}
-	if _, _, err := rrr.MinimalKForSize(d, 0, rrr.Options{}); err == nil {
+	if _, _, err := rrr.New().MinimalKForSize(context.Background(), d, 0); err == nil {
 		t.Error("size 0 must error")
 	}
-	if _, _, err := rrr.MinimalKForSize(nil, 1, rrr.Options{}); err == nil {
+	if _, _, err := rrr.New().MinimalKForSize(context.Background(), nil, 1); err == nil {
 		t.Error("nil dataset must error")
 	}
 }
@@ -175,7 +176,7 @@ func TestTableRoundTripThroughPublicAPI(t *testing.T) {
 	if d.N() != 20 || d.Dims() != 3 {
 		t.Fatalf("normalized shape %dx%d", d.N(), d.Dims())
 	}
-	if _, err := rrr.Representative(d, 3, rrr.Options{}); err != nil {
+	if _, err := rrr.New().Solve(context.Background(), d, 3); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -203,7 +204,7 @@ func TestFromTuplesExposed(t *testing.T) {
 	if err != nil || d.N() != 2 {
 		t.Fatal(err)
 	}
-	res, err := rrr.Representative(d, 1, rrr.Options{})
+	res, err := rrr.New().Solve(context.Background(), d, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -173,16 +173,27 @@ func (p *shardPool) applyPartial(err error) error {
 }
 
 // runAlgorithm dispatches the resolved algorithm on a dataset — the reduce
-// phase of a sharded solve, the whole solve of an unsharded one. Solve and
-// the sharded driver share it so the two paths cannot drift.
-func (s *Solver) runAlgorithm(ctx context.Context, d *Dataset, k int, algorithm Algorithm, onProgress func(algo.Stats)) (*algo.Result, error) {
+// phase of a sharded solve, the whole solve of an unsharded one. Solve,
+// SolveInto and the sharded driver share it so the paths cannot drift. The
+// arena carries the per-solve scratch; the returned IDs may alias it.
+func (s *Solver) runAlgorithm(ctx context.Context, d *Dataset, k int, algorithm Algorithm, onProgress func(algo.Stats), arena *solveArena) ([]int, algo.Stats, error) {
 	switch algorithm {
 	case Algo2DRRR:
-		return algo.TwoDRRR(ctx, d, k, s.twoDOptions(onProgress))
+		return algo.TwoDRRRScratch(ctx, d, k, s.twoDOptions(onProgress), &arena.twod)
 	case AlgoMDRRR:
-		return algo.MDRRR(ctx, d, k, s.mdrrrOptions(onProgress))
+		opt := s.mdrrrOptions(onProgress)
+		opt.Sampler.Scratch = &arena.sampler
+		r, err := algo.MDRRR(ctx, d, k, opt)
+		if err != nil {
+			return nil, algo.Stats{}, err
+		}
+		return r.IDs, r.Stats, nil
 	case AlgoMDRC:
-		return algo.MDRC(ctx, d, k, s.mdrcOptions(onProgress))
+		r, err := algo.MDRC(ctx, d, k, s.mdrcOptions(onProgress))
+		if err != nil {
+			return nil, algo.Stats{}, err
+		}
+		return r.IDs, r.Stats, nil
 	}
-	return nil, fmt.Errorf("rrr: unknown algorithm %q", algorithm)
+	return nil, algo.Stats{}, fmt.Errorf("rrr: unknown algorithm %q", algorithm)
 }

@@ -116,11 +116,15 @@ func WithBatchWorkers(n int) Option { return func(c *config) { c.batchWorkers = 
 //	}))
 func WithProgress(fn func(Progress)) Option { return func(c *config) { c.progress = fn } }
 
-// Solver computes rank-regret representatives. It is immutable after New
-// and safe for concurrent use by multiple goroutines; per-call inputs
-// (dataset, k, context) arrive through the methods.
+// Solver computes rank-regret representatives. Its configuration is
+// immutable after New and it is safe for concurrent use by multiple
+// goroutines; per-call inputs (dataset, k, context) arrive through the
+// methods. The Solver owns a pool of solve-scratch arenas (see SolveInto):
+// every solve — including each of a batch's concurrent workers — checks
+// out its own arena, so reuse never races.
 type Solver struct {
-	cfg config
+	cfg    config
+	arenas arenaPool
 }
 
 // New builds a Solver from functional options. The zero configuration
@@ -146,31 +150,57 @@ func New(opts ...Option) *Solver {
 // solves return a *Error wrapping ErrCanceled (or ErrBudgetExhausted for
 // hard budgets) whose Partial field reports the work done.
 func (s *Solver) Solve(ctx context.Context, d *Dataset, k int) (*Result, error) {
+	res := new(Result)
+	if err := s.SolveInto(ctx, d, k, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// SolveInto is Solve writing into a caller-owned Result: res's slices are
+// reused (truncated and refilled) instead of reallocated, and the solve
+// itself runs on one of the Solver's pooled scratch arenas — so a
+// steady-state caller that recycles one Result across calls allocates
+// nothing on the 2-D path, and near-nothing on the others.
+//
+// Ownership and aliasing rules (see DESIGN.md §11): res must not be read
+// while SolveInto runs; on error res's contents are unspecified; the IDs
+// slice stored in res is owned by res (not by the arena), so it remains
+// valid across subsequent solves — reusing res overwrites it. res must be
+// non-nil. With WithDeltaMaintenance enabled the revalidation pool is
+// rebuilt per solve and allocates; leave it off for allocation-free
+// serving.
+func (s *Solver) SolveInto(ctx context.Context, d *Dataset, k int, res *Result) error {
+	if res == nil {
+		return errors.New("rrr: nil result")
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if d == nil {
-		return nil, errors.New("rrr: nil dataset")
+		return errors.New("rrr: nil dataset")
 	}
 	if k <= 0 {
-		return nil, fmt.Errorf("rrr: k must be positive, got %d", k)
+		return fmt.Errorf("rrr: k must be positive, got %d", k)
 	}
 	algorithm := s.cfg.algorithm.Resolve(d.Dims())
 	start := time.Now()
 	if err := ctx.Err(); err != nil {
-		return nil, &Error{Kind: ErrCanceled, Op: "solve", Algorithm: algorithm, Cause: err,
+		return &Error{Kind: ErrCanceled, Op: "solve", Algorithm: algorithm, Cause: err,
 			Partial: PartialStats{Elapsed: time.Since(start)}}
 	}
 	if err := validateDims(algorithm, d.Dims()); err != nil {
-		return nil, err
+		return err
 	}
 	if k > d.N() {
-		return nil, infeasibleK(algorithm, k, d.N())
+		return infeasibleK(algorithm, k, d.N())
 	}
 	if err := validateAlgorithm(algorithm); err != nil {
-		return nil, err
+		return err
 	}
 
+	arena := s.arenas.get()
+	defer s.arenas.put(arena)
 	runData := d
 	var pool *shardPool
 	if s.cfg.shards > 1 {
@@ -180,13 +210,12 @@ func (s *Solver) Solve(ctx context.Context, d *Dataset, k int) (*Result, error) 
 		)
 		pool, mstats, err = s.buildPool(ctx, d, k, algorithm, start)
 		if err != nil {
-			return nil, s.wrapShardError(algorithm, start, mstats, err)
+			return s.wrapShardError(algorithm, start, mstats, err)
 		}
 		runData = pool.data
 	}
-	res, err := s.solveOn(ctx, runData, k, algorithm, start, pool)
-	if err != nil {
-		return nil, err
+	if err := s.solveOnInto(ctx, runData, k, algorithm, start, pool, arena, res); err != nil {
+		return err
 	}
 	if s.cfg.deltaMaintenance {
 		// Record the revalidation pool for Revalidate. Unlike the shard
@@ -195,32 +224,36 @@ func (s *Solver) Solve(ctx context.Context, d *Dataset, k int) (*Result, error) 
 		// mutation regardless of how this solve was executed.
 		rp, err := delta.BuildPool(ctx, d, k)
 		if err != nil {
-			return nil, s.wrapShardError(algorithm, start, shard.Stats{}, err)
+			return s.wrapShardError(algorithm, start, shard.Stats{}, err)
 		}
 		res.revalPool = rp
 	}
-	return res, nil
+	return nil
 }
 
-// solveOn runs the resolved algorithm on runData — the reduce phase of a
-// sharded solve (pool non-nil), the whole solve otherwise — and assembles
-// the public result. Solve and the dual search's probes share it.
-func (s *Solver) solveOn(ctx context.Context, runData *Dataset, k int, algorithm Algorithm, start time.Time, pool *shardPool) (*Result, error) {
-	res, err := s.runAlgorithm(ctx, runData, k, algorithm, s.progressHook(algorithm, start))
+// solveOnInto runs the resolved algorithm on runData — the reduce phase of
+// a sharded solve (pool non-nil), the whole solve otherwise — and
+// assembles the public result into res, resetting every field so a reused
+// Result never leaks a previous solve's counters. Solve, SolveInto and the
+// dual search's probes share it.
+func (s *Solver) solveOnInto(ctx context.Context, runData *Dataset, k int, algorithm Algorithm, start time.Time, pool *shardPool, arena *solveArena, res *Result) error {
+	ids, stats, err := s.runAlgorithm(ctx, runData, k, algorithm, s.progressHook(algorithm, start), arena)
 	if err != nil {
-		return nil, pool.applyPartial(s.wrapSolveError(algorithm, start, err))
+		return pool.applyPartial(s.wrapSolveError(algorithm, start, err))
 	}
-	out := &Result{
-		IDs:       res.IDs,
-		Algorithm: algorithm,
-		K:         k,
-		KSets:     res.Stats.KSets,
-		Nodes:     res.Stats.Nodes,
-		Draws:     res.Stats.SamplerDraws,
-		Elapsed:   time.Since(start),
-	}
-	pool.applyTo(out)
-	return out, nil
+	// ids may alias the arena; copy into the caller-owned slice before the
+	// arena returns to the pool.
+	res.IDs = append(res.IDs[:0], ids...)
+	res.Algorithm = algorithm
+	res.K = k
+	res.KSets = stats.KSets
+	res.Nodes = stats.Nodes
+	res.Draws = stats.SamplerDraws
+	res.Shards, res.Candidates, res.PruneRatio = 0, 0, 0
+	res.revalPool = nil
+	res.Elapsed = time.Since(start)
+	pool.applyTo(res)
+	return nil
 }
 
 // twoDOptions assembles the 2DRRR configuration from the solver options.
@@ -307,6 +340,10 @@ func (s *Solver) MinimalKForSize(ctx context.Context, d *Dataset, size int) (int
 	// enough (see shardPool.covers) that the reduce would lose its pruning.
 	// A halving search rebuilds every other probe instead of every probe.
 	var pool *shardPool
+	// One arena serves the whole search; each probe gets a fresh Result
+	// because the best one is retained across probes and returned.
+	arena := s.arenas.get()
+	defer s.arenas.put(arena)
 	probe := func(mid int) (*Result, error) {
 		pstart := time.Now()
 		if err := validateDims(algorithm, d.Dims()); err != nil {
@@ -323,7 +360,11 @@ func (s *Solver) MinimalKForSize(ctx context.Context, d *Dataset, size int) (int
 			}
 			runData = pool.data
 		}
-		return s.solveOn(ctx, runData, mid, algorithm, pstart, pool)
+		res := new(Result)
+		if err := s.solveOnInto(ctx, runData, mid, algorithm, pstart, pool, arena, res); err != nil {
+			return nil, err
+		}
+		return res, nil
 	}
 	for lo <= hi {
 		// Check between probes: a canceled search must not launch another

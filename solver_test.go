@@ -9,10 +9,12 @@ import (
 	"rrr"
 )
 
-// TestSolverMatchesLegacyRepresentative: the deprecated wrapper and the
-// Solver must produce identical outputs for every algorithm — the wrapper
-// is a thin shim, not a second implementation.
-func TestSolverMatchesLegacyRepresentative(t *testing.T) {
+// TestSolveMatchesSolveInto: Solve and the reuse API must produce
+// identical outputs for every algorithm — SolveInto is the single
+// implementation and Solve a thin wrapper. One Result is recycled across
+// every case and solved into twice, so a leak of any field between solves
+// (stale IDs, counters from another algorithm) fails the comparison.
+func TestSolveMatchesSolveInto(t *testing.T) {
 	d2, err := rrr.Independent(300, 2, 7).Normalize()
 	if err != nil {
 		t.Fatal(err)
@@ -25,54 +27,85 @@ func TestSolverMatchesLegacyRepresentative(t *testing.T) {
 		name string
 		d    *rrr.Dataset
 		k    int
-		opt  rrr.Options
+		opts []rrr.Option
 	}{
-		{"2drrr", d2, 10, rrr.Options{Algorithm: rrr.Algo2DRRR}},
-		{"2drrr-optimal", d2, 10, rrr.Options{Algorithm: rrr.Algo2DRRR, OptimalCover: true}},
-		{"mdrrr", d3, 10, rrr.Options{Algorithm: rrr.AlgoMDRRR, Seed: 3}},
-		{"mdrc", d3, 10, rrr.Options{Algorithm: rrr.AlgoMDRC}},
-		{"auto-2d", d2, 5, rrr.Options{}},
-		{"auto-3d", d3, 5, rrr.Options{}},
+		{"2drrr", d2, 10, []rrr.Option{rrr.WithAlgorithm(rrr.Algo2DRRR)}},
+		{"2drrr-optimal", d2, 10, []rrr.Option{rrr.WithAlgorithm(rrr.Algo2DRRR), rrr.WithOptimalCover(true)}},
+		{"mdrrr", d3, 10, []rrr.Option{rrr.WithAlgorithm(rrr.AlgoMDRRR), rrr.WithSeed(3)}},
+		{"mdrc", d3, 10, []rrr.Option{rrr.WithAlgorithm(rrr.AlgoMDRC)}},
+		{"auto-2d", d2, 5, nil},
+		{"auto-3d", d3, 5, nil},
+		{"sharded-2d", d2, 10, []rrr.Option{rrr.WithShards(4)}},
 	}
+	var reused rrr.Result
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			legacy, err := rrr.Representative(tc.d, tc.k, tc.opt)
+			solver := rrr.New(tc.opts...)
+			want, err := solver.Solve(context.Background(), tc.d, tc.k)
 			if err != nil {
 				t.Fatal(err)
 			}
-			modern, err := rrr.New(tc.opt.SolverOptions()...).Solve(context.Background(), tc.d, tc.k)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if fmt.Sprint(legacy.IDs) != fmt.Sprint(modern.IDs) {
-				t.Fatalf("legacy IDs %v != solver IDs %v", legacy.IDs, modern.IDs)
-			}
-			if legacy.Algorithm != modern.Algorithm {
-				t.Fatalf("legacy algorithm %q != solver algorithm %q", legacy.Algorithm, modern.Algorithm)
-			}
-			if modern.Elapsed <= 0 {
-				t.Fatal("solver result missing elapsed time")
+			for round := 0; round < 2; round++ {
+				if err := solver.SolveInto(context.Background(), tc.d, tc.k, &reused); err != nil {
+					t.Fatal(err)
+				}
+				if fmt.Sprint(want.IDs) != fmt.Sprint(reused.IDs) {
+					t.Fatalf("round %d: Solve IDs %v != SolveInto IDs %v", round, want.IDs, reused.IDs)
+				}
+				if want.Algorithm != reused.Algorithm || want.K != reused.K {
+					t.Fatalf("round %d: header mismatch: Solve (%s, %d) != SolveInto (%s, %d)",
+						round, want.Algorithm, want.K, reused.Algorithm, reused.K)
+				}
+				if want.Shards != reused.Shards || want.Candidates != reused.Candidates {
+					t.Fatalf("round %d: shard counters leak: %+v vs %+v", round, want, reused)
+				}
+				if reused.Elapsed <= 0 {
+					t.Fatal("SolveInto result missing elapsed time")
+				}
 			}
 		})
 	}
 }
 
-// TestSolverMinimalKMatchesLegacy: same for the dual problem.
-func TestSolverMinimalKMatchesLegacy(t *testing.T) {
+// TestSolveIntoValidation: the reuse API fails fast on a nil receiver and
+// inherits every Solve validation.
+func TestSolveIntoValidation(t *testing.T) {
+	d, err := rrr.Independent(20, 2, 1).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rrr.New()
+	if err := s.SolveInto(context.Background(), d, 5, nil); err == nil {
+		t.Fatal("nil result accepted")
+	}
+	var res rrr.Result
+	if err := s.SolveInto(context.Background(), nil, 5, &res); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+	if err := s.SolveInto(context.Background(), d, 0, &res); err == nil {
+		t.Fatal("k = 0 accepted")
+	}
+}
+
+// TestMinimalKDeterministicAcrossCalls: repeated dual searches on one
+// Solver agree — the arena recycled between a search's probes (and between
+// searches) carries no state into the next solve.
+func TestMinimalKDeterministicAcrossCalls(t *testing.T) {
 	d, err := rrr.Independent(200, 2, 5).Normalize()
 	if err != nil {
 		t.Fatal(err)
 	}
-	k1, res1, err := rrr.MinimalKForSize(d, 3, rrr.Options{})
+	solver := rrr.New()
+	k1, res1, err := solver.MinimalKForSize(context.Background(), d, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	k2, res2, err := rrr.New().MinimalKForSize(context.Background(), d, 3)
+	k2, res2, err := solver.MinimalKForSize(context.Background(), d, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if k1 != k2 || fmt.Sprint(res1.IDs) != fmt.Sprint(res2.IDs) {
-		t.Fatalf("legacy (%d, %v) != solver (%d, %v)", k1, res1.IDs, k2, res2.IDs)
+		t.Fatalf("first search (%d, %v) != second (%d, %v)", k1, res1.IDs, k2, res2.IDs)
 	}
 }
 

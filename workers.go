@@ -1,0 +1,30 @@
+package rrr
+
+import "fmt"
+
+// ValidateWorkers is the single validation rule for the three parallelism
+// knobs, shared by every layer that exposes them — the WithShards /
+// WithShardWorkers / WithBatchWorkers options, the rrr and rrrd CLI flags,
+// and the daemon's service configuration — so they all accept and reject
+// exactly the same values:
+//
+//   - shards: 0 and 1 both mean unsharded, ≥ 2 routes solves through the
+//     map-reduce engine; negative counts are rejected.
+//   - shard-workers: 0 means auto (GOMAXPROCS), positive is an explicit
+//     map-phase pool size; negative counts are rejected.
+//   - batch-workers: 0 means auto (GOMAXPROCS), positive is an explicit
+//     SolveBatch fan-out pool size; negative counts are rejected.
+//
+// The knob names in the error messages match the CLI flag spellings so an
+// operator can map a daemon startup failure straight to the flag to fix.
+func ValidateWorkers(shards, shardWorkers, batchWorkers int) error {
+	switch {
+	case shards < 0:
+		return fmt.Errorf("rrr: shards must be at least 1 (1 = unsharded), got %d", shards)
+	case shardWorkers < 0:
+		return fmt.Errorf("rrr: shard-workers must be positive or 0 (auto: GOMAXPROCS), got %d", shardWorkers)
+	case batchWorkers < 0:
+		return fmt.Errorf("rrr: batch-workers must be positive or 0 (auto: GOMAXPROCS), got %d", batchWorkers)
+	}
+	return nil
+}
