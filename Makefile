@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt fmt-check race fuzz-smoke bench bench-json bench-gate ci clean
+.PHONY: all build test vet fmt fmt-check race fuzz-smoke bench bench-json bench-gate slo-gate ci clean
 
 all: build
 
@@ -13,7 +13,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/service/ ./internal/eval/ ./internal/shard/ ./internal/delta/ ./internal/wal/ ./internal/watch/
+	$(GO) test -race ./internal/service/ ./internal/eval/ ./internal/shard/ ./internal/delta/ ./internal/wal/ ./internal/watch/ ./internal/trace/
 
 # Fuzz smoke: a short budgeted run of each native fuzz target, catching
 # decoder panics and non-canonical encodings before they reach a corpus.
@@ -46,6 +46,15 @@ bench-json:
 BASELINE ?= bench-baseline/bench.txt
 bench-gate:
 	$(GO) run ./cmd/benchgate -baseline $(BASELINE) -current bench.txt -threshold 25 -alpha 0.05
+
+# Latency-SLO gate: drive a smoke-scale in-process rrrd through cold and
+# warm request mixes and fail on a p99 over budget or a p99 regression vs
+# the latest main-branch baseline (factor + noise-floor gated, so CI
+# jitter can't flake it). Writes slo.json; CI restores the baseline into
+# slo-baseline/ the way bench-gate restores bench-baseline/.
+SLO_BASELINE ?= slo-baseline/slo.json
+slo-gate:
+	$(GO) run ./cmd/slogate -baseline $(SLO_BASELINE) -result slo.json
 
 vet:
 	$(GO) vet ./...

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"runtime"
@@ -53,11 +54,10 @@ func main() {
 		var solveErr *rrr.Error
 		if errors.As(err, &solveErr) {
 			p := solveErr.Partial
-			fmt.Fprintf(os.Stderr, "rrr: partial work: nodes=%d ksets=%d draws=%d elapsed=%v\n",
-				p.Nodes, p.KSets, p.Draws, p.Elapsed.Round(time.Millisecond))
+			slog.Warn("partial work before stop", "nodes", p.Nodes, "ksets", p.KSets,
+				"draws", p.Draws, "elapsed", p.Elapsed.Round(time.Millisecond))
 			if p.Best != nil {
-				fmt.Fprintf(os.Stderr, "rrr: best dual result before stop: k=%d size=%d\n",
-					p.BestK, len(p.Best.IDs))
+				slog.Warn("best dual result before stop", "k", p.BestK, "size", len(p.Best.IDs))
 			}
 		}
 		os.Exit(1)
@@ -80,8 +80,14 @@ func run() error {
 		progress = flag.Bool("progress", false, "report solver progress to stderr while running")
 		shards   = flag.Int("shards", 1, "map-reduce shard count (1 = unsharded; results identical on the deterministic paths)")
 		shardW   = flag.Int("shard-workers", runtime.GOMAXPROCS(0), "worker pool for the shard map phase (defaults to GOMAXPROCS)")
+		logFmt   = flag.String("log-format", "text", "stderr diagnostics format: text or json (results still print to stdout)")
 	)
 	flag.Parse()
+	logger, err := newLogger(*logFmt)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(logger)
 	// One shared rule with rrrd and the service layer: negatives fail, 0
 	// means "auto" (unsharded / GOMAXPROCS). This CLI has no batch flag.
 	if err := rrr.ValidateWorkers(*shards, *shardW, 0); err != nil {
@@ -117,8 +123,9 @@ func run() error {
 				return
 			}
 			last = time.Now()
-			fmt.Fprintf(os.Stderr, "rrr: %s running: nodes=%d ksets=%d draws=%d elapsed=%v\n",
-				p.Algorithm, p.Nodes, p.KSets, p.Draws, p.Elapsed.Round(time.Millisecond))
+			logger.Info("solver progress", "algorithm", p.Algorithm.String(),
+				"nodes", p.Nodes, "ksets", p.KSets, "draws", p.Draws,
+				"elapsed", p.Elapsed.Round(time.Millisecond))
 		}))
 	}
 	solver := rrr.New(opts...)
@@ -229,6 +236,20 @@ func runBatch(ctx context.Context, solver *rrr.Solver, ds *rrr.Dataset, ksSpec s
 	}
 	w.Flush()
 	return firstErr
+}
+
+// newLogger builds the stderr diagnostics logger for -log-format. Solver
+// results keep printing to stdout; only progress, reconnect and
+// partial-work lines go through slog, so piping stdout stays clean.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("-log-format: unknown format %q (want text or json)", format)
+	}
 }
 
 func loadTable(input, kind string, n int, seed int64) (*rrr.Table, error) {

@@ -7,6 +7,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -36,6 +37,7 @@ func runWatch(args []string) error {
 		dataset = fs.String("dataset", "", "dataset to watch (required)")
 		k       = fs.Int("k", 100, "rank-regret target k")
 		algo    = fs.String("algo", "auto", "algorithm: auto, 2drrr, mdrrr, mdrc")
+		logFmt  = fs.String("log-format", "text", "stderr diagnostics format: text or json (events still print to stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -43,6 +45,11 @@ func runWatch(args []string) error {
 	if *dataset == "" {
 		return errors.New("-dataset is required")
 	}
+	logger, err := newLogger(*logFmt)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(logger)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -53,7 +60,7 @@ func runWatch(args []string) error {
 	for {
 		delivered, err := streamOnce(ctx, url, &lastGen)
 		if ctx.Err() != nil {
-			fmt.Println("watch: interrupted, exiting")
+			logger.Info("watch interrupted, exiting")
 			return nil
 		}
 		if delivered > 0 {
@@ -63,11 +70,11 @@ func runWatch(args []string) error {
 		if err != nil {
 			what = err.Error()
 		}
-		fmt.Fprintf(os.Stderr, "rrr watch: %s; reconnecting in %v\n", what, backoff)
+		logger.Warn("watch stream lost", "cause", what, "reconnect_in", backoff, "delivered", delivered)
 		select {
 		case <-time.After(backoff):
 		case <-ctx.Done():
-			fmt.Println("watch: interrupted, exiting")
+			logger.Info("watch interrupted, exiting")
 			return nil
 		}
 		if backoff *= 2; backoff > watchBackoffMax {

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	rtrace "runtime/trace"
+	"sync"
+	"time"
+)
+
+// debugServer builds the -debug-addr handler: the standard pprof surface
+// plus start/stop control over a runtime execution trace. It is a
+// separate listener on purpose — the profiling endpoints can stall the
+// world (goroutine dumps, execution traces) and must never share a port,
+// timeouts or middleware with production traffic, and binding it to
+// localhost keeps the surface off the network even when -addr is public.
+func debugServer(addr string, logger *slog.Logger) *http.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	rt := &rtraceControl{logger: logger}
+	mux.HandleFunc("POST /debug/rtrace/start", rt.start)
+	mux.HandleFunc("POST /debug/rtrace/stop", rt.stop)
+
+	return &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+}
+
+// rtraceControl guards runtime/trace start/stop: the runtime allows a
+// single execution trace at a time, so concurrent POSTs must serialize
+// and a duplicate start must fail cleanly instead of panicking.
+type rtraceControl struct {
+	mu     sync.Mutex
+	file   *os.File
+	logger *slog.Logger
+}
+
+func (c *rtraceControl) start(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Query().Get("file")
+	if path == "" {
+		path = fmt.Sprintf("rrrd-trace-%d.out", time.Now().Unix())
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.file != nil {
+		http.Error(w, "execution trace already running; POST /debug/rtrace/stop first", http.StatusConflict)
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if err := rtrace.Start(f); err != nil {
+		f.Close()
+		os.Remove(path)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	c.file = f
+	c.logger.Info("execution trace started", "file", path)
+	fmt.Fprintf(w, "tracing to %s; POST /debug/rtrace/stop to finish\n", path)
+}
+
+func (c *rtraceControl) stop(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.file == nil {
+		http.Error(w, "no execution trace running", http.StatusConflict)
+		return
+	}
+	rtrace.Stop()
+	name := c.file.Name()
+	err := c.file.Close()
+	c.file = nil
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	c.logger.Info("execution trace stopped", "file", name)
+	fmt.Fprintf(w, "trace written to %s; inspect with: go tool trace %s\n", name, name)
+}

@@ -45,6 +45,16 @@
 // one-off memory-only run against the same configuration. Persistence
 // counters appear in /v1/stats (persist) and /v1/metrics.
 //
+// Observability (DESIGN.md §12): requests carrying a W3C traceparent
+// header are traced through every solver phase and retrievable at
+// GET /v1/traces/{id}; cold /v1/representative solves mint a local
+// trace and return its id in X-Trace-Id either way. -slow-threshold
+// logs any slower request with its full span tree. -log-format picks
+// text or json structured logs (the access log carries trace_id).
+// -debug-addr opens a second listener with net/http/pprof and
+// POST /debug/rtrace/start|stop execution tracing — keep it on
+// localhost.
+//
 // Examples:
 //
 //	rrrd -addr :8080 -preload flights=dot:5000:3,diamonds=bn:5000 -request-timeout 30s
@@ -68,7 +78,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -109,8 +119,17 @@ func run() error {
 		fsyncPol   = flag.String("fsync", "always", "WAL durability policy: always (fsync every append), interval (background fsync every 100ms), never (leave flushing to the OS)")
 		noPersist  = flag.Bool("no-persist", false, "ignore -data-dir and run memory-only")
 		legacyOn   = flag.Bool("legacy-routes", false, "restore the retired unversioned route aliases (/representative, /stats, ...) as live handlers instead of 410 Gone tombstones")
+		logFormat  = flag.String("log-format", "text", "log output format: text (human-readable) or json (one structured object per line)")
+		slowThresh = flag.Duration("slow-threshold", 0, "log any request slower than this with its full span tree (0 = disabled); pair with a traceparent header or /v1/representative to get solver-phase spans")
+		debugAddr  = flag.String("debug-addr", "", "separate listener for net/http/pprof and POST /debug/rtrace/start|stop execution tracing; keep it on localhost (empty = disabled)")
 	)
 	flag.Parse()
+
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(logger)
 
 	if err := validateWorkerFlags(*shards, *shardWork, *batchWork); err != nil {
 		return err
@@ -150,8 +169,10 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("recovering %s: %w", *dataDir, err)
 		}
-		log.Printf("recovered %s: %d datasets, %d batches replayed, %d answers warmed%s",
-			*dataDir, rec.SnapshotDatasets, rec.ReplayedBatches, rec.WarmedAnswers, tornNote(rec))
+		logger.Info("recovered durable state", "data_dir", *dataDir,
+			"datasets", rec.SnapshotDatasets, "replayed_batches", rec.ReplayedBatches,
+			"warmed_answers", rec.WarmedAnswers, "torn_tail", rec.TornTail,
+			"dropped_bytes", rec.DroppedBytes)
 	}
 	if err := preloadDatasets(svc, *preload); err != nil {
 		return err
@@ -168,15 +189,29 @@ func run() error {
 	if *legacyOn {
 		serverOpts = append(serverOpts, service.WithLegacyRoutes())
 	}
+	if *slowThresh > 0 {
+		serverOpts = append(serverOpts, service.WithSlowRequestLog(*slowThresh, logger))
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           logRequests(service.NewServer(svc, serverOpts...)),
+		Handler:           logRequests(service.NewServer(svc, serverOpts...), logger),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	if *debugAddr != "" {
+		dbg := debugServer(*debugAddr, logger)
+		go func() {
+			logger.Info("debug listener up", "addr", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "err", err)
+			}
+		}()
+		defer dbg.Close()
 	}
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("rrrd listening on %s (%d datasets preloaded)", *addr, svc.Registry().Len())
+		logger.Info("rrrd listening", "addr", *addr, "datasets", svc.Registry().Len())
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -186,7 +221,7 @@ func run() error {
 	case err := <-errc:
 		return err
 	case sig := <-stop:
-		log.Printf("rrrd shutting down on %v", sig)
+		logger.Info("rrrd shutting down", "signal", sig.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		// End the long-lived watch streams first: each gets a terminal
@@ -206,7 +241,7 @@ func run() error {
 			if err := svc.Persist(); err != nil {
 				return fmt.Errorf("writing shutdown snapshot: %w", err)
 			}
-			log.Printf("persisted %d datasets to %s", svc.Registry().Len(), *dataDir)
+			logger.Info("persisted state", "datasets", svc.Registry().Len(), "data_dir", *dataDir)
 		}
 		return nil
 	}
@@ -229,12 +264,18 @@ func openStore(dataDir, fsyncPolicy string, noPersist bool) (*wal.Store, error) 
 	return store, nil
 }
 
-// tornNote renders the torn-tail suffix of the recovery log line.
-func tornNote(rec *service.Recovery) string {
-	if !rec.TornTail {
-		return ""
+// newLogger builds the process logger for -log-format. Text is the
+// human default; json emits one object per line for log shippers. Both
+// write to stderr so stdout stays clean for command output.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("-log-format: unknown format %q (want text or json)", format)
 	}
-	return fmt.Sprintf(" (torn WAL tail: %d bytes discarded)", rec.DroppedBytes)
 }
 
 // validateWorkerFlags rejects nonsensical parallelism settings up front by
@@ -281,25 +322,38 @@ func preloadDatasets(svc *service.Service, spec string) error {
 		if _, err := svc.Registry().Get(name); err == nil {
 			// Restored from -data-dir, possibly with mutations the generator
 			// would silently discard; the recovered state wins.
-			log.Printf("preload %q: already restored from the data directory, skipping", name)
+			slog.Info("preload skipped: already restored from the data directory", "dataset", name)
 			continue
 		}
 		entry, err := svc.Registry().Generate(name, kind, n, d, genSeed)
 		if err != nil {
 			return err
 		}
-		log.Printf("preloaded dataset %q: n=%d d=%d", name, entry.Data.N(), entry.Data.Dims())
+		slog.Info("preloaded dataset", "dataset", name, "n", entry.Data.N(), "dims", entry.Data.Dims())
 	}
 	return nil
 }
 
-// logRequests is a minimal access-log middleware.
-func logRequests(next http.Handler) http.Handler {
+// logRequests is the structured access-log middleware. The trace_id
+// attribute comes from the X-Trace-Id response header the tracing layer
+// sets (for ingested traceparents and locally minted solve traces), so
+// an access-log line joins against GET /v1/traces/{id} directly; the
+// attribute is omitted for untraced requests.
+func logRequests(next http.Handler, logger *slog.Logger) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(rec, r)
-		log.Printf("%s %s %d %s", r.Method, r.URL.RequestURI(), rec.status, time.Since(start).Round(time.Microsecond))
+		attrs := []any{
+			"method", r.Method,
+			"path", r.URL.RequestURI(),
+			"status", rec.status,
+			"duration", time.Since(start).Round(time.Microsecond),
+		}
+		if ids := w.Header()["X-Trace-Id"]; len(ids) > 0 {
+			attrs = append(attrs, "trace_id", ids[0])
+		}
+		logger.Info("request", attrs...)
 	})
 }
 

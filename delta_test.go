@@ -321,7 +321,7 @@ func TestPersistedMutationEquivalence(t *testing.T) {
 				}
 				b := serviceBatch(t, rng, e, rep.IDs)
 				for _, svc := range []*service.Service{live, persisted} {
-					if _, _, err := svc.Registry().Mutate("d", b); err != nil {
+					if _, _, err := svc.Registry().Mutate(context.Background(), "d", b); err != nil {
 						t.Fatalf("%s step %d: %v", name, step, err)
 					}
 				}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"rrr"
+	"rrr/internal/trace"
 )
 
 // Key identifies one precomputation: a representative of dataset Dataset
@@ -210,7 +211,10 @@ func (c *Cache) Do(ctx context.Context, key Key, compute func(context.Context) (
 	c.mu.Lock()
 	slot, found := c.slots[key]
 	if !found {
-		runCtx, cancel := context.WithCancel(context.Background())
+		// Detach carries the creating request's trace state onto the
+		// computation's context, so solver spans land in that request's
+		// trace while the compute stays immune to its cancellation.
+		runCtx, cancel := context.WithCancel(trace.Detach(ctx))
 		slot = &computation{done: make(chan struct{}), cancel: cancel}
 		c.slots[key] = slot
 		c.metrics.miss()
@@ -223,6 +227,8 @@ func (c *Cache) Do(ctx context.Context, key Key, compute func(context.Context) (
 	c.addWaiterLocked(slot)
 	c.mu.Unlock()
 
+	rec, parent := trace.FromContext(ctx)
+	waitID := rec.Start("cache_wait", parent)
 	select {
 	case <-slot.done:
 	case <-ctx.Done():
@@ -231,6 +237,7 @@ func (c *Cache) Do(ctx context.Context, key Key, compute func(context.Context) (
 		select {
 		case <-slot.done:
 		default:
+			rec.End(waitID)
 			c.mu.Lock()
 			cancel := c.leaveLocked(key, slot)
 			c.mu.Unlock()
@@ -242,6 +249,7 @@ func (c *Cache) Do(ctx context.Context, key Key, compute func(context.Context) (
 				key.Algo, key.Dataset, key.K, ctx.Err())
 		}
 	}
+	rec.End(waitID)
 	c.mu.Lock()
 	slot.waiters--
 	c.mu.Unlock()
@@ -410,7 +418,7 @@ func (c *Cache) DoBatch(ctx context.Context, keys []Key, compute func(ctx contex
 	errs := make(map[Key]error)
 
 	fl := &flight{}
-	runCtx, cancel := context.WithCancel(context.Background())
+	runCtx, cancel := context.WithCancel(trace.Detach(ctx))
 	fl.cancel = cancel
 	var owned []Key
 	waiting := make(map[Key]*computation, len(keys))
@@ -452,6 +460,8 @@ func (c *Cache) DoBatch(ctx context.Context, keys []Key, compute func(ctx contex
 		cancel() // nothing claimed; release the unused context
 	}
 
+	rec, traceParent := trace.FromContext(ctx)
+	waitID := rec.Start("cache_wait", traceParent)
 	for key, slot := range waiting {
 		select {
 		case <-slot.done:
@@ -459,6 +469,7 @@ func (c *Cache) DoBatch(ctx context.Context, keys []Key, compute func(ctx contex
 			select {
 			case <-slot.done:
 			default:
+				rec.End(waitID)
 				// The request died with keys outstanding: collect any that
 				// completed anyway (their results are done work — serving
 				// them beats evicting them), leave the rest and report
@@ -513,6 +524,7 @@ func (c *Cache) DoBatch(ctx context.Context, keys []Key, compute func(ctx contex
 			results[key] = CachedResult{IDs: slot.ids, Stats: slot.stats, Elapsed: slot.elapsed, Cached: false}
 		}
 	}
+	rec.End(waitID)
 	return results, errs
 }
 

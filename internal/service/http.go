@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -15,6 +16,7 @@ import (
 
 	"rrr"
 	"rrr/internal/delta"
+	"rrr/internal/trace"
 	"rrr/internal/watch"
 )
 
@@ -57,6 +59,15 @@ type Server struct {
 	mux     *http.ServeMux
 	timeout time.Duration
 	legacy  bool
+
+	// tracer records request-scoped span trees (DESIGN.md §12). Traces
+	// exist only for requests that ask (a traceparent header) or that miss
+	// the cache into a solve; the cached hot path stays allocation-free.
+	tracer *trace.Tracer
+	// slowThreshold, when positive, makes every finished trace at or over
+	// it dump its span tree to slowLog — the -slow-threshold flag.
+	slowThreshold time.Duration
+	slowLog       *slog.Logger
 }
 
 // ServerOption configures a Server.
@@ -79,9 +90,26 @@ func WithLegacyRoutes() ServerOption {
 	return func(s *Server) { s.legacy = true }
 }
 
+// WithSlowRequestLog makes the server dump the span tree of any traced
+// request whose total duration reaches threshold, to logger (nil =
+// slog.Default()). This is the HTTP face of the daemon's -slow-threshold
+// flag; zero disables the dump.
+func WithSlowRequestLog(threshold time.Duration, logger *slog.Logger) ServerOption {
+	return func(s *Server) {
+		s.slowThreshold = threshold
+		if logger == nil {
+			logger = slog.Default()
+		}
+		s.slowLog = logger
+	}
+}
+
 // NewServer builds the HTTP adapter over svc.
 func NewServer(svc *Service, opts ...ServerOption) *Server {
-	s := &Server{svc: svc, mux: http.NewServeMux()}
+	// The metrics sink makes every ended span also feed its phase's
+	// rrrd_solve_phase_seconds histogram — one instrumentation point, two
+	// surfaces.
+	s := &Server{svc: svc, mux: http.NewServeMux(), tracer: trace.NewTracer(svc.Metrics())}
 	for _, o := range opts {
 		if o != nil {
 			o(s)
@@ -100,6 +128,8 @@ func NewServer(svc *Service, opts ...ServerOption) *Server {
 	s.route("GET /healthz", s.handleHealthz)
 	s.route("GET /stats", s.handleStats)
 	s.route("GET /metrics", s.handleMetrics)
+	s.route("GET /traces", s.handleTraces)
+	s.route("GET /traces/{id}", s.handleTraceByID)
 	return s
 }
 
@@ -135,12 +165,43 @@ func goneHandler(method, path string) http.HandlerFunc {
 // it. Streaming paths are exempt: a watch connection is *supposed* to
 // outlive any per-request budget.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// W3C trace ingestion. The header is probed by direct map lookup —
+	// Header.Get would canonicalize the key and allocate, and the common
+	// case (no header) must stay free for the zero-alloc hot path.
+	if vals := r.Header["Traceparent"]; len(vals) > 0 {
+		if id, remote, flags, ok := trace.ParseTraceparent(vals[0]); ok {
+			rec := s.tracer.Start(id, remote, flags)
+			r = r.WithContext(trace.NewContext(r.Context(), rec, rec.Root()))
+			h := w.Header()
+			h["Traceparent"] = []string{rec.Traceparent()}
+			h["X-Trace-Id"] = []string{rec.TraceID().String()}
+			defer s.finishTrace(rec, r)
+		}
+	}
 	if s.timeout > 0 && !isStreamPath(r.URL.Path) {
 		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 		defer cancel()
 		r = r.WithContext(ctx)
 	}
 	s.mux.ServeHTTP(w, r)
+}
+
+// finishTrace seals a request's trace into the ring and, over the slow
+// threshold, dumps its span tree — the after-the-fact decomposition of
+// "why was that request slow".
+func (s *Server) finishTrace(rec *trace.Recorder, r *http.Request) {
+	tr := s.tracer.Finish(rec)
+	if tr == nil || s.slowLog == nil || s.slowThreshold <= 0 || tr.Duration < s.slowThreshold {
+		return
+	}
+	s.slowLog.Warn("slow request",
+		"trace_id", tr.ID,
+		"method", r.Method,
+		"path", r.URL.Path,
+		"duration", tr.Duration,
+		"threshold", s.slowThreshold,
+		"span_tree", "\n"+tr.Tree(),
+	)
 }
 
 // isStreamPath reports paths that hold the connection open indefinitely.
@@ -514,7 +575,18 @@ func (s *Server) handleRepresentative(w http.ResponseWriter, r *http.Request) {
 		writeBody(w, http.StatusOK, body)
 		return
 	}
-	cached, err := svc.solveEntry(r.Context(), entry, k, algo)
+	// Past the warm fast path a solve (or a wait on someone else's solve)
+	// is coming: give the request a locally-rooted trace if the client
+	// didn't send one, so every expensive request is decomposable after
+	// the fact via /v1/traces.
+	ctx := r.Context()
+	if rec, _ := trace.FromContext(ctx); rec == nil {
+		rec = s.tracer.StartLocal()
+		ctx = trace.NewContext(ctx, rec, rec.Root())
+		w.Header()["X-Trace-Id"] = []string{rec.TraceID().String()}
+		defer s.finishTrace(rec, r)
+	}
+	cached, err := svc.solveEntry(ctx, entry, k, algo)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -812,6 +884,93 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.svc.Metrics().WritePrometheus(w)
+}
+
+// traceSpanBody is one span in a trace response. Shard is -1 for spans
+// not tied to a shard (or, for delta_repair, not tied to a rank target).
+type traceSpanBody struct {
+	ID         int     `json:"id"`
+	Parent     int     `json:"parent"`
+	Name       string  `json:"name"`
+	Shard      int     `json:"shard"`
+	StartUS    float64 `json:"start_us"`
+	DurationUS float64 `json:"duration_us"`
+	Open       bool    `json:"open,omitempty"`
+}
+
+// traceSummaryBody is one trace in the GET /traces listing.
+type traceSummaryBody struct {
+	ID           string    `json:"id"`
+	Start        time.Time `json:"start"`
+	DurationMS   float64   `json:"duration_ms"`
+	Spans        int       `json:"spans"`
+	Dropped      int       `json:"dropped,omitempty"`
+	RemoteParent string    `json:"remote_parent,omitempty"`
+}
+
+// traceBody is the GET /traces/{id} payload: the full span set plus the
+// rendered tree for humans.
+type traceBody struct {
+	traceSummaryBody
+	SpanList []traceSpanBody `json:"span_list"`
+	Tree     string          `json:"tree"`
+}
+
+func summarizeTrace(tr *trace.Trace) traceSummaryBody {
+	return traceSummaryBody{
+		ID:           tr.ID,
+		Start:        tr.Start,
+		DurationMS:   float64(tr.Duration) / 1e6,
+		Spans:        len(tr.Spans),
+		Dropped:      tr.Dropped,
+		RemoteParent: tr.RemoteParent,
+	}
+}
+
+// handleTraces serves the recent-trace ring, newest first. n bounds the
+// listing (default: the whole ring).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := intParam(raw, "n")
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		n = v
+	}
+	recent := s.tracer.Recent(n)
+	out := make([]traceSummaryBody, len(recent))
+	for i, tr := range recent {
+		out[i] = summarizeTrace(tr)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"total": s.tracer.Total(), "traces": out})
+}
+
+func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr, ok := s.tracer.Lookup(id)
+	if !ok {
+		writeError(w, fmt.Errorf("service: trace %q not in the recent-trace ring: %w", id, ErrNotFound))
+		return
+	}
+	body := traceBody{
+		traceSummaryBody: summarizeTrace(tr),
+		SpanList:         make([]traceSpanBody, len(tr.Spans)),
+		Tree:             tr.Tree(),
+	}
+	for i, sp := range tr.Spans {
+		body.SpanList[i] = traceSpanBody{
+			ID:         int(sp.ID),
+			Parent:     int(sp.Parent),
+			Name:       sp.Name,
+			Shard:      sp.Shard,
+			StartUS:    float64(sp.Start) / 1e3,
+			DurationUS: float64(sp.Duration()) / 1e3,
+			Open:       sp.End == 0,
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func intParam(raw, name string) (int, error) {

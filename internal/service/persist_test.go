@@ -120,10 +120,10 @@ func TestRecoverReplaysUnsnapshottedWAL(t *testing.T) {
 	if err := svc.Persist(); err != nil { // baseline snapshot at generation 1
 		t.Fatal(err)
 	}
-	if _, _, err := svc.Registry().Mutate("anchored", delta.Batch{Append: [][]float64{{0.45, 0.65}}}); err != nil {
+	if _, _, err := svc.Registry().Mutate(context.Background(), "anchored", delta.Batch{Append: [][]float64{{0.45, 0.65}}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := svc.Registry().Mutate("anchored", delta.Batch{Delete: []int{2}}); err != nil {
+	if _, _, err := svc.Registry().Mutate(context.Background(), "anchored", delta.Batch{Delete: []int{2}}); err != nil {
 		t.Fatal(err)
 	}
 	live, err := svc.Registry().Get("anchored")
@@ -165,7 +165,7 @@ func TestRecoverReplaysUnsnapshottedWAL(t *testing.T) {
 
 	// Generations minted after recovery continue past everything the
 	// crashed process handed out — cache keys stay unique across the crash.
-	_, ch, err := svc2.Registry().Mutate("anchored", delta.Batch{Append: [][]float64{{0.5, 0.5}}})
+	_, ch, err := svc2.Registry().Mutate(context.Background(), "anchored", delta.Batch{Append: [][]float64{{0.5, 0.5}}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +191,7 @@ func TestWarmCacheRejectsStaleGeneration(t *testing.T) {
 	}
 	// Mutate after the snapshot: the WAL now carries generation 2, making
 	// the exported generation-1 answer stale.
-	if _, _, err := svc.Registry().Mutate("anchored", delta.Batch{Append: [][]float64{{0.9, 0.9}}}); err != nil {
+	if _, _, err := svc.Registry().Mutate(context.Background(), "anchored", delta.Batch{Append: [][]float64{{0.9, 0.9}}}); err != nil {
 		t.Fatal(err)
 	}
 	st.Close()

@@ -23,6 +23,9 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
+	counterF := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+	}
 	gauge := func(name, help string, v float64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
 	}
@@ -53,9 +56,14 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("rrrd_watch_events_total", "Events enqueued to watch subscribers (one publish to N subscribers counts N).", m.watchEvents.Load())
 	counter("rrrd_watch_dropped_total", "Watch subscribers dropped after overflowing their event ring.", m.watchDropped.Load())
 	counter("rrrd_watch_resumes_total", "Watch reconnects resumed by journal replay instead of a fresh snapshot.", m.watchResumes.Load())
-	if age := m.snapshotAge(); age >= 0 {
-		gauge("rrrd_snapshot_age_seconds", "Seconds since the registry snapshot was last written.", age)
-	}
+	// Emitted unconditionally (-1 = no snapshot yet, exactly as the JSON
+	// surface reports it) so the series set never depends on state.
+	gauge("rrrd_snapshot_age_seconds", "Seconds since the registry snapshot was last written (-1 when none).", m.snapshotAge())
+
+	rt := readRuntime()
+	gauge("rrrd_goroutines", "Goroutines currently live in the process.", float64(rt.Goroutines))
+	gauge("rrrd_heap_alloc_bytes", "Heap bytes allocated and still in use.", float64(rt.HeapAllocBytes))
+	counterF("rrrd_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", rt.GCPauseSecondsTotal)
 
 	// Latency histograms, one series set per algorithm, iterated in sorted
 	// order so the exposition is deterministic. The lock covers only the
@@ -74,18 +82,38 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	}
 	m.mu.Unlock()
 	sort.Strings(algos)
-	for _, a := range algos {
-		h := hists[a]
+	writeHist := func(name, label, value string, h *histogram) {
+		bounds := h.bucketBounds()
 		cum := int64(0)
 		for i := range h.counts {
 			cum += h.counts[i].Load()
 			le := "+Inf"
-			if i < len(latencyBuckets) {
-				le = fmt.Sprintf("%g", latencyBuckets[i].Seconds())
+			if i < len(bounds) {
+				le = fmt.Sprintf("%g", bounds[i].Seconds())
 			}
-			fmt.Fprintf(w, "%s_bucket{algorithm=%q,le=%q} %d\n", hname, a, le, cum)
+			fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n", name, label, value, le, cum)
 		}
-		fmt.Fprintf(w, "%s_sum{algorithm=%q} %g\n", hname, a, time.Duration(h.sum.Load()).Seconds())
-		fmt.Fprintf(w, "%s_count{algorithm=%q} %d\n", hname, a, h.total.Load())
+		fmt.Fprintf(w, "%s_sum{%s=%q} %g\n", name, label, value, time.Duration(h.sum.Load()).Seconds())
+		fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, label, value, h.total.Load())
+	}
+	for _, a := range algos {
+		writeHist(hname, "algorithm", a, hists[a])
+	}
+
+	// Per-phase histograms from the trace hooks: the same spans the /v1
+	// traces surface exposes, aggregated. Same lock discipline as above.
+	const pname = "rrrd_solve_phase_seconds"
+	fmt.Fprintf(w, "# HELP %s Solve-phase duration from trace spans, by phase.\n# TYPE %s histogram\n", pname, pname)
+	m.mu.Lock()
+	phists := make(map[string]*histogram, len(m.phases))
+	phases := make([]string, 0, len(m.phases))
+	for p, h := range m.phases {
+		phases = append(phases, p)
+		phists[p] = h
+	}
+	m.mu.Unlock()
+	sort.Strings(phases)
+	for _, p := range phases {
+		writeHist(pname, "phase", p, phists[p])
 	}
 }

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -11,6 +12,7 @@ import (
 	"rrr/internal/core"
 	"rrr/internal/dataset"
 	"rrr/internal/delta"
+	"rrr/internal/trace"
 	"rrr/internal/wal"
 )
 
@@ -139,8 +141,10 @@ func (r *Registry) reserveGen() int64 {
 // cached answers the maintainer will classify). Mutations of one dataset
 // are serialized by its log; the registry lock is held only to reserve
 // the generation and swap the entry, so mutating one dataset never
-// blocks lookups of the others for the O(n·d) apply.
-func (r *Registry) Mutate(name string, b delta.Batch) (*Entry, *delta.Change, error) {
+// blocks lookups of the others for the O(n·d) apply. ctx carries only the
+// request's trace (the WAL append records a span against it); the
+// mutation itself is never canceled mid-apply.
+func (r *Registry) Mutate(ctx context.Context, name string, b delta.Batch) (*Entry, *delta.Change, error) {
 	r.mu.RLock()
 	e, ok := r.entries[name]
 	r.mu.RUnlock()
@@ -160,7 +164,10 @@ func (r *Registry) Mutate(name string, b delta.Batch) (*Entry, *delta.Change, er
 	st, metrics := r.wal, r.metrics
 	r.mu.RUnlock()
 	if st != nil {
+		rec, parent := trace.FromContext(ctx)
 		commit = func(ch *delta.Change) error {
+			sid := rec.Start("wal_append", parent)
+			defer rec.End(sid)
 			n, err := st.Append(wal.Record{
 				Dataset: name,
 				PrevGen: ch.PrevGen,

@@ -31,6 +31,7 @@ import (
 	"rrr/internal/core"
 	"rrr/internal/delta"
 	"rrr/internal/shard"
+	"rrr/internal/trace"
 	"rrr/internal/wal"
 	"rrr/internal/watch"
 )
@@ -243,7 +244,7 @@ func (s *Service) Mutate(ctx context.Context, name string, b delta.Batch) (*Muta
 	if !s.cfg.DeltaMaintenance {
 		return nil, fmt.Errorf("service: delta maintenance is disabled (start rrrd with -delta): %w", ErrBadRequest)
 	}
-	cur, ch, err := s.registry.Mutate(name, b)
+	cur, ch, err := s.registry.Mutate(ctx, name, b)
 	if err != nil {
 		return nil, err
 	}
@@ -349,6 +350,9 @@ func (s *Service) maintain(ctx context.Context, cur *Entry, ch *delta.Change) (M
 // member of the mutated dataset, the deterministic algorithms reproduce a
 // fresh full solve bit for bit. Reports whether the repair was published.
 func (s *Service) repair(ctx context.Context, cur *Entry, key Key, pool *delta.Pool) bool {
+	rec, parent := trace.FromContext(ctx)
+	sid := rec.StartShard("delta_repair", parent, key.K)
+	defer rec.End(sid)
 	runData := cur.Data
 	if pool.Len() < cur.Data.N() {
 		tuples, err := cur.Data.Subset(pool.IDs)

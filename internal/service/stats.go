@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,20 +22,43 @@ var latencyBuckets = []time.Duration{
 	10 * time.Second,
 }
 
+// phaseBuckets bound the per-phase histograms. Phases run finer than whole
+// solves — a plan span is nanoseconds, a shard map tens of milliseconds —
+// so the grid reaches two decades lower than latencyBuckets.
+var phaseBuckets = []time.Duration{
+	100 * time.Microsecond,
+	time.Millisecond,
+	10 * time.Millisecond,
+	50 * time.Millisecond,
+	250 * time.Millisecond,
+	time.Second,
+	10 * time.Second,
+}
+
 // numBuckets counts the histogram slots: one per bound plus overflow.
 const numBuckets = 8
 
 // histogram is a fixed-bucket latency histogram; the last index is the
-// overflow bucket.
+// overflow bucket. bounds must hold numBuckets-1 entries; nil means
+// latencyBuckets (the per-algorithm grid, the historical default).
 type histogram struct {
 	counts [numBuckets]atomic.Int64
 	sum    atomic.Int64 // nanoseconds
 	total  atomic.Int64
+	bounds []time.Duration
+}
+
+func (h *histogram) bucketBounds() []time.Duration {
+	if h.bounds != nil {
+		return h.bounds
+	}
+	return latencyBuckets
 }
 
 func (h *histogram) observe(d time.Duration) {
+	bounds := h.bucketBounds()
 	i := 0
-	for i < len(latencyBuckets) && d > latencyBuckets[i] {
+	for i < len(bounds) && d > bounds[i] {
 		i++
 	}
 	h.counts[i].Add(1)
@@ -50,11 +74,12 @@ type HistogramSnapshot struct {
 }
 
 func (h *histogram) snapshot() HistogramSnapshot {
-	s := HistogramSnapshot{Buckets: make(map[string]int64, len(latencyBuckets)+1)}
+	bounds := h.bucketBounds()
+	s := HistogramSnapshot{Buckets: make(map[string]int64, len(bounds)+1)}
 	for i := range h.counts {
 		label := "+inf"
-		if i < len(latencyBuckets) {
-			label = "le_" + latencyBuckets[i].String()
+		if i < len(bounds) {
+			label = "le_" + bounds[i].String()
 		}
 		if n := h.counts[i].Load(); n > 0 {
 			s.Buckets[label] = n
@@ -109,13 +134,36 @@ type Metrics struct {
 
 	mu        sync.Mutex
 	latencies map[string]*histogram
+	phases    map[string]*histogram
 
 	start time.Time
 }
 
 // NewMetrics returns zeroed metrics with the uptime clock started.
 func NewMetrics() *Metrics {
-	return &Metrics{latencies: make(map[string]*histogram), start: time.Now()}
+	return &Metrics{
+		latencies: make(map[string]*histogram),
+		phases:    make(map[string]*histogram),
+		start:     time.Now(),
+	}
+}
+
+// PhaseObserve records one solve-phase duration — the trace recorder's
+// sink (trace.PhaseSink), so every ended span feeds the
+// rrrd_solve_phase_seconds histogram of its phase. Called outside the
+// recorder's lock; nil-safe like every Metrics method.
+func (m *Metrics) PhaseObserve(phase string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	h, ok := m.phases[phase]
+	if !ok {
+		h = &histogram{bounds: phaseBuckets}
+		m.phases[phase] = h
+	}
+	m.mu.Unlock()
+	h.observe(d)
 }
 
 func (m *Metrics) hit() {
@@ -358,6 +406,26 @@ type WatchSnapshot struct {
 	Resumes     int64 `json:"resumes"`
 }
 
+// RuntimeSnapshot surfaces the Go runtime's health gauges: live
+// goroutines, heap bytes in use, and cumulative GC stop-the-world pause
+// time — the three numbers that distinguish "the solver is slow" from
+// "the process is drowning".
+type RuntimeSnapshot struct {
+	Goroutines          int64   `json:"goroutines"`
+	HeapAllocBytes      int64   `json:"heap_alloc_bytes"`
+	GCPauseSecondsTotal float64 `json:"gc_pause_seconds_total"`
+}
+
+func readRuntime() RuntimeSnapshot {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return RuntimeSnapshot{
+		Goroutines:          int64(runtime.NumGoroutine()),
+		HeapAllocBytes:      int64(ms.HeapAlloc),
+		GCPauseSecondsTotal: float64(ms.PauseTotalNs) / 1e9,
+	}
+}
+
 // Snapshot is the /stats payload.
 type Snapshot struct {
 	UptimeSeconds  float64                      `json:"uptime_seconds"`
@@ -374,7 +442,9 @@ type Snapshot struct {
 	Delta          DeltaSnapshot                `json:"delta"`
 	Persist        PersistSnapshot              `json:"persist"`
 	Watch          WatchSnapshot                `json:"watch"`
+	Runtime        RuntimeSnapshot              `json:"runtime"`
 	Latencies      map[string]HistogramSnapshot `json:"latency_by_algorithm"`
+	Phases         map[string]HistogramSnapshot `json:"latency_by_phase"`
 }
 
 // Snapshot captures the current counters. Counters are read individually
@@ -420,7 +490,9 @@ func (m *Metrics) Snapshot() Snapshot {
 			Dropped:     m.watchDropped.Load(),
 			Resumes:     m.watchResumes.Load(),
 		},
+		Runtime:   readRuntime(),
 		Latencies: make(map[string]HistogramSnapshot),
+		Phases:    make(map[string]HistogramSnapshot),
 	}
 	if s.Shard.InputTuples > 0 {
 		s.Shard.PruneRatio = 1 - float64(s.Shard.Candidates)/float64(s.Shard.InputTuples)
@@ -431,6 +503,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		snap := h.snapshot()
 		s.Computations += snap.Count
 		s.Latencies[algo] = snap
+	}
+	for phase, h := range m.phases {
+		s.Phases[phase] = h.snapshot()
 	}
 	return s
 }

@@ -1,0 +1,352 @@
+package service
+
+import (
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rrr/internal/trace"
+	"rrr/internal/wal"
+)
+
+const testTraceparent = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+
+// TestTracedShardedSolve is the tracing acceptance test: a sharded solve
+// driven with a W3C traceparent header must yield a retrievable trace
+// with one span per shard map task plus the plan/reduce/cache spans, all
+// nested under the root and with durations that sum consistently.
+func TestTracedShardedSolve(t *testing.T) {
+	svc := New(Config{Seed: 1, Shards: 4})
+	if _, err := svc.Registry().Generate("flights", "dot", 400, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(svc))
+	defer ts.Close()
+
+	req, err := http.NewRequest("GET", ts.URL+"/v1/representative?dataset=flights&k=10", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("traceparent", testTraceparent)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("representative status = %d", resp.StatusCode)
+	}
+
+	traceID := resp.Header.Get("X-Trace-Id")
+	if traceID != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("X-Trace-Id = %q, want the ingested trace ID", traceID)
+	}
+	tp := resp.Header.Get("Traceparent")
+	id, _, flags, ok := trace.ParseTraceparent(tp)
+	if !ok || id.String() != traceID || flags&0x01 == 0 {
+		t.Fatalf("response traceparent %q does not propagate trace %s sampled", tp, traceID)
+	}
+
+	var body traceBody
+	if code := getJSON(t, ts.URL+"/v1/traces/"+traceID, &body); code != http.StatusOK {
+		t.Fatalf("GET /v1/traces/%s status = %d", traceID, code)
+	}
+	if body.ID != traceID {
+		t.Fatalf("trace ID = %q", body.ID)
+	}
+	if body.RemoteParent != "00f067aa0ba902b7" {
+		t.Fatalf("remote parent = %q", body.RemoteParent)
+	}
+
+	byName := map[string][]traceSpanBody{}
+	byID := map[int]traceSpanBody{}
+	for _, sp := range body.SpanList {
+		byName[sp.Name] = append(byName[sp.Name], sp)
+		byID[sp.ID] = sp
+		if sp.Open {
+			t.Errorf("span %s[%d] still open in a finished trace", sp.Name, sp.ID)
+		}
+	}
+	if n := len(byName["request"]); n != 1 {
+		t.Fatalf("got %d root spans, want 1", n)
+	}
+	root := byName["request"][0]
+	if root.Parent != int(trace.NoSpan) {
+		t.Fatalf("root has parent %d", root.Parent)
+	}
+
+	// One span per shard map task, each under the map span.
+	shards := byName["map_shard"]
+	if len(shards) != 4 {
+		t.Fatalf("got %d map_shard spans, want 4 (one per shard): %s", len(shards), body.Tree)
+	}
+	seen := map[int]bool{}
+	mapSpans := byName["map"]
+	if len(mapSpans) != 1 {
+		t.Fatalf("got %d map spans, want 1", len(mapSpans))
+	}
+	for _, sp := range shards {
+		if sp.Parent != mapSpans[0].ID {
+			t.Errorf("map_shard[%d] parented to span %d, not the map span %d", sp.Shard, sp.Parent, mapSpans[0].ID)
+		}
+		seen[sp.Shard] = true
+	}
+	for i := 0; i < 4; i++ {
+		if !seen[i] {
+			t.Errorf("no map_shard span for shard %d", i)
+		}
+	}
+
+	// Plan, reduce and cache_wait, exactly once each.
+	for _, name := range []string{"plan", "reduce", "cache_wait"} {
+		if n := len(byName[name]); n != 1 {
+			t.Fatalf("got %d %q spans, want 1:\n%s", n, name, body.Tree)
+		}
+	}
+	if byName["cache_wait"][0].Parent != root.ID {
+		t.Errorf("cache_wait not under the root")
+	}
+	// The solver spans run on the detached compute context, parented at
+	// the span the request carried when the flight was created — the root.
+	for _, name := range []string{"plan", "map", "reduce"} {
+		if p := byName[name][0].Parent; p != root.ID {
+			t.Errorf("%s parented to span %d, want the root", name, p)
+		}
+	}
+
+	// Duration consistency: every child fits inside the root's window, and
+	// the solve phases (sequential by construction) sum to no more than
+	// the root.
+	rootEnd := root.StartUS + root.DurationUS
+	for _, sp := range body.SpanList[1:] {
+		if sp.StartUS < root.StartUS-1 || sp.StartUS+sp.DurationUS > rootEnd+1 {
+			t.Errorf("span %s [%f, %f]us escapes the root window [%f, %f]us",
+				sp.Name, sp.StartUS, sp.StartUS+sp.DurationUS, root.StartUS, rootEnd)
+		}
+	}
+	sequential := byName["plan"][0].DurationUS + byName["map"][0].DurationUS + byName["reduce"][0].DurationUS
+	if sequential > root.DurationUS+1 {
+		t.Errorf("plan+map+reduce = %fus exceeds the root's %fus", sequential, root.DurationUS)
+	}
+	// And the shard spans each fit inside the map span.
+	mapEnd := mapSpans[0].StartUS + mapSpans[0].DurationUS
+	for _, sp := range shards {
+		if sp.StartUS < mapSpans[0].StartUS-1 || sp.StartUS+sp.DurationUS > mapEnd+1 {
+			t.Errorf("map_shard[%d] escapes the map window", sp.Shard)
+		}
+	}
+
+	if !strings.Contains(body.Tree, "map_shard[2]") {
+		t.Errorf("rendered tree missing shard spans:\n%s", body.Tree)
+	}
+
+	// The same instrumentation fed the phase histograms.
+	snap := svc.Metrics().Snapshot()
+	for _, phase := range []string{"request", "plan", "map_shard", "reduce", "cache_wait"} {
+		if snap.Phases[phase].Count == 0 {
+			t.Errorf("phase histogram %q empty; phases: %v", phase, snap.Phases)
+		}
+	}
+	if snap.Phases["map_shard"].Count != 4 {
+		t.Errorf("map_shard phase observed %d times, want 4", snap.Phases["map_shard"].Count)
+	}
+}
+
+// TestTracesListingAndLocalTrace: an uncached solve without a traceparent
+// header gets a locally-rooted trace, retrievable through the listing.
+func TestTracesListingAndLocalTrace(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/representative?dataset=flights&k=15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	traceID := resp.Header.Get("X-Trace-Id")
+	if traceID == "" {
+		t.Fatal("uncached solve did not mint a local trace")
+	}
+
+	var listing struct {
+		Total  int                `json:"total"`
+		Traces []traceSummaryBody `json:"traces"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/traces", &listing); code != http.StatusOK {
+		t.Fatalf("GET /v1/traces status = %d", code)
+	}
+	if listing.Total < 1 || len(listing.Traces) < 1 {
+		t.Fatalf("listing = %+v", listing)
+	}
+	if listing.Traces[0].ID != traceID {
+		t.Fatalf("newest trace = %s, want %s", listing.Traces[0].ID, traceID)
+	}
+	if listing.Traces[0].DurationMS <= 0 {
+		t.Fatal("trace has no duration")
+	}
+
+	// A warm hit must NOT mint a trace (the zero-alloc fast path).
+	resp, err = http.Get(ts.URL + "/v1/representative?dataset=flights&k=15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Trace-Id"); got != "" {
+		t.Fatalf("cached hit minted trace %s", got)
+	}
+
+	if code := getJSON(t, ts.URL+"/v1/traces/ffffffffffffffffffffffffffffffff", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown trace status = %d, want 404", code)
+	}
+}
+
+// TestSlowRequestLogDumpsTree: a request over the slow threshold logs its
+// span tree; under-threshold requests stay quiet.
+func TestSlowRequestLogDumpsTree(t *testing.T) {
+	svc := New(Config{Seed: 1})
+	if _, err := svc.Registry().Generate("d", "dot", 200, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	var buf syncBuilder
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	srv := NewServer(svc, WithSlowRequestLog(time.Nanosecond, logger))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/representative?dataset=d&k=5", nil)
+	req.Header.Set("traceparent", testTraceparent)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	out := buf.String()
+	if !strings.Contains(out, "slow request") || !strings.Contains(out, "request") {
+		t.Fatalf("slow log missing dump: %q", out)
+	}
+	if !strings.Contains(out, "4bf92f3577b34da6a3ce929d0e0e4736") {
+		t.Fatalf("slow log missing trace ID: %q", out)
+	}
+
+	// High threshold: nothing logged.
+	buf.Reset()
+	srv2 := NewServer(svc, WithSlowRequestLog(time.Hour, logger))
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+	req2, _ := http.NewRequest("GET", ts2.URL+"/v1/representative?dataset=d&k=6", nil)
+	req2.Header.Set("traceparent", testTraceparent)
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if buf.Len() != 0 {
+		t.Fatalf("under-threshold request logged: %q", buf.String())
+	}
+}
+
+// TestInvalidTraceparentIgnored: malformed headers must not mint traces
+// or propagate headers.
+func TestInvalidTraceparentIgnored(t *testing.T) {
+	ts, _ := newTestServer(t)
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/healthz", nil)
+	req.Header.Set("traceparent", "00-gggggggggggggggggggggggggggggggg-00f067aa0ba902b7-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("Traceparent"); got != "" {
+		t.Fatalf("invalid traceparent echoed as %q", got)
+	}
+	if got := resp.Header.Get("X-Trace-Id"); got != "" {
+		t.Fatalf("invalid traceparent minted trace %q", got)
+	}
+}
+
+// TestTracedMutationWALAppend: with the WAL attached, a traced mutation
+// records a wal_append span.
+func TestTracedMutationWALAppend(t *testing.T) {
+	st, err := wal.Open(t.TempDir(), wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	svc := New(Config{Seed: 1, DeltaMaintenance: true})
+	svc.AttachStore(st)
+	if _, err := svc.Registry().Generate("d", "dot", 100, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(svc))
+	defer ts.Close()
+
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/datasets/d/append",
+		strings.NewReader(`{"rows":[[0.5,0.5]]}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", testTraceparent)
+	resp, err2 := http.DefaultClient.Do(req)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("append status = %d", resp.StatusCode)
+	}
+
+	var body traceBody
+	if code := getJSON(t, ts.URL+"/v1/traces/4bf92f3577b34da6a3ce929d0e0e4736", &body); code != http.StatusOK {
+		t.Fatalf("trace fetch status = %d", code)
+	}
+	found := false
+	for _, sp := range body.SpanList {
+		if sp.Name == "wal_append" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no wal_append span in traced mutation:\n%s", body.Tree)
+	}
+}
+
+// syncBuilder is a mutex-guarded strings.Builder: the slow-request log
+// writes from the handler goroutine while the test reads after the
+// response, and the race detector must see that ordered.
+type syncBuilder struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuilder) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuilder) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func (s *syncBuilder) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Len()
+}
+
+func (s *syncBuilder) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.b.Reset()
+}

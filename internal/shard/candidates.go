@@ -11,6 +11,7 @@ import (
 	"rrr/internal/core"
 	"rrr/internal/kset"
 	"rrr/internal/sweep"
+	"rrr/internal/trace"
 )
 
 // Extractor selects the per-shard candidate rule of the map phase. See the
@@ -112,12 +113,18 @@ func Candidates(ctx context.Context, pl *Plan, k int, ex Extractor, opt Options)
 	// still wait for every other shard to run its extraction to the end.
 	mapCtx, stop := context.WithCancel(ctx)
 	defer stop()
+	// One span per shard map task, parented under the caller's current span
+	// (the "map" phase span). rec is nil on untraced solves, making every
+	// hook below a no-op.
+	rec, parent := trace.FromContext(ctx)
 	var (
 		mu   sync.Mutex
 		done int
 	)
 	FanOut(pl.P(), opt.Workers, func(i int) {
+		sid := rec.StartShard("map_shard", parent, i)
 		perShard[i], draws[i], errs[i] = extract(mapCtx, pl.Shard(i), k, i, ex, opt)
+		rec.End(sid)
 		if errs[i] != nil {
 			stop()
 			return

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"context"
+	"encoding/hex"
+)
+
+// ctxKey is the context key for the trace state. A zero-size key type
+// makes ctx.Value(ctxKey{}) allocation-free: the interface conversion of
+// an empty struct needs no heap box, so probing an untraced context —
+// every library caller's context.Background() — costs nothing. This is
+// the "nil-checked ctx value, never a map" rule the zero-alloc contracts
+// depend on.
+type ctxKey struct{}
+
+// ctxVal is the carried state: the recorder plus the current span, so a
+// callee starts its spans under whatever phase the caller was in.
+type ctxVal struct {
+	rec  *Recorder
+	span SpanID
+}
+
+// NewContext attaches (rec, span) to ctx. Attaching a nil recorder
+// returns ctx unchanged, so call sites don't branch.
+func NewContext(ctx context.Context, rec *Recorder, span SpanID) context.Context {
+	if rec == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, ctxVal{rec: rec, span: span})
+}
+
+// FromContext returns the context's recorder and current span, or
+// (nil, NoSpan) — without allocating — when the context is untraced.
+func FromContext(ctx context.Context) (*Recorder, SpanID) {
+	if ctx == nil {
+		return nil, NoSpan
+	}
+	if v, ok := ctx.Value(ctxKey{}).(ctxVal); ok {
+		return v.rec, v.span
+	}
+	return nil, NoSpan
+}
+
+// Detach carries src's trace state (if any) onto a fresh background
+// context — the cache's detached computations run under a context
+// independent of any single request's cancellation but should still
+// record into the trace of the request that started them. Without a
+// recorder it returns context.Background() itself: no allocation.
+func Detach(src context.Context) context.Context {
+	rec, span := FromContext(src)
+	if rec == nil {
+		return context.Background()
+	}
+	return NewContext(context.Background(), rec, span)
+}
+
+// ParseTraceparent parses a W3C traceparent header value:
+// version "00" (or any non-"ff" version, per the spec's forward
+// compatibility rule), 32 hex digits of trace ID, 16 of parent span ID,
+// 2 of flags — all lowercase, dash separated, IDs non-zero.
+func ParseTraceparent(h string) (id TraceID, parent [8]byte, flags byte, ok bool) {
+	if len(h) < 55 {
+		return id, parent, 0, false
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return id, parent, 0, false
+	}
+	ver, err := hex.DecodeString(h[0:2])
+	if err != nil || ver[0] == 0xff {
+		return id, parent, 0, false
+	}
+	// Version 00 is exactly 55 chars; future versions may append
+	// dash-separated fields, never change the prefix.
+	if ver[0] == 0 && len(h) != 55 {
+		return id, parent, 0, false
+	}
+	if len(h) > 55 && h[55] != '-' {
+		return id, parent, 0, false
+	}
+	if _, err := hex.Decode(id[:], []byte(h[3:35])); err != nil || id.IsZero() {
+		return TraceID{}, parent, 0, false
+	}
+	if _, err := hex.Decode(parent[:], []byte(h[36:52])); err != nil || parent == ([8]byte{}) {
+		return TraceID{}, [8]byte{}, 0, false
+	}
+	f, err := hex.DecodeString(h[53:55])
+	if err != nil {
+		return TraceID{}, [8]byte{}, 0, false
+	}
+	return id, parent, f[0], true
+}

@@ -1,0 +1,282 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	id := r.Start("plan", r.Root())
+	if id != NoSpan {
+		t.Fatalf("nil recorder Start returned %d, want NoSpan", id)
+	}
+	r.End(id) // must not panic
+	if got := r.Traceparent(); got != "" {
+		t.Fatalf("nil recorder Traceparent = %q, want empty", got)
+	}
+	if !r.TraceID().IsZero() {
+		t.Fatal("nil recorder TraceID not zero")
+	}
+}
+
+func TestFromContextUntracedAllocFree(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(100, func() {
+		rec, span := FromContext(ctx)
+		if rec != nil || span != NoSpan {
+			t.Fatal("untraced context yielded a recorder")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("FromContext on an untraced context allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestNilHooksAllocFree(t *testing.T) {
+	// The full disabled-path hook sequence a solve performs: probe the
+	// context, start, end. Must be free or every solver call pays for
+	// tracing it isn't doing.
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(100, func() {
+		rec, parent := FromContext(ctx)
+		id := rec.Start("sweep", parent)
+		rec.End(id)
+		if c := NewContext(ctx, rec, id); c != ctx {
+			t.Fatal("NewContext with nil recorder rebuilt the context")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled-path hooks allocate %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestRecorderSpanTree(t *testing.T) {
+	tr := NewTracer(nil)
+	rec := tr.StartLocal()
+	root := rec.Root()
+	if root != 0 {
+		t.Fatalf("root span ID = %d, want 0", root)
+	}
+	plan := rec.Start("plan", root)
+	rec.End(plan)
+	m := rec.Start("map", root)
+	s0 := rec.StartShard("map_shard", m, 0)
+	rec.End(s0)
+	s1 := rec.StartShard("map_shard", m, 1)
+	rec.End(s1)
+	rec.End(m)
+	out := tr.Finish(rec)
+	if out == nil {
+		t.Fatal("Finish returned nil")
+	}
+	if len(out.Spans) != 5 {
+		t.Fatalf("got %d spans, want 5", len(out.Spans))
+	}
+	if out.Spans[0].Name != "request" || out.Spans[0].Parent != NoSpan {
+		t.Fatalf("bad root span: %+v", out.Spans[0])
+	}
+	for _, sp := range out.Spans[1:] {
+		if sp.End == 0 {
+			t.Fatalf("span %s never ended", sp.Name)
+		}
+		if sp.Duration() < 0 {
+			t.Fatalf("span %s has negative duration", sp.Name)
+		}
+	}
+	if out.Spans[3].Shard != 1 && out.Spans[4].Shard != 1 {
+		t.Fatal("shard index not recorded")
+	}
+	if out.Duration <= 0 {
+		t.Fatalf("trace duration = %v, want > 0", out.Duration)
+	}
+	tree := out.Tree()
+	for _, want := range []string{"request", "plan", "map_shard[0]", "map_shard[1]"} {
+		if !strings.Contains(tree, want) {
+			t.Fatalf("tree missing %q:\n%s", want, tree)
+		}
+	}
+}
+
+func TestLateSpansAfterFinishAreDropped(t *testing.T) {
+	tr := NewTracer(nil)
+	rec := tr.StartLocal()
+	out := tr.Finish(rec)
+	if got := rec.Start("late", 0); got != NoSpan {
+		t.Fatalf("post-finish Start returned %d, want NoSpan", got)
+	}
+	rec.End(0) // must not mutate the snapshot
+	if len(out.Spans) != 1 {
+		t.Fatalf("snapshot grew to %d spans after finish", len(out.Spans))
+	}
+}
+
+func TestSpanBoundSaturates(t *testing.T) {
+	tr := NewTracer(nil)
+	rec := tr.StartLocal()
+	for i := 0; i < maxSpans+10; i++ {
+		rec.End(rec.Start("s", 0))
+	}
+	out := tr.Finish(rec)
+	if len(out.Spans) != maxSpans {
+		t.Fatalf("recorded %d spans, want the %d bound", len(out.Spans), maxSpans)
+	}
+	if out.Dropped != 11 {
+		// maxSpans-1 fit beside the root; 10 overflow + 1 displaced.
+		t.Fatalf("dropped = %d, want 11", out.Dropped)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewTracer(nil)
+	rec := tr.StartLocal()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				id := rec.StartShard("map_shard", 0, w)
+				rec.End(id)
+			}
+		}(w)
+	}
+	wg.Wait()
+	out := tr.Finish(rec)
+	if len(out.Spans) != 161 {
+		t.Fatalf("got %d spans, want 161", len(out.Spans))
+	}
+}
+
+func TestRingRetentionAndLookup(t *testing.T) {
+	tr := NewTracer(nil)
+	var ids []string
+	for i := 0; i < ringSize+5; i++ {
+		rec := tr.StartLocal()
+		ids = append(ids, rec.TraceID().String())
+		tr.Finish(rec)
+	}
+	recent := tr.Recent(0)
+	if len(recent) != ringSize {
+		t.Fatalf("ring holds %d traces, want %d", len(recent), ringSize)
+	}
+	if recent[0].ID != ids[len(ids)-1] {
+		t.Fatal("Recent is not newest-first")
+	}
+	if _, ok := tr.Lookup(ids[0]); ok {
+		t.Fatal("evicted trace still found")
+	}
+	if _, ok := tr.Lookup(ids[len(ids)-1]); !ok {
+		t.Fatal("newest trace not found")
+	}
+	if got := tr.Recent(3); len(got) != 3 {
+		t.Fatalf("Recent(3) returned %d", len(got))
+	}
+	if tr.Total() != ringSize+5 {
+		t.Fatalf("Total = %d, want %d", tr.Total(), ringSize+5)
+	}
+}
+
+type sinkFunc func(string, time.Duration)
+
+func (f sinkFunc) PhaseObserve(phase string, d time.Duration) { f(phase, d) }
+
+func TestPhaseSinkFedOnEnd(t *testing.T) {
+	var mu sync.Mutex
+	got := map[string]int{}
+	tr := NewTracer(sinkFunc(func(phase string, d time.Duration) {
+		if d <= 0 {
+			t.Errorf("phase %s observed non-positive duration %v", phase, d)
+		}
+		mu.Lock()
+		got[phase]++
+		mu.Unlock()
+	}))
+	rec := tr.StartLocal()
+	rec.End(rec.Start("plan", 0))
+	rec.End(rec.Start("reduce", 0))
+	tr.Finish(rec) // ends root -> observes "request"
+	want := map[string]int{"plan": 1, "reduce": 1, "request": 1}
+	for k, n := range want {
+		if got[k] != n {
+			t.Fatalf("phase %s observed %d times, want %d (all: %v)", k, got[k], n, got)
+		}
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	tr := NewTracer(nil)
+	rec := tr.StartLocal()
+	ctx := NewContext(context.Background(), rec, rec.Root())
+	r2, span := FromContext(ctx)
+	if r2 != rec || span != 0 {
+		t.Fatalf("round trip lost state: rec=%p span=%d", r2, span)
+	}
+	d := Detach(ctx)
+	r3, _ := FromContext(d)
+	if r3 != rec {
+		t.Fatal("Detach lost the recorder")
+	}
+	if d.Done() != nil {
+		t.Fatal("Detach inherited cancellation")
+	}
+	if Detach(context.Background()) != context.Background() {
+		t.Fatal("Detach of an untraced context is not Background")
+	}
+}
+
+func TestParseTraceparent(t *testing.T) {
+	id, parent, flags, ok := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	if !ok {
+		t.Fatal("valid traceparent rejected")
+	}
+	if id.String() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("trace ID = %s", id)
+	}
+	if fmt.Sprintf("%x", parent) != "00f067aa0ba902b7" {
+		t.Fatalf("parent = %x", parent)
+	}
+	if flags != 0x01 {
+		t.Fatalf("flags = %02x", flags)
+	}
+	bad := []string{
+		"",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",      // missing flags
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",   // zero trace ID
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",   // zero parent
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",   // forbidden version
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-x", // v00 with trailer
+		"zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",   // non-hex version
+		"00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",   // bad separator
+		"00-4bf92f3577b34da6a3ce929d0e0e47zz-00f067aa0ba902b7-01",   // non-hex ID
+	}
+	for _, h := range bad {
+		if _, _, _, ok := ParseTraceparent(h); ok {
+			t.Fatalf("accepted invalid traceparent %q", h)
+		}
+	}
+	// Future version with a trailing field parses (forward compatibility).
+	if _, _, _, ok := ParseTraceparent("01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra"); !ok {
+		t.Fatal("rejected forward-compatible future version")
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := NewTracer(nil)
+	rec := tr.StartLocal()
+	h := rec.Traceparent()
+	id, _, flags, ok := ParseTraceparent(h)
+	if !ok {
+		t.Fatalf("own traceparent %q does not parse", h)
+	}
+	if id != rec.TraceID() {
+		t.Fatal("trace ID did not round-trip")
+	}
+	if flags&0x01 == 0 {
+		t.Fatal("sampled flag not set")
+	}
+}

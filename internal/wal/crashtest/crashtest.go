@@ -171,7 +171,7 @@ func Build(dir string, nBatches int, seed int64) (*Scenario, error) {
 		if err != nil {
 			return nil, err
 		}
-		if _, _, err := svc.Registry().Mutate(DatasetName, b); err != nil {
+		if _, _, err := svc.Registry().Mutate(context.Background(), DatasetName, b); err != nil {
 			return nil, fmt.Errorf("crashtest: batch %d: %w", i, err)
 		}
 		sc.Batches = append(sc.Batches, b)
@@ -281,7 +281,7 @@ func (sc *Scenario) FreshRun(n int) (*service.Service, error) {
 		return nil, err
 	}
 	for i, b := range sc.Batches[:n] {
-		if _, _, err := svc.Registry().Mutate(DatasetName, b); err != nil {
+		if _, _, err := svc.Registry().Mutate(context.Background(), DatasetName, b); err != nil {
 			return nil, fmt.Errorf("crashtest: fresh run batch %d: %w", i, err)
 		}
 	}

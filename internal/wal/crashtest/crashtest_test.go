@@ -177,11 +177,11 @@ func TestPostRecoveryRoundTrip(t *testing.T) {
 			store.Close()
 			t.Fatalf("prefix %d: recovered state diverges from re-execution before the probe: %s", p, diff)
 		}
-		if _, _, err := recovered.Registry().Mutate(DatasetName, probe); err != nil {
+		if _, _, err := recovered.Registry().Mutate(context.Background(), DatasetName, probe); err != nil {
 			store.Close()
 			t.Fatalf("prefix %d: probe on recovered service: %v", p, err)
 		}
-		if _, _, err := fresh.Registry().Mutate(DatasetName, probe); err != nil {
+		if _, _, err := fresh.Registry().Mutate(context.Background(), DatasetName, probe); err != nil {
 			t.Fatalf("prefix %d: probe on fresh service: %v", p, err)
 		}
 		if diff := Capture(fresh).Diff(Capture(recovered)); diff != "" {

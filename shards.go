@@ -10,6 +10,7 @@ import (
 	"rrr/internal/core"
 	"rrr/internal/kset"
 	"rrr/internal/shard"
+	"rrr/internal/trace"
 )
 
 // WithShards routes solves through the map-reduce engine (internal/shard):
@@ -89,7 +90,10 @@ func extractorFor(algorithm Algorithm) shard.Extractor {
 // original dataset is returned unwrapped, so the reduce phase pays no
 // rebuild cost for it.
 func (s *Solver) buildPool(ctx context.Context, d *Dataset, k int, algorithm Algorithm, start time.Time) (*shardPool, shard.Stats, error) {
+	rec, parent := trace.FromContext(ctx)
+	planID := rec.Start("plan", parent)
 	pl, err := shard.NewPlan(d, s.cfg.shards, shard.Contiguous)
+	rec.End(planID)
 	if err != nil {
 		return nil, shard.Stats{}, err
 	}
@@ -104,7 +108,11 @@ func (s *Solver) buildPool(ctx context.Context, d *Dataset, k int, algorithm Alg
 			hook(Progress{Algorithm: algorithm, ShardsDone: done, Elapsed: time.Since(start)})
 		}
 	}
-	candidates, stats, err := shard.Candidates(ctx, pl, k, extractorFor(algorithm), opt)
+	// The map span parents the per-shard spans recorded inside Candidates,
+	// so the child context carries it as the current span.
+	mapID := rec.Start("map", parent)
+	candidates, stats, err := shard.Candidates(trace.NewContext(ctx, rec, mapID), pl, k, extractorFor(algorithm), opt)
+	rec.End(mapID)
 	if err != nil {
 		return nil, stats, err
 	}

@@ -10,6 +10,7 @@ import (
 	"rrr/internal/delta"
 	"rrr/internal/kset"
 	"rrr/internal/shard"
+	"rrr/internal/trace"
 )
 
 // Progress is a periodic snapshot of a running solve, delivered to the
@@ -222,7 +223,10 @@ func (s *Solver) SolveInto(ctx context.Context, d *Dataset, k int, res *Result) 
 		// engine's per-algorithm pools it is always an exact containment
 		// pool of the *full* dataset, so it stays sound for any later
 		// mutation regardless of how this solve was executed.
+		rec, parent := trace.FromContext(ctx)
+		rpID := rec.Start("reval_pool", parent)
 		rp, err := delta.BuildPool(ctx, d, k)
+		rec.End(rpID)
 		if err != nil {
 			return s.wrapShardError(algorithm, start, shard.Stats{}, err)
 		}
@@ -237,7 +241,10 @@ func (s *Solver) SolveInto(ctx context.Context, d *Dataset, k int, res *Result) 
 // Result never leaks a previous solve's counters. Solve, SolveInto and the
 // dual search's probes share it.
 func (s *Solver) solveOnInto(ctx context.Context, runData *Dataset, k int, algorithm Algorithm, start time.Time, pool *shardPool, arena *solveArena, res *Result) error {
+	rec, parent := trace.FromContext(ctx)
+	sid := rec.Start(solvePhase(algorithm, pool != nil), parent)
 	ids, stats, err := s.runAlgorithm(ctx, runData, k, algorithm, s.progressHook(algorithm, start), arena)
+	rec.End(sid)
 	if err != nil {
 		return pool.applyPartial(s.wrapSolveError(algorithm, start, err))
 	}
@@ -254,6 +261,23 @@ func (s *Solver) solveOnInto(ctx context.Context, runData *Dataset, k int, algor
 	res.Elapsed = time.Since(start)
 	pool.applyTo(res)
 	return nil
+}
+
+// solvePhase names the span of an algorithm run: the reduce phase of a
+// sharded solve, or the algorithm's own phase name unsharded. These are
+// the phase labels of rrrd_solve_phase_seconds, so keep them stable.
+func solvePhase(algorithm Algorithm, sharded bool) string {
+	if sharded {
+		return "reduce"
+	}
+	switch algorithm {
+	case Algo2DRRR:
+		return "sweep"
+	case AlgoMDRRR:
+		return "sample"
+	default:
+		return "recurse"
+	}
 }
 
 // twoDOptions assembles the 2DRRR configuration from the solver options.
