@@ -17,6 +17,12 @@
 // of solving locally (one line per event, auto-reconnect with resume):
 //
 //	rrr watch -server http://localhost:8080 -dataset flights -k 100
+//
+// The query subcommand asks a running rrrd for a representative; -trace
+// sends a generated W3C traceparent, prints the trace ID, and renders the
+// request's span tree fetched from /v1/traces/{id}:
+//
+//	rrr query -server http://localhost:8080 -dataset flights -k 100 -trace
 package main
 
 import (
@@ -43,6 +49,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "watch" {
 		if err := runWatch(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "rrr watch:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "query" {
+		if err := runQuery(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "rrr query:", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"crypto/rand"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// runQuery implements `rrr query`: ask a running rrrd for a
+// representative instead of solving locally. With -trace it generates a
+// W3C traceparent for the request (sampled flag set), prints the trace ID
+// the daemon answered with, then fetches GET /v1/traces/{id} and renders
+// the span tree — the one-command way to see where a request's time went.
+func runQuery(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("rrr query", flag.ContinueOnError)
+	var (
+		server  = fs.String("server", "http://localhost:8080", "rrrd base URL")
+		dataset = fs.String("dataset", "", "dataset to query (required)")
+		k       = fs.Int("k", 100, "rank-regret target k")
+		algo    = fs.String("algo", "auto", "algorithm: auto, 2drrr, mdrrr, mdrc")
+		traced  = fs.Bool("trace", false, "send a generated traceparent, print the trace ID, and render the request's span tree from /v1/traces/{id}")
+		timeout = fs.Duration("timeout", 30*time.Second, "whole-request deadline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataset == "" {
+		return errors.New("-dataset is required")
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	base := strings.TrimSuffix(*server, "/")
+	url := fmt.Sprintf("%s/v1/representative?dataset=%s&k=%d&algo=%s", base, *dataset, *k, *algo)
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	if *traced {
+		tp, err := newTraceparent()
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Traceparent", tp)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return fmt.Errorf("server returned %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var rep struct {
+		Dataset   string  `json:"dataset"`
+		K         int     `json:"k"`
+		Algorithm string  `json:"algorithm"`
+		Size      int     `json:"size"`
+		IDs       []int   `json:"ids"`
+		Cached    bool    `json:"cached"`
+		ElapsedMS float64 `json:"elapsed_ms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return fmt.Errorf("decoding representative: %w", err)
+	}
+	fmt.Fprintf(stdout, "dataset=%s k=%d algo=%s size=%d cached=%v elapsed=%.3fms\n",
+		rep.Dataset, rep.K, rep.Algorithm, rep.Size, rep.Cached, rep.ElapsedMS)
+	fmt.Fprintf(stdout, "ids: %v\n", rep.IDs)
+
+	if !*traced {
+		return nil
+	}
+	// The daemon echoes the trace ID it recorded under (ours, unless head
+	// sampling declined the trace — then there is no tree to fetch).
+	traceID := resp.Header.Get("X-Trace-Id")
+	if traceID == "" {
+		fmt.Fprintln(stdout, "trace: not recorded (head-sampled out by the server's -trace-sample policy)")
+		return nil
+	}
+	fmt.Fprintf(stdout, "trace: %s\n", traceID)
+	return renderTrace(client, base, traceID, stdout)
+}
+
+// newTraceparent mints a version-00 W3C traceparent with random non-zero
+// trace and span IDs and the sampled flag set.
+func newTraceparent() (string, error) {
+	var id [16]byte
+	var span [8]byte
+	if _, err := rand.Read(id[:]); err != nil {
+		return "", err
+	}
+	if _, err := rand.Read(span[:]); err != nil {
+		return "", err
+	}
+	// An all-zero ID is forbidden by the spec; 16 (or 8) random bytes are
+	// never all zero in practice, but the guard costs one branch.
+	id[15] |= 1
+	span[7] |= 1
+	return fmt.Sprintf("00-%x-%x-01", id, span), nil
+}
+
+// renderTrace fetches one trace and prints its server-rendered span tree
+// plus the span count and total duration.
+func renderTrace(client *http.Client, base, traceID string, stdout io.Writer) error {
+	resp, err := client.Get(base + "/v1/traces/" + traceID)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return fmt.Errorf("fetching trace %s: %s: %s", traceID, resp.Status, strings.TrimSpace(string(body)))
+	}
+	var tr struct {
+		DurationMS float64 `json:"duration_ms"`
+		Spans      int     `json:"spans"`
+		Tree       string  `json:"tree"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		return fmt.Errorf("decoding trace %s: %w", traceID, err)
+	}
+	fmt.Fprintf(stdout, "%d spans over %.3fms:\n%s", tr.Spans, tr.DurationMS, tr.Tree)
+	if !strings.HasSuffix(tr.Tree, "\n") {
+		fmt.Fprintln(stdout)
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+
+	"rrr/internal/service"
+)
+
+// TestQuerySubcommandTraced drives `rrr query -trace` end to end against
+// a real in-process rrrd server: the generated traceparent must produce a
+// recorded trace whose ID the command prints, followed by the rendered
+// span tree fetched from /v1/traces/{id}.
+func TestQuerySubcommandTraced(t *testing.T) {
+	svc := service.New(service.Config{Seed: 1})
+	if _, err := svc.Registry().Generate("flights", "dot", 300, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(service.NewServer(svc))
+	defer ts.Close()
+
+	var out strings.Builder
+	err := runQuery([]string{"-server", ts.URL, "-dataset", "flights", "-k", "10", "-trace"}, &out)
+	if err != nil {
+		t.Fatalf("runQuery: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+
+	if !strings.Contains(got, "dataset=flights k=10") {
+		t.Errorf("missing representative summary:\n%s", got)
+	}
+	m := regexp.MustCompile(`trace: ([0-9a-f]{32})\n`).FindStringSubmatch(got)
+	if m == nil {
+		t.Fatalf("no trace ID line in output:\n%s", got)
+	}
+	if !strings.Contains(got, "request") {
+		t.Errorf("span tree does not show the root request span:\n%s", got)
+	}
+	if !regexp.MustCompile(`\d+ spans over \d`).MatchString(got) {
+		t.Errorf("missing span-tree header:\n%s", got)
+	}
+}
+
+// TestQuerySubcommandUntraced: without -trace no traceparent is sent and
+// no trace line is printed — but a cold solve still reports its result.
+func TestQuerySubcommandUntraced(t *testing.T) {
+	svc := service.New(service.Config{Seed: 1})
+	if _, err := svc.Registry().Generate("flights", "dot", 300, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(service.NewServer(svc))
+	defer ts.Close()
+
+	var out strings.Builder
+	if err := runQuery([]string{"-server", ts.URL, "-dataset", "flights", "-k", "10"}, &out); err != nil {
+		t.Fatalf("runQuery: %v", err)
+	}
+	if strings.Contains(out.String(), "trace:") {
+		t.Errorf("untraced query printed a trace line:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "ids: [") {
+		t.Errorf("missing ids line:\n%s", out.String())
+	}
+}
+
+// TestQuerySubcommandValidation: a missing -dataset fails before any
+// network traffic.
+func TestQuerySubcommandValidation(t *testing.T) {
+	var out strings.Builder
+	if err := runQuery([]string{"-server", "http://localhost:1"}, &out); err == nil {
+		t.Fatal("expected an error for missing -dataset")
+	}
+}

@@ -55,6 +55,22 @@
 // POST /debug/rtrace/start|stop execution tracing — keep it on
 // localhost.
 //
+// Span export and sampling (DESIGN.md §13): -otlp-endpoint streams every
+// retained trace to an OpenTelemetry collector as OTLP/HTTP JSON from a
+// bounded background queue that drops (counted in
+// rrrd_trace_export_dropped_total) rather than ever delaying a request
+// or a mutation commit. -trace-sample picks the head-sampling policy —
+// always (default), never, ratio (deterministic in the trace ID, so a
+// distributed trace is kept or dropped consistently across services and
+// restarts), or ratelimit (a token bucket of -trace-rate traces/sec);
+// -trace-rate parameterizes ratio (0..1) and ratelimit (traces/sec).
+// Whatever the policy says, slow (-slow-threshold) and errored requests
+// are retained and exported anyway — sampling bounds the cost of the
+// healthy majority, not visibility into the outliers.
+// GET /v1/metrics?format=openmetrics serves the same metric families in
+// OpenMetrics syntax with trace-ID exemplars on histogram buckets,
+// linking a slow bucket straight to GET /v1/traces/{id}.
+//
 // Examples:
 //
 //	rrrd -addr :8080 -preload flights=dot:5000:3,diamonds=bn:5000 -request-timeout 30s
@@ -62,6 +78,7 @@
 //	rrrd -delta -preload flights=dot:5000:2
 //	rrrd -delta -watch -preload flights=dot:5000:2
 //	rrrd -delta -data-dir /var/lib/rrrd -fsync always -preload flights=dot:5000:2
+//	rrrd -otlp-endpoint http://localhost:4318 -trace-sample ratio -trace-rate 0.1 -slow-threshold 250ms -preload flights=dot:5000:2
 //	curl localhost:8080/v1/healthz
 //	curl 'localhost:8080/v1/representative?dataset=flights&k=100'
 //	curl -X POST localhost:8080/v1/datasets/flights/append -d '{"rows":[[12,850],[3,2400]]}'
@@ -90,6 +107,8 @@ import (
 
 	"rrr"
 	"rrr/internal/service"
+	"rrr/internal/trace"
+	"rrr/internal/trace/export"
 	"rrr/internal/wal"
 )
 
@@ -122,6 +141,9 @@ func run() error {
 		logFormat  = flag.String("log-format", "text", "log output format: text (human-readable) or json (one structured object per line)")
 		slowThresh = flag.Duration("slow-threshold", 0, "log any request slower than this with its full span tree (0 = disabled); pair with a traceparent header or /v1/representative to get solver-phase spans")
 		debugAddr  = flag.String("debug-addr", "", "separate listener for net/http/pprof and POST /debug/rtrace/start|stop execution tracing; keep it on localhost (empty = disabled)")
+		otlpEnd    = flag.String("otlp-endpoint", "", "OTLP/HTTP collector URL to export retained traces to, e.g. http://localhost:4318 (empty = no export); export never blocks serving — a slow collector drops traces, counted in rrrd_trace_export_dropped_total")
+		traceSamp  = flag.String("trace-sample", "always", "head-sampling policy for traces: always, never, ratio (keep a -trace-rate fraction, deterministic per trace ID), ratelimit (at most -trace-rate traces/sec); slow and errored traces are always kept")
+		traceRate  = flag.Float64("trace-rate", 1, "parameter for -trace-sample: the kept fraction in [0,1] for ratio, traces per second for ratelimit")
 	)
 	flag.Parse()
 
@@ -192,6 +214,28 @@ func run() error {
 	if *slowThresh > 0 {
 		serverOpts = append(serverOpts, service.WithSlowRequestLog(*slowThresh, logger))
 	}
+	if *traceSamp != "always" || *traceRate != 1 {
+		sampler, err := trace.NewSampler(*traceSamp, *traceRate)
+		if err != nil {
+			return fmt.Errorf("-trace-sample: %w", err)
+		}
+		serverOpts = append(serverOpts, service.WithSampler(sampler))
+		logger.Info("trace sampling enabled", "policy", sampler.String())
+	}
+	var exporter *export.Exporter
+	if *otlpEnd != "" {
+		exporter, err = export.New(export.Config{
+			Endpoint: *otlpEnd,
+			Service:  "rrrd",
+			Counters: svc.Metrics(),
+			Logger:   logger,
+		})
+		if err != nil {
+			return fmt.Errorf("-otlp-endpoint: %w", err)
+		}
+		serverOpts = append(serverOpts, service.WithSpanExporter(exporter))
+		logger.Info("trace export enabled", "endpoint", exporter.Endpoint())
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           logRequests(service.NewServer(svc, serverOpts...), logger),
@@ -234,6 +278,14 @@ func run() error {
 		}
 		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 			return err
+		}
+		if exporter != nil {
+			// Requests are drained; give the exporter one shot at flushing
+			// what is already queued. A down collector forfeits the tail
+			// rather than holding up shutdown.
+			if err := exporter.Close(ctx); err != nil {
+				logger.Warn("trace exporter did not drain before shutdown deadline", "err", err)
+			}
 		}
 		if store != nil {
 			// The HTTP server is drained: mutations are quiesced, so the

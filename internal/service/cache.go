@@ -285,6 +285,8 @@ func (c *Cache) run(key Key, slot *computation, ctx context.Context, compute fun
 		return
 	}
 	c.metrics.computeStarted()
+	rec, _ := trace.FromContext(ctx)
+	tid := rec.TraceID()
 	start := time.Now()
 	finished := false
 	defer func() {
@@ -294,7 +296,7 @@ func (c *Cache) run(key Key, slot *computation, ctx context.Context, compute fun
 			// re-panicking on a detached goroutine would kill the process.
 			slot.err = fmt.Errorf("service: computation for %v panicked: %v", key, recover())
 			slot.elapsed = time.Since(start)
-			c.metrics.computeFinished(key.Algo, slot.elapsed, slot.err)
+			c.metrics.computeFinished(key.Algo, slot.elapsed, slot.err, tid)
 			c.evict(key, slot)
 			close(slot.done)
 		}
@@ -302,7 +304,7 @@ func (c *Cache) run(key Key, slot *computation, ctx context.Context, compute fun
 	slot.ids, slot.stats, slot.err = compute(ctx)
 	finished = true
 	slot.elapsed = time.Since(start)
-	c.metrics.computeFinished(key.Algo, slot.elapsed, slot.err)
+	c.metrics.computeFinished(key.Algo, slot.elapsed, slot.err, tid)
 	if slot.err != nil && !errors.Is(slot.err, rrr.ErrBudgetExhausted) {
 		// Evict before waking waiters: transient failures and
 		// cancellations must not poison the key. Budget exhaustion is the
@@ -581,7 +583,8 @@ func (c *Cache) runBatch(fl *flight, ctx context.Context, owned []Key, slots map
 				c.fill(fl, key, slots[key], nil, ResultStats{}, err, time.Since(start), true)
 			}
 		}
-		c.metrics.computeFinished("batch", time.Since(start), nil)
+		rec, _ := trace.FromContext(ctx)
+		c.metrics.computeFinished("batch", time.Since(start), nil, rec.TraceID())
 	}()
 	compute(ctx, owned, fill)
 	finished = true

@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"rrr/internal/trace"
 )
 
 // TestCacheSingleflight gates the compute until all requesters are provably
@@ -286,9 +288,9 @@ func TestMetricsHistogram(t *testing.T) {
 	}
 	m := NewMetrics()
 	m.computeStarted()
-	m.computeFinished("mdrc", 3*time.Millisecond, nil)
+	m.computeFinished("mdrc", 3*time.Millisecond, nil, trace.TraceID{})
 	m.computeStarted()
-	m.computeFinished("mdrc", time.Minute, nil) // overflow bucket
+	m.computeFinished("mdrc", time.Minute, nil, trace.TraceID{}) // overflow bucket
 	snap := m.Snapshot()
 	if snap.InFlight != 0 {
 		t.Fatalf("in-flight = %d, want 0", snap.InFlight)

@@ -50,6 +50,9 @@ const statusClientClosedRequest = 499
 //	GET  /v1/healthz         liveness
 //	GET  /v1/stats           cache + latency + shard counters (JSON)
 //	GET  /v1/metrics         the same counters in Prometheus text format
+//	                         (?format=openmetrics adds trace exemplars)
+//	GET  /v1/traces?limit=N  recent retained traces, newest first
+//	GET  /v1/traces/{id}     one trace's span list and rendered tree
 //
 // Errors are JSON envelopes {"error": ..., "kind": ...} where kind is one
 // of "bad_request", "not_found", "conflict", "canceled",
@@ -64,10 +67,27 @@ type Server struct {
 	// exist only for requests that ask (a traceparent header) or that miss
 	// the cache into a solve; the cached hot path stays allocation-free.
 	tracer *trace.Tracer
+	// sampler is the head-sampling policy (DESIGN.md §13): consulted once
+	// per trace-worthy request, before any recorder exists, so a declined
+	// trace costs zero allocations. Nil keeps every trace.
+	sampler trace.Sampler
+	// exporter receives every retained trace. Nil means no export.
+	exporter SpanExporter
 	// slowThreshold, when positive, makes every finished trace at or over
-	// it dump its span tree to slowLog — the -slow-threshold flag.
+	// it dump its span tree to slowLog — the -slow-threshold flag. It also
+	// drives tail retention: slow traces are kept and exported even when
+	// the head sampler declined them.
 	slowThreshold time.Duration
 	slowLog       *slog.Logger
+}
+
+// SpanExporter is where retained traces go after sealing — in production
+// an *export.Exporter, whose Enqueue never blocks. The interface keeps
+// the HTTP layer decoupled from the OTLP wire code (and swappable in
+// tests). Implementations must not block and must tolerate concurrent
+// calls.
+type SpanExporter interface {
+	Enqueue(tr *trace.Trace)
 }
 
 // ServerOption configures a Server.
@@ -102,6 +122,22 @@ func WithSlowRequestLog(threshold time.Duration, logger *slog.Logger) ServerOpti
 		}
 		s.slowLog = logger
 	}
+}
+
+// WithSampler installs the head-sampling policy (rrrd -trace-sample /
+// -trace-rate). The default (nil) keeps every trace. Whatever the policy
+// decides, slow and errored traces are still retained and exported (tail
+// retention) — sampling bounds the cost of the healthy majority, not
+// visibility into the outliers.
+func WithSampler(sampler trace.Sampler) ServerOption {
+	return func(s *Server) { s.sampler = sampler }
+}
+
+// WithSpanExporter wires the sink that receives every retained trace
+// (rrrd -otlp-endpoint). The exporter must never block: the server calls
+// Enqueue synchronously on the request path.
+func WithSpanExporter(e SpanExporter) ServerOption {
+	return func(s *Server) { s.exporter = e }
 }
 
 // NewServer builds the HTTP adapter over svc.
@@ -170,14 +206,46 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// case (no header) must stay free for the zero-alloc hot path.
 	if vals := r.Header["Traceparent"]; len(vals) > 0 {
 		if id, remote, flags, ok := trace.ParseTraceparent(vals[0]); ok {
-			rec := s.tracer.Start(id, remote, flags)
-			r = r.WithContext(trace.NewContext(r.Context(), rec, rec.Root()))
-			h := w.Header()
-			h["Traceparent"] = []string{rec.Traceparent()}
-			h["X-Trace-Id"] = []string{rec.TraceID().String()}
-			defer s.finishTrace(rec, r)
+			if s.sample(id) {
+				rec := s.tracer.Start(id, remote, flags)
+				r = r.WithContext(trace.NewContext(r.Context(), rec, rec.Root()))
+				h := w.Header()
+				h["Traceparent"] = []string{rec.Traceparent()}
+				h["X-Trace-Id"] = []string{rec.TraceID().String()}
+				defer s.finishTrace(rec, r, true)
+				s.dispatch(w, r)
+				return
+			}
+			// Head-sampled out: no recorder, no response trace headers, no
+			// allocations — the same cost as an untraced request. Tail
+			// retention still applies: with a slow threshold set, time the
+			// request with two monotonic reads and, over the line,
+			// synthesize a one-span trace at the propagated ID after the
+			// fact, so slow outliers stay visible at any sampling rate.
+			if s.slowThreshold > 0 {
+				start := time.Now()
+				s.dispatch(w, r)
+				if d := time.Since(start); d >= s.slowThreshold {
+					tr := trace.Synthesize(id, remote, start, d)
+					s.tracer.Retain(tr)
+					if s.exporter != nil {
+						s.exporter.Enqueue(tr)
+					}
+					s.logSlow(tr, r)
+				}
+				return
+			}
+			s.dispatch(w, r)
+			return
 		}
 	}
+	s.dispatch(w, r)
+}
+
+// dispatch applies the per-request deadline and routes. Streaming paths
+// are exempt from the deadline: a watch connection is *supposed* to
+// outlive any per-request budget.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request) {
 	if s.timeout > 0 && !isStreamPath(r.URL.Path) {
 		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 		defer cancel()
@@ -186,12 +254,57 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// finishTrace seals a request's trace into the ring and, over the slow
-// threshold, dumps its span tree — the after-the-fact decomposition of
-// "why was that request slow".
-func (s *Server) finishTrace(rec *trace.Recorder, r *http.Request) {
-	tr := s.tracer.Finish(rec)
-	if tr == nil || s.slowLog == nil || s.slowThreshold <= 0 || tr.Duration < s.slowThreshold {
+// sample applies the head-sampling policy to one trace ID and counts the
+// decision. Nil sampler = keep everything (the default, and the pre-flag
+// behavior).
+func (s *Server) sample(id trace.TraceID) bool {
+	if s.sampler == nil || s.sampler.Sample(id) {
+		s.svc.Metrics().sampled()
+		return true
+	}
+	s.svc.Metrics().unsampled()
+	return false
+}
+
+// headSampledOut reports whether r carried a *valid* traceparent that
+// head sampling declined — the only way a request reaches a handler with
+// a parseable header but no recorder in its context. Malformed headers
+// return false: they never faced the sampler, so a local mint is fair.
+func headSampledOut(r *http.Request) bool {
+	vals := r.Header["Traceparent"]
+	if len(vals) == 0 {
+		return false
+	}
+	_, _, _, ok := trace.ParseTraceparent(vals[0])
+	return ok
+}
+
+// finishTrace seals a request's trace and decides retention: keep it in
+// the ring and hand it to the exporter iff the head sampler said yes OR
+// the tail says it matters anyway (slow or errored). A sealed-and-dropped
+// trace costs nothing downstream.
+func (s *Server) finishTrace(rec *trace.Recorder, r *http.Request, sampled bool) {
+	tr := s.tracer.Seal(rec)
+	if tr == nil {
+		return
+	}
+	slow := s.slowThreshold > 0 && tr.Duration >= s.slowThreshold
+	if !sampled && !slow && tr.Err == "" {
+		return
+	}
+	s.tracer.Retain(tr)
+	if s.exporter != nil {
+		s.exporter.Enqueue(tr)
+	}
+	if slow {
+		s.logSlow(tr, r)
+	}
+}
+
+// logSlow dumps a slow trace's span tree — the after-the-fact
+// decomposition of "why was that request slow".
+func (s *Server) logSlow(tr *trace.Trace, r *http.Request) {
+	if s.slowLog == nil {
 		return
 	}
 	s.slowLog.Warn("slow request",
@@ -491,6 +604,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 func (s *Server) mutate(w http.ResponseWriter, r *http.Request, b delta.Batch) {
 	mut, err := s.svc.Mutate(r.Context(), r.PathValue("name"), b)
 	if err != nil {
+		trace.MarkError(r.Context(), err)
 		writeError(w, err)
 		return
 	}
@@ -578,16 +692,29 @@ func (s *Server) handleRepresentative(w http.ResponseWriter, r *http.Request) {
 	// Past the warm fast path a solve (or a wait on someone else's solve)
 	// is coming: give the request a locally-rooted trace if the client
 	// didn't send one, so every expensive request is decomposable after
-	// the fact via /v1/traces.
+	// the fact via /v1/traces. A request whose *valid* traceparent was
+	// head-sampled out upstream (no recorder in ctx despite the header)
+	// must not be re-minted here — the sampler's decision covers the
+	// whole request; detecting that re-parses the header rather than
+	// threading a flag through the context, keeping the sampled-out path
+	// allocation-free.
 	ctx := r.Context()
-	if rec, _ := trace.FromContext(ctx); rec == nil {
+	if rec, _ := trace.FromContext(ctx); rec == nil && !headSampledOut(r) {
 		rec = s.tracer.StartLocal()
+		sampled := true
+		if s.sampler != nil {
+			// Locally-minted traces face the same policy as propagated
+			// ones; recording still happens (the solve is already paying
+			// for spans) but retention and export follow the decision.
+			sampled = s.sample(rec.TraceID())
+		}
 		ctx = trace.NewContext(ctx, rec, rec.Root())
 		w.Header()["X-Trace-Id"] = []string{rec.TraceID().String()}
-		defer s.finishTrace(rec, r)
+		defer s.finishTrace(rec, r, sampled)
 	}
 	cached, err := svc.solveEntry(ctx, entry, k, algo)
 	if err != nil {
+		trace.MarkError(ctx, err)
 		writeError(w, err)
 		return
 	}
@@ -882,8 +1009,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.svc.Metrics().WritePrometheus(w)
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "prometheus", "text":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.svc.Metrics().WritePrometheus(w)
+	case "openmetrics":
+		// The OpenMetrics rendering of the same families, with trace
+		// exemplars on histogram buckets — the metrics→traces link.
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		s.svc.Metrics().WriteOpenMetrics(w)
+	default:
+		writeError(w, fmt.Errorf("service: unknown metrics format %q (want prometheus or openmetrics): %w", format, ErrBadRequest))
+	}
 }
 
 // traceSpanBody is one span in a trace response. Shard is -1 for spans
@@ -927,14 +1064,22 @@ func summarizeTrace(tr *trace.Trace) traceSummaryBody {
 	}
 }
 
-// handleTraces serves the recent-trace ring, newest first. n bounds the
-// listing (default: the whole ring).
+// handleTraces serves the recent-trace ring, newest first. limit bounds
+// the listing (default: the whole ring); n is the pre-rename alias.
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	n := 0
-	if raw := r.URL.Query().Get("n"); raw != "" {
-		v, err := intParam(raw, "n")
+	name, raw := "limit", r.URL.Query().Get("limit")
+	if raw == "" {
+		name, raw = "n", r.URL.Query().Get("n")
+	}
+	if raw != "" {
+		v, err := intParam(raw, name)
 		if err != nil {
 			writeError(w, err)
+			return
+		}
+		if v < 1 {
+			writeError(w, fmt.Errorf("service: %s must be at least 1, got %d: %w", name, v, ErrBadRequest))
 			return
 		}
 		n = v

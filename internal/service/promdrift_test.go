@@ -3,6 +3,7 @@ package service
 import (
 	"io"
 	"net/http"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -256,6 +257,13 @@ var statsToProm = map[string]string{
 	"watch.events":                   "rrrd_watch_events_total",
 	"watch.dropped":                  "rrrd_watch_dropped_total",
 	"watch.resumes":                  "rrrd_watch_resumes_total",
+	"trace.sampled":                  "rrrd_trace_sampled_total",
+	"trace.unsampled":                "rrrd_trace_unsampled_total",
+	"trace.exported_spans":           "rrrd_trace_export_spans_total",
+	"trace.exported_batches":         "rrrd_trace_export_batches_total",
+	"trace.export_retries":           "rrrd_trace_export_retries_total",
+	"trace.export_failures":          "rrrd_trace_export_failures_total",
+	"trace.export_dropped":           "rrrd_trace_export_dropped_total",
 	"runtime.goroutines":             "rrrd_goroutines",
 	"runtime.heap_alloc_bytes":       "rrrd_heap_alloc_bytes",
 	"runtime.gc_pause_seconds_total": "rrrd_gc_pause_seconds_total",
@@ -375,6 +383,9 @@ func TestPrometheusExpositionMatchesStats(t *testing.T) {
 		"delta.mutations", "delta.mutated_tuples", "delta.revalidated", "delta.repaired", "delta.recomputed",
 		"persist.wal_appends", "persist.wal_bytes", "persist.replayed_batches", "persist.warmed_answers",
 		"watch.subscribers", "watch.events", "watch.dropped", "watch.resumes",
+		"trace.sampled", "trace.unsampled",
+		"trace.exported_spans", "trace.exported_batches",
+		"trace.export_retries", "trace.export_failures", "trace.export_dropped",
 	}
 	for _, leaf := range stable {
 		want := statsLeafValue(t, snap, leaf)
@@ -397,6 +408,171 @@ func TestPrometheusExpositionMatchesStats(t *testing.T) {
 	if len(phases.samples["rrrd_solve_phase_seconds_count"]) == 0 {
 		t.Error("cold solve produced no rrrd_solve_phase_seconds series — phase sink disconnected?")
 	}
+}
+
+// exemplarRE matches the OpenMetrics exemplar suffix the daemon emits on
+// histogram bucket lines: `# {trace_id="<32 hex>"} value timestamp`.
+var exemplarRE = regexp.MustCompile(` # \{trace_id="([0-9a-f]{32})"\} ([0-9.eE+-]+) [0-9.]+$`)
+
+// TestOpenMetricsMatchesClassic holds the OpenMetrics rendering to the
+// classic one family-by-family: the formats differ only where the specs
+// force them to (counter metadata names, exemplars, the # EOF
+// terminator). Both come from one emitter, so a divergence here means a
+// format-conditional crept into the wrong branch.
+func TestOpenMetricsMatchesClassic(t *testing.T) {
+	ts, _ := newTestServer(t)
+	defer ts.Close()
+
+	// One traced cold solve, so the histograms have series and at least
+	// one bucket carries an exemplar with a known trace ID.
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/representative?dataset=flights&k=10", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Traceparent", testTraceparent)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced solve: status %d", resp.StatusCode)
+	}
+
+	classicResp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	classic := readAll(t, classicResp)
+	omResp, err := http.Get(ts.URL + "/v1/metrics?format=openmetrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := omResp.Header.Get("Content-Type"); ct != "application/openmetrics-text; version=1.0.0; charset=utf-8" {
+		t.Errorf("openmetrics Content-Type = %q", ct)
+	}
+	om := readAll(t, omResp)
+
+	if !strings.HasSuffix(om, "# EOF\n") {
+		t.Error("openmetrics exposition does not end with # EOF")
+	}
+	if strings.Contains(classic, " # {") {
+		t.Error("classic exposition carries exemplars — they are OpenMetrics-only")
+	}
+
+	// typeLines maps family name → declared type from # TYPE lines.
+	typeLines := func(text string) map[string]string {
+		out := make(map[string]string)
+		for _, line := range strings.Split(text, "\n") {
+			if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+				name, typ, _ := strings.Cut(rest, " ")
+				out[name] = typ
+			}
+		}
+		return out
+	}
+	classicTypes, omTypes := typeLines(classic), typeLines(om)
+	if len(classicTypes) != len(omTypes) {
+		t.Errorf("family counts differ: classic %d, openmetrics %d", len(classicTypes), len(omTypes))
+	}
+	for fam, typ := range classicTypes {
+		omFam := fam
+		if typ == "counter" {
+			omFam = strings.TrimSuffix(fam, "_total")
+		}
+		if got, ok := omTypes[omFam]; !ok || got != typ {
+			t.Errorf("classic family %s (%s) has no openmetrics twin %s (got %q)", fam, typ, omFam, got)
+		}
+	}
+
+	// Sample lines (metric name + labels + value) must be identical once
+	// exemplars are stripped — counters keep their _total sample names in
+	// both formats, so only time-varying values may differ. Compare the
+	// name+labels part of every line; values for stable counters were
+	// already held equal to /v1/stats by the sibling test.
+	sampleKeys := func(text string) map[string]bool {
+		out := make(map[string]bool)
+		for _, line := range strings.Split(text, "\n") {
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			line = exemplarRE.ReplaceAllString(line, " <exemplar>")
+			// Strip the value: the key is everything up to the last space.
+			if i := strings.LastIndexByte(strings.TrimSuffix(line, " <exemplar>"), ' '); i > 0 {
+				out[strings.TrimSuffix(line, " <exemplar>")[:i]] = true
+			}
+		}
+		return out
+	}
+	classicKeys, omKeys := sampleKeys(classic), sampleKeys(om)
+	for k := range classicKeys {
+		if !omKeys[k] {
+			t.Errorf("classic sample %q missing from openmetrics", k)
+		}
+	}
+	for k := range omKeys {
+		if !classicKeys[k] {
+			t.Errorf("openmetrics sample %q missing from classic", k)
+		}
+	}
+
+	// The traced solve's exemplar is present, carries the propagated
+	// trace ID, and sits on a bucket whose bound admits its value.
+	wantID := strings.Split(testTraceparent, "-")[1]
+	found := false
+	for _, line := range strings.Split(om, "\n") {
+		m := exemplarRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		found = true
+		if m[1] != wantID {
+			t.Errorf("exemplar trace_id = %s, want %s (line %q)", m[1], wantID, line)
+		}
+		if !strings.Contains(line, "_bucket{") {
+			t.Errorf("exemplar on a non-bucket line: %q", line)
+		}
+		val, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			t.Fatalf("exemplar value %q: %v", m[2], err)
+		}
+		if le := extractLabel(line, "le"); le != "+Inf" {
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				t.Fatalf("le %q: %v", le, err)
+			}
+			if val > bound {
+				t.Errorf("exemplar value %g exceeds its bucket bound le=%g: %q", val, bound, line)
+			}
+		}
+	}
+	if !found {
+		t.Error("traced solve left no exemplar in the openmetrics exposition")
+	}
+
+	// Unknown formats are a client error, not a silent default.
+	badResp, err := http.Get(ts.URL + "/v1/metrics?format=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	badResp.Body.Close()
+	if badResp.StatusCode != http.StatusBadRequest {
+		t.Errorf("format=bogus: status %d, want 400", badResp.StatusCode)
+	}
+}
+
+// extractLabel pulls one label's value out of a sample line.
+func extractLabel(line, name string) string {
+	i := strings.Index(line, name+`="`)
+	if i < 0 {
+		return ""
+	}
+	rest := line[i+len(name)+2:]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return ""
+	}
+	return rest[:j]
 }
 
 // statsLeafValue walks a dotted path into the decoded stats object.

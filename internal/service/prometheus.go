@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -16,15 +17,40 @@ import (
 // The implementation is hand-rolled on purpose: the repository takes no
 // dependencies beyond the standard library, and the format is a dozen
 // lines of text.
-func (m *Metrics) WritePrometheus(w io.Writer) {
+func (m *Metrics) WritePrometheus(w io.Writer) { m.writeExposition(w, false) }
+
+// WriteOpenMetrics renders the same families in the OpenMetrics text
+// format (version 1.0.0): counter metadata drops the _total suffix from
+// the family name (samples keep it), the exposition ends with # EOF, and
+// histogram buckets carry `# {trace_id="..."} value ts` exemplars
+// pointing at the trace behind their latest traced observation — the
+// jump from "this bucket is slow" to GET /v1/traces/{id} (or the
+// collector's view of the exported span tree).
+//
+// One emitter serves both formats so they cannot drift; the promdrift
+// test additionally holds both surfaces equal family-by-family.
+func (m *Metrics) WriteOpenMetrics(w io.Writer) { m.writeExposition(w, true) }
+
+func (m *Metrics) writeExposition(w io.Writer, om bool) {
 	if m == nil {
 		return
 	}
+	// In OpenMetrics the family name in HELP/TYPE is the sample name
+	// minus the counter's mandatory _total suffix; classic text repeats
+	// the full name in both places.
 	counter := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+		family := name
+		if om {
+			family = strings.TrimSuffix(name, "_total")
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", family, help, family, name, v)
 	}
 	counterF := func(name, help string, v float64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+		family := name
+		if om {
+			family = strings.TrimSuffix(name, "_total")
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", family, help, family, name, v)
 	}
 	gauge := func(name, help string, v float64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
@@ -56,6 +82,13 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("rrrd_watch_events_total", "Events enqueued to watch subscribers (one publish to N subscribers counts N).", m.watchEvents.Load())
 	counter("rrrd_watch_dropped_total", "Watch subscribers dropped after overflowing their event ring.", m.watchDropped.Load())
 	counter("rrrd_watch_resumes_total", "Watch reconnects resumed by journal replay instead of a fresh snapshot.", m.watchResumes.Load())
+	counter("rrrd_trace_sampled_total", "Head-sampling decisions that recorded the trace.", m.traceSampled.Load())
+	counter("rrrd_trace_unsampled_total", "Head-sampling decisions that declined the trace.", m.traceUnsampled.Load())
+	counter("rrrd_trace_export_spans_total", "Spans delivered to the OTLP collector in accepted batches.", m.exportSpans.Load())
+	counter("rrrd_trace_export_batches_total", "Batch POSTs the OTLP collector accepted.", m.exportBatches.Load())
+	counter("rrrd_trace_export_retries_total", "Batch POSTs re-attempted after retryable collector failures.", m.exportRetries.Load())
+	counter("rrrd_trace_export_failures_total", "Batches abandoned after their final delivery attempt.", m.exportFailures.Load())
+	counter("rrrd_trace_export_dropped_total", "Traces dropped instead of blocking a request on a slow or down collector.", m.exportDropped.Load())
 	// Emitted unconditionally (-1 = no snapshot yet, exactly as the JSON
 	// surface reports it) so the series set never depends on state.
 	gauge("rrrd_snapshot_age_seconds", "Seconds since the registry snapshot was last written (-1 when none).", m.snapshotAge())
@@ -91,7 +124,17 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 			if i < len(bounds) {
 				le = fmt.Sprintf("%g", bounds[i].Seconds())
 			}
-			fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n", name, label, value, le, cum)
+			fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d", name, label, value, le, cum)
+			if om {
+				// The exemplar stays on the observation's native bucket, so
+				// its value is always within this le bound as the spec
+				// requires (cumulative buckets would otherwise let it leak
+				// upward).
+				if ex := h.exemplars[i].Load(); ex != nil {
+					fmt.Fprintf(w, " # {trace_id=%q} %g %.3f", ex.traceID, ex.value, float64(ex.atNanos)/1e9)
+				}
+			}
+			io.WriteString(w, "\n")
 		}
 		fmt.Fprintf(w, "%s_sum{%s=%q} %g\n", name, label, value, time.Duration(h.sum.Load()).Seconds())
 		fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, label, value, h.total.Load())
@@ -115,5 +158,9 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	sort.Strings(phases)
 	for _, p := range phases {
 		writeHist(pname, "phase", p, phists[p])
+	}
+
+	if om {
+		io.WriteString(w, "# EOF\n")
 	}
 }

@@ -1,0 +1,347 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rrr/internal/trace"
+	"rrr/internal/trace/export"
+)
+
+// captureExporter records every enqueued trace — the in-process stand-in
+// for an OTLP exporter in tests that only care about *what* was retained.
+type captureExporter struct {
+	mu     sync.Mutex
+	traces []*trace.Trace
+}
+
+func (c *captureExporter) Enqueue(tr *trace.Trace) {
+	c.mu.Lock()
+	c.traces = append(c.traces, tr)
+	c.mu.Unlock()
+}
+
+func (c *captureExporter) ids() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.traces))
+	for i, tr := range c.traces {
+		out[i] = tr.ID
+	}
+	return out
+}
+
+// TestSampledOutRequestAllocFree pins the head-sampled-out path at zero
+// allocations: a request carrying a traceparent the sampler declines must
+// cost exactly what an untraced request costs — no recorder, no context
+// wrap, no response headers. This is the contract that lets -trace-sample
+// ratio run at production rates without touching the hot-path gates.
+func TestSampledOutRequestAllocFree(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		sampler trace.Sampler
+	}{
+		{"never", trace.NeverSampler{}},
+		{"ratio_zero", trace.NewRatioSampler(0)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			svc := New(Config{Seed: 1})
+			registerGenerated(t, svc, "uni", "independent", 500, 2)
+			srv := NewServer(svc, WithSampler(tc.sampler))
+			req := httptest.NewRequest("GET", "/v1/representative?dataset=uni&k=10", nil)
+			req.Header.Set("Traceparent", testTraceparent)
+			w := &nullResponseWriter{header: make(http.Header)}
+			srv.ServeHTTP(w, req)
+			if w.status != http.StatusOK || w.bytes == 0 {
+				t.Fatalf("warm-up request failed: status %d, %d bytes", w.status, w.bytes)
+			}
+			allocs := testing.AllocsPerRun(50, func() {
+				w.status, w.bytes = 0, 0
+				srv.ServeHTTP(w, req)
+				if w.status != http.StatusOK || w.bytes == 0 {
+					t.Fatalf("hit failed: status %d, %d bytes", w.status, w.bytes)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("sampled-out traced request allocates %.1f times per run, want 0", allocs)
+			}
+			if got := w.header["X-Trace-Id"]; got != nil {
+				t.Errorf("sampled-out request got trace response headers: %v", got)
+			}
+			if n := srv.tracer.Total(); n != 0 {
+				t.Errorf("sampled-out requests retained %d traces, want 0", n)
+			}
+			snap := svc.Metrics().Snapshot()
+			if snap.Trace.Unsampled < 51 {
+				t.Errorf("unsampled counter = %d, want >= 51", snap.Trace.Unsampled)
+			}
+			if snap.Trace.Sampled != 0 {
+				t.Errorf("sampled counter = %d, want 0", snap.Trace.Sampled)
+			}
+		})
+	}
+}
+
+// TestTailRetentionSlowSampledOut: even with head sampling declining
+// everything, a slow request is retained — synthesized as a one-span
+// trace at the propagated trace ID — exported, and slow-logged. Sampling
+// bounds the cost of the healthy majority, never visibility into the
+// outliers.
+func TestTailRetentionSlowSampledOut(t *testing.T) {
+	svc := New(Config{Seed: 1})
+	if _, err := svc.Registry().Generate("flights", "dot", 300, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	var logBuf bytes.Buffer
+	sink := &captureExporter{}
+	ts := httptest.NewServer(NewServer(svc,
+		WithSampler(trace.NeverSampler{}),
+		// Every request is "slow" at a 1ns threshold, so the tail path
+		// triggers deterministically.
+		WithSlowRequestLog(time.Nanosecond, slog.New(slog.NewTextHandler(&logBuf, nil))),
+		WithSpanExporter(sink),
+	))
+	defer ts.Close()
+
+	req, err := http.NewRequest("GET", ts.URL+"/v1/representative?dataset=flights&k=10", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Traceparent", testTraceparent)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Trace-Id") != "" {
+		t.Error("sampled-out request must not carry trace response headers")
+	}
+
+	const wantID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	var body traceBody
+	if code := getJSON(t, ts.URL+"/v1/traces/"+wantID, &body); code != http.StatusOK {
+		t.Fatalf("synthesized trace not retained: GET /v1/traces/%s = %d", wantID, code)
+	}
+	if len(body.SpanList) != 1 || body.SpanList[0].Name != "request" {
+		t.Fatalf("synthesized trace spans = %+v, want one request span", body.SpanList)
+	}
+	if body.RemoteParent != "00f067aa0ba902b7" {
+		t.Errorf("remote parent = %q", body.RemoteParent)
+	}
+	if ids := sink.ids(); len(ids) != 1 || ids[0] != wantID {
+		t.Errorf("exported trace IDs = %v, want [%s]", ids, wantID)
+	}
+	if !strings.Contains(logBuf.String(), wantID) {
+		t.Errorf("slow log does not mention trace %s: %q", wantID, logBuf.String())
+	}
+}
+
+// TestTailRetentionErroredTrace: a locally-minted trace whose solve fails
+// is retained and exported even when the sampler declined it, with the
+// error recorded on the trace.
+func TestTailRetentionErroredTrace(t *testing.T) {
+	svc := New(Config{Seed: 1})
+	if _, err := svc.Registry().Generate("flights", "dot", 300, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	sink := &captureExporter{}
+	ts := httptest.NewServer(NewServer(svc, WithSampler(trace.NeverSampler{}), WithSpanExporter(sink)))
+	defer ts.Close()
+
+	// k far beyond the dataset size cannot be solved; the request mints a
+	// local trace (no traceparent sent), records the solve, and fails.
+	resp, err := http.Get(ts.URL + "/v1/representative?dataset=flights&k=100000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("expected the oversized-k solve to fail")
+	}
+	if n := srvTracerTotal(ts); n != 1 {
+		t.Fatalf("retained traces = %d, want 1 (the errored one)", n)
+	}
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if len(sink.traces) != 1 {
+		t.Fatalf("exported traces = %d, want 1", len(sink.traces))
+	}
+	if sink.traces[0].Err == "" {
+		t.Error("exported trace carries no error message")
+	}
+}
+
+// srvTracerTotal fetches the retained-trace count over the API, keeping
+// the test black-box.
+func srvTracerTotal(ts *httptest.Server) int {
+	resp, err := http.Get(ts.URL + "/v1/traces")
+	if err != nil {
+		return -1
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Total int `json:"total"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return -1
+	}
+	return body.Total
+}
+
+// TestMutationPublishSpanAndWedgedExport drives a traced mutation against
+// a server whose OTLP collector is wedged (accepts the TCP connection,
+// never answers) behind a single-slot queue: the mutation and follow-up
+// traced requests must all complete promptly — drops are counted, latency
+// is not added — and the mutation's trace must show the publish span for
+// the watch fan-out, which also feeds the phase histogram.
+func TestMutationPublishSpanAndWedgedExport(t *testing.T) {
+	release := make(chan struct{})
+	collector := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	defer collector.Close()
+	defer close(release)
+
+	svc := New(Config{Seed: 1, DeltaMaintenance: true, Watch: true})
+	exp, err := export.New(export.Config{
+		Endpoint:  collector.URL,
+		QueueSize: 1,
+		BatchSize: 1,
+		Counters:  svc.Metrics(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+		defer cancel()
+		exp.Close(ctx) // deliberately short: the collector never answers
+	}()
+
+	if _, err := svc.Registry().RegisterCSV("anchored", strings.NewReader(anchoredCSV)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(svc, WithSpanExporter(exp)))
+	defer ts.Close()
+
+	do := func(method, url, body, traceparent string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(method, url, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Traceparent", traceparent)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	// Traced mutation through the wedged exporter. The whole round trip
+	// racing a 5s deadline is the block-detection: Enqueue on a wedged
+	// sender either returns immediately or this test times out.
+	start := time.Now()
+	mutTP := "00-aaaabbbbccccddddeeeeffff00001111-1111222233334444-01"
+	if resp := do(http.MethodPost, ts.URL+"/v1/datasets/anchored/append", `{"rows":[[0.5,0.5]]}`, mutTP); resp.StatusCode != http.StatusOK {
+		t.Fatalf("append status = %d", resp.StatusCode)
+	}
+	for i := 0; i < 3; i++ {
+		tp := "00-aaaabbbbccccddddeeeeffff0000222" + string(rune('a'+i)) + "-1111222233334444-01"
+		if resp := do(http.MethodGet, ts.URL+"/v1/representative?dataset=anchored&k=2", "", tp); resp.StatusCode != http.StatusOK {
+			t.Fatalf("representative %d status = %d", i, resp.StatusCode)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("traced requests against a wedged collector took %v — export is blocking the serving path", elapsed)
+	}
+
+	// The mutation's trace shows the watch fan-out as its own span.
+	var tr traceBody
+	if code := getJSON(t, ts.URL+"/v1/traces/aaaabbbbccccddddeeeeffff00001111", &tr); code != http.StatusOK {
+		t.Fatalf("mutation trace: status %d", code)
+	}
+	found := false
+	for _, sp := range tr.SpanList {
+		if sp.Name == "publish" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("mutation trace has no publish span: %+v", tr.SpanList)
+	}
+	snap := svc.Metrics().Snapshot()
+	if _, ok := snap.Phases["publish"]; !ok {
+		t.Error("publish span did not feed the phase histogram")
+	}
+	// One trace is wedged in the sender, one sits in the single-slot
+	// queue; the other two were dropped at Enqueue, synchronously.
+	if snap.Trace.ExportDropped < 1 {
+		t.Errorf("export_dropped = %d, want >= 1", snap.Trace.ExportDropped)
+	}
+}
+
+// TestTracesLimitValidation covers the /v1/traces listing bound: limit
+// (and its alias n) must be a positive integer; anything else is a 400,
+// not a silent default.
+func TestTracesLimitValidation(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	second := "00-99998888777766665555444433332222-0102030405060708-01"
+	for _, tp := range []string{testTraceparent, second} {
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/representative?dataset=flights&k=5", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Traceparent", tp)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("traced request status = %d", resp.StatusCode)
+		}
+	}
+
+	var listing struct {
+		Total  int                `json:"total"`
+		Traces []traceSummaryBody `json:"traces"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/traces?limit=1", &listing); code != http.StatusOK {
+		t.Fatalf("limit=1: status %d", code)
+	}
+	if len(listing.Traces) != 1 || listing.Total != 2 {
+		t.Fatalf("limit=1: got %d traces of total %d, want 1 of 2", len(listing.Traces), listing.Total)
+	}
+	// Newest first: the second trace leads.
+	if listing.Traces[0].ID != "99998888777766665555444433332222" {
+		t.Errorf("limit=1 returned %s, want the newest trace", listing.Traces[0].ID)
+	}
+	if code := getJSON(t, ts.URL+"/v1/traces?n=1", &listing); code != http.StatusOK || len(listing.Traces) != 1 {
+		t.Fatalf("n=1 alias: status %d, %d traces", code, len(listing.Traces))
+	}
+	if code := getJSON(t, ts.URL+"/v1/traces", &listing); code != http.StatusOK || len(listing.Traces) != 2 {
+		t.Fatalf("unbounded: status %d, %d traces", code, len(listing.Traces))
+	}
+	for _, bad := range []string{"limit=0", "limit=-3", "limit=abc", "n=0"} {
+		var errBody errorBody
+		if code := getJSON(t, ts.URL+"/v1/traces?"+bad, &errBody); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", bad, code)
+		} else if errBody.Kind != "bad_request" {
+			t.Errorf("%s: kind %q, want bad_request", bad, errBody.Kind)
+		}
+	}
+}

@@ -251,7 +251,14 @@ func (s *Service) Mutate(ctx context.Context, name string, b delta.Batch) (*Muta
 	s.metrics.mutation(len(ch.Inserted) + len(ch.Deleted))
 	stats, classes := s.maintain(ctx, cur, ch)
 	s.metrics.deltaOutcomes(stats.Revalidated, stats.Repaired, stats.Recomputed)
+	// The watch fan-out is part of the commit's critical path; give it
+	// its own span so a traced mutation shows how much of its latency
+	// went to notifying subscribers (trace export itself never appears
+	// here — Enqueue is non-blocking by contract).
+	rec, parent := trace.FromContext(ctx)
+	sid := rec.Start("publish", parent)
 	s.publishWatch(cur, ch, classes)
+	rec.End(sid)
 	return &Mutation{
 		Dataset: name,
 		Gen:     ch.Gen,

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"rrr/internal/trace"
 )
 
 // latencyBuckets are the upper bounds of the per-algorithm latency
@@ -41,11 +43,24 @@ const numBuckets = 8
 // histogram is a fixed-bucket latency histogram; the last index is the
 // overflow bucket. bounds must hold numBuckets-1 entries; nil means
 // latencyBuckets (the per-algorithm grid, the historical default).
+// Each bucket additionally retains its latest traced observation as an
+// exemplar — the OpenMetrics "jump from a bucket to the trace that put
+// a count there" link.
 type histogram struct {
-	counts [numBuckets]atomic.Int64
-	sum    atomic.Int64 // nanoseconds
-	total  atomic.Int64
-	bounds []time.Duration
+	counts    [numBuckets]atomic.Int64
+	sum       atomic.Int64 // nanoseconds
+	total     atomic.Int64
+	bounds    []time.Duration
+	exemplars [numBuckets]atomic.Pointer[exemplar]
+}
+
+// exemplar is one traced observation pinned to its histogram bucket,
+// rendered only on the OpenMetrics surface (the classic text format has
+// no exemplar syntax).
+type exemplar struct {
+	traceID string
+	value   float64 // seconds — always within the bucket's le bound
+	atNanos int64   // unix nanoseconds of the observation
 }
 
 func (h *histogram) bucketBounds() []time.Duration {
@@ -56,6 +71,14 @@ func (h *histogram) bucketBounds() []time.Duration {
 }
 
 func (h *histogram) observe(d time.Duration) {
+	h.observeTraced(d, trace.TraceID{})
+}
+
+// observeTraced is observe plus exemplar capture: a non-zero trace ID
+// pins (trace_id, value, timestamp) to the observation's native bucket.
+// Untraced observations skip the store entirely, so the zero-alloc
+// paths never pay for the exemplar's string rendering.
+func (h *histogram) observeTraced(d time.Duration, tid trace.TraceID) {
 	bounds := h.bucketBounds()
 	i := 0
 	for i < len(bounds) && d > bounds[i] {
@@ -64,6 +87,9 @@ func (h *histogram) observe(d time.Duration) {
 	h.counts[i].Add(1)
 	h.sum.Add(int64(d))
 	h.total.Add(1)
+	if !tid.IsZero() {
+		h.exemplars[i].Store(&exemplar{traceID: tid.String(), value: d.Seconds(), atNanos: time.Now().UnixNano()})
+	}
 }
 
 // HistogramSnapshot is the JSON-friendly view of one algorithm's latencies.
@@ -128,6 +154,14 @@ type Metrics struct {
 	watchEvents      atomic.Int64
 	watchDropped     atomic.Int64
 	watchResumes     atomic.Int64
+
+	traceSampled   atomic.Int64
+	traceUnsampled atomic.Int64
+	exportSpans    atomic.Int64
+	exportBatches  atomic.Int64
+	exportRetries  atomic.Int64
+	exportFailures atomic.Int64
+	exportDropped  atomic.Int64
 	// snapshotUnixNano is when the last snapshot was written (or, right
 	// after boot, the mtime of the one that was read); 0 = none yet.
 	snapshotUnixNano atomic.Int64
@@ -150,9 +184,10 @@ func NewMetrics() *Metrics {
 
 // PhaseObserve records one solve-phase duration — the trace recorder's
 // sink (trace.PhaseSink), so every ended span feeds the
-// rrrd_solve_phase_seconds histogram of its phase. Called outside the
-// recorder's lock; nil-safe like every Metrics method.
-func (m *Metrics) PhaseObserve(phase string, d time.Duration) {
+// rrrd_solve_phase_seconds histogram of its phase, carrying its trace
+// ID as the bucket's exemplar. Called outside the recorder's lock;
+// nil-safe like every Metrics method.
+func (m *Metrics) PhaseObserve(phase string, d time.Duration, tid trace.TraceID) {
 	if m == nil {
 		return
 	}
@@ -163,7 +198,7 @@ func (m *Metrics) PhaseObserve(phase string, d time.Duration) {
 		m.phases[phase] = h
 	}
 	m.mu.Unlock()
-	h.observe(d)
+	h.observeTraced(d, tid)
 }
 
 func (m *Metrics) hit() {
@@ -251,6 +286,64 @@ func (m *Metrics) WatchResumed() {
 	}
 }
 
+// sampled / unsampled record head-sampling decisions: the serving
+// layer's one sampler call per trace candidate lands in exactly one.
+
+func (m *Metrics) sampled() {
+	if m != nil {
+		m.traceSampled.Add(1)
+	}
+}
+
+func (m *Metrics) unsampled() {
+	if m != nil {
+		m.traceUnsampled.Add(1)
+	}
+}
+
+// The five methods below implement export.Counters, making *Metrics the
+// OTLP exporter's telemetry sink directly — the watch.Counters pattern.
+
+// ExportedSpans counts spans delivered to the collector in accepted
+// batches.
+func (m *Metrics) ExportedSpans(n int) {
+	if m != nil {
+		m.exportSpans.Add(int64(n))
+	}
+}
+
+// ExportBatches counts accepted batch POSTs to the collector.
+func (m *Metrics) ExportBatches(n int) {
+	if m != nil {
+		m.exportBatches.Add(int64(n))
+	}
+}
+
+// ExportRetries counts re-attempted batch POSTs after retryable
+// failures.
+func (m *Metrics) ExportRetries(n int) {
+	if m != nil {
+		m.exportRetries.Add(int64(n))
+	}
+}
+
+// ExportFailures counts batches abandoned after their final attempt.
+func (m *Metrics) ExportFailures(n int) {
+	if m != nil {
+		m.exportFailures.Add(int64(n))
+	}
+}
+
+// ExportDroppedTraces counts traces that never reached the collector —
+// queue overflow under a down or slow collector, or membership in an
+// abandoned batch. This moving is the exporter's drop-never-block
+// contract made visible.
+func (m *Metrics) ExportDroppedTraces(n int) {
+	if m != nil {
+		m.exportDropped.Add(int64(n))
+	}
+}
+
 // walAppend records one durable WAL append of n bytes.
 func (m *Metrics) walAppend(n int) {
 	if m != nil {
@@ -331,7 +424,10 @@ func (m *Metrics) computeStarted() {
 	}
 }
 
-func (m *Metrics) computeFinished(algo string, elapsed time.Duration, err error) {
+// computeFinished closes one computation's accounting. A non-zero tid
+// — the trace of the request that started the computation — becomes the
+// latency bucket's exemplar on the OpenMetrics surface.
+func (m *Metrics) computeFinished(algo string, elapsed time.Duration, err error, tid trace.TraceID) {
 	if m == nil {
 		return
 	}
@@ -354,7 +450,7 @@ func (m *Metrics) computeFinished(algo string, elapsed time.Duration, err error)
 		m.latencies[algo] = h
 	}
 	m.mu.Unlock()
-	h.observe(elapsed)
+	h.observeTraced(elapsed, tid)
 }
 
 // ShardSnapshot summarizes the map-reduce engine's activity: how many
@@ -406,6 +502,20 @@ type WatchSnapshot struct {
 	Resumes     int64 `json:"resumes"`
 }
 
+// TraceSnapshot summarizes the tracing pipeline: head-sampling
+// decisions each way, and the OTLP exporter's delivery ledger — spans
+// and batches accepted by the collector, retried and abandoned POSTs,
+// and traces dropped to keep export off the request path.
+type TraceSnapshot struct {
+	Sampled         int64 `json:"sampled"`
+	Unsampled       int64 `json:"unsampled"`
+	ExportedSpans   int64 `json:"exported_spans"`
+	ExportedBatches int64 `json:"exported_batches"`
+	ExportRetries   int64 `json:"export_retries"`
+	ExportFailures  int64 `json:"export_failures"`
+	ExportDropped   int64 `json:"export_dropped"`
+}
+
 // RuntimeSnapshot surfaces the Go runtime's health gauges: live
 // goroutines, heap bytes in use, and cumulative GC stop-the-world pause
 // time — the three numbers that distinguish "the solver is slow" from
@@ -442,6 +552,7 @@ type Snapshot struct {
 	Delta          DeltaSnapshot                `json:"delta"`
 	Persist        PersistSnapshot              `json:"persist"`
 	Watch          WatchSnapshot                `json:"watch"`
+	Trace          TraceSnapshot                `json:"trace"`
 	Runtime        RuntimeSnapshot              `json:"runtime"`
 	Latencies      map[string]HistogramSnapshot `json:"latency_by_algorithm"`
 	Phases         map[string]HistogramSnapshot `json:"latency_by_phase"`
@@ -489,6 +600,15 @@ func (m *Metrics) Snapshot() Snapshot {
 			Events:      m.watchEvents.Load(),
 			Dropped:     m.watchDropped.Load(),
 			Resumes:     m.watchResumes.Load(),
+		},
+		Trace: TraceSnapshot{
+			Sampled:         m.traceSampled.Load(),
+			Unsampled:       m.traceUnsampled.Load(),
+			ExportedSpans:   m.exportSpans.Load(),
+			ExportedBatches: m.exportBatches.Load(),
+			ExportRetries:   m.exportRetries.Load(),
+			ExportFailures:  m.exportFailures.Load(),
+			ExportDropped:   m.exportDropped.Load(),
 		},
 		Runtime:   readRuntime(),
 		Latencies: make(map[string]HistogramSnapshot),

@@ -2,7 +2,6 @@ package trace
 
 import (
 	"context"
-	"encoding/hex"
 )
 
 // ctxKey is the context key for the trace state. A zero-size key type
@@ -54,10 +53,23 @@ func Detach(src context.Context) context.Context {
 	return NewContext(context.Background(), rec, span)
 }
 
+// MarkError records err on the trace carried by ctx, if any — the
+// convenience form of Recorder.MarkError for call sites that only hold a
+// context. Free on untraced contexts and nil errors.
+func MarkError(ctx context.Context, err error) {
+	rec, _ := FromContext(ctx)
+	rec.MarkError(err)
+}
+
 // ParseTraceparent parses a W3C traceparent header value:
 // version "00" (or any non-"ff" version, per the spec's forward
 // compatibility rule), 32 hex digits of trace ID, 16 of parent span ID,
-// 2 of flags — all lowercase, dash separated, IDs non-zero.
+// 2 of flags — dash separated, IDs non-zero.
+//
+// Allocation-free by construction (manual nibble decoding into the fixed
+// return arrays): the sampling decision runs on every request carrying a
+// traceparent, including the ones head sampling then declines to record,
+// and the declined path is pinned at 0 allocs/op.
 func ParseTraceparent(h string) (id TraceID, parent [8]byte, flags byte, ok bool) {
 	if len(h) < 55 {
 		return id, parent, 0, false
@@ -65,27 +77,62 @@ func ParseTraceparent(h string) (id TraceID, parent [8]byte, flags byte, ok bool
 	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
 		return id, parent, 0, false
 	}
-	ver, err := hex.DecodeString(h[0:2])
-	if err != nil || ver[0] == 0xff {
+	ver, vok := hexPair(h[0], h[1])
+	if !vok || ver == 0xff {
 		return id, parent, 0, false
 	}
 	// Version 00 is exactly 55 chars; future versions may append
 	// dash-separated fields, never change the prefix.
-	if ver[0] == 0 && len(h) != 55 {
+	if ver == 0 && len(h) != 55 {
 		return id, parent, 0, false
 	}
 	if len(h) > 55 && h[55] != '-' {
 		return id, parent, 0, false
 	}
-	if _, err := hex.Decode(id[:], []byte(h[3:35])); err != nil || id.IsZero() {
+	for i := 0; i < 16; i++ {
+		b, bok := hexPair(h[3+2*i], h[4+2*i])
+		if !bok {
+			return TraceID{}, parent, 0, false
+		}
+		id[i] = b
+	}
+	if id.IsZero() {
 		return TraceID{}, parent, 0, false
 	}
-	if _, err := hex.Decode(parent[:], []byte(h[36:52])); err != nil || parent == ([8]byte{}) {
+	for i := 0; i < 8; i++ {
+		b, bok := hexPair(h[36+2*i], h[37+2*i])
+		if !bok {
+			return TraceID{}, [8]byte{}, 0, false
+		}
+		parent[i] = b
+	}
+	if parent == ([8]byte{}) {
 		return TraceID{}, [8]byte{}, 0, false
 	}
-	f, err := hex.DecodeString(h[53:55])
-	if err != nil {
+	f, fok := hexPair(h[53], h[54])
+	if !fok {
 		return TraceID{}, [8]byte{}, 0, false
 	}
-	return id, parent, f[0], true
+	return id, parent, f, true
+}
+
+// hexPair decodes two hex digits into one byte. Upper case is accepted
+// (matching encoding/hex, which this replaced) even though the W3C spec
+// mandates lower case on the wire.
+func hexPair(a, b byte) (byte, bool) {
+	hi, ok1 := hexNibble(a)
+	lo, ok2 := hexNibble(b)
+	return hi<<4 | lo, ok1 && ok2
+}
+
+func hexNibble(c byte) (byte, bool) {
+	switch {
+	case '0' <= c && c <= '9':
+		return c - '0', true
+	case 'a' <= c && c <= 'f':
+		return c - 'a' + 10, true
+	case 'A' <= c && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
 }

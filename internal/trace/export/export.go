@@ -1,0 +1,370 @@
+// Package export ships finished traces to an OTLP/HTTP collector as
+// OTLP JSON (DESIGN.md §13). Stdlib-only, like everything else in the
+// repository.
+//
+// The design constraint is strict drop-never-block: export must never
+// delay a request or a mutation commit, no matter what the collector
+// does. Enqueue is a non-blocking send into a bounded queue — a full
+// queue (collector down, slow, or wedged) drops the trace and counts it
+// in rrrd_trace_export_dropped_total. One background goroutine drains
+// the queue into batches, flushed on size or interval, POSTs them, and
+// retries transient failures with exponential backoff + jitter honoring
+// Retry-After. Retries sleep only the exporter goroutine; intake keeps
+// draining into the queue's remaining capacity and overflow keeps
+// dropping, so memory stays bounded and the serving path stays flat.
+package export
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"math/rand/v2"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"rrr/internal/trace"
+)
+
+// Counters is the exporter's telemetry sink, implemented by the service
+// layer's *Metrics (the watch.Counters pattern: no adapter to drift).
+// All methods must be nil-receiver-safe and concurrency-safe.
+type Counters interface {
+	// ExportedSpans counts spans delivered in accepted batches.
+	ExportedSpans(n int)
+	// ExportBatches counts accepted batch POSTs.
+	ExportBatches(n int)
+	// ExportRetries counts re-attempts after a retryable failure.
+	ExportRetries(n int)
+	// ExportFailures counts batches abandoned after their last attempt.
+	ExportFailures(n int)
+	// ExportDroppedTraces counts traces that never reached the
+	// collector: queue overflow or membership in an abandoned batch.
+	ExportDroppedTraces(n int)
+}
+
+// noopCounters keeps the hot paths branch-free when no sink is wired.
+type noopCounters struct{}
+
+func (noopCounters) ExportedSpans(int)       {}
+func (noopCounters) ExportBatches(int)       {}
+func (noopCounters) ExportRetries(int)       {}
+func (noopCounters) ExportFailures(int)      {}
+func (noopCounters) ExportDroppedTraces(int) {}
+
+// Config parameterizes an Exporter. Zero values take the defaults noted
+// per field; only Endpoint is required.
+type Config struct {
+	// Endpoint is the collector's OTLP/HTTP base or full URL. A URL with
+	// no path (or "/") gets the standard "/v1/traces" appended, so both
+	// "http://collector:4318" and a full signal path work.
+	Endpoint string
+	// Service is the service.name resource attribute (default "rrrd").
+	Service string
+	// QueueSize bounds the trace queue (default 1024). When full,
+	// Enqueue drops.
+	QueueSize int
+	// BatchSize flushes a batch when it holds this many traces
+	// (default 64).
+	BatchSize int
+	// FlushInterval flushes a non-empty partial batch this often
+	// (default 3s).
+	FlushInterval time.Duration
+	// MaxAttempts bounds tries per batch, first included (default 4).
+	MaxAttempts int
+	// BaseBackoff is the first retry delay, doubled per attempt with
+	// ±50% jitter (default 250ms). A Retry-After response overrides the
+	// computed delay.
+	BaseBackoff time.Duration
+	// MaxBackoff caps any delay, Retry-After included (default 10s).
+	MaxBackoff time.Duration
+	// Client is the HTTP client (default: 10s-timeout client).
+	Client *http.Client
+	// Counters receives export telemetry (default: discard).
+	Counters Counters
+	// Logger receives delivery-failure diagnostics (default: discard —
+	// failure is already visible in the counters).
+	Logger *slog.Logger
+}
+
+// Exporter is the background OTLP shipper. Construct with New, feed with
+// Enqueue, stop with Close. All methods are nil-receiver-safe so callers
+// without an exporter configured don't branch.
+type Exporter struct {
+	cfg     Config
+	queue   chan *trace.Trace
+	stop    chan struct{}
+	done    chan struct{}
+	stopped atomic.Bool
+}
+
+// New validates cfg, applies defaults, and starts the export goroutine.
+func New(cfg Config) (*Exporter, error) {
+	u, err := url.Parse(cfg.Endpoint)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("export: endpoint %q is not an absolute URL: %v", cfg.Endpoint, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("export: endpoint scheme %q is not http(s)", u.Scheme)
+	}
+	if u.Path == "" || u.Path == "/" {
+		u.Path = "/v1/traces"
+	}
+	cfg.Endpoint = u.String()
+	if cfg.Service == "" {
+		cfg.Service = "rrrd"
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 1024
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = 3 * time.Second
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 4
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 250 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 10 * time.Second
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if cfg.Counters == nil {
+		cfg.Counters = noopCounters{}
+	}
+	e := &Exporter{
+		cfg:   cfg,
+		queue: make(chan *trace.Trace, cfg.QueueSize),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go e.run()
+	return e, nil
+}
+
+// Endpoint returns the resolved collector URL batches POST to.
+func (e *Exporter) Endpoint() string {
+	if e == nil {
+		return ""
+	}
+	return e.cfg.Endpoint
+}
+
+// Enqueue hands a sealed trace to the exporter. It NEVER blocks: a full
+// queue (or a closed exporter) drops the trace and counts it. Nil-safe
+// on both receiver and argument.
+func (e *Exporter) Enqueue(tr *trace.Trace) {
+	if e == nil || tr == nil {
+		return
+	}
+	if e.stopped.Load() {
+		e.cfg.Counters.ExportDroppedTraces(1)
+		return
+	}
+	select {
+	case e.queue <- tr:
+	default:
+		e.cfg.Counters.ExportDroppedTraces(1)
+	}
+}
+
+// Close stops intake, flushes what is already queued (one attempt per
+// batch, no retries — shutdown must not hang on a down collector), and
+// waits for the export goroutine up to ctx's deadline. Idempotent and
+// nil-safe.
+func (e *Exporter) Close(ctx context.Context) error {
+	if e == nil {
+		return nil
+	}
+	if e.stopped.CompareAndSwap(false, true) {
+		close(e.stop)
+	}
+	select {
+	case <-e.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (e *Exporter) run() {
+	defer close(e.done)
+	ticker := time.NewTicker(e.cfg.FlushInterval)
+	defer ticker.Stop()
+	batch := make([]*trace.Trace, 0, e.cfg.BatchSize)
+	for {
+		select {
+		case tr := <-e.queue:
+			batch = append(batch, tr)
+			if len(batch) >= e.cfg.BatchSize {
+				e.send(batch, true)
+				batch = batch[:0]
+			}
+		case <-ticker.C:
+			if len(batch) > 0 {
+				e.send(batch, true)
+				batch = batch[:0]
+			}
+		case <-e.stop:
+			// Final drain: ship everything already queued, single attempt
+			// per batch, then exit.
+			for {
+				select {
+				case tr := <-e.queue:
+					batch = append(batch, tr)
+					if len(batch) >= e.cfg.BatchSize {
+						e.send(batch, false)
+						batch = batch[:0]
+					}
+				default:
+					if len(batch) > 0 {
+						e.send(batch, false)
+					}
+					return
+				}
+			}
+		}
+	}
+}
+
+// send delivers one batch, retrying transient failures when retry is
+// set. On final failure the batch's traces are dropped and counted —
+// never re-queued, so a dead collector can't grow memory.
+func (e *Exporter) send(batch []*trace.Trace, retry bool) {
+	body, err := json.Marshal(otlpEncode(batch, e.cfg.Service))
+	if err != nil {
+		// The OTLP structs cannot fail to marshal; defend anyway.
+		e.abandon(batch, fmt.Errorf("encode: %w", err))
+		return
+	}
+	spans := 0
+	for _, tr := range batch {
+		spans += len(tr.Spans)
+	}
+	attempts := 1
+	if retry {
+		attempts = e.cfg.MaxAttempts
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			e.cfg.Counters.ExportRetries(1)
+			if !e.sleep(e.backoff(attempt, lastErr)) {
+				break // shutting down: abandon without burning attempts
+			}
+		}
+		status, retryAfter, err := e.post(body)
+		switch {
+		case err == nil && status/100 == 2:
+			e.cfg.Counters.ExportBatches(1)
+			e.cfg.Counters.ExportedSpans(spans)
+			return
+		case err != nil:
+			lastErr = retryError{error: err}
+		case retryableStatus(status):
+			lastErr = retryError{error: fmt.Errorf("collector answered %d", status), after: retryAfter}
+		default:
+			// A non-retryable 4xx means the payload (or endpoint) is
+			// wrong; retrying re-sends the same bytes.
+			e.abandon(batch, fmt.Errorf("collector rejected batch: %d", status))
+			return
+		}
+	}
+	e.abandon(batch, lastErr)
+}
+
+func (e *Exporter) abandon(batch []*trace.Trace, err error) {
+	e.cfg.Counters.ExportFailures(1)
+	e.cfg.Counters.ExportDroppedTraces(len(batch))
+	if e.cfg.Logger != nil {
+		e.cfg.Logger.Warn("trace export batch abandoned",
+			"endpoint", e.cfg.Endpoint, "traces", len(batch), "error", err)
+	}
+}
+
+// retryError carries an optional Retry-After hint alongside the cause.
+type retryError struct {
+	error
+	after time.Duration
+}
+
+// backoff computes the pre-attempt delay: the server's Retry-After when
+// it sent one, otherwise exponential base<<(attempt-1) with ±50% jitter
+// so a fleet of exporters doesn't re-converge on a recovering collector.
+// Both are capped at MaxBackoff.
+func (e *Exporter) backoff(attempt int, lastErr error) time.Duration {
+	if re, ok := lastErr.(retryError); ok && re.after > 0 {
+		return min(re.after, e.cfg.MaxBackoff)
+	}
+	d := e.cfg.BaseBackoff << (attempt - 1)
+	if d > e.cfg.MaxBackoff || d <= 0 {
+		d = e.cfg.MaxBackoff
+	}
+	half := d / 2
+	return half + rand.N(d-half+1)
+}
+
+// sleep waits d, returning false if shutdown interrupted the wait.
+func (e *Exporter) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-e.stop:
+		return false
+	}
+}
+
+func (e *Exporter) post(body []byte) (status int, retryAfter time.Duration, err error) {
+	req, err := http.NewRequest(http.MethodPost, e.cfg.Endpoint, bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := e.cfg.Client.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, parseRetryAfter(resp.Header.Get("Retry-After"), time.Now()), nil
+}
+
+// retryableStatus: timeouts, throttling, and server-side failures are
+// worth re-sending; other 4xx are not.
+func retryableStatus(status int) bool {
+	return status == http.StatusRequestTimeout || status == http.StatusTooManyRequests || status/100 == 5
+}
+
+// parseRetryAfter reads both Retry-After forms — delta-seconds and
+// HTTP-date — returning 0 for absent or malformed values.
+func parseRetryAfter(h string, now time.Time) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		if d := t.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
+}

@@ -1,0 +1,348 @@
+package export
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rrr/internal/trace"
+)
+
+// countingSink records every counter call for assertions.
+type countingSink struct {
+	spans, batches, retries, failures, dropped atomic.Int64
+}
+
+func (c *countingSink) ExportedSpans(n int)       { c.spans.Add(int64(n)) }
+func (c *countingSink) ExportBatches(n int)       { c.batches.Add(int64(n)) }
+func (c *countingSink) ExportRetries(n int)       { c.retries.Add(int64(n)) }
+func (c *countingSink) ExportFailures(n int)      { c.failures.Add(int64(n)) }
+func (c *countingSink) ExportDroppedTraces(n int) { c.dropped.Add(int64(n)) }
+
+// finishedTrace builds a realistic sealed trace: a root continuing a
+// remote parent, a child phase, and a shard span under it.
+func finishedTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	id, remote, flags, ok := trace.ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	if !ok {
+		t.Fatal("fixture traceparent rejected")
+	}
+	tr := trace.NewTracer(nil)
+	rec := tr.Start(id, remote, flags)
+	plan := rec.Start("plan", rec.Root())
+	s0 := rec.StartShard("map_shard", plan, 3)
+	rec.End(s0)
+	rec.End(plan)
+	return tr.Seal(rec)
+}
+
+func drainJSON(t *testing.T, body []byte) otlpRequest {
+	t.Helper()
+	var req otlpRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		t.Fatalf("exported body is not JSON: %v\n%s", err, body)
+	}
+	return req
+}
+
+func TestExportBatchShape(t *testing.T) {
+	var mu sync.Mutex
+	var bodies [][]byte
+	var contentType string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		mu.Lock()
+		bodies = append(bodies, b)
+		contentType = r.Header.Get("Content-Type")
+		mu.Unlock()
+	}))
+	defer srv.Close()
+
+	sink := &countingSink{}
+	e, err := New(Config{Endpoint: srv.URL, Service: "rrrd-test", Counters: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Endpoint() != srv.URL+"/v1/traces" {
+		t.Fatalf("endpoint %q did not get /v1/traces appended", e.Endpoint())
+	}
+	tr := finishedTrace(t)
+	e.Enqueue(tr)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := e.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(bodies) != 1 {
+		t.Fatalf("collector saw %d POSTs, want 1", len(bodies))
+	}
+	if contentType != "application/json" {
+		t.Fatalf("Content-Type = %q", contentType)
+	}
+	req := drainJSON(t, bodies[0])
+	if len(req.ResourceSpans) != 1 {
+		t.Fatalf("resourceSpans = %d, want 1", len(req.ResourceSpans))
+	}
+	rs := req.ResourceSpans[0]
+	if len(rs.Resource.Attributes) != 1 || rs.Resource.Attributes[0].Key != "service.name" ||
+		rs.Resource.Attributes[0].Value.StringValue == nil || *rs.Resource.Attributes[0].Value.StringValue != "rrrd-test" {
+		t.Fatalf("resource attributes = %+v", rs.Resource.Attributes)
+	}
+	if len(rs.ScopeSpans) != 1 || rs.ScopeSpans[0].Scope.Name != scopeName {
+		t.Fatalf("scopeSpans = %+v", rs.ScopeSpans)
+	}
+	spans := rs.ScopeSpans[0].Spans
+	if len(spans) != len(tr.Spans) {
+		t.Fatalf("exported %d spans, want %d", len(spans), len(tr.Spans))
+	}
+	byName := map[string]otlpSpan{}
+	for _, sp := range spans {
+		byName[sp.Name] = sp
+		if sp.TraceID != tr.ID {
+			t.Fatalf("span %s traceId = %s, want %s", sp.Name, sp.TraceID, tr.ID)
+		}
+		if len(sp.SpanID) != 16 {
+			t.Fatalf("span %s spanId %q is not 8 hex bytes", sp.Name, sp.SpanID)
+		}
+		// Timestamps are proto3-JSON uint64 strings, parseable and ordered.
+		s, err1 := strconv.ParseInt(sp.StartTimeUnixNano, 10, 64)
+		e2, err2 := strconv.ParseInt(sp.EndTimeUnixNano, 10, 64)
+		if err1 != nil || err2 != nil || e2 < s {
+			t.Fatalf("span %s timestamps (%q, %q) malformed", sp.Name, sp.StartTimeUnixNano, sp.EndTimeUnixNano)
+		}
+	}
+	root, okRoot := byName["request"]
+	plan, okPlan := byName["plan"]
+	shard, okShard := byName["map_shard"]
+	if !okRoot || !okPlan || !okShard {
+		t.Fatalf("missing spans: %+v", byName)
+	}
+	if root.Kind != kindServer || root.ParentSpanID != "00f067aa0ba902b7" {
+		t.Fatalf("root = %+v: want server kind parented on the remote span", root)
+	}
+	if plan.Kind != kindInternal || plan.ParentSpanID != root.SpanID {
+		t.Fatalf("plan span not parented on root: %+v (root %s)", plan, root.SpanID)
+	}
+	if shard.ParentSpanID != plan.SpanID {
+		t.Fatalf("shard span not parented on plan: %+v", shard)
+	}
+	found := false
+	for _, kv := range shard.Attributes {
+		if kv.Key == "rrr.shard" && kv.Value.IntValue != nil && *kv.Value.IntValue == "3" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("shard attribute missing: %+v", shard.Attributes)
+	}
+	if sink.batches.Load() != 1 || sink.spans.Load() != int64(len(tr.Spans)) || sink.dropped.Load() != 0 {
+		t.Fatalf("counters: batches=%d spans=%d dropped=%d", sink.batches.Load(), sink.spans.Load(), sink.dropped.Load())
+	}
+}
+
+func TestExportErrorStatusAndDerivedIDsStable(t *testing.T) {
+	tr := trace.NewTracer(nil)
+	rec := tr.StartLocal()
+	rec.MarkError(context.DeadlineExceeded)
+	sealed := tr.Seal(rec)
+	req := otlpEncode([]*trace.Trace{sealed}, "rrrd")
+	root := req.ResourceSpans[0].ScopeSpans[0].Spans[0]
+	if root.Status == nil || root.Status.Code != statusError || root.Status.Message == "" {
+		t.Fatalf("errored trace exported without ERROR status: %+v", root.Status)
+	}
+	if root.ParentSpanID != "" {
+		t.Fatalf("local root has parentSpanId %q", root.ParentSpanID)
+	}
+	// Re-encoding the same trace derives the same span IDs.
+	again := otlpEncode([]*trace.Trace{sealed}, "rrrd")
+	if again.ResourceSpans[0].ScopeSpans[0].Spans[0].SpanID != root.SpanID {
+		t.Fatal("span ID derivation is not deterministic")
+	}
+	if spanIDHex(sealed.Wire, 1) == spanIDHex(sealed.Wire, 2) {
+		t.Fatal("distinct spans derived the same wire ID")
+	}
+}
+
+func TestExportRetriesThenDelivers(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+	}))
+	defer srv.Close()
+
+	sink := &countingSink{}
+	e, err := New(Config{Endpoint: srv.URL, Counters: sink, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond, BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Enqueue(finishedTrace(t))
+	deadline := time.Now().Add(5 * time.Second)
+	for sink.batches.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	_ = e.Close(context.Background())
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("collector saw %d attempts, want 3 (two 503s then success)", got)
+	}
+	if sink.retries.Load() != 2 || sink.batches.Load() != 1 || sink.failures.Load() != 0 || sink.dropped.Load() != 0 {
+		t.Fatalf("counters: retries=%d batches=%d failures=%d dropped=%d",
+			sink.retries.Load(), sink.batches.Load(), sink.failures.Load(), sink.dropped.Load())
+	}
+}
+
+func TestExportGivesUpAfterMaxAttempts(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	sink := &countingSink{}
+	e, err := New(Config{Endpoint: srv.URL, Counters: sink, MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond, BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Enqueue(finishedTrace(t))
+	deadline := time.Now().Add(5 * time.Second)
+	for sink.failures.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	_ = e.Close(context.Background())
+	if calls.Load() != 3 {
+		t.Fatalf("collector saw %d attempts, want MaxAttempts=3", calls.Load())
+	}
+	if sink.failures.Load() != 1 || sink.dropped.Load() != 1 || sink.batches.Load() != 0 {
+		t.Fatalf("counters: failures=%d dropped=%d batches=%d", sink.failures.Load(), sink.dropped.Load(), sink.batches.Load())
+	}
+}
+
+func TestExportDoesNotRetryClientErrors(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	sink := &countingSink{}
+	e, err := New(Config{Endpoint: srv.URL, Counters: sink, BatchSize: 1, BaseBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Enqueue(finishedTrace(t))
+	deadline := time.Now().Add(5 * time.Second)
+	for sink.failures.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	_ = e.Close(context.Background())
+	if calls.Load() != 1 {
+		t.Fatalf("400 was retried: %d attempts", calls.Load())
+	}
+	if sink.retries.Load() != 0 || sink.dropped.Load() != 1 {
+		t.Fatalf("counters: retries=%d dropped=%d", sink.retries.Load(), sink.dropped.Load())
+	}
+}
+
+// TestWedgedCollectorNeverBlocksEnqueue is the drop-never-block
+// regression test at the exporter level: with the collector wedged (a
+// handler that never returns) and the queue saturated, a burst of
+// Enqueue calls must complete immediately, dropping and counting the
+// overflow rather than waiting on the collector.
+func TestWedgedCollectorNeverBlocksEnqueue(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release // wedged: holds every POST open
+	}))
+	defer func() { close(release); srv.Close() }()
+
+	sink := &countingSink{}
+	e, err := New(Config{
+		Endpoint:  srv.URL,
+		Counters:  sink,
+		QueueSize: 4,
+		BatchSize: 1,
+		Client:    &http.Client{Timeout: 30 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const burst = 200
+	start := time.Now()
+	for i := 0; i < burst; i++ {
+		e.Enqueue(finishedTrace(t))
+	}
+	elapsed := time.Since(start)
+	// Generous bound: a single wedged POST would hold Enqueue for the
+	// client timeout (30s) if it blocked; a non-blocking path is µs/call.
+	if elapsed > 2*time.Second {
+		t.Fatalf("burst of %d Enqueues took %v with a wedged collector", burst, elapsed)
+	}
+	if d := sink.dropped.Load(); d < burst-8 {
+		t.Fatalf("dropped %d, want nearly all of %d (queue 4 + in-flight)", d, burst)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := e.Close(ctx); err == nil {
+		t.Fatal("Close returned nil while the final flush was wedged; want deadline error")
+	}
+	// Enqueue after Close: still non-blocking, counted as dropped.
+	before := sink.dropped.Load()
+	e.Enqueue(finishedTrace(t))
+	if sink.dropped.Load() != before+1 {
+		t.Fatal("post-Close Enqueue not counted as dropped")
+	}
+}
+
+func TestNilExporterIsInert(t *testing.T) {
+	var e *Exporter
+	e.Enqueue(finishedTrace(t)) // must not panic
+	if err := e.Close(context.Background()); err != nil {
+		t.Fatalf("nil Close: %v", err)
+	}
+	if e.Endpoint() != "" {
+		t.Fatal("nil Endpoint not empty")
+	}
+}
+
+func TestNewRejectsBadEndpoints(t *testing.T) {
+	for _, ep := range []string{"", "not a url", "ftp://x/traces", "/relative/only", "http://"} {
+		if _, err := New(Config{Endpoint: ep}); err == nil {
+			t.Errorf("New accepted endpoint %q", ep)
+		}
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	for _, tc := range []struct {
+		h    string
+		want time.Duration
+	}{
+		{"", 0},
+		{"7", 7 * time.Second},
+		{"0", 0},
+		{"-3", 0},
+		{"garbage", 0},
+		{now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second},
+		{now.Add(-time.Minute).Format(http.TimeFormat), 0},
+	} {
+		if got := parseRetryAfter(tc.h, now); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.h, got, tc.want)
+		}
+	}
+}

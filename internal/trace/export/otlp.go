@@ -1,0 +1,176 @@
+// OTLP/HTTP JSON encoding of finished traces, per the OpenTelemetry
+// protocol's JSON mapping (proto3 JSON with OTLP's deviations: trace and
+// span IDs are lowercase hex, not base64; uint64 timestamps are decimal
+// strings). Hand-rolled on purpose: the repository takes no dependencies
+// beyond the standard library, and the shape is a handful of structs.
+package export
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"strconv"
+
+	"rrr/internal/trace"
+)
+
+// The OTLP ExportTraceServiceRequest shape, fields limited to what rrrd
+// emits. Field names follow the proto3 JSON camelCase mapping.
+type otlpRequest struct {
+	ResourceSpans []otlpResourceSpans `json:"resourceSpans"`
+}
+
+type otlpResourceSpans struct {
+	Resource   otlpResource     `json:"resource"`
+	ScopeSpans []otlpScopeSpans `json:"scopeSpans"`
+}
+
+type otlpResource struct {
+	Attributes []otlpKeyValue `json:"attributes,omitempty"`
+}
+
+type otlpScopeSpans struct {
+	Scope otlpScope  `json:"scope"`
+	Spans []otlpSpan `json:"spans"`
+}
+
+type otlpScope struct {
+	Name string `json:"name"`
+}
+
+type otlpSpan struct {
+	TraceID      string `json:"traceId"`
+	SpanID       string `json:"spanId"`
+	ParentSpanID string `json:"parentSpanId,omitempty"`
+	Name         string `json:"name"`
+	// Kind is the SpanKind enum: 1 = INTERNAL, 2 = SERVER.
+	Kind int `json:"kind"`
+	// Unix-epoch nanoseconds as decimal strings (proto3 JSON uint64).
+	StartTimeUnixNano string         `json:"startTimeUnixNano"`
+	EndTimeUnixNano   string         `json:"endTimeUnixNano"`
+	Attributes        []otlpKeyValue `json:"attributes,omitempty"`
+	Status            *otlpStatus    `json:"status,omitempty"`
+}
+
+type otlpKeyValue struct {
+	Key   string    `json:"key"`
+	Value otlpValue `json:"value"`
+}
+
+// otlpValue is the AnyValue oneof; exactly one field is set.
+type otlpValue struct {
+	StringValue *string `json:"stringValue,omitempty"`
+	// IntValue is an int64 rendered as a decimal string (proto3 JSON).
+	IntValue  *string `json:"intValue,omitempty"`
+	BoolValue *bool   `json:"boolValue,omitempty"`
+}
+
+type otlpStatus struct {
+	// Code is the StatusCode enum: 0 = UNSET, 1 = OK, 2 = ERROR.
+	Code    int    `json:"code"`
+	Message string `json:"message,omitempty"`
+}
+
+func stringValue(s string) otlpValue { return otlpValue{StringValue: &s} }
+
+func intValue(v int64) otlpValue {
+	s := strconv.FormatInt(v, 10)
+	return otlpValue{IntValue: &s}
+}
+
+func boolValue(b bool) otlpValue { return otlpValue{BoolValue: &b} }
+
+// scopeName identifies the instrumentation producing these spans.
+const scopeName = "rrr/internal/trace"
+
+// Span kind and status-code enum values (the subset rrrd uses).
+const (
+	kindInternal = 1
+	kindServer   = 2
+
+	statusError = 2
+)
+
+// otlpEncode shapes a batch of finished traces as one OTLP export
+// request: a single resource (this process) and scope, every trace's
+// spans flattened into the scope's span list, linked by IDs.
+func otlpEncode(batch []*trace.Trace, service string) otlpRequest {
+	n := 0
+	for _, tr := range batch {
+		n += len(tr.Spans)
+	}
+	spans := make([]otlpSpan, 0, n)
+	for _, tr := range batch {
+		spans = appendTraceSpans(spans, tr)
+	}
+	return otlpRequest{ResourceSpans: []otlpResourceSpans{{
+		Resource:   otlpResource{Attributes: []otlpKeyValue{{Key: "service.name", Value: stringValue(service)}}},
+		ScopeSpans: []otlpScopeSpans{{Scope: otlpScope{Name: scopeName}, Spans: spans}},
+	}}}
+}
+
+func appendTraceSpans(out []otlpSpan, tr *trace.Trace) []otlpSpan {
+	for _, sp := range tr.Spans {
+		start := tr.Start.Add(sp.Start).UnixNano()
+		end := start
+		open := sp.End == 0 && sp.ID != 0
+		if !open {
+			end = tr.Start.Add(sp.End).UnixNano()
+		}
+		o := otlpSpan{
+			TraceID:           tr.ID,
+			SpanID:            spanIDHex(tr.Wire, sp.ID),
+			Name:              sp.Name,
+			Kind:              kindInternal,
+			StartTimeUnixNano: strconv.FormatInt(start, 10),
+			EndTimeUnixNano:   strconv.FormatInt(end, 10),
+		}
+		if sp.ID == 0 {
+			// The root "request" span: server kind, parented on the
+			// inbound traceparent's wire span when there was one, carrying
+			// the trace-level error status and drop count.
+			o.Kind = kindServer
+			o.ParentSpanID = tr.RemoteParent
+			if tr.Err != "" {
+				o.Status = &otlpStatus{Code: statusError, Message: tr.Err}
+			}
+			if tr.Dropped > 0 {
+				o.Attributes = append(o.Attributes, otlpKeyValue{Key: "rrr.dropped_spans", Value: intValue(int64(tr.Dropped))})
+			}
+		} else {
+			o.ParentSpanID = spanIDHex(tr.Wire, sp.Parent)
+		}
+		if sp.Shard >= 0 {
+			o.Attributes = append(o.Attributes, otlpKeyValue{Key: "rrr.shard", Value: intValue(int64(sp.Shard))})
+		}
+		if open {
+			// The span never ended (a solve the request abandoned); export
+			// it zero-length but marked, rather than inventing an end time.
+			o.Attributes = append(o.Attributes, otlpKeyValue{Key: "rrr.open", Value: boolValue(true)})
+		}
+		out = append(out, o)
+	}
+	return out
+}
+
+// spanIDHex maps a span's in-trace index to its 8-byte wire ID: the root
+// keeps the trace's propagated wire ID (so downstream services' spans
+// parent correctly onto ours), and child spans get IDs derived from it
+// by a splitmix64 round — deterministic, so re-exports of the same trace
+// carry the same IDs, and collision-free within a trace in practice.
+func spanIDHex(wire [8]byte, id trace.SpanID) string {
+	if id <= 0 {
+		return hex.EncodeToString(wire[:])
+	}
+	x := binary.BigEndian.Uint64(wire[:]) + uint64(id)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		x = 1 // the all-zero span ID is forbidden on the wire
+	}
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], x)
+	return hex.EncodeToString(b[:])
+}

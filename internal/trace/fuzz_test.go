@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTraceparent holds the header parser to its two contracts:
+// never panic on arbitrary header bytes (it runs before any validation,
+// on every request), and every accepted input round-trips — a recorder
+// started from the parsed identity re-emits a traceparent that parses
+// back to the same trace ID with the sampled flag set.
+func FuzzParseTraceparent(f *testing.F) {
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00")
+	f.Add("01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra")
+	f.Add("ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-00000000000000000000000000000000-00f067aa0ba902b7-01")
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01")
+	f.Add("")
+	f.Add("00-4BF92F3577B34DA6A3CE929D0E0E4736-00F067AA0BA902B7-01")
+	f.Fuzz(func(t *testing.T, h string) {
+		id, parent, flags, ok := ParseTraceparent(h)
+		if !ok {
+			if !id.IsZero() || flags != 0 {
+				t.Fatalf("rejected input %q leaked state: id=%s flags=%02x", h, id, flags)
+			}
+			return
+		}
+		if id.IsZero() || parent == ([8]byte{}) {
+			t.Fatalf("accepted %q with a zero ID (id=%s parent=%x)", h, id, parent)
+		}
+		// Structural invariants of an accepted header.
+		if len(h) < 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+			t.Fatalf("accepted %q despite malformed layout", h)
+		}
+		if strings.HasPrefix(h, "ff") {
+			t.Fatalf("accepted forbidden version ff: %q", h)
+		}
+		// Round trip: continue the trace the way ServeHTTP does and parse
+		// our own propagated header back.
+		rec := NewTracer(nil).Start(id, parent, flags)
+		out := rec.Traceparent()
+		id2, parent2, flags2, ok2 := ParseTraceparent(out)
+		if !ok2 {
+			t.Fatalf("own traceparent %q (from %q) does not parse", out, h)
+		}
+		if id2 != id {
+			t.Fatalf("trace ID did not round-trip: %s -> %s", id, id2)
+		}
+		if parent2 == ([8]byte{}) {
+			t.Fatalf("propagated wire span ID is zero (from %q)", h)
+		}
+		if flags2&0x01 == 0 {
+			t.Fatalf("propagated flags %02x lost the sampled bit (from %q)", flags2, h)
+		}
+	})
+}

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Sampler is the head-sampling policy: called once per trace with the
+// trace's ID, before any span is recorded, it decides whether the trace
+// is recorded at all. Implementations must be safe for concurrent use
+// and must not allocate — the decision runs on the request hot path,
+// and a declined request is pinned at 0 allocs/op.
+//
+// Head sampling composes with tail retention in the serving layer: slow
+// and errored traces are kept (and exported) even when the sampler says
+// no, so the policies here only bound the *routine* tracing volume.
+type Sampler interface {
+	// Sample reports whether the trace with this ID should be recorded.
+	// Deterministic samplers (ratio) must depend only on the ID, so a
+	// propagated traceparent gets the same decision on every service and
+	// across restarts.
+	Sample(id TraceID) bool
+	// String describes the policy ("always", "ratio(0.1)", ...).
+	String() string
+}
+
+// NewSampler builds a sampler from a policy name and its rate — the
+// daemon's -trace-sample / -trace-rate flags.
+//
+//	always          every trace is recorded (rate ignored; the default)
+//	never           head sampling declines everything
+//	ratio           rate is a fraction in [0,1]; deterministic in the ID
+//	ratelimit       rate is a budget in traces/second (token bucket)
+func NewSampler(policy string, rate float64) (Sampler, error) {
+	switch policy {
+	case "", "always":
+		return AlwaysSampler{}, nil
+	case "never":
+		return NeverSampler{}, nil
+	case "ratio":
+		if rate < 0 || rate > 1 {
+			return nil, fmt.Errorf("trace: ratio sampling rate %g outside [0, 1]", rate)
+		}
+		return NewRatioSampler(rate), nil
+	case "ratelimit":
+		if rate <= 0 {
+			return nil, fmt.Errorf("trace: ratelimit sampling rate %g must be positive traces/sec", rate)
+		}
+		return NewRateLimitSampler(rate), nil
+	}
+	return nil, fmt.Errorf("trace: unknown sampling policy %q (want always, never, ratio, or ratelimit)", policy)
+}
+
+// AlwaysSampler records every trace — the pre-sampling behavior, and the
+// serving layer's default when no sampler is configured.
+type AlwaysSampler struct{}
+
+func (AlwaysSampler) Sample(TraceID) bool { return true }
+func (AlwaysSampler) String() string      { return "always" }
+
+// NeverSampler declines every trace. Tail retention still resurrects
+// slow and errored requests, so "never" means "only the interesting
+// ones", not "tracing off".
+type NeverSampler struct{}
+
+func (NeverSampler) Sample(TraceID) bool { return false }
+func (NeverSampler) String() string      { return "never" }
+
+// RatioSampler keeps a deterministic fraction of traces: the decision is
+// a pure function of the trace ID (low 8 bytes, the W3C-recommended
+// random part, compared against a threshold), so the same ID samples the
+// same way on every process, every restart, and every service a
+// traceparent propagates through.
+type RatioSampler struct {
+	ratio float64
+	// threshold is ratio scaled to 63 bits; Sample compares the ID's low
+	// 8 bytes shifted right once, avoiding float conversions near 2^64.
+	threshold uint64
+}
+
+// NewRatioSampler builds a RatioSampler; ratio is clamped to [0, 1].
+func NewRatioSampler(ratio float64) RatioSampler {
+	if ratio < 0 {
+		ratio = 0
+	}
+	if ratio > 1 {
+		ratio = 1
+	}
+	return RatioSampler{ratio: ratio, threshold: uint64(ratio * float64(uint64(1)<<63))}
+}
+
+func (s RatioSampler) Sample(id TraceID) bool {
+	if s.ratio >= 1 {
+		return true
+	}
+	return binary.BigEndian.Uint64(id[8:])>>1 < s.threshold
+}
+
+func (s RatioSampler) String() string { return fmt.Sprintf("ratio(%g)", s.ratio) }
+
+// RateLimitSampler bounds tracing to rate traces per second with a token
+// bucket (burst = max(1, rate)): under a traffic spike the sampled
+// volume stays flat instead of scaling with load. Decisions depend on
+// arrival time, not the ID, so this policy is for edge services that
+// originate traces rather than continue them.
+type RateLimitSampler struct {
+	rate  float64
+	burst float64
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+// NewRateLimitSampler builds a sampler admitting rate traces/second.
+func NewRateLimitSampler(rate float64) *RateLimitSampler {
+	burst := rate
+	if burst < 1 {
+		burst = 1
+	}
+	return &RateLimitSampler{rate: rate, burst: burst, tokens: burst, last: time.Now()}
+}
+
+func (s *RateLimitSampler) Sample(TraceID) bool {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tokens += now.Sub(s.last).Seconds() * s.rate
+	s.last = now
+	if s.tokens > s.burst {
+		s.tokens = s.burst
+	}
+	if s.tokens < 1 {
+		return false
+	}
+	s.tokens--
+	return true
+}
+
+func (s *RateLimitSampler) String() string { return fmt.Sprintf("ratelimit(%g/s)", s.rate) }

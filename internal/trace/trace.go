@@ -78,11 +78,14 @@ func (t TraceID) IsZero() bool { return t == TraceID{} }
 // String renders the ID as 32 lowercase hex digits.
 func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
 
-// PhaseSink receives every ended span's (name, duration) — the hook that
-// feeds the serving layer's per-phase Prometheus histograms from the same
-// instrumentation points the trace records, so the two can't disagree.
+// PhaseSink receives every ended span's (name, duration, trace ID) — the
+// hook that feeds the serving layer's per-phase Prometheus histograms
+// from the same instrumentation points the trace records, so the two
+// can't disagree. The trace ID is what lets the histogram attach an
+// OpenMetrics exemplar pointing back at the trace the observation came
+// from.
 type PhaseSink interface {
-	PhaseObserve(phase string, d time.Duration)
+	PhaseObserve(phase string, d time.Duration, id TraceID)
 }
 
 // Recorder accumulates one trace's spans. It is safe for concurrent use —
@@ -110,6 +113,7 @@ type Recorder struct {
 	spans    []Span
 	dropped  int
 	finished bool
+	errMsg   string
 }
 
 // Root returns the root span's ID (always 0 on a live recorder).
@@ -196,12 +200,27 @@ func (r *Recorder) End(id SpanID) {
 	if obs {
 		// Outside the recorder's lock: the sink takes its own (the metrics
 		// histogram map), and nested lock orders are how deadlocks start.
-		r.sink.PhaseObserve(name, dur)
+		r.sink.PhaseObserve(name, dur, r.traceID)
 	}
 }
 
+// MarkError flags the trace as errored with err's message (first writer
+// wins; nil err and nil receiver are no-ops). An errored trace is always
+// retained and exported — tail retention — even when head sampling
+// declined it, and the exported root span carries OTLP status ERROR.
+func (r *Recorder) MarkError(err error) {
+	if r == nil || err == nil {
+		return
+	}
+	r.mu.Lock()
+	if !r.finished && r.errMsg == "" {
+		r.errMsg = err.Error()
+	}
+	r.mu.Unlock()
+}
+
 // Trace is a finished, immutable snapshot of one request's spans — the
-// unit the ring retains and /v1/traces serves.
+// unit the ring retains, /v1/traces serves, and the OTLP exporter ships.
 type Trace struct {
 	ID    string
 	Start time.Time
@@ -212,6 +231,13 @@ type Trace struct {
 	RemoteParent string
 	Spans        []Span
 	Dropped      int
+	// Wire is this process's root span ID on the wire — the parent-id
+	// the trace propagated downstream, and the OTLP exporter's root
+	// spanId (child span IDs are derived from it deterministically).
+	Wire [8]byte
+	// Err is the error message of a trace marked via MarkError, empty
+	// for a trace that finished cleanly.
+	Err string
 }
 
 // ringSize bounds the tracer's retention: the newest ringSize finished
@@ -266,8 +292,19 @@ func (t *Tracer) newRecorder(id TraceID, remote [8]byte, flags byte) *Recorder {
 // Finish closes the recorder's root span, snapshots the trace, pushes it
 // onto the ring, and returns it (for the slow-request log). The recorder
 // is dead afterwards: late spans from still-running detached work are
-// dropped. Nil-safe.
+// dropped. Nil-safe. Equivalent to Seal followed by Retain — callers
+// that gate retention on a sampling decision use the two halves.
 func (t *Tracer) Finish(rec *Recorder) *Trace {
+	tr := t.Seal(rec)
+	t.Retain(tr)
+	return tr
+}
+
+// Seal closes the recorder's root span and snapshots the trace WITHOUT
+// retaining it: the caller decides — head-sampling decision composed
+// with tail retention — whether the snapshot enters the ring (Retain),
+// ships to the exporter, both, or neither. Nil-safe.
+func (t *Tracer) Seal(rec *Recorder) *Trace {
 	if rec == nil {
 		return nil
 	}
@@ -277,6 +314,7 @@ func (t *Tracer) Finish(rec *Recorder) *Trace {
 	spans := make([]Span, len(rec.spans))
 	copy(spans, rec.spans)
 	dropped := rec.dropped
+	errMsg := rec.errMsg
 	rec.mu.Unlock()
 
 	tr := &Trace{
@@ -285,15 +323,48 @@ func (t *Tracer) Finish(rec *Recorder) *Trace {
 		Duration: spans[0].Duration(),
 		Spans:    spans,
 		Dropped:  dropped,
+		Wire:     rec.wireID,
+		Err:      errMsg,
 	}
 	if rec.remote != ([8]byte{}) {
 		tr.RemoteParent = hex.EncodeToString(rec.remote[:])
+	}
+	return tr
+}
+
+// Retain pushes a sealed trace onto the ring (and the Total count).
+// Nil-safe, so callers compose Seal → decide → Retain without branching.
+func (t *Tracer) Retain(tr *Trace) {
+	if tr == nil {
+		return
 	}
 	t.mu.Lock()
 	t.ring[t.next] = tr
 	t.next = (t.next + 1) % ringSize
 	t.total++
 	t.mu.Unlock()
+}
+
+// Synthesize builds a minimal one-span trace after the fact — the tail
+// path for a request whose inbound traceparent was head-sampled out (so
+// nothing was recorded) but that then ran slow enough to matter. The
+// result carries the caller's trace identity and a fresh wire ID, with
+// just the root "request" span covering the measured duration; it never
+// feeds the phase sink (the request was deliberately unobserved).
+func Synthesize(id TraceID, remoteParent [8]byte, start time.Time, d time.Duration) *Trace {
+	if d <= 0 {
+		d = 1
+	}
+	tr := &Trace{
+		ID:       id.String(),
+		Start:    start,
+		Duration: d,
+		Spans:    []Span{{ID: 0, Parent: NoSpan, Name: "request", Shard: -1, End: d}},
+	}
+	if remoteParent != ([8]byte{}) {
+		tr.RemoteParent = hex.EncodeToString(remoteParent[:])
+	}
+	randomBytes(tr.Wire[:])
 	return tr
 }
 

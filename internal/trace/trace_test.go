@@ -183,7 +183,7 @@ func TestRingRetentionAndLookup(t *testing.T) {
 
 type sinkFunc func(string, time.Duration)
 
-func (f sinkFunc) PhaseObserve(phase string, d time.Duration) { f(phase, d) }
+func (f sinkFunc) PhaseObserve(phase string, d time.Duration, _ TraceID) { f(phase, d) }
 
 func TestPhaseSinkFedOnEnd(t *testing.T) {
 	var mu sync.Mutex
@@ -205,6 +205,85 @@ func TestPhaseSinkFedOnEnd(t *testing.T) {
 		if got[k] != n {
 			t.Fatalf("phase %s observed %d times, want %d (all: %v)", k, got[k], n, got)
 		}
+	}
+}
+
+func TestSealDoesNotRetain(t *testing.T) {
+	tr := NewTracer(nil)
+	rec := tr.StartLocal()
+	id := rec.TraceID().String()
+	out := tr.Seal(rec)
+	if out == nil || out.ID != id {
+		t.Fatalf("Seal returned %+v, want trace %s", out, id)
+	}
+	if out.Wire != rec.wireID {
+		t.Fatal("sealed trace lost the wire span ID")
+	}
+	if _, ok := tr.Lookup(id); ok {
+		t.Fatal("sealed trace entered the ring before Retain")
+	}
+	if tr.Total() != 0 {
+		t.Fatalf("Total = %d after Seal, want 0", tr.Total())
+	}
+	tr.Retain(out)
+	if _, ok := tr.Lookup(id); !ok {
+		t.Fatal("retained trace not found")
+	}
+	if tr.Total() != 1 {
+		t.Fatalf("Total = %d after Retain, want 1", tr.Total())
+	}
+	tr.Retain(nil) // must not panic or count
+	if tr.Total() != 1 {
+		t.Fatal("Retain(nil) counted")
+	}
+}
+
+func TestMarkError(t *testing.T) {
+	tr := NewTracer(nil)
+	rec := tr.StartLocal()
+	var nilRec *Recorder
+	nilRec.MarkError(fmt.Errorf("boom")) // must not panic
+	rec.MarkError(nil)                   // no-op
+	rec.MarkError(fmt.Errorf("first"))
+	rec.MarkError(fmt.Errorf("second")) // first writer wins
+	out := tr.Finish(rec)
+	if out.Err != "first" {
+		t.Fatalf("trace Err = %q, want %q", out.Err, "first")
+	}
+	rec.MarkError(fmt.Errorf("late")) // post-finish: dropped
+	if out.Err != "first" {
+		t.Fatal("post-finish MarkError mutated the snapshot")
+	}
+	clean := tr.Finish(tr.StartLocal())
+	if clean.Err != "" {
+		t.Fatalf("clean trace Err = %q, want empty", clean.Err)
+	}
+}
+
+func TestSynthesize(t *testing.T) {
+	id, remote, _, ok := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	if !ok {
+		t.Fatal("fixture traceparent rejected")
+	}
+	start := time.Now().Add(-time.Second)
+	out := Synthesize(id, remote, start, time.Second)
+	if out.ID != id.String() {
+		t.Fatalf("ID = %s, want %s", out.ID, id)
+	}
+	if out.RemoteParent != "00f067aa0ba902b7" {
+		t.Fatalf("RemoteParent = %q", out.RemoteParent)
+	}
+	if out.Duration != time.Second || !out.Start.Equal(start) {
+		t.Fatalf("timing = (%v, %v)", out.Start, out.Duration)
+	}
+	if len(out.Spans) != 1 || out.Spans[0].Name != "request" || out.Spans[0].End != time.Second {
+		t.Fatalf("spans = %+v", out.Spans)
+	}
+	if out.Wire == ([8]byte{}) {
+		t.Fatal("synthesized trace has no wire span ID")
+	}
+	if !strings.Contains(out.Tree(), "request") {
+		t.Fatal("synthesized trace tree unrenderable")
 	}
 }
 
